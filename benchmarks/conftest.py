@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one experiment from DESIGN.md §4: it builds
+the workload, measures the interesting operation with
+pytest-benchmark, asserts the *shape* the paper claims (who wins, by
+roughly what factor), and prints the table EXPERIMENTS.md records.
+
+Run them all with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> None:
+    """Print an aligned results table (captured unless -s is given)."""
+    widths = [len(h) for h in headers]
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,77 @@
+"""A1 — ablation (DESIGN.md §6): explicit labels vs Asbestos-style
+floating labels.
+
+Random gossip among N processes, a fraction of which start tainted.
+Under Flume-style explicit labels, unsafe sends are refused and clean
+processes stay clean (and exportable).  Under floating labels every
+send succeeds — and taint creeps until almost nothing can talk to the
+outside world.  The table reports, after the same message schedule:
+how many processes remain clean, the mean label size, and how many
+sends were refused.
+"""
+
+import random
+
+from repro.kernel import Kernel, RECV, SEND
+from repro.labels import Label, LabelError
+
+from .conftest import print_table
+
+N_PROCS = 20
+N_TAINTED = 3
+N_MESSAGES = 400
+
+
+def run_gossip(floating: bool):
+    rng = random.Random(99)
+    kernel = Kernel(floating_labels=floating)
+    root = kernel.spawn_trusted("root")
+    tags = [kernel.create_tag(root, purpose=f"secret{i}")
+            for i in range(N_TAINTED)]
+    procs = []
+    for i in range(N_PROCS):
+        label = Label([tags[i]]) if i < N_TAINTED else Label.EMPTY
+        procs.append(kernel.spawn_trusted(f"p{i}", slabel=label))
+    ports = [(kernel.create_endpoint(p, direction=SEND),
+              kernel.create_endpoint(p, direction=RECV)) for p in procs]
+
+    refused = 0
+    for __ in range(N_MESSAGES):
+        a, b = rng.sample(range(N_PROCS), 2)
+        try:
+            kernel.send(procs[a], ports[a][0], ports[b][1], "gossip")
+            kernel.receive(procs[b])
+        except LabelError:
+            refused += 1
+    clean = sum(1 for p in procs if p.slabel.is_empty())
+    mean_label = sum(len(p.slabel) for p in procs) / N_PROCS
+    return clean, mean_label, refused
+
+
+def run_both():
+    return {"explicit (Flume/W5)": run_gossip(False),
+            "floating (Asbestos-style)": run_gossip(True)}
+
+
+def test_bench_a1_floating_labels(benchmark):
+    results = benchmark(run_both)
+
+    explicit = results["explicit (Flume/W5)"]
+    floating = results["floating (Asbestos-style)"]
+
+    # explicit: taint never spreads — the tainted stay tainted, the
+    # clean stay clean, unsafe sends show up as refusals
+    assert explicit[0] == N_PROCS - N_TAINTED
+    assert explicit[2] > 0
+    # floating: everything delivered, but the world drowns in taint
+    assert floating[2] == 0
+    assert floating[0] < N_TAINTED + 2     # (almost) nobody stays clean
+    assert floating[1] > explicit[1]
+
+    print_table(
+        f"A1: {N_MESSAGES} random messages, {N_TAINTED}/{N_PROCS} "
+        f"initially tainted",
+        ["mode", "clean processes left", "mean label size",
+         "sends refused"],
+        [[name, clean, mean, refused]
+         for name, (clean, mean, refused) in results.items()])

@@ -1,0 +1,71 @@
+"""A2 — ablation: enforcement granularity (OS-level vs language-level).
+
+§3.1's two substrate families differ in what a mixed-provenance
+response can deliver.  The same feed (items from F friends the viewer
+may see + S strangers they may not) is served both ways:
+
+* **process-level** (the platform's kernel model): the rendering
+  process joins every tag it read; the response is all-or-nothing —
+  one stranger item poisons the whole feed (403);
+* **value-level** (:mod:`repro.lang`): each item carries its own
+  label; the viewer receives exactly the friend items, with the
+  stranger items withheld.
+
+The table sweeps the stranger fraction and reports delivered items
+under each model — the utility/coarseness trade quantified.
+"""
+
+from repro.labels import CapabilitySet, Label, TagRegistry, exportable_tags, minus
+from repro.lang import LabeledList, lift, ljoin
+
+from .conftest import print_table
+
+N_ITEMS = 20
+
+
+def run_granularity_sweep():
+    rows = []
+    for n_strangers in (0, 1, 5, 10):
+        reg = TagRegistry()
+        feed = LabeledList()
+        friend_tags = []
+        for i in range(N_ITEMS - n_strangers):
+            tag = reg.create(purpose=f"friend{i}")
+            friend_tags.append(tag)
+            feed.append(lift({"from": f"friend{i}"}, Label([tag])))
+        for i in range(n_strangers):
+            tag = reg.create(purpose=f"stranger{i}")
+            feed.append(lift({"from": f"stranger{i}"}, Label([tag])))
+        authority = CapabilitySet([minus(t) for t in friend_tags])
+
+        # value-level: per-item export
+        delivered, withheld = feed.export_for(authority)
+
+        # process-level: one label for the whole response
+        combined = ljoin(iter(feed))
+        all_or_nothing = N_ITEMS if exportable_tags(
+            combined, authority).is_empty() else 0
+
+        rows.append([f"{n_strangers}/{N_ITEMS}",
+                     all_or_nothing, len(delivered), withheld])
+    return rows
+
+
+def test_bench_a2_granularity(benchmark):
+    rows = benchmark(run_granularity_sweep)
+
+    # with zero strangers both models deliver everything
+    assert rows[0][1] == N_ITEMS and rows[0][2] == N_ITEMS
+    # with any strangers, process-level collapses to zero while
+    # value-level delivers exactly the authorized remainder
+    for row in rows[1:]:
+        n_str = int(row[0].split("/")[0])
+        assert row[1] == 0
+        assert row[2] == N_ITEMS - n_str
+        assert row[3] == n_str
+
+    print_table(
+        f"A2: items delivered from a {N_ITEMS}-item mixed feed",
+        ["stranger items", "process-level (kernel)",
+         "value-level (lang)", "withheld"],
+        rows)

@@ -1,0 +1,73 @@
+"""C10 — §3.5: the SQL covert channel, measured and closed.
+
+A colluding pair pushes bits through the shared store under fail-stop
+vs label-filtered semantics (the DESIGN.md §6 storage ablation), plus
+the residual timing channel of filtered full scans and its
+index-restriction mitigation.
+"""
+
+import random
+
+from repro.covert import FAILSTOP, FILTERED, StorageChannel, timing_probe
+
+from .conftest import print_table
+
+N_BITS = 64
+
+
+def run_covert_experiments():
+    rng = random.Random(9)
+    bits = [rng.randint(0, 1) for __ in range(N_BITS)]
+
+    reports = {}
+    for semantics in (FAILSTOP, FILTERED):
+        reports[semantics] = StorageChannel().transmit(bits, semantics)
+
+    timing = {
+        "0 hidden rows": timing_probe(invisible_rows=0),
+        "100 hidden rows": timing_probe(invisible_rows=100),
+        "0 hidden, padded": timing_probe(invisible_rows=0,
+                                         pad_scan_to=500),
+        "100 hidden, padded": timing_probe(invisible_rows=100,
+                                           pad_scan_to=500),
+    }
+    return reports, timing
+
+
+def test_bench_c10_covert_channels(benchmark):
+    reports, timing = benchmark(run_covert_experiments)
+
+    failstop = reports[FAILSTOP]
+    filtered = reports[FILTERED]
+    assert failstop.capacity_bits_per_query == 1.0
+    assert set(filtered.received) == {0}  # constant output: zero info
+
+    print_table(
+        f"C10a: storage channel over {N_BITS} bits",
+        ["semantics", "bits decoded correctly", "channel capacity"],
+        [["fail-stop (rejected design)",
+          N_BITS - failstop.errors, "1.0 bit/query"],
+         ["label-filtered (repro.db)",
+          "receiver output constant", "0 bits/query"]])
+
+    t0 = timing["0 hidden rows"]
+    t100 = timing["100 hidden rows"]
+    p0 = timing["0 hidden, padded"]
+    p100 = timing["100 hidden, padded"]
+    assert t100["full_scan_rows_touched"] > t0["full_scan_rows_touched"]
+    assert t100["indexed_rows_touched"] == t0["indexed_rows_touched"]
+    # padding closes the full-scan channel completely
+    assert (p100["full_scan_rows_touched"]
+            == p0["full_scan_rows_touched"] == 500)
+
+    print_table(
+        "C10b: residual timing channel (rows touched by a clean query)",
+        ["configuration", "full scan", "indexed scan"],
+        [["no hidden rows", t0["full_scan_rows_touched"],
+          t0["indexed_rows_touched"]],
+         ["100 hidden rows", t100["full_scan_rows_touched"],
+          t100["indexed_rows_touched"]],
+         ["no hidden rows, pad=500", p0["full_scan_rows_touched"],
+          p0["indexed_rows_touched"]],
+         ["100 hidden rows, pad=500", p100["full_scan_rows_touched"],
+          p100["indexed_rows_touched"]]])

@@ -1,0 +1,47 @@
+"""C11 — §3.2: editorial controls discourage anti-social apps.
+
+The same market (20 apps, 30% anti-social with lock-in retention,
+2000 users, 50 rounds) with editors on and off; the series is the
+anti-social share of users over time.  Illustrative, like C7: it shows
+the direction and mechanism of the paper's claim.
+"""
+
+from repro.ecosystem import compare_editorial_controls
+
+from .conftest import print_table
+
+
+def run_market_comparison():
+    return compare_editorial_controls(seed=41, n_apps=20,
+                                      antisocial_fraction=0.3,
+                                      population=2000, steps=50)
+
+
+def test_bench_c11_editorial_market(benchmark):
+    outcomes = benchmark(run_market_comparison)
+    with_ed = outcomes["with editors"]
+    without = outcomes["without editors"]
+
+    # editors push the share down from its start; no editors, lock-in
+    # pushes it up — the §3.2 mechanism in both directions
+    assert with_ed.final_antisocial_share < with_ed.share_by_step[0]
+    assert without.final_antisocial_share > without.share_by_step[0]
+    assert with_ed.final_antisocial_share < without.final_antisocial_share
+
+    print_table(
+        "C11: anti-social apps' market share",
+        ["configuration", "initial", "final", "flagged apps"],
+        [["with editors", f"{with_ed.share_by_step[0]:.0%}",
+          f"{with_ed.final_antisocial_share:.0%}",
+          sum(1 for a in with_ed.apps if a.flagged)],
+         ["without editors", f"{without.share_by_step[0]:.0%}",
+          f"{without.final_antisocial_share:.0%}",
+          sum(1 for a in without.apps if a.flagged)]])
+
+    stride = max(1, len(with_ed.share_by_step) // 8)
+    print_table(
+        "C11 series: anti-social share by round",
+        ["round", "with editors", "without editors"],
+        [[i, f"{with_ed.share_by_step[i]:.0%}",
+          f"{without.share_by_step[i]:.0%}"]
+         for i in range(0, len(with_ed.share_by_step), stride)])

@@ -1,0 +1,67 @@
+"""C1 — §1/§3.1: the platform blocks theft by untrusted applications.
+
+Three thief variants run against a population on W5 and on the
+Facebook-style third-party baseline.  The table counts secret records
+that reached each adversary-controlled endpoint.
+"""
+
+from repro import W5System
+from repro.baselines import DeveloperServer, ThirdPartyPlatform
+from repro.workloads import make_social_world
+
+from .conftest import print_table
+
+N_USERS = 8
+SECRET_PREFIX = "DIARY-OF-"
+
+
+def run_theft_campaign():
+    """Run every thief variant on both platforms; return leak counts."""
+    world = make_social_world(n_users=N_USERS, seed=11)
+
+    # --- W5 ---
+    w5 = W5System(with_adversaries=True)
+    for user in world.users:
+        w5.add_user(user, profile=world.profiles[user])
+        w5.provider.store_user_data(user, "diary.txt",
+                                    SECRET_PREFIX + user)
+        # every victim falls for the thief apps (worst case)
+        for app in ("data-thief", "exfil-writer", "confederate"):
+            w5.provider.enable_app(user, app)
+    mallory = w5.add_user("mallory")
+    w5_leaks = {"direct": 0, "public-drop": 0, "colluding-pair": 0}
+    for user in world.users:
+        mallory.get("/app/data-thief/go", victim=user)
+        if mallory.ever_received(SECRET_PREFIX + user):
+            w5_leaks["direct"] += 1
+        mallory.get("/app/exfil-writer/go", victim=user)
+        mallory.get("/app/confederate/go", victim=user)
+        if mallory.ever_received(SECRET_PREFIX + user):
+            w5_leaks["colluding-pair"] += 1
+
+    # --- status quo (third-party platform) ---
+    platform = ThirdPartyPlatform()
+    thief_server = DeveloperServer("mallory", render=lambda p: "<page>")
+    platform.register_app("data-thief", thief_server)
+    for user in world.users:
+        platform.signup(user, {"diary": SECRET_PREFIX + user})
+        platform.install_app(user, "data-thief")
+        platform.use_app(user, "data-thief")
+    sq_leaks = sum(1 for user in world.users
+                   if thief_server.saw_value(SECRET_PREFIX + user))
+
+    return w5_leaks, sq_leaks
+
+
+def test_bench_c1_theft(benchmark):
+    w5_leaks, sq_leaks = benchmark(run_theft_campaign)
+
+    assert sum(w5_leaks.values()) == 0      # W5 blocks every variant
+    assert sq_leaks == N_USERS              # status quo leaks everyone
+
+    print_table(
+        "C1: records leaked to the adversary (victims fully opted in)",
+        ["attack", "status quo", "W5"],
+        [["direct export", sq_leaks, w5_leaks["direct"]],
+         ["write to public file", "n/a (trivial)", w5_leaks["public-drop"]],
+         ["colluding pair", "n/a (trivial)", w5_leaks["colluding-pair"]]])

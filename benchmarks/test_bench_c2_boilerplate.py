@@ -1,0 +1,50 @@
+"""C2 — §3.1: the boilerplate policy is an identity matrix.
+
+For every (owner, requester) pair, may owner-tagged bytes cross the
+perimeter toward the requester with no declassifier granted?  The
+paper's default says: only on the diagonal.
+"""
+
+from repro.labels import Label
+from repro.net import ExportViolation
+from repro.platform import Provider
+
+from .conftest import print_table
+
+USERS = ["bob", "amy", "carl", "dot"]
+
+
+def build_matrix():
+    provider = Provider()
+    for u in USERS:
+        provider.signup(u, "pw")
+    matrix = {}
+    for owner in USERS:
+        tag = provider.account(owner).data_tag
+        for requester in USERS + [None]:
+            try:
+                provider.gateway.export_check(Label([tag]), requester)
+                matrix[(owner, requester)] = True
+            except ExportViolation:
+                matrix[(owner, requester)] = False
+    return matrix
+
+
+def test_bench_c2_boilerplate_matrix(benchmark):
+    matrix = benchmark(build_matrix)
+
+    for owner in USERS:
+        for requester in USERS + [None]:
+            expected = owner == requester
+            assert matrix[(owner, requester)] == expected, \
+                (owner, requester)
+
+    rows = []
+    for owner in USERS:
+        row = [owner]
+        for requester in USERS:
+            row.append("ALLOW" if matrix[(owner, requester)] else "deny")
+        row.append("ALLOW" if matrix[(owner, None)] else "deny")
+        rows.append(row)
+    print_table("C2: export matrix (no declassifiers granted)",
+                ["owner \\ to"] + USERS + ["anonymous"], rows)

@@ -1,0 +1,49 @@
+"""C4 — §3.1: write protection stops vandals.
+
+The vandal app attacks M user files in three configurations: without
+any grant, enabled read-only, and enabled with write privilege (the
+user's own informed delegation).  Corrupted-file counts per row.
+"""
+
+from repro import W5System
+
+from .conftest import print_table
+
+N_FILES = 10
+
+
+def run_vandal_campaign():
+    results = {}
+    for config in ("not-enabled", "read-only", "write-granted"):
+        w5 = W5System(with_adversaries=True)
+        bob = w5.add_user("bob")
+        for i in range(N_FILES):
+            w5.provider.store_user_data("bob", f"f{i}.txt", f"original-{i}")
+        if config == "read-only":
+            w5.provider.enable_app("bob", "vandal", allow_write=False)
+        elif config == "write-granted":
+            w5.provider.enable_app("bob", "vandal", allow_write=True)
+        eve = w5.add_user("eve")
+        attacker = bob if config == "write-granted" else eve
+        attacker.get("/app/vandal/go", victim="bob", mode="deface")
+        corrupted = sum(
+            1 for i in range(N_FILES)
+            if w5.provider.read_user_data("bob", f"f{i}.txt")
+            != f"original-{i}")
+        results[config] = corrupted
+    return results
+
+
+def test_bench_c4_write_protection(benchmark):
+    results = benchmark(run_vandal_campaign)
+
+    assert results["not-enabled"] == 0
+    assert results["read-only"] == 0
+    assert results["write-granted"] == N_FILES  # delegation is real power
+
+    print_table(
+        f"C4: vandal vs {N_FILES} write-protected files",
+        ["configuration", "files corrupted"],
+        [["vandal not enabled", results["not-enabled"]],
+         ["enabled, read-only", results["read-only"]],
+         ["enabled with write grant", results["write-granted"]]])

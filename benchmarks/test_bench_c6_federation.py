@@ -1,0 +1,73 @@
+"""C6 — §3.3: cross-provider mirroring via sync declassifiers.
+
+Two providers, a linked account, edits landing on either side.  The
+table reports divergence before/after each sync round, transfer
+counts, and verifies the mirrored data is still protected on the
+destination provider.
+"""
+
+from repro.federation import ProviderLink, converged
+from repro.fs import FsView
+from repro.labels import SecrecyViolation
+from repro.platform import Provider
+
+from .conftest import print_table
+
+N_FILES = 6
+
+
+def run_federation_rounds():
+    a = Provider(name="w5-alpha")
+    b = Provider(name="w5-beta")
+    for p in (a, b):
+        p.signup("bob", "pw")
+    link = ProviderLink(a, b)
+    link.link_account("bob")
+    link.grant_sync("bob")
+
+    rounds = []
+    # round 1: initial content on A
+    for i in range(N_FILES):
+        a.store_user_data("bob", f"f{i}", f"v1-{i}")
+    moved1 = link.sync_user("bob")
+    rounds.append(("initial A→B", moved1, converged(link, "bob")))
+
+    # round 2: edits on B propagate back
+    agent = b._user_agent(b.account("bob"))
+    FsView(b.fs, agent).write("/users/bob/f0", "v2-edited-on-B")
+    b.kernel.exit(agent)
+    moved2 = link.sync_user("bob")
+    rounds.append(("edit B→A", moved2, converged(link, "bob")))
+
+    # round 3: steady state moves nothing
+    moved3 = link.sync_user("bob")
+    rounds.append(("steady state", moved3, converged(link, "bob")))
+
+    # policy still enforced on B for the mirrored data
+    snoop = b.kernel.spawn_trusted("eve-on-beta")
+    try:
+        FsView(b.fs, snoop).read("/users/bob/f1")
+        protected = False
+    except SecrecyViolation:
+        protected = True
+    return rounds, protected
+
+
+def test_bench_c6_federation(benchmark):
+    rounds, protected = benchmark(run_federation_rounds)
+
+    assert rounds[0][1] == N_FILES and rounds[0][2]
+    assert rounds[1][1] == 1 and rounds[1][2]
+    assert rounds[2][1] == 0 and rounds[2][2]
+    assert protected
+
+    print_table(
+        "C6: cross-provider sync rounds (linked account)",
+        ["round", "files transferred", "converged after"],
+        [[name, moved, "yes" if conv else "no"]
+         for name, moved, conv in rounds])
+    print_table(
+        "C6: policy on the mirror",
+        ["check", "result"],
+        [["stranger on B reads bob's mirrored file",
+          "denied" if protected else "LEAKED"]])

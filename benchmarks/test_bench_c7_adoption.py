@@ -1,0 +1,54 @@
+"""C7 — §3.4: lower barrier to entry → faster adoption.
+
+The diffusion model with identical parameters except signup friction:
+W5's checkbox vs re-uploading N items on the siloed Web.  Series:
+adopters over time; table: time-to-critical-mass.  Labeled
+illustrative — it shows the direction of the claimed market effect.
+"""
+
+from repro.ecosystem import compare_platforms, conversion_friction
+
+from .conftest import print_table
+
+POPULATION = 1000
+STEPS = 80
+ITEMS = 25
+
+
+def run_adoption_comparison():
+    return compare_platforms(population=POPULATION, steps=STEPS,
+                             items_to_migrate=ITEMS, seed=17)
+
+
+def test_bench_c7_adoption(benchmark):
+    curves = benchmark(run_adoption_comparison)
+    w5, silo = curves["w5"], curves["status-quo"]
+
+    t10_w5, t50_w5 = w5.time_to_fraction(0.1), w5.time_to_fraction(0.5)
+    t10_s, t50_s = silo.time_to_fraction(0.1), silo.time_to_fraction(0.5)
+
+    assert t10_w5 is not None and t50_w5 is not None
+    assert t10_s is None or t10_s > t10_w5
+    assert t50_s is None or t50_s > t50_w5
+    assert w5.final_share > silo.final_share
+
+    def fmt(t):
+        return t if t is not None else f">{STEPS}"
+
+    print_table(
+        f"C7: app adoption (population={POPULATION}, "
+        f"{ITEMS} items to migrate on status quo)",
+        ["platform", "signup friction", "t(10%)", "t(50%)",
+         f"share @ step {STEPS}"],
+        [["W5 (checkbox)", 1.0, fmt(t10_w5), fmt(t50_w5),
+          f"{w5.final_share:.0%}"],
+         ["status quo (re-upload)", conversion_friction(ITEMS),
+          fmt(t10_s), fmt(t50_s), f"{silo.final_share:.0%}"]])
+
+    # the series (downsampled) for the figure
+    stride = max(1, STEPS // 8)
+    print_table(
+        "C7 series: adopters by step",
+        ["step", "W5", "status quo"],
+        [[i, w5.adopters_by_step[i], silo.adopters_by_step[i]]
+         for i in range(0, STEPS, stride)])

@@ -1,0 +1,82 @@
+"""C8 — §4: the address-book/map mashup on four platforms.
+
+The same scenario everywhere: bob maps his private address book using
+a third-party map renderer.  The table counts which fields reached the
+map company's servers and the mashup developer on each platform —
+reproducing the paper's §4 comparison verbatim.
+"""
+
+from repro import W5System
+from repro.baselines import (AddressBookService, ApiMashup,
+                             DeveloperServer, MapProviderServer,
+                             MashupOsMashup, ThirdPartyPlatform)
+
+from .conftest import print_table
+
+ENTRIES = [("mom", "12 Elm St"), ("dan", "9 Oak Ave"),
+           ("kim", "3 Birch Rd")]
+
+
+def run_mashup_matrix():
+    rows = {}
+
+    # status-quo browser mashup
+    book = AddressBookService()
+    maps = MapProviderServer()
+    for name, addr in ENTRIES:
+        book.add("bob", name, addr)
+    ApiMashup(book, maps).render("bob")
+    rows["status quo"] = (len(maps.received_names),
+                          len(maps.received_addresses), "page works")
+
+    # MashupOS
+    book2, maps2 = AddressBookService(), MapProviderServer()
+    for name, addr in ENTRIES:
+        book2.add("bob", name, addr)
+    MashupOsMashup(book2, maps2).render("bob")
+    rows["MashupOS"] = (len(maps2.received_names),
+                        len(maps2.received_addresses), "page works")
+
+    # Facebook-style third-party app
+    platform = ThirdPartyPlatform()
+    dev_server = DeveloperServer("devMash", render=lambda p: "<map-page>")
+    platform.register_app("address-map", dev_server)
+    platform.signup("bob", {f"addr:{n}": a for n, a in ENTRIES})
+    platform.install_app("bob", "address-map")
+    platform.use_app("bob", "address-map")
+    leaked_fields = sum(len(p) for p in dev_server.received)
+    rows["third-party platform"] = (leaked_fields, leaked_fields,
+                                    "page works")
+
+    # W5: marker placement server-side, inside the perimeter
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["address-map"])
+    for name, addr in ENTRIES:
+        bob.get("/app/address-map/add", name=name, address=addr)
+    r = bob.get("/app/address-map/map")
+    page_ok = r.ok and r.body["markers"] == len(ENTRIES)
+    # the map developer's channel is the app's return value to OTHERS:
+    eve = w5.add_user("map-corp-employee")
+    eve.get("/app/address-map/map")
+    w5_names = sum(1 for n, a in ENTRIES if eve.ever_received(n))
+    w5_addrs = sum(1 for n, a in ENTRIES if eve.ever_received(a))
+    rows["W5"] = (w5_names, w5_addrs,
+                  "page works" if page_ok else "broken")
+    return rows
+
+
+def test_bench_c8_mashup(benchmark):
+    rows = benchmark(run_mashup_matrix)
+
+    n = len(ENTRIES)
+    assert rows["status quo"][:2] == (n, n)
+    assert rows["MashupOS"][:2] == (0, n)    # the paper's exact point
+    assert rows["third-party platform"][0] > 0
+    assert rows["W5"][:2] == (0, 0)
+    assert rows["W5"][2] == "page works"
+
+    print_table(
+        f"C8: mashup privacy ({n} address-book entries)",
+        ["platform", "names leaked to map corp",
+         "addresses leaked", "functionality"],
+        [[name, *vals] for name, vals in rows.items()])

@@ -1,0 +1,74 @@
+"""C9 — §3.5: rogue applications cannot starve the cluster.
+
+Two sub-experiments:
+
+1. **Quotas** — the resource hog under no quota vs a per-app override;
+   syscalls it manages to burn, and whether honest requests still run.
+2. **Scheduling** — hostile long queries vs honest short ones under
+   FIFO and fair-share; the honest app's slowdown factor (the DESIGN.md
+   §6 scheduler ablation).
+"""
+
+from repro import W5System
+from repro.resources import FairShareScheduler, FifoScheduler, Job, slowdown
+
+from .conftest import print_table
+
+HOG_SPINS = 5000
+HOG_QUOTA = 100
+
+
+def run_resource_experiments():
+    # -- quota sub-experiment ------------------------------------------
+    quota_rows = []
+    for config, overrides in (
+            ("no quota", None),
+            (f"hog quota={HOG_QUOTA}",
+             {"app:resource-hog": {"syscalls": HOG_QUOTA}})):
+        w5 = W5System(with_adversaries=True, quota_overrides=overrides)
+        eve = w5.add_user("eve", apps=["resource-hog"])
+        bob = w5.add_user("bob", apps=["blog"])
+        r = eve.get("/app/resource-hog/go", spins=HOG_SPINS)
+        burned = w5.resources.total("syscalls", name_prefix="app:resource")
+        bob.get("/app/blog/post", title="t", body="b")
+        honest_ok = bob.get("/app/blog/read", title="t").ok
+        quota_rows.append([config, int(burned),
+                           "cut off" if r.status != 200 else "completed",
+                           "yes" if honest_ok else "no"])
+
+    # -- scheduler sub-experiment ----------------------------------------
+    jobs = [Job("hostile-sql", 10_000)] + [Job("honest", 5)] * 4
+    solo = {"hostile-sql": 10_000, "honest": 20}
+    sched_rows = []
+    for sched in (FifoScheduler(), FairShareScheduler()):
+        times = sched.completion_times(jobs)
+        s = slowdown(times, solo)
+        sched_rows.append([sched.name, times["honest"],
+                           f"{s['honest']:.2f}x"])
+    return quota_rows, sched_rows
+
+
+def test_bench_c9_resource_policing(benchmark):
+    quota_rows, sched_rows = benchmark(run_resource_experiments)
+
+    # without quota the hog burns everything; with quota it is cut off
+    assert quota_rows[0][1] >= HOG_SPINS
+    assert quota_rows[1][1] <= HOG_QUOTA
+    assert quota_rows[1][2] == "cut off"
+    # honest apps fine in both configs (simulator is single-threaded;
+    # the quota protects capacity, the scheduler protects latency)
+    assert all(row[3] == "yes" for row in quota_rows)
+
+    fifo_latency = sched_rows[0][1]
+    fair_latency = sched_rows[1][1]
+    assert fifo_latency > 100 * fair_latency
+
+    print_table(
+        f"C9a: resource-hog (requested {HOG_SPINS} spins) under quotas",
+        ["configuration", "syscalls burned", "hog outcome",
+         "honest app ok"],
+        quota_rows)
+    print_table(
+        "C9b: honest-query latency under a hostile SQL workload",
+        ["scheduler", "honest completion (ticks)", "slowdown"],
+        sched_rows)

@@ -1,0 +1,59 @@
+"""E1 — Figure 1: today's siloed Web.
+
+Regenerates the costs the figure implies: per-site data re-entry,
+duplication of the same user data across sites, item-by-item
+migration, and the impossibility of cross-site reads.
+"""
+
+import pytest
+
+from repro.baselines import SiloError, SiloedWeb
+from repro.workloads import make_social_world
+
+from .conftest import print_table
+
+N_SITES = 4
+N_USERS = 15
+
+
+def build_siloed_world():
+    world = make_social_world(n_users=N_USERS, photos_per_user=3, seed=7)
+    web = SiloedWeb()
+    for i in range(N_SITES):
+        web.add_site(f"site-{i}")
+    for user in world.users:
+        web.join_everywhere(user, world.profiles[user])
+        for photo in world.photos[user]:
+            web.site("site-0").store(user, photo["filename"],
+                                     photo["bytes"])
+    return world, web
+
+
+def test_bench_e1_siloed_web(benchmark):
+    world, web = benchmark(build_siloed_world)
+
+    reentry = sum(site.reentry_count for site in web.sites.values())
+    fields_per_user = len(world.profiles[world.users[0]])
+    duplication = web.duplicated_fields(world.users[0])
+
+    # migration cost: move one user's photos to another silo
+    migrated = web.migrate(world.users[0], "site-0", "site-1")
+
+    # cross-site reads are architecturally impossible
+    with pytest.raises(SiloError):
+        web.cross_site_read("site-1", world.users[0], "site-0",
+                            world.photos[world.users[0]][0]["filename"])
+
+    assert reentry == N_SITES * N_USERS * fields_per_user
+    assert duplication == N_SITES
+    assert migrated == 3
+
+    print_table(
+        "E1 / Figure 1: the siloed Web",
+        ["metric", "value"],
+        [["sites", N_SITES],
+         ["users", N_USERS],
+         ["profile fields re-entered (total)", reentry],
+         ["profile copies per user", duplication],
+         ["manual steps to migrate 3 photos", migrated],
+         ["cross-site reads possible", "no"]])

@@ -1,0 +1,56 @@
+"""M1 — mechanism cost: label-operation microbenchmarks.
+
+Throughput of the three hot-path label operations (flow check, join,
+label-change check) as label size grows.  These bound the per-message
+overhead every W5 operation pays.
+"""
+
+import pytest
+
+from repro.labels import (CapabilitySet, Label, TagRegistry, can_flow,
+                          can_flow_secrecy, label_change_allowed, minus,
+                          plus)
+
+from .conftest import print_table
+
+_REG = TagRegistry()
+_TAGS = [_REG.create(purpose=f"t{i}") for i in range(256)]
+
+
+def _setup(size):
+    a = Label(_TAGS[:size])
+    b = Label(_TAGS[: size + size // 2 + 1])
+    # caps cover the whole change: plus over b's tags, minus over half
+    caps = CapabilitySet([plus(t) for t in _TAGS[: size + size // 2 + 1]]
+                         + [minus(t) for t in _TAGS[: size // 2 + 1]])
+    return a, b, caps
+
+
+@pytest.mark.parametrize("size", [1, 8, 64])
+def test_bench_m1_can_flow(benchmark, size):
+    a, b, caps = _setup(size)
+    result = benchmark(can_flow_secrecy, a, b, caps, caps)
+    assert result
+    print_table(f"M1: can_flow_secrecy, |label|={size}",
+                ["op", "allowed"], [["can_flow_secrecy", result]])
+
+
+@pytest.mark.parametrize("size", [1, 8, 64])
+def test_bench_m1_join(benchmark, size):
+    a, b, __ = _setup(size)
+    joined = benchmark(lambda: a | b)
+    assert len(joined) >= len(b)
+
+
+@pytest.mark.parametrize("size", [1, 8, 64])
+def test_bench_m1_label_change(benchmark, size):
+    a, b, caps = _setup(size)
+    result = benchmark(label_change_allowed, a, b, caps)
+    assert result
+
+
+def test_bench_m1_full_check(benchmark):
+    a, b, caps = _setup(16)
+    empty = Label.EMPTY
+    result = benchmark(can_flow, a, empty, b, empty, caps, caps)
+    assert result

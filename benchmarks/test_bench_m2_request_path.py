@@ -1,0 +1,51 @@
+"""M2 — mechanism cost: the end-to-end request pipeline.
+
+Latency of one full W5 request (authenticate → launch confined app →
+labeled reads → export check) against two baselines: the same handler
+logic with no platform at all, and a static provider route (pipeline
+minus the app launch).  The ratio is the cost of the architecture.
+"""
+
+import pytest
+
+from repro import W5System
+
+from .conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def w5_world():
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["blog"])
+    bob.get("/app/blog/post", title="t0", body="hello world")
+    return w5, bob
+
+
+def test_bench_m2_w5_request(benchmark, w5_world):
+    w5, bob = w5_world
+    resp = benchmark(bob.get, "/app/blog/read", title="t0")
+    assert resp.ok and resp.body["body"] == "hello world"
+
+
+def test_bench_m2_static_route(benchmark, w5_world):
+    """Pipeline minus app launch: the provider's root listing."""
+    w5, bob = w5_world
+    resp = benchmark(bob.get, "/")
+    assert resp.ok
+
+
+def test_bench_m2_unprotected_handler(benchmark):
+    """The same 'blog read' logic with no kernel, labels, or gateway."""
+    posts = {("bob", "t0"): "hello world"}
+
+    def bare_read():
+        return {"body": posts[("bob", "t0")]}
+
+    result = benchmark(bare_read)
+    assert result["body"] == "hello world"
+    print_table(
+        "M2 note",
+        ["row", "meaning"],
+        [["w5_request", "full pipeline incl. confinement + export check"],
+         ["static_route", "pipeline minus app launch"],
+         ["unprotected_handler", "no platform at all (lower bound)"]])

@@ -1,0 +1,39 @@
+"""M3 — §3.1: "declassifiers are typically much smaller than entire
+applications, they are easier to audit."
+
+Table of non-blank source lines: every built-in declassifier vs every
+catalog application.  The claim holds if the largest declassifier is
+well under the smallest real application.
+"""
+
+from repro.apps import STANDARD_CATALOG
+from repro.declassify import BUILTINS
+
+from .conftest import print_table
+
+
+def collect_audit_surfaces():
+    declassifiers = {name: cls.audit_surface_loc()
+                     for name, cls in BUILTINS.items()}
+    apps = {m.name: m.loc() for m in STANDARD_CATALOG if m.kind == "app"}
+    return declassifiers, apps
+
+
+def test_bench_m3_audit_surface(benchmark):
+    declassifiers, apps = benchmark(collect_audit_surfaces)
+
+    biggest_declass = max(declassifiers.values())
+    smallest_app = min(apps.values())
+    assert biggest_declass < smallest_app
+    mean_app = sum(apps.values()) / len(apps)
+    mean_declass = sum(declassifiers.values()) / len(declassifiers)
+    assert mean_app > 3 * mean_declass
+
+    rows = [[f"declassifier: {n}", loc]
+            for n, loc in sorted(declassifiers.items())]
+    rows += [[f"application: {n}", loc] for n, loc in sorted(apps.items())]
+    rows += [["— mean declassifier", round(mean_declass, 1)],
+             ["— mean application", round(mean_app, 1)],
+             ["— audit-surface ratio", f"{mean_app / mean_declass:.1f}x"]]
+    print_table("M3: audit surface (non-blank source lines)",
+                ["component", "LoC"], rows)

@@ -1,0 +1,59 @@
+"""M4 — mechanism cost: IPC round trips under the reference monitor.
+
+Send+receive throughput as the number of tags on the channel grows,
+plus the DESIGN.md §6 endpoint-discipline ablation: checked endpoint
+send vs a raw dict append (what an unmonitored system would do).
+"""
+
+import pytest
+
+from repro.kernel import Kernel, RECV, SEND
+from repro.labels import Label
+
+
+def _pair(n_tags):
+    kernel = Kernel()
+    root = kernel.spawn_trusted("root")
+    tags = [kernel.create_tag(root) for __ in range(n_tags)]
+    label = Label(tags)
+    a = kernel.spawn_trusted("a", slabel=label)
+    b = kernel.spawn_trusted("b", slabel=label)
+    out = kernel.create_endpoint(a, direction=SEND)
+    inbox = kernel.create_endpoint(b, direction=RECV)
+    return kernel, a, b, out, inbox
+
+
+@pytest.mark.parametrize("n_tags", [0, 8, 64])
+def test_bench_m4_send_receive(benchmark, n_tags):
+    kernel, a, b, out, inbox = _pair(n_tags)
+
+    def roundtrip():
+        kernel.send(a, out, inbox, "payload")
+        return kernel.receive(b)
+
+    msg = benchmark(roundtrip)
+    assert msg.payload == "payload"
+
+
+def test_bench_m4_unmonitored_baseline(benchmark):
+    """The ablation lower bound: queue append + pop, no checks."""
+    from collections import deque
+    q = deque()
+
+    def bare_roundtrip():
+        q.append("payload")
+        return q.popleft()
+
+    assert benchmark(bare_roundtrip) == "payload"
+
+
+def test_bench_m4_audit_volume():
+    """Not a timing bench: confirms the audit trail scales with sends
+    (every decision is recorded, M4's hidden cost)."""
+    kernel, a, b, out, inbox = _pair(4)
+    before = len(kernel.audit)
+    for __ in range(100):
+        kernel.send(a, out, inbox, "x")
+        kernel.receive(b)
+    grew = len(kernel.audit) - before
+    assert grew == 200

@@ -1,0 +1,59 @@
+"""M5 — mechanism cost: labeled-store query performance.
+
+Query latency vs row count and label diversity; label-filtered scans
+vs the unlabeled lower bound; indexed vs full-scan selects.
+"""
+
+import pytest
+
+from repro.db import LabeledStore
+from repro.kernel import Kernel
+from repro.labels import Label
+
+
+def _store(n_rows, n_owners):
+    kernel = Kernel()
+    provider = kernel.spawn_trusted("provider")
+    store = LabeledStore(kernel)
+    store.create_table(provider, "t", indexes=["k"])
+    writers = []
+    for i in range(n_owners):
+        tag = kernel.create_tag(provider, purpose=f"u{i}")
+        writers.append(kernel.spawn_trusted(f"w{i}", slabel=Label([tag])))
+    for i in range(n_rows):
+        writer = writers[i % n_owners] if writers else provider
+        store.insert(writer, "t", {"k": i % 50, "v": i})
+    reader = kernel.spawn_trusted("reader")  # sees nothing labeled
+    return store, provider, reader
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000])
+def test_bench_m5_filtered_full_scan(benchmark, n_rows):
+    store, provider, reader = _store(n_rows, n_owners=10)
+    rows = benchmark(store.select, reader, "t",
+                     predicate=lambda r: r["v"] % 2 == 0)
+    assert rows == []  # reader is cleared for nothing
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000])
+def test_bench_m5_cleared_full_scan(benchmark, n_rows):
+    store, provider, reader = _store(n_rows, n_owners=0)
+    rows = benchmark(store.select, provider, "t",
+                     predicate=lambda r: r["v"] % 2 == 0)
+    assert len(rows) == n_rows // 2
+
+
+def test_bench_m5_indexed_vs_scan(benchmark):
+    store, provider, reader = _store(2000, n_owners=0)
+    rows = benchmark(store.select, provider, "t", where={"k": 7})
+    assert len(rows) == 40
+
+
+def test_bench_m5_unlabeled_baseline(benchmark):
+    """Lower bound: the same query over a plain list of dicts."""
+    data = [{"k": i % 50, "v": i} for i in range(1000)]
+
+    def bare_query():
+        return [dict(r) for r in data if r["v"] % 2 == 0]
+
+    assert len(benchmark(bare_query)) == 500

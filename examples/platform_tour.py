@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""A tour of the platform features beyond the core data flow.
+
+Covers, in order:
+
+1. **forking & versioning** (§2): a developer forks the photo app,
+   a user switches to the fork with one preference;
+2. **integrity protection** (§3.1): a cautious user requires endorsed
+   components; unaudited apps stop launching for her;
+3. **sanitized crash reports** (§3.5 Debugging): the developer learns
+   where their app crashed, never what data it held;
+4. **the email exit** (§2/§3.1): the digest mails itself to its owner,
+   and a phone-home app fails to mail the loot to its author;
+5. **code search** (§3.2): the provider's /search ranking.
+
+Run: ``python examples/platform_tour.py``
+"""
+
+from repro import W5System
+from repro.platform import AppModule
+
+
+def main() -> None:
+    w5 = W5System(with_adversaries=True)
+    provider = w5.provider
+    bob = w5.add_user("bob", apps=["photo-share", "blog", "social",
+                                   "recommender"], friends=["amy"])
+    amy = w5.add_user("amy", apps=["photo-share", "blog", "social",
+                                   "recommender"], friends=["bob"])
+
+    print("== 1. forking and version pinning ==")
+    def crop_vintage(ctx, data, width, height):
+        return f"cropped[{width}x{height},vintage]:{data}"
+    provider.fork_app("crop-basic", "indie-dev", new_name="crop-vintage",
+                      handler=crop_vintage,
+                      description="fork of devA/crop-basic, film look")
+    bob.get("/app/photo-share/upload", filename="pic.jpg", data="RAW")
+    bob.post("/policy/prefer", params={"slot": "cropper",
+                                       "module": "crop-vintage"})
+    bob.get("/app/photo-share/crop", filename="pic.jpg", width=80,
+            height=60)
+    print("   bob's photo after the forked cropper:",
+          bob.get("/app/photo-share/view", filename="pic.jpg").body["data"])
+
+    print("== 2. integrity protection ==")
+    amy.post("/policy/integrity", params={"require_endorsed": True})
+    r = amy.get("/app/photo-share/list")
+    print(f"   amy (strict) launching unendorsed photo-share: "
+          f"HTTP {r.status}")
+    for module in ("photo-share", "crop-basic"):
+        provider.endorse_module(module, endorser="w5-weekly")
+    r = amy.get("/app/photo-share/list")
+    print(f"   after the provider endorses it + its imports: "
+          f"HTTP {r.status}")
+
+    print("== 3. crash reports without user data ==")
+    def buggy(ctx):
+        secret = "AMYS-PASSWORD-HUNTER2"
+        raise KeyError(f"lookup failed for {secret}")
+    provider.register_app(AppModule("buggy", "devD", buggy))
+    provider.enable_app("amy", "buggy")
+    amy.post("/policy/integrity", params={"require_endorsed": False})
+    amy.get("/app/buggy/go")
+    report = provider.debug.reports_for("devD")[0]
+    print(f"   devD's crash report: {report.exception_type} at "
+          f"{report.location()}")
+    print(f"   secret in report? "
+          f"{'AMYS-PASSWORD' in repr(report)}")
+
+    print("== 4. the email exit ==")
+    amy.get("/app/blog/post", title="news", body="amy's day")
+    bob.get("/app/social/befriend", friend="amy")
+    bob.get("/app/recommender/email")
+    inbox = provider.email.mailbox("bob@w5").messages
+    print(f"   bob@w5 inbox: {len(inbox)} message(s), subject "
+          f"{inbox[0].subject!r}")
+    provider.enable_app("bob", "phone-home")
+    r = bob.get("/app/phone-home/go", victim="bob")
+    evil = provider.email.mailbox("mallory@evil.example").messages
+    print(f"   phone-home app mailing bob's data to its author: "
+          f"HTTP {r.status}, mallory's inbox: {len(evil)} message(s)")
+
+    print("== 5. code search ==")
+    provider.editors.editor("w5-weekly").endorse("photo-share")
+    for entry in provider.code_search(k=5):
+        print(f"   {entry['score']:.3f}  {entry['name']:<16} "
+              f"({entry['developer']})")
+
+    print("== 6. group spaces (the 'roommates' policy) ==")
+    carl = w5.add_user("carl", apps=["club-board"])
+    provider.enable_app("bob", "club-board")
+    provider.enable_app("amy", "club-board")
+    provider.groups.create("bob", "roommates")
+    provider.groups.add_member("bob", "roommates", "amy", writer=True)
+    bob.get("/app/club-board/post", group="roommates",
+            text="rent due friday")
+    r = amy.get("/app/club-board/read", group="roommates")
+    print(f"   amy (member) reads the board: {r.body['board']}")
+    r = carl.get("/app/club-board/read", group="roommates")
+    print(f"   carl (outsider) gets: HTTP {r.status}")
+
+    print("== 7. the right to leave ==")
+    erased = provider.delete_account("carl")
+    print(f"   carl deleted his account: {erased}")
+    print(f"   remaining users: {provider.usernames()}")
+
+    print("\nOK: forks, endorsements, safe debugging, checked email, "
+          "ranked search, group spaces, and deletion all behave.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: a W5 provider, two users, one shared photo.
+
+Runs the paper's core promise end to end in ~40 lines:
+
+1. bob and amy sign up (each gets a data tag and a write tag);
+2. bob uploads a photo through a developer-contributed app;
+3. amy — bob's friend — can view it (his friends-only declassifier
+   approves her at the perimeter);
+4. eve — a stranger — gets a 403 and never sees a byte;
+5. the audit log shows the denied export.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import W5System
+
+
+def main() -> None:
+    w5 = W5System()
+
+    print("== signing up bob, amy, eve ==")
+    bob = w5.add_user("bob", apps=["photo-share"], friends=["amy"])
+    amy = w5.add_user("amy", apps=["photo-share"], friends=["bob"])
+    eve = w5.add_user("eve", apps=["photo-share"])
+
+    print("== bob uploads a photo ==")
+    r = bob.get("/app/photo-share/upload",
+                filename="beach.jpg", data="<jpeg: bob at the beach>")
+    print("   upload:", r.body)
+
+    print("== amy (friend) views it ==")
+    r = amy.get("/app/photo-share/view", owner="bob", filename="beach.jpg")
+    print("   amy sees:", r.body["data"])
+    assert r.ok
+
+    print("== eve (stranger) tries ==")
+    r = eve.get("/app/photo-share/view", owner="bob", filename="beach.jpg")
+    print(f"   eve gets HTTP {r.status}: {r.body}")
+    assert r.status == 403
+    assert not eve.ever_received("<jpeg: bob at the beach>")
+
+    print("== the perimeter's audit trail ==")
+    for event in w5.audit().denials(category="export"):
+        print("  ", event)
+
+    print("\nOK: bob's data left the perimeter only toward bob and amy.")
+
+
+if __name__ == "__main__":
+    main()

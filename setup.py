@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Environments without the ``wheel`` package cannot do PEP 660 editable
+installs; keeping a setup.py lets ``pip install -e .`` fall back to the
+classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

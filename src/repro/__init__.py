@@ -1,0 +1,29 @@
+"""W5 — World Wide Web Without Walls: a full-system reproduction.
+
+A DIFC-based web platform (Brodsky, Krohn, Morris, Walfish, Yip;
+HotNets 2007 / MIT-CSAIL-TR-2007-043) built end to end in Python:
+label algebra, reference monitor, labeled storage, security-perimeter
+gateway, declassifiers, the meta-application hosting layer, the
+surrounding eco-system (code search, federation, resource policing),
+and the status-quo baselines the paper argues against.
+
+Quickstart::
+
+    from repro import W5System
+
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["photo-share"], friends=["amy"])
+    amy = w5.add_user("amy", apps=["photo-share"], friends=["bob"])
+    bob.get("/app/photo-share/upload", filename="x.jpg", data="<jpeg>")
+    amy.get("/app/photo-share/view", owner="bob", filename="x.jpg").body
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+claim-by-claim reproduction record.
+"""
+
+from .core import W5System
+from .platform import AppContext, AppModule, Provider
+
+__version__ = "1.0.0"
+
+__all__ = ["W5System", "AppContext", "AppModule", "Provider", "__version__"]

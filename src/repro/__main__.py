@@ -1,0 +1,57 @@
+"""``python -m repro`` — a 30-second self-demonstration.
+
+Spins up a provider with the standard catalog, runs the paper's core
+scenario (upload → friend view → stranger blocked → thief blocked),
+and prints the audit summary.  Exits non-zero if any property fails,
+so it doubles as a smoke test for packaged installs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+from .core import Metrics, W5System
+
+
+def main() -> int:
+    print(f"W5 reproduction v{__version__} — self-demonstration\n")
+    w5 = W5System(with_adversaries=True)
+    metrics = Metrics(w5.audit())
+
+    bob = w5.add_user("bob", apps=["photo-share", "data-thief"],
+                      friends=["amy"])
+    amy = w5.add_user("amy", apps=["photo-share"], friends=["bob"])
+    eve = w5.add_user("eve", apps=["photo-share"])
+
+    secret = "<jpeg: bob's beach photo>"
+    bob.get("/app/photo-share/upload", filename="beach.jpg", data=secret)
+
+    checks = []
+    r = amy.get("/app/photo-share/view", owner="bob",
+                filename="beach.jpg")
+    checks.append(("friend can view", r.ok and r.body["data"] == secret))
+
+    r = eve.get("/app/photo-share/view", owner="bob",
+                filename="beach.jpg")
+    checks.append(("stranger blocked (403)", r.status == 403))
+    checks.append(("stranger got no bytes", not eve.ever_received(secret)))
+
+    r = eve.get("/app/data-thief/go", victim="bob")
+    checks.append(("thief app blocked", not eve.ever_received(secret)))
+
+    failed = 0
+    for name, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        failed += 0 if ok else 1
+
+    print(f"\naudit: {metrics.count('export', allowed=True)} exports "
+          f"allowed, {metrics.count('export', allowed=False)} denied "
+          f"(denial rate {metrics.denial_rate('export'):.0%})")
+    print("run `pytest benchmarks/ --benchmark-only -s` for the full "
+          "experiment suite (see EXPERIMENTS.md)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Analysis: regenerate the documentation's tables from raw outputs."""
+
+from .report import (BenchRow, markdown_table, overhead_factors,
+                     parse_benchmark_json, render_report)
+
+__all__ = ["BenchRow", "markdown_table", "overhead_factors",
+           "parse_benchmark_json", "render_report"]

@@ -1,0 +1,21 @@
+"""``python -m repro.analysis <benchmark.json>`` — render the report."""
+
+import sys
+
+from .report import render_report
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: python -m repro.analysis <benchmark.json>",
+              file=sys.stderr)
+        print("(produce the input with: pytest benchmarks/ "
+              "--benchmark-only --benchmark-json=benchmark.json)",
+              file=sys.stderr)
+        return 2
+    print(render_report(sys.argv[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

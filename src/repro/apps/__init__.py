@@ -1,0 +1,35 @@
+"""Developer-contributed applications (benign and adversarial).
+
+:func:`install_standard_apps` registers the whole catalog on a
+provider; individual module lists are importable for narrower setups.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from . import (blog, chameleon, club, dating, guestbook, malicious,
+               mashup, photos, recommender)
+from . import social as social_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platform import AppModule, Provider
+
+#: Every module in the standard catalog, in registration order.
+STANDARD_CATALOG = (photos.MODULES + blog.MODULES + social_app.MODULES
+                    + recommender.MODULES + dating.MODULES
+                    + chameleon.MODULES + mashup.MODULES
+                    + guestbook.MODULES + club.MODULES)
+
+#: The adversarial catalog (registered separately by security tests).
+ADVERSARIAL_CATALOG = malicious.MODULES
+
+
+def install_standard_apps(provider: "Provider") -> list["AppModule"]:
+    """Register the benign catalog; returns the registered modules."""
+    return [provider.register_app(m) for m in STANDARD_CATALOG]
+
+
+def install_adversarial_apps(provider: "Provider") -> list["AppModule"]:
+    """Register mallory's catalog (experiments C1/C4/C9)."""
+    return [provider.register_app(m) for m in ADVERSARIAL_CATALOG]

@@ -1,0 +1,82 @@
+"""Blogging on W5 (Figure 2's second application).
+
+Posts are rows in the shared labeled store, each carrying its author's
+secrecy and write tags — the same data a photo app could also read if
+the author enabled it, which is the whole point: applications are
+decoupled from data (§1).
+
+Routes (under ``/app/blog/...``):
+
+* ``post`` — params: title, body
+* ``list`` — params: author (defaults to viewer)
+* ``read`` — params: author, title
+* ``edit`` — params: author, title, body (exercises write protection)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule
+
+TABLE = "blog_posts"
+
+
+def _ensure_table(ctx: AppContext) -> None:
+    from ..db import TableExists
+    try:
+        ctx.db.create_table(TABLE, indexes=["author"])
+    except TableExists:
+        pass
+
+
+def blog(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "list"
+    _ensure_table(ctx)
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "post":
+        ctx.read_user(ctx.viewer)
+        ctx.db.insert(TABLE, {"author": ctx.viewer,
+                              "title": ctx.request.param("title"),
+                              "body": ctx.request.param("body")},
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"posted": ctx.request.param("title")}
+
+    if action == "list":
+        author = ctx.request.param("author", ctx.viewer)
+        ctx.read_user(author)
+        rows = ctx.db.select(TABLE, where={"author": author})
+        return {"author": author, "titles": [r["title"] for r in rows]}
+
+    if action == "read":
+        author = ctx.request.param("author", ctx.viewer)
+        ctx.read_user(author)
+        rows = ctx.db.select(TABLE, where={"author": author},
+                             predicate=lambda r: r["title"] ==
+                             ctx.request.param("title"))
+        if not rows:
+            return {"error": "no such post"}
+        return {"author": author, "title": rows[0]["title"],
+                "body": rows[0]["body"]}
+
+    if action == "edit":
+        author = ctx.request.param("author", ctx.viewer)
+        ctx.read_user(author)
+        changed = ctx.db.update(
+            TABLE, where={"author": author},
+            predicate=lambda r: r["title"] == ctx.request.param("title"),
+            changes={"body": ctx.request.param("body")})
+        return {"edited": changed}
+
+    return {"error": f"unknown action {action}"}
+
+
+MODULES = [
+    AppModule("blog", developer="devBlog", handler=blog, kind=APP,
+              description="Write and read blog posts."),
+]

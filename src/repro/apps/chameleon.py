@@ -1,0 +1,67 @@
+"""The chameleon profile (§2 Examples).
+
+"Bob can also create a 'chameleon' profile display that adjusts its
+output based on the viewer (for instance, to hide his penchant for
+Sci-Fi novels from love interests)."
+
+The *content* adaptation is app logic: the owner stores a hide-list
+mapping profile fields to the viewers they are hidden from.  Whether
+the adapted page may leave the perimeter at all is still the owner's
+declassifier's call — the two mechanisms compose.
+
+Routes (under ``/app/chameleon/...``):
+
+* ``configure`` — params: field, hide_from (comma-separated viewers)
+* ``show``      — params: owner: render owner's adapted profile
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule
+
+CONFIG_FILE = "chameleon.cfg"
+
+
+def chameleon(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "show"
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "configure":
+        ctx.read_user(ctx.viewer)
+        path = f"/users/{ctx.viewer}/{CONFIG_FILE}"
+        config = ctx.fs.read(path) if ctx.fs.exists(path) else {}
+        hide_from = [v.strip() for v in
+                     str(ctx.request.param("hide_from", "")).split(",")
+                     if v.strip()]
+        config[ctx.request.param("field")] = hide_from
+        if ctx.fs.exists(path):
+            ctx.fs.write(path, config)
+        else:
+            ctx.fs.create(path, config,
+                          slabel=Label([ctx.tag_for(ctx.viewer)]),
+                          ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"configured": ctx.request.param("field")}
+
+    if action == "show":
+        owner = ctx.request.param("owner", ctx.viewer)
+        profile = ctx.profile_of(owner)  # taints with owner's tag
+        path = f"/users/{owner}/{CONFIG_FILE}"
+        config = ctx.fs.read(path) if ctx.fs.exists(path) else {}
+        visible = {
+            field: value for field, value in profile.items()
+            if ctx.viewer == owner or ctx.viewer not in config.get(field, [])
+        }
+        return {"user": owner, "profile": visible}
+
+    return {"error": f"unknown action {action}"}
+
+
+MODULES = [
+    AppModule("chameleon", developer="bob", handler=chameleon, kind=APP,
+              description="Viewer-dependent profile display."),
+]

@@ -1,0 +1,60 @@
+"""Club board: an application over a shared group space.
+
+Exercises group tags end to end: members post to and read a shared
+board stored under the group's labels.  A member's post is *group*
+data — every member can read it through any group-enabled app, and it
+exits the perimeter only toward members (the group declassifier).
+
+Routes (under ``/app/club-board/...``):
+
+* ``post`` — params: group, text
+* ``read`` — params: group
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule
+
+
+def club_board(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "read"
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "groups":
+        return {"groups": ctx.my_groups()}
+
+    group_name = ctx.request.param("group")
+    board_path = f"/groups/{group_name}/board"
+
+    if action == "post":
+        data_tag, write_tag = ctx.group_tags(group_name)
+        ctx.read_group(group_name)
+        entry = {"by": ctx.viewer, "text": ctx.request.param("text")}
+        if ctx.fs.exists(board_path):
+            board = ctx.fs.read(board_path)
+            board.append(entry)
+            ctx.fs.write(board_path, board)
+        else:
+            ctx.fs.create(board_path, [entry],
+                          slabel=Label([data_tag]),
+                          ilabel=Label([write_tag]))
+        return {"posted": group_name}
+
+    if action == "read":
+        ctx.read_group(group_name)
+        if not ctx.fs.exists(board_path):
+            return {"group": group_name, "board": []}
+        return {"group": group_name, "board": ctx.fs.read(board_path)}
+
+    return {"error": f"unknown action {action}"}
+
+
+MODULES = [
+    AppModule("club-board", developer="devClub", handler=club_board,
+              kind=APP, description="A shared board for your groups."),
+]

@@ -1,0 +1,99 @@
+"""Online dating with user-uploaded compatibility metrics (§2 Examples).
+
+"For an online-dating application, Bob can upload a custom
+compatibility metric."  The metric is a module slot; anyone can fork
+the default and publish their own, and each user's searches run
+*their* chosen metric over the candidate pool — code the user picked,
+executing server-side over data the candidates allowed it to read.
+
+Routes (under ``/app/dating/...``):
+
+* ``join``    — params: bio (opt in to the dating pool)
+* ``matches`` — params: k (default 3): top-k compatible members
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule, MODULE
+
+POOL = "dating_pool"
+
+
+def _ensure_table(ctx: AppContext) -> None:
+    from ..db import TableExists
+    try:
+        ctx.db.create_table(POOL, indexes=["user"])
+    except TableExists:
+        pass
+
+
+def dating(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "matches"
+    _ensure_table(ctx)
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "join":
+        ctx.read_user(ctx.viewer)
+        ctx.db.insert(POOL, {"user": ctx.viewer,
+                             "bio": ctx.request.param("bio", "")},
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"joined": ctx.viewer}
+
+    if action == "matches":
+        k = int(ctx.request.param("k", 3))
+        ctx.read_user(ctx.viewer)
+        me_rows = ctx.db.select(POOL, where={"user": ctx.viewer})
+        if not me_rows:
+            return {"error": "join first"}
+        my_profile = ctx.profile_of(ctx.viewer)
+        candidates = []
+        for member in ctx.users():
+            if member == ctx.viewer:
+                continue
+            try:
+                ctx.read_user(member)
+            except Exception:
+                continue  # member did not enable this app
+            rows = ctx.db.select(POOL, where={"user": member})
+            if not rows:
+                continue
+            their_profile = ctx.profile_of(member)
+            score = ctx.call_module("metric", "metric-shared-tastes",
+                                    my_profile, their_profile)
+            candidates.append({"user": member, "score": score})
+        candidates.sort(key=lambda c: c["score"], reverse=True)
+        return {"matches": candidates[:k]}
+
+    return {"error": f"unknown action {action}"}
+
+
+def metric_shared_tastes(ctx: AppContext, mine: dict[str, str],
+                         theirs: dict[str, str]) -> float:
+    """Default metric: count shared profile fields."""
+    return float(sum(1 for key in mine
+                     if key in theirs and mine[key] == theirs[key]))
+
+
+def metric_opposites(ctx: AppContext, mine: dict[str, str],
+                     theirs: dict[str, str]) -> float:
+    """Bob's custom upload: opposites attract."""
+    return float(sum(1 for key in mine
+                     if key in theirs and mine[key] != theirs[key]))
+
+
+MODULES = [
+    AppModule("dating", developer="devCupid", handler=dating, kind=APP,
+              description="Find compatible members with your own metric.",
+              imports=("metric-shared-tastes",)),
+    AppModule("metric-shared-tastes", developer="devCupid",
+              handler=metric_shared_tastes, kind=MODULE,
+              description="Similarity metric."),
+    AppModule("metric-opposites", developer="bob", handler=metric_opposites,
+              kind=MODULE, description="Bob's custom metric."),
+]

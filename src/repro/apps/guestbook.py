@@ -1,0 +1,100 @@
+"""Guestbook: cross-user writes and multi-owner pages.
+
+Amy signs Bob's wall.  Whose data is the comment?  W5's answer falls
+out of the labels: it is *Amy's* data (tagged with her secrecy tag,
+write-protected with her write tag) that happens to be indexed under
+Bob's wall.  Rendering Bob's wall therefore commingles every signer's
+tags, and the page reaches a viewer only if **every** signer's
+declassifier approves them — the same composition rule as the social
+feed, exercised here in the write direction.
+
+A DIFC design note: the renderer must know *whose* tags to raise
+before it can read any comment, but the comment rows themselves are
+unreadable until it raises.  The app resolves the chicken-and-egg the
+way real DIFC applications do — with a small, deliberate disclosure:
+signing first writes a **public presence marker** (wall, author) while
+the process is still clean, then taints and writes the comment body
+under the author's labels.  "Amy signed Bob's wall" is public by the
+signer's own action; what she wrote is not.
+
+Routes (under ``/app/guestbook/...``):
+
+* ``sign`` — params: wall, text
+* ``view`` — params: wall
+* ``erase`` — params: wall (author erases their own comments there)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule
+
+TABLE = "guestbook_entries"
+SIGNERS = "guestbook_signers"
+
+
+def _ensure_table(ctx: AppContext) -> None:
+    from ..db import TableExists
+    for name in (TABLE, SIGNERS):
+        try:
+            ctx.db.create_table(name, indexes=["wall"])
+        except TableExists:
+            pass
+
+
+def guestbook(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "view"
+    _ensure_table(ctx)
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "sign":
+        wall = ctx.request.param("wall")
+        # public presence marker FIRST, while the process is clean
+        if not ctx.db.select(SIGNERS, where={"wall": wall},
+                             predicate=lambda r: r["author"]
+                             == ctx.viewer):
+            ctx.db.insert(SIGNERS, {"wall": wall, "author": ctx.viewer},
+                          slabel=Label.EMPTY,
+                          ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        ctx.read_user(ctx.viewer)
+        ctx.db.insert(TABLE, {"wall": wall, "author": ctx.viewer,
+                              "text": ctx.request.param("text")},
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"signed": wall}
+
+    if action == "view":
+        wall = ctx.request.param("wall", ctx.viewer)
+        # taint only with the wall's actual signers (public markers);
+        # signers who did not enable this app are skipped
+        signers = {r["author"] for r in
+                   ctx.db.select(SIGNERS, where={"wall": wall})}
+        for author in sorted(signers):
+            try:
+                ctx.read_user(author)
+            except Exception:
+                continue
+        rows = ctx.db.select(TABLE, where={"wall": wall})
+        return {"wall": wall,
+                "entries": [{"author": r["author"], "text": r["text"]}
+                            for r in rows]}
+
+    if action == "erase":
+        wall = ctx.request.param("wall")
+        ctx.read_user(ctx.viewer)
+        erased = ctx.db.delete(TABLE, where={"wall": wall},
+                               predicate=lambda r: r["author"]
+                               == ctx.viewer)
+        return {"erased": erased}
+
+    return {"error": f"unknown action {action}"}
+
+
+MODULES = [
+    AppModule("guestbook", developer="devWall", handler=guestbook,
+              kind=APP, description="Sign your friends' walls."),
+]

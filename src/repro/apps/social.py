@@ -1,0 +1,83 @@
+"""Social networking on W5 (§3.1's motivating application).
+
+The app keeps its own friend edges in the shared store (application
+data, opaque to the provider) and renders profiles and feeds.  Whether
+a rendered page actually *leaves* the platform toward a given viewer is
+not this app's call: the owner's friends-only declassifier makes that
+decision at the perimeter.  A correct deployment keeps the app's edge
+set and the declassifier's friend list in sync (the example does), and
+the security property holds even when they drift — the declassifier
+wins, by construction.
+
+Routes (under ``/app/social/...``):
+
+* ``befriend`` — params: friend (records a directed edge by viewer)
+* ``friends``  — list the viewer's outgoing edges
+* ``profile``  — params: user (renders that user's profile)
+* ``feed``     — renders recent posts of the viewer's friends
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..labels import Label
+from ..platform import APP, AppContext, AppModule
+
+EDGES = "social_edges"
+
+
+def _ensure_tables(ctx: AppContext) -> None:
+    from ..db import TableExists
+    try:
+        ctx.db.create_table(EDGES, indexes=["src"])
+    except TableExists:
+        pass
+
+
+def social(ctx: AppContext) -> Any:
+    parts = ctx.request.path_parts()
+    action = parts[2] if len(parts) > 2 else "profile"
+    _ensure_tables(ctx)
+    if ctx.viewer is None:
+        return {"error": "log in first"}
+
+    if action == "befriend":
+        friend = ctx.request.param("friend")
+        ctx.read_user(ctx.viewer)
+        ctx.db.insert(EDGES, {"src": ctx.viewer, "dst": friend},
+                      slabel=Label([ctx.tag_for(ctx.viewer)]),
+                      ilabel=Label([ctx.write_tag_for(ctx.viewer)]))
+        return {"befriended": friend}
+
+    if action == "friends":
+        ctx.read_user(ctx.viewer)
+        rows = ctx.db.select(EDGES, where={"src": ctx.viewer})
+        return {"friends": sorted(r["dst"] for r in rows)}
+
+    if action == "profile":
+        target = ctx.request.param("user", ctx.viewer)
+        profile = ctx.profile_of(target)  # taints with target's tag
+        return {"user": target, "profile": profile}
+
+    if action == "feed":
+        ctx.read_user(ctx.viewer)
+        rows = ctx.db.select(EDGES, where={"src": ctx.viewer})
+        friends = sorted(r["dst"] for r in rows)
+        feed = []
+        from .blog import TABLE as BLOG_TABLE
+        for friend in friends:
+            ctx.read_user(friend)  # commingling: taint accumulates
+            posts = ctx.db.select(BLOG_TABLE, where={"author": friend})
+            feed.extend({"author": friend, "title": p["title"]}
+                        for p in posts)
+        return {"feed": feed}
+
+    return {"error": f"unknown action {action}"}
+
+
+MODULES = [
+    AppModule("social", developer="devSocial", handler=social, kind=APP,
+              description="Profiles, friends, and a feed.",
+              imports=("blog",)),
+]

@@ -1,0 +1,13 @@
+"""Status-quo baselines the paper argues against (Figure 1, §4)."""
+
+from .mashups import (AddressBookService, ApiMashup, MapProviderServer,
+                      MashupOsMashup)
+from .siloed import SiloError, SiloSite, SiloedWeb
+from .third_party import DeveloperServer, ThirdPartyPlatform
+
+__all__ = [
+    "AddressBookService", "ApiMashup", "MapProviderServer",
+    "MashupOsMashup",
+    "SiloError", "SiloSite", "SiloedWeb",
+    "DeveloperServer", "ThirdPartyPlatform",
+]

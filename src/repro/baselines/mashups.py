@@ -1,0 +1,103 @@
+"""The §4 mashup baselines: status-quo and MashupOS.
+
+The scenario, verbatim from the paper: "a mashup that combines a page
+of a private address book from MyYahoo with map from Google."
+
+* **Status quo** (:class:`ApiMashup`): the mashup page runs in the
+  browser; to place markers it calls the map provider's API with each
+  entry — "such a mashup would reveal the page of the address book
+  (both names and addresses) to Google."
+
+* **MashupOS** (:class:`MashupOsMashup`): client-side isolation lets
+  the mashup withhold the *names* — "hiding names from Google.
+  However, the application still uses the Google API to place markers
+  on the map, and therefore cannot stop the transmission of the
+  addresses back to Google's servers."
+
+Both models log exactly what reaches the map provider's servers;
+experiment C8 tabulates them against the W5 mashup
+(:mod:`repro.apps.mashup`), where marker placement happens server-side
+inside the perimeter and the map developer receives nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class MapProviderServer:
+    """The map company's servers (Google, in the paper's example)."""
+
+    #: Every (name, address) pair that ever reached these servers.
+    received_names: list[str] = field(default_factory=list)
+    received_addresses: list[str] = field(default_factory=list)
+
+    def place_marker(self, label: str, address: str) -> str:
+        """The public maps API: returns a positioned marker."""
+        if label:
+            self.received_names.append(label)
+        self.received_addresses.append(address)
+        return f"<marker label={label or 'pin'} at={hash(address) % 1000}>"
+
+    def saw(self, needle: str) -> bool:
+        return (needle in self.received_names
+                or needle in self.received_addresses)
+
+
+@dataclass
+class AddressBookService:
+    """The mashee (MyYahoo): holds the private address book and exposes
+    whatever API it happens to offer (§4: mashups are 'limited to the
+    APIs exposed by the data-owning applications')."""
+
+    books: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    #: If False, the API refuses entirely (the 'simple caprice' case).
+    api_enabled: bool = True
+
+    def add(self, owner: str, name: str, address: str) -> None:
+        self.books.setdefault(owner, []).append((name, address))
+
+    def fetch_api(self, owner: str) -> list[tuple[str, str]]:
+        if not self.api_enabled:
+            raise PermissionError("address-book API disabled by operator")
+        return list(self.books.get(owner, []))
+
+
+class ApiMashup:
+    """The status-quo browser mashup: everything goes to the map API."""
+
+    platform = "status-quo"
+
+    def __init__(self, book: AddressBookService,
+                 maps: MapProviderServer) -> None:
+        self.book = book
+        self.maps = maps
+
+    def render(self, owner: str) -> str:
+        entries = self.book.fetch_api(owner)
+        markers = [self.maps.place_marker(name, address)
+                   for name, address in entries]
+        return f"<page>{''.join(markers)}</page>"
+
+
+class MashupOsMashup:
+    """MashupOS-style: names stay client-side, addresses still flow."""
+
+    platform = "mashupos"
+
+    def __init__(self, book: AddressBookService,
+                 maps: MapProviderServer) -> None:
+        self.book = book
+        self.maps = maps
+
+    def render(self, owner: str) -> str:
+        entries = self.book.fetch_api(owner)
+        markers = []
+        for name, address in entries:
+            # isolation boundary: the label is withheld from the API
+            marker = self.maps.place_marker("", address)
+            # the client-side frame composes the name back in locally
+            markers.append(f"<labeled name={name}>{marker}</labeled>")
+        return f"<page>{''.join(markers)}</page>"

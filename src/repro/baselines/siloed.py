@@ -1,0 +1,126 @@
+"""Figure 1: today's Web — data bound to applications.
+
+Each :class:`SiloSite` is one of the paper's boxes ("Photo Sharing
+Site", "Blogging Site"): its own accounts, its own copy of the user's
+data, its own application logic, no cross-site reads.  The model is
+deliberately minimal; what the experiments measure is the *shape* of
+the architecture:
+
+* joining N sites means entering your profile N times (E1's re-entry
+  count — "type in the same romantic, music, and food preferences to
+  half a dozen social networking sites", §1);
+* a new application starts with zero users and zero data (C7's
+  barrier to entry);
+* "migrating" means downloading from one silo and re-uploading to
+  another, item by item (E1's migration cost);
+* the site's operator sees everything its users store (C1's trust
+  ledger: every silo is a fully trusted party).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class SiloError(Exception):
+    """Account or data errors inside one silo."""
+
+
+@dataclass
+class SiloSite:
+    """One of today's Web applications: logic + captive data."""
+
+    name: str
+    operator: str = ""
+    #: username -> profile fields re-entered at this site
+    profiles: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: username -> item name -> payload
+    data: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Count of fields users had to type in here (E1 metric).
+    reentry_count: int = 0
+    #: Everything the operator could read (C1 trust ledger).
+    operator_visible: list[Any] = field(default_factory=list)
+
+    def signup(self, username: str, profile: dict[str, str]) -> None:
+        """Join the site: re-enter your profile from scratch."""
+        if username in self.profiles:
+            raise SiloError(f"{username} already on {self.name}")
+        self.profiles[username] = dict(profile)
+        self.data[username] = {}
+        self.reentry_count += len(profile)
+        self.operator_visible.extend(profile.values())
+
+    def has_user(self, username: str) -> bool:
+        return username in self.profiles
+
+    def store(self, username: str, item: str, payload: Any) -> None:
+        if username not in self.profiles:
+            raise SiloError(f"{username} not signed up on {self.name}")
+        self.data[username][item] = payload
+        self.operator_visible.append(payload)
+
+    def fetch(self, username: str, item: str) -> Any:
+        try:
+            return self.data[username][item]
+        except KeyError:
+            raise SiloError(f"{item} not found on {self.name}") from None
+
+    def items_of(self, username: str) -> list[str]:
+        return sorted(self.data.get(username, {}))
+
+    def user_count(self) -> int:
+        return len(self.profiles)
+
+
+@dataclass
+class SiloedWeb:
+    """The whole Figure-1 world: many silos, no sharing."""
+
+    sites: dict[str, SiloSite] = field(default_factory=dict)
+
+    def add_site(self, name: str, operator: str = "") -> SiloSite:
+        if name in self.sites:
+            raise SiloError(f"site {name} exists")
+        site = SiloSite(name=name, operator=operator or f"{name}-corp")
+        self.sites[name] = site
+        return site
+
+    def site(self, name: str) -> SiloSite:
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise SiloError(f"no site {name}") from None
+
+    # -- the costs the architecture imposes -----------------------------
+
+    def join_everywhere(self, username: str,
+                        profile: dict[str, str]) -> int:
+        """Sign up on every site; returns total re-entered fields."""
+        fields = 0
+        for site in self.sites.values():
+            site.signup(username, profile)
+            fields += len(profile)
+        return fields
+
+    def migrate(self, username: str, src: str, dst: str) -> int:
+        """Move a user's items from one silo to another by download +
+        re-upload; returns items moved (each a manual step)."""
+        source, target = self.site(src), self.site(dst)
+        moved = 0
+        for item in source.items_of(username):
+            target.store(username, item, source.fetch(username, item))
+            moved += 1
+        return moved
+
+    def duplicated_fields(self, username: str) -> int:
+        """How many profile copies exist for this user across sites."""
+        return sum(1 for site in self.sites.values()
+                   if site.has_user(username))
+
+    def cross_site_read(self, from_site: str, username: str,
+                        target_site: str, item: str) -> Any:
+        """What Figure 1 makes impossible: one site reading another's
+        data.  Always raises — there is no such channel."""
+        raise SiloError(
+            f"{from_site} has no access to {target_site}'s database")

@@ -1,0 +1,76 @@
+"""The Facebook-style third-party application platform (§4).
+
+"These third-party applications run on Web servers external to
+Facebook, thereby revealing users' profile information to third party
+developers, creating a vulnerability (being exposed to the users'
+data, the developers could in turn expose it)."
+
+The model: a :class:`ThirdPartyPlatform` owns user profiles; a
+:class:`DeveloperServer` is an *external* machine run by the app's
+developer.  Using an app ships the user's profile to that server —
+there is no perimeter — so the ``received`` log on the developer's
+server is ground truth for what leaked.  Experiment C1 tabulates it
+against W5, where the same app reads the same data but the developer's
+"server" (the app's return channel) gets nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+RenderFn = Callable[[dict[str, str]], Any]
+
+
+@dataclass
+class DeveloperServer:
+    """An app developer's machine, outside any perimeter."""
+
+    developer: str
+    render: RenderFn
+    #: Every profile payload this server ever saw (the leak ledger).
+    received: list[dict[str, str]] = field(default_factory=list)
+
+    def handle(self, profile: dict[str, str]) -> Any:
+        self.received.append(dict(profile))
+        return self.render(profile)
+
+    def saw_value(self, needle: str) -> bool:
+        return any(needle in p.values() for p in self.received)
+
+
+@dataclass
+class ThirdPartyPlatform:
+    """The data-owning platform that forwards profiles to app servers."""
+
+    name: str = "facebuch"
+    profiles: dict[str, dict[str, str]] = field(default_factory=dict)
+    apps: dict[str, DeveloperServer] = field(default_factory=dict)
+    #: username -> installed app names
+    installed: dict[str, set[str]] = field(default_factory=dict)
+
+    def signup(self, username: str, profile: dict[str, str]) -> None:
+        self.profiles[username] = dict(profile)
+        self.installed[username] = set()
+
+    def register_app(self, app_name: str, server: DeveloperServer) -> None:
+        self.apps[app_name] = server
+
+    def install_app(self, username: str, app_name: str) -> None:
+        """One click — adoption is as easy as W5's checkbox; the
+        difference is what happens on *use*."""
+        if app_name not in self.apps:
+            raise KeyError(app_name)
+        self.installed[username].add(app_name)
+
+    def use_app(self, username: str, app_name: str) -> Any:
+        """Run the app: the platform POSTs the user's profile to the
+        developer's external server and relays the rendered result."""
+        if app_name not in self.installed.get(username, set()):
+            raise PermissionError(f"{username} has not installed {app_name}")
+        server = self.apps[app_name]
+        return server.handle(self.profiles[username])
+
+    def developer_exposure(self, app_name: str) -> int:
+        """How many profile payloads the app's developer has seen."""
+        return len(self.apps[app_name].received)

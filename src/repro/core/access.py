@@ -1,0 +1,63 @@
+"""Shared access guards for labeled persistent objects.
+
+Files (:mod:`repro.fs`) and database rows (:mod:`repro.db`) enforce
+identical read/write rules; both delegate here so storage backends can
+never disagree about policy.  The rules and their soundness argument
+(each capability waiver is equivalent to a legal label-change round
+trip) are documented in :mod:`repro.fs.filesystem` and DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from ..kernel import Process
+from ..labels import (IntegrityViolation, Label, SecrecyViolation,
+                      can_flow_integrity, can_flow_secrecy)
+
+
+def readable(process: Process, slabel: Label, ilabel: Label) -> bool:
+    """True iff ``process`` may read an object labeled (slabel, ilabel).
+
+    * secrecy: ``S_obj ⊆ S_p`` extended only by fully-owned tags;
+    * integrity: ``I_p − D⁻_p ⊆ I_obj`` (read-down waivable with w-).
+    """
+    readable_as = process.slabel | process.caps.owned_tags()
+    return (can_flow_secrecy(slabel, readable_as)
+            and can_flow_integrity(ilabel, process.ilabel, d_to=process.caps))
+
+
+def writable(process: Process, slabel: Label, ilabel: Label) -> bool:
+    """True iff ``process`` may write an object labeled (slabel, ilabel).
+
+    * secrecy: ``S_p − D⁻_p ⊆ S_obj`` (write-down waivable with t-);
+    * integrity: ``I_obj ⊆ I_p ∪ D⁺_p`` (write privilege claimed with w+).
+    """
+    return (can_flow_secrecy(process.slabel, slabel, d_from=process.caps)
+            and can_flow_integrity(process.ilabel, ilabel,
+                                   d_from=process.caps))
+
+
+def check_read(process: Process, slabel: Label, ilabel: Label,
+               what: str) -> None:
+    """Raise the precise violation if ``process`` may not read."""
+    readable_as = process.slabel | process.caps.owned_tags()
+    if not can_flow_secrecy(slabel, readable_as):
+        raise SecrecyViolation(
+            f"{process.name} cannot read {what}: object secrecy "
+            f"{slabel!r} exceeds process secrecy {process.slabel!r}")
+    if not can_flow_integrity(ilabel, process.ilabel, d_to=process.caps):
+        raise IntegrityViolation(
+            f"{process.name} requires integrity {process.ilabel!r} "
+            f"but {what} only has {ilabel!r}")
+
+
+def check_write(process: Process, slabel: Label, ilabel: Label,
+                what: str) -> None:
+    """Raise the precise violation if ``process`` may not write."""
+    if not can_flow_secrecy(process.slabel, slabel, d_from=process.caps):
+        raise SecrecyViolation(
+            f"{process.name} (secrecy {process.slabel!r}) cannot write "
+            f"down into {what} (secrecy {slabel!r})")
+    if not can_flow_integrity(process.ilabel, ilabel, d_from=process.caps):
+        raise IntegrityViolation(
+            f"{process.name} lacks the write privilege for {what}: "
+            f"object requires integrity {ilabel!r}")

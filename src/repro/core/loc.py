@@ -1,0 +1,43 @@
+"""Code-size measurement for the M3 audit-surface experiment.
+
+``code_loc`` counts *logic* lines: non-blank, non-comment source lines
+with docstrings removed (via the AST, so multi-line strings used as
+values still count).  Documentation density shouldn't distort the
+"declassifiers are smaller than applications" comparison in either
+direction.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+
+def code_loc(source: str) -> int:
+    """Non-blank, non-comment, non-docstring source lines."""
+    source = textwrap.dedent(source)
+    doc_lines: set[int] = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        tree = None
+    if tree is not None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.ClassDef,
+                                 ast.FunctionDef, ast.AsyncFunctionDef)):
+                body = getattr(node, "body", [])
+                if body and isinstance(body[0], ast.Expr) and \
+                        isinstance(body[0].value, ast.Constant) and \
+                        isinstance(body[0].value.value, str):
+                    start = body[0].lineno
+                    end = body[0].end_lineno or start
+                    doc_lines.update(range(start, end + 1))
+    count = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if lineno in doc_lines:
+            continue
+        count += 1
+    return count

@@ -1,0 +1,63 @@
+"""Metrics: live counters derived from the audit stream.
+
+Benchmarks and operators both want "how many exports were denied this
+minute" without scanning the whole audit log.  ``Metrics`` subscribes
+to an :class:`~repro.kernel.audit.AuditLog` and keeps running counters
+by (category, verdict) and by subject, cheap to read at any time.
+
+Purely observational: it never influences a decision, so it sits
+outside the trusted base.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from ..kernel.audit import AuditEvent, AuditLog
+
+
+class Metrics:
+    """Counter aggregation over an audit log (attach once, read often)."""
+
+    def __init__(self, audit: AuditLog) -> None:
+        self._by_category: Counter[tuple[str, bool]] = Counter()
+        self._by_subject: Counter[str] = Counter()
+        self._denials_by_subject: Counter[str] = Counter()
+        # fold in anything already logged, then follow the stream
+        for event in audit:
+            self._ingest(event)
+        audit.subscribe(self._ingest)
+
+    def _ingest(self, event: AuditEvent) -> None:
+        self._by_category[(event.category, event.allowed)] += 1
+        self._by_subject[event.subject] += 1
+        if not event.allowed:
+            self._denials_by_subject[event.subject] += 1
+
+    # -- reads ------------------------------------------------------------
+
+    def count(self, category: str, allowed: Optional[bool] = None) -> int:
+        if allowed is None:
+            return (self._by_category[(category, True)]
+                    + self._by_category[(category, False)])
+        return self._by_category[(category, allowed)]
+
+    def denial_rate(self, category: str) -> float:
+        total = self.count(category)
+        if total == 0:
+            return 0.0
+        return self.count(category, allowed=False) / total
+
+    def busiest_subjects(self, k: int = 5) -> list[tuple[str, int]]:
+        return self._by_subject.most_common(k)
+
+    def top_denied_subjects(self, k: int = 5) -> list[tuple[str, int]]:
+        return self._denials_by_subject.most_common(k)
+
+    def snapshot(self) -> dict[str, int]:
+        """A flat dict (``category.allow``/``category.deny`` keys)."""
+        out: dict[str, int] = {}
+        for (category, allowed), n in sorted(self._by_category.items()):
+            out[f"{category}.{'allow' if allowed else 'deny'}"] = n
+        return out

@@ -1,0 +1,136 @@
+"""The W5 system facade: one object that assembles the whole platform.
+
+Most library users want "a W5 with the standard apps and a few users",
+not twelve constructor calls.  :class:`W5System` wires a provider with
+resource policing, installs the catalogs, and offers the high-level
+verbs the examples and benchmarks are written in.  Everything it does
+is also reachable through the underlying objects — this is sugar, not
+a second security layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from ..apps import install_adversarial_apps, install_standard_apps
+from ..declassify import Declassifier
+from ..net import ExternalClient
+from ..platform import Provider
+from ..resources import ResourceManager
+from ..search import DependencyGraph, coderank, top_k
+from ..workloads import SocialWorld
+
+
+class W5System:
+    """A ready-to-use W5 deployment (single provider)."""
+
+    def __init__(self, name: str = "w5",
+                 quotas: Optional[Mapping[str, float]] = None,
+                 quota_overrides: Optional[Mapping[str, Mapping[str, float]]]
+                 = None,
+                 with_adversaries: bool = False,
+                 js_policy: str = "block") -> None:
+        self.resources = ResourceManager(default_quotas=quotas,
+                                         overrides=quota_overrides)
+        self.provider = Provider(name=name, resources=self.resources,
+                                 js_policy=js_policy)
+        install_standard_apps(self.provider)
+        if with_adversaries:
+            install_adversarial_apps(self.provider)
+        self._clients: dict[str, ExternalClient] = {}
+
+    # ------------------------------------------------------------------
+    # people
+    # ------------------------------------------------------------------
+
+    def add_user(self, username: str, password: str = "pw",
+                 apps: Iterable[str] = (), friends: Iterable[str] = (),
+                 profile: Optional[Mapping[str, str]] = None
+                 ) -> ExternalClient:
+        """Sign up a user, log in a browser for them, enable apps, and
+        grant the stock friends-only declassifier."""
+        client = ExternalClient(username, self.provider.transport())
+        client.post("/signup", params={"username": username,
+                                       "password": password})
+        client.login(password)
+        for app in apps:
+            client.post("/policy/enable", params={"app": app})
+        self.provider.grant_builtin_declassifier(
+            username, "friends-only", {"friends": list(friends)})
+        if profile:
+            self.provider.set_profile(username, **dict(profile))
+        self._clients[username] = client
+        return client
+
+    def client(self, username: str) -> ExternalClient:
+        return self._clients[username]
+
+    def anonymous_client(self, name: str = "anonymous") -> ExternalClient:
+        return ExternalClient(name, self.provider.transport())
+
+    def befriend(self, a: str, b: str) -> None:
+        """Symmetric friendship: app edges + declassifier lists."""
+        for x, y in ((a, b), (b, a)):
+            self._clients[x].get("/app/social/befriend", friend=y)
+            account = self.provider.account(x)
+            for grant in self.provider.declass.grants_for(x):
+                if grant.declassifier.name == "friends-only":
+                    friends = set(grant.declassifier.config.get(
+                        "friends", frozenset()))
+                    friends.add(y)
+                    grant.declassifier.config["friends"] = frozenset(friends)
+
+    # ------------------------------------------------------------------
+    # worlds
+    # ------------------------------------------------------------------
+
+    def load_world(self, world: SocialWorld,
+                   apps: Iterable[str] = ("photo-share", "blog", "social")
+                   ) -> None:
+        """Populate the platform from a synthetic social world."""
+        app_list = list(apps)
+        for user in world.users:
+            self.add_user(user, apps=app_list,
+                          friends=world.friend_list(user),
+                          profile=world.profiles.get(user))
+        for user in world.users:
+            client = self._clients[user]
+            for friend in world.friend_list(user):
+                client.get("/app/social/befriend", friend=friend)
+            for photo in world.photos.get(user, []):
+                client.get("/app/photo-share/upload",
+                           filename=photo["filename"],
+                           data=photo["bytes"])
+            for post in world.posts.get(user, []):
+                client.get("/app/blog/post", title=post["title"],
+                           body=post["body"])
+
+    # ------------------------------------------------------------------
+    # policy sugar
+    # ------------------------------------------------------------------
+
+    def grant_declassifier(self, username: str,
+                           declassifier: Declassifier) -> None:
+        self.provider.grant_declassifier(username, declassifier)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def audit(self):
+        return self.provider.kernel.audit
+
+    def code_search(self, k: int = 5) -> list[str]:
+        """Rank registered modules by CodeRank over declared imports
+        plus observed usage (§3.2)."""
+        deps = DependencyGraph.from_registry(self.provider.apps,
+                                             self.provider.usage_edges)
+        return top_k(coderank(deps), k)
+
+    def leak_check(self, *secrets: str) -> dict[str, list[str]]:
+        """Which clients ever received each secret (test convenience)."""
+        report: dict[str, list[str]] = {}
+        for secret in secrets:
+            report[secret] = [name for name, c in self._clients.items()
+                              if c.ever_received(secret)]
+        return report

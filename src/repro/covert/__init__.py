@@ -1,0 +1,9 @@
+"""Covert-channel measurement: storage and timing channels (§3.5)."""
+
+from .channels import (FAILSTOP, FILTERED, ChannelReport, StorageChannel,
+                       binary_channel_capacity, timing_probe)
+
+__all__ = [
+    "FAILSTOP", "FILTERED", "ChannelReport", "StorageChannel",
+    "binary_channel_capacity", "timing_probe",
+]

@@ -1,0 +1,23 @@
+"""Database errors."""
+
+from __future__ import annotations
+
+
+class DbError(Exception):
+    """Base class for database failures unrelated to labels."""
+
+
+class NoSuchTable(DbError):
+    """The named table does not exist."""
+
+
+class TableExists(DbError):
+    """Attempt to create a table that already exists."""
+
+
+class NoSuchRow(DbError):
+    """A row id did not resolve (or is invisible to the caller)."""
+
+
+class SchemaError(DbError):
+    """A value violated the table's declared constraints."""

@@ -1,0 +1,373 @@
+"""The labeled tuple store — W5's replacement for shared SQL.
+
+The paper flags SQL as a problem twice: malicious queries can lock the
+database for everyone (§3.5 "Performance"), and "the SQL interface to
+databases can leak information implicitly and thus needs to be replaced
+under W5" (§3.5 "Covert Channels").  This module is that replacement:
+
+* every row carries its own secrecy/integrity labels, checked with the
+  same guards as files (:mod:`repro.core.access`);
+* queries are **label-filtered**: rows the caller may not read are
+  silently omitted, so result *presence, absence, count and error
+  behaviour* are all independent of invisible data — the read-back
+  covert channel is closed by construction (demonstrated head-to-head
+  in experiment C10 against a fail-stop variant that leaks one bit per
+  query);
+* every operation charges the caller's query budget through the kernel
+  resource hook, which is how a provider keeps one developer's hostile
+  query from starving the cluster (experiment C9).
+
+The query language is deliberately tiny — equality matches plus an
+optional predicate — because a full SQL engine adds nothing to the
+security argument.  Equality lookups use hash indexes declared at
+table-creation time.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from ..core import access
+from ..kernel import Kernel, Process
+from ..kernel import audit as A
+from ..labels import IntegrityViolation, Label, SecrecyViolation
+from .errors import NoSuchRow, NoSuchTable, SchemaError, TableExists
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+@dataclass
+class Row:
+    """One labeled tuple."""
+
+    row_id: int
+    values: dict[str, Any]
+    slabel: Label
+    ilabel: Label
+    version: int = 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A defensive *deep* copy handed to callers: rows are
+        store-owned, and a shared nested list would let a reader
+        mutate storage past the write checks."""
+        return copy.deepcopy(self.values)
+
+
+@dataclass
+class Table:
+    """A named collection of rows plus its hash indexes.
+
+    ``pad_scan_to`` closes the residual timing channel of full scans
+    (experiment C10b): when set, every unindexed query is charged as
+    if it touched at least that many rows, so query cost no longer
+    reveals how much *invisible* data the table holds.  The provider
+    pays the padding in wasted work — the classic covert-channel
+    bandwidth/performance trade.
+    """
+
+    name: str
+    indexed_columns: tuple[str, ...] = ()
+    pad_scan_to: Optional[int] = None
+    rows: dict[int, Row] = field(default_factory=dict)
+    # column -> value -> set of row ids
+    indexes: dict[str, dict[Any, set[int]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for col in self.indexed_columns:
+            self.indexes.setdefault(col, {})
+
+    # -- index maintenance (store-internal) ----------------------------
+
+    def index_add(self, row: Row) -> None:
+        for col, idx in self.indexes.items():
+            if col in row.values:
+                idx.setdefault(row.values[col], set()).add(row.row_id)
+
+    def index_remove(self, row: Row) -> None:
+        for col, idx in self.indexes.items():
+            if col in row.values:
+                bucket = idx.get(row.values[col])
+                if bucket:
+                    bucket.discard(row.row_id)
+                    if not bucket:
+                        del idx[row.values[col]]
+
+
+class LabeledStore:
+    """A multi-table store enforcing per-row labels on every operation."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._tables: dict[str, Table] = {}
+        self._row_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+
+    def create_table(self, process: Process, name: str,
+                     indexes: Iterable[str] = (),
+                     pad_scan_to: Optional[int] = None) -> Table:
+        """Create a table.  The catalog itself is public (table names
+        must not depend on secrets, or their existence would leak)."""
+        self.kernel.resources.charge(process, "db_queries", 1)
+        if name in self._tables:
+            raise TableExists(name)
+        table = Table(name=name, indexed_columns=tuple(indexes),
+                      pad_scan_to=pad_scan_to)
+        self._tables[name] = table
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"create table {name}")
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTable(name) from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def drop_table(self, process: Process, name: str) -> None:
+        """Drop a table; requires write access to every remaining row."""
+        table = self.table(name)
+        for row in table.rows.values():
+            access.check_write(process, row.slabel, row.ilabel,
+                               f"{name}#{row.row_id}")
+        del self._tables[name]
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"drop table {name}")
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def insert(self, process: Process, table_name: str,
+               values: dict[str, Any], slabel: Optional[Label] = None,
+               ilabel: Optional[Label] = None) -> int:
+        """Insert a row; labels default to the writer's labels.
+
+        Like file creation, the chosen labels are checked as a write:
+        a tainted process cannot insert into a less-tainted row.
+        """
+        table = self.table(table_name)
+        self.kernel.resources.charge(process, "db_queries", 1)
+        if not isinstance(values, dict):
+            raise SchemaError("row values must be a dict")
+        row = Row(row_id=next(self._row_ids),
+                  values=copy.deepcopy(values),
+                  slabel=process.slabel if slabel is None else slabel,
+                  ilabel=process.ilabel if ilabel is None else ilabel)
+        try:
+            access.check_write(process, row.slabel, row.ilabel,
+                               f"{table_name}#new")
+        except (SecrecyViolation, IntegrityViolation):
+            self.kernel.audit.record(A.DB_QUERY, False, process.name,
+                                     f"insert {table_name} refused")
+            raise
+        self.kernel.resources.charge(process, "db_rows", 1)
+        table.rows[row.row_id] = row
+        table.index_add(row)
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"insert {table_name}#{row.row_id}")
+        return row.row_id
+
+    def update(self, process: Process, table_name: str,
+               where: Optional[dict[str, Any]] = None,
+               predicate: Optional[Predicate] = None,
+               changes: Optional[dict[str, Any]] = None) -> int:
+        """Update every *visible and writable* matching row.
+
+        Rows the caller cannot read are silently skipped (they are not
+        part of the caller's world); rows it can read but not write
+        raise — failing to update data you can see is an honest error,
+        not a covert channel.  Returns the number of rows updated.
+        """
+        if changes is None:
+            raise SchemaError("update requires changes")
+        table = self.table(table_name)
+        updated = 0
+        for row in self._candidate_rows(process, table, where):
+            if not access.readable(process, row.slabel, row.ilabel):
+                continue
+            if not _matches(row, where, predicate):
+                continue
+            try:
+                access.check_write(process, row.slabel, row.ilabel,
+                                   f"{table_name}#{row.row_id}")
+            except (SecrecyViolation, IntegrityViolation):
+                self.kernel.audit.record(
+                    A.DB_QUERY, False, process.name,
+                    f"update {table_name}#{row.row_id} refused")
+                raise
+            table.index_remove(row)
+            row.values.update(copy.deepcopy(changes))
+            row.version += 1
+            table.index_add(row)
+            updated += 1
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"update {table_name} ({updated} rows)")
+        return updated
+
+    def delete(self, process: Process, table_name: str,
+               where: Optional[dict[str, Any]] = None,
+               predicate: Optional[Predicate] = None) -> int:
+        """Delete every visible and writable matching row (count returned)."""
+        table = self.table(table_name)
+        doomed = []
+        for row in self._candidate_rows(process, table, where):
+            if not access.readable(process, row.slabel, row.ilabel):
+                continue
+            if not _matches(row, where, predicate):
+                continue
+            try:
+                access.check_write(process, row.slabel, row.ilabel,
+                                   f"{table_name}#{row.row_id}")
+            except (SecrecyViolation, IntegrityViolation):
+                self.kernel.audit.record(
+                    A.DB_QUERY, False, process.name,
+                    f"delete {table_name}#{row.row_id} refused")
+                raise
+            doomed.append(row)
+        for row in doomed:
+            table.index_remove(row)
+            del table.rows[row.row_id]
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"delete {table_name} ({len(doomed)} rows)")
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def select(self, process: Process, table_name: str,
+               where: Optional[dict[str, Any]] = None,
+               predicate: Optional[Predicate] = None,
+               limit: Optional[int] = None) -> list[dict[str, Any]]:
+        """Label-filtered query: returns copies of visible matching rows.
+
+        The result is *identical* to what it would be if invisible rows
+        did not exist — the covert-channel-free semantics.
+        """
+        table = self.table(table_name)
+        self.kernel.resources.charge(process, "db_queries", 1)
+        out: list[dict[str, Any]] = []
+        candidates = self._candidate_rows(process, table, where)
+        scanned = 0
+        for row in candidates:
+            scanned += 1
+            self.kernel.resources.charge(process, "db_rows_scanned", 1)
+            if not access.readable(process, row.slabel, row.ilabel):
+                continue
+            if not _matches(row, where, predicate):
+                continue
+            out.append(row.snapshot())
+            if limit is not None and len(out) >= limit:
+                break
+        if table.pad_scan_to is not None and scanned < table.pad_scan_to \
+                and not self._used_index(table, where):
+            # constant-cost scans: pay for the rows not present so the
+            # query's cost is independent of invisible data (C10b)
+            self.kernel.resources.charge(process, "db_rows_scanned",
+                                         table.pad_scan_to - scanned)
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"select {table_name} ({len(out)} rows)")
+        return out
+
+    def select_failstop(self, process: Process, table_name: str,
+                        where: Optional[dict[str, Any]] = None,
+                        predicate: Optional[Predicate] = None) -> list[dict[str, Any]]:
+        """The *rejected* design (DESIGN.md §6): raise if any matching
+        row is unreadable.  Exists so experiment C10 can measure the
+        covert channel this semantics opens (1 bit per query).  Not
+        part of the supported API surface for applications.
+        """
+        table = self.table(table_name)
+        self.kernel.resources.charge(process, "db_queries", 1)
+        out: list[dict[str, Any]] = []
+        for row in self._candidate_rows(process, table, where):
+            if not _matches(row, where, predicate):
+                continue
+            access.check_read(process, row.slabel, row.ilabel,
+                              f"{table_name}#{row.row_id}")
+            out.append(row.snapshot())
+        return out
+
+    def count(self, process: Process, table_name: str,
+              where: Optional[dict[str, Any]] = None,
+              predicate: Optional[Predicate] = None) -> int:
+        """Label-filtered count (same visibility rule as select)."""
+        return len(self.select(process, table_name, where=where,
+                               predicate=predicate))
+
+    def get(self, process: Process, table_name: str, row_id: int) -> dict[str, Any]:
+        """Fetch one visible row by id; invisible ids read as missing."""
+        table = self.table(table_name)
+        self.kernel.resources.charge(process, "db_queries", 1)
+        row = table.rows.get(row_id)
+        if row is None or not access.readable(process, row.slabel, row.ilabel):
+            raise NoSuchRow(f"{table_name}#{row_id}")
+        return row.snapshot()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _candidate_rows(self, process: Process, table: Table,
+                        where: Optional[dict[str, Any]]) -> list[Row]:
+        """Narrow by the best available index, else scan."""
+        if where:
+            for col, value in where.items():
+                if col in table.indexes:
+                    ids = table.indexes[col].get(value, set())
+                    return [table.rows[i] for i in sorted(ids)
+                            if i in table.rows]
+        return [table.rows[i] for i in sorted(table.rows)]
+
+    @staticmethod
+    def _used_index(table: Table, where: Optional[dict[str, Any]]) -> bool:
+        return bool(where) and any(col in table.indexes for col in where)
+
+
+def _matches(row: Row, where: Optional[dict[str, Any]],
+             predicate: Optional[Predicate]) -> bool:
+    if where:
+        for col, value in where.items():
+            if row.values.get(col) != value:
+                return False
+    if predicate is not None and not predicate(row.values):
+        return False
+    return True
+
+
+class DbView:
+    """A store handle bound to one process (mirrors :class:`FsView`)."""
+
+    def __init__(self, store: LabeledStore, process: Process) -> None:
+        self._store = store
+        self._process = process
+
+    def create_table(self, name: str, indexes: Iterable[str] = ()) -> Table:
+        return self._store.create_table(self._process, name, indexes=indexes)
+
+    def insert(self, table: str, values: dict[str, Any], **kw: Any) -> int:
+        return self._store.insert(self._process, table, values, **kw)
+
+    def select(self, table: str, **kw: Any) -> list[dict[str, Any]]:
+        return self._store.select(self._process, table, **kw)
+
+    def update(self, table: str, **kw: Any) -> int:
+        return self._store.update(self._process, table, **kw)
+
+    def delete(self, table: str, **kw: Any) -> int:
+        return self._store.delete(self._process, table, **kw)
+
+    def count(self, table: str, **kw: Any) -> int:
+        return self._store.count(self._process, table, **kw)
+
+    def get(self, table: str, row_id: int) -> dict[str, Any]:
+        return self._store.get(self._process, table, row_id)

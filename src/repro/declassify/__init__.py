@@ -1,0 +1,17 @@
+"""Declassifiers: user-granted agents that poke holes in the perimeter."""
+
+from .base import Declassifier, ReleaseContext
+from .builtin import (BUILTINS, FriendsOnly, Group, OwnerOnly, Public,
+                      TimeEmbargo, ViewerPredicate)
+from .combinators import AllOf, AnyOf, Not
+from .runtime import KernelDeclassifier, ReleaseRefused
+from .service import DeclassificationService, Grant
+
+__all__ = [
+    "Declassifier", "ReleaseContext",
+    "BUILTINS", "FriendsOnly", "Group", "OwnerOnly", "Public",
+    "TimeEmbargo", "ViewerPredicate",
+    "AllOf", "AnyOf", "Not",
+    "KernelDeclassifier", "ReleaseRefused",
+    "DeclassificationService", "Grant",
+]

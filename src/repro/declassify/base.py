@@ -1,0 +1,84 @@
+"""Declassifier framework.
+
+Declassifiers are W5's mechanism for "poking holes" in the security
+perimeter (§3.1): small agents a user entrusts with the export
+privilege (``t-``) for her data tags.  The paper gives them two
+defining characteristics, both enforced by this design:
+
+1. **Data-agnostic.**  A declassifier never sees the data it releases —
+   its ``decide`` method receives only a :class:`ReleaseContext`
+   (owner, viewer, time, declared kind).  One friends-only declassifier
+   therefore works unchanged for photos, blog posts, and profiles,
+   exactly as §3.1 requires ("an end-user can use the same declassifier
+   for multiple applications").
+
+2. **Small and auditable.**  The framework measures each declassifier's
+   source size (:meth:`Declassifier.audit_surface_loc`), which
+   experiment M3 compares against full applications to quantify the
+   paper's "much smaller than entire applications" claim.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class ReleaseContext:
+    """Everything a declassifier may base its decision on.
+
+    Deliberately excludes the data itself; ``kind`` is a free-form
+    string ("photo", "blog", "profile") apps may declare, and
+    ``now`` is the platform clock (simulated seconds).
+    """
+
+    owner: str
+    viewer: Optional[str]
+    kind: str = ""
+    now: float = 0.0
+    #: Free-form request attributes (e.g. the requesting app's name).
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+class Declassifier:
+    """Base class: subclasses override :meth:`decide`.
+
+    ``config`` is the per-user policy state (a friends list, a group
+    roster, an embargo date).  The *user* supplies it when granting —
+    it is part of her policy, not of any application's data.
+    """
+
+    #: Short, stable identifier used in registries and audit records.
+    name: str = "abstract"
+    #: One-line description shown in the provider's policy web forms.
+    description: str = ""
+
+    def __init__(self, config: Optional[dict[str, Any]] = None) -> None:
+        # Snapshot the policy: container values are frozen so later
+        # mutation of the caller's objects cannot silently change what
+        # the user authorized.
+        self.config = {
+            key: (frozenset(value) if isinstance(value, (list, set, tuple))
+                  else value)
+            for key, value in (config or {}).items()
+        }
+
+    def decide(self, ctx: ReleaseContext) -> bool:
+        """Return True to release the owner's data to the viewer."""
+        raise NotImplementedError
+
+    @classmethod
+    def audit_surface_loc(cls) -> int:
+        """Logic lines of the decision code (M3 metric): non-blank,
+        non-comment, docstrings excluded."""
+        from ..core.loc import code_loc
+        try:
+            source = inspect.getsource(cls)
+        except (OSError, TypeError):  # pragma: no cover - builtins only
+            return 0
+        return code_loc(source)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.config!r})"

@@ -1,0 +1,107 @@
+"""Declassifier combinators: composing policies without new code.
+
+Multiple *grants* on a tag release when **any** of them approves
+(union semantics — each grant is an independent hole).  Some
+idiosyncratic policies (§3.1) need the other direction: "my friends,
+but only after the trip embargo" is a conjunction no set of independent
+grants can express.  Combinators close the gap while keeping the
+auditability story: a combined policy is a tree of already-audited
+parts plus a one-line connective.
+
+All combinators are themselves data-agnostic declassifiers, so they
+nest arbitrarily: ``AnyOf(Group(...), AllOf(FriendsOnly(...),
+TimeEmbargo(...)))``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .base import Declassifier, ReleaseContext
+
+
+class AllOf(Declassifier):
+    """Release only when every child policy approves (conjunction)."""
+
+    name = "all-of"
+    description = "Release when ALL component policies approve."
+
+    def __init__(self, *children: Declassifier) -> None:
+        super().__init__({})
+        if not children:
+            raise ValueError("AllOf needs at least one child policy")
+        self.children = tuple(children)
+
+    def decide(self, ctx: ReleaseContext) -> bool:
+        return all(child.decide(ctx) for child in self.children)
+
+    @classmethod
+    def audit_surface_loc(cls) -> int:
+        # the connective itself plus its parts, counted once each
+        return super().audit_surface_loc()
+
+    def total_audit_surface(self) -> int:
+        """Connective + every distinct child policy class."""
+        seen: set[type] = set()
+        total = type(self).audit_surface_loc()
+        for child in self.children:
+            total += _child_surface(child, seen)
+        return total
+
+
+class AnyOf(Declassifier):
+    """Release when at least one child approves (explicit union)."""
+
+    name = "any-of"
+    description = "Release when ANY component policy approves."
+
+    def __init__(self, *children: Declassifier) -> None:
+        super().__init__({})
+        if not children:
+            raise ValueError("AnyOf needs at least one child policy")
+        self.children = tuple(children)
+
+    def decide(self, ctx: ReleaseContext) -> bool:
+        return any(child.decide(ctx) for child in self.children)
+
+    def total_audit_surface(self) -> int:
+        seen: set[type] = set()
+        total = type(self).audit_surface_loc()
+        for child in self.children:
+            total += _child_surface(child, seen)
+        return total
+
+
+class Not(Declassifier):
+    """Invert a child policy — except that the owner always passes.
+
+    An owner must never lock *herself* out: the boilerplate policy
+    (data exits toward its owner) is not negotiable through policy
+    composition, so ``Not`` applies only to non-owner viewers.
+    """
+
+    name = "not"
+    description = "Release to viewers the child policy would refuse."
+
+    def __init__(self, child: Declassifier) -> None:
+        super().__init__({})
+        self.child = child
+
+    def decide(self, ctx: ReleaseContext) -> bool:
+        if ctx.viewer == ctx.owner:
+            return True
+        return not self.child.decide(ctx)
+
+    def total_audit_surface(self) -> int:
+        return (type(self).audit_surface_loc()
+                + _child_surface(self.child, set()))
+
+
+def _child_surface(child: Declassifier, seen: set[type]) -> int:
+    if hasattr(child, "total_audit_surface"):
+        return child.total_audit_surface()  # type: ignore[attr-defined]
+    cls = type(child)
+    if cls in seen:
+        return 0
+    seen.add(cls)
+    return cls.audit_surface_loc()

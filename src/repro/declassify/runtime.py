@@ -1,0 +1,87 @@
+"""Kernel-level declassifier processes.
+
+:mod:`repro.declassify.service` answers policy questions for the
+gateway; this module runs a declassifier as an actual *confined
+process*, demonstrating the full mechanism the paper relies on: the
+agent sits inside the perimeter with secrecy ``{t}`` holding exactly
+one privilege — ``t-`` — and moves approved data from tainted space to
+clean space through its declared endpoints.  Everything it does passes
+the same kernel checks as any other process; its power comes only from
+the capability the owner granted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..kernel import Endpoint, Kernel, Process, RECV, SEND
+from ..labels import CapabilitySet, Label, Tag, minus
+from .base import Declassifier, ReleaseContext
+
+
+class ReleaseRefused(Exception):
+    """The declassifier's policy said no; nothing crossed."""
+
+
+class KernelDeclassifier:
+    """A declassifier running as a kernel process.
+
+    The process is spawned tainted with ``tag`` and holding ``tag-``,
+    with two endpoints:
+
+    * ``inbox`` — receive, labeled ``{tag}``: tainted producers (apps
+      processing the owner's data) send release requests here;
+    * ``outlet`` — send, labeled ``{}``: approved payloads leave here,
+      clean, toward whatever endpoint the platform designates (a
+      gateway buffer, another user's app, a peer provider's importer).
+
+    The *only* bridge between the two is :meth:`pump`, which consults
+    the policy object.  The policy never receives the payload — the
+    data-agnostic property, enforced structurally.
+    """
+
+    def __init__(self, kernel: Kernel, tag: Tag, policy: Declassifier,
+                 owner: str, clock: Optional[Any] = None) -> None:
+        self.kernel = kernel
+        self.tag = tag
+        self.policy = policy
+        self.owner = owner
+        self.clock = clock
+        self.process: Process = kernel.spawn_trusted(
+            f"declassifier:{policy.name}:{owner}",
+            slabel=Label([tag]),
+            caps=CapabilitySet([minus(tag)]),
+            owner_user=owner)
+        self.inbox: Endpoint = kernel.create_endpoint(
+            self.process, direction=RECV, name="inbox")
+        self.outlet: Endpoint = kernel.create_endpoint(
+            self.process, slabel=Label.EMPTY, direction=SEND, name="outlet")
+
+    def _now(self) -> float:
+        if self.clock is None:
+            return 0.0
+        return float(self.clock() if callable(self.clock) else self.clock)
+
+    def pump(self, viewer: Optional[str], destination: Endpoint,
+             kind: str = "", **attributes: Any) -> Any:
+        """Take one queued request from the inbox and, if policy
+        approves ``viewer``, forward its payload to ``destination``
+        through the clean outlet.  Returns the forwarded payload.
+
+        Raises :class:`ReleaseRefused` (and forwards nothing) when the
+        policy declines; the refused payload is dropped from the queue
+        — a declassifier must never hold secrets it has declined to
+        release.
+        """
+        msg = self.kernel.receive(self.process, endpoint=self.inbox)
+        ctx = ReleaseContext(owner=self.owner, viewer=viewer, kind=kind,
+                             now=self._now(), attributes=dict(attributes))
+        if not self.policy.decide(ctx):
+            raise ReleaseRefused(
+                f"{self.policy.name} refused release of {self.owner}'s "
+                f"data to {viewer or 'anonymous'}")
+        return self.kernel.send(self.process, self.outlet, destination,
+                                msg.payload, topic="declassified").payload
+
+    def pending(self) -> int:
+        return self.kernel.pending(self.process)

@@ -1,0 +1,120 @@
+"""The declassification service: grants and per-viewer export authority.
+
+A user expresses policy by *granting* a declassifier instance authority
+over one of her tags ("use friends-only for my photo tag").  At export
+time, the gateway needs one question answered: *which tags may ride out
+in a response destined for viewer v?*  This service computes that — the
+``authority_for`` oracle the platform plugs into the gateway — by
+consulting every grant whose declassifier approves ``v``.
+
+Every positive decision is an audited declassification event; every
+negative one is an audited refusal, so experiments can count both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from ..kernel import Kernel
+from ..kernel import audit as A
+from ..labels import CapabilitySet, Tag, minus
+from .base import Declassifier, ReleaseContext
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One user decision: ``declassifier`` may export ``tag``."""
+
+    owner: str
+    tag: Tag
+    declassifier: Declassifier
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Grant({self.owner}: tag {self.tag.tag_id} via "
+                f"{self.declassifier.name})")
+
+
+class DeclassificationService:
+    """Registry of grants + the export-authority oracle."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._grants: list[Grant] = []
+        #: Simulated platform clock, advanced by tests/benches.
+        self.now: float = 0.0
+
+    # -- policy management (driven by the provider's web forms) ---------
+
+    def grant(self, owner: str, tag: Tag,
+              declassifier: Declassifier) -> Grant:
+        """Record that ``owner`` entrusts ``declassifier`` with ``tag``.
+
+        The platform must verify separately that ``owner`` actually
+        owns ``tag`` (it does, in
+        :meth:`repro.platform.provider.Provider.grant_declassifier`).
+        """
+        g = Grant(owner=owner, tag=tag, declassifier=declassifier)
+        self._grants.append(g)
+        self.kernel.audit.record(
+            A.DECLASSIFY, True, owner,
+            f"granted {declassifier.name} authority over tag {tag.tag_id}")
+        return g
+
+    def revoke(self, owner: str, tag: Tag,
+               declassifier_name: Optional[str] = None) -> int:
+        """Remove grants for (owner, tag); returns how many were removed."""
+        before = len(self._grants)
+        self._grants = [
+            g for g in self._grants
+            if not (g.owner == owner and g.tag == tag
+                    and (declassifier_name is None
+                         or g.declassifier.name == declassifier_name))]
+        removed = before - len(self._grants)
+        if removed:
+            self.kernel.audit.record(
+                A.DECLASSIFY, True, owner,
+                f"revoked {removed} grant(s) on tag {tag.tag_id}")
+        return removed
+
+    def grants_for(self, owner: str) -> list[Grant]:
+        return [g for g in self._grants if g.owner == owner]
+
+    # -- the oracle ------------------------------------------------------
+
+    def may_release(self, tag: Tag, viewer: Optional[str],
+                    kind: str = "", **attributes: Any) -> bool:
+        """True iff some grant on ``tag`` approves ``viewer``."""
+        for g in self._grants:
+            if g.tag != tag:
+                continue
+            ctx = ReleaseContext(owner=g.owner, viewer=viewer, kind=kind,
+                                 now=self.now, attributes=dict(attributes))
+            if g.declassifier.decide(ctx):
+                self.kernel.audit.record(
+                    A.DECLASSIFY, True, g.declassifier.name,
+                    f"release tag {tag.tag_id} ({g.owner}) to "
+                    f"{viewer or 'anonymous'}")
+                return True
+        self.kernel.audit.record(
+            A.DECLASSIFY, False, "declassify-service",
+            f"no grant releases tag {tag.tag_id} to {viewer or 'anonymous'}")
+        return False
+
+    def authority_for(self, viewer: Optional[str],
+                      own_tags: Iterable[Tag] = (),
+                      kind: str = "", **attributes: Any) -> CapabilitySet:
+        """The export authority the gateway should use for ``viewer``.
+
+        ``own_tags`` are the viewer's own data tags (always
+        exportable to herself — the boilerplate policy); on top of
+        those, every granted tag whose declassifier approves ``viewer``
+        contributes its ``t-``.
+        """
+        caps = [minus(t) for t in own_tags]
+        for g in self._grants:
+            ctx = ReleaseContext(owner=g.owner, viewer=viewer, kind=kind,
+                                 now=self.now, attributes=dict(attributes))
+            if g.declassifier.decide(ctx):
+                caps.append(minus(g.tag))
+        return CapabilitySet(caps)

@@ -1,0 +1,11 @@
+"""Ecosystem dynamics: adoption/network-effect models (§3.4)."""
+
+from .adoption import (AdoptionCurve, compare_platforms, conversion_friction,
+                       simulate_adoption)
+from .market import (MarketApp, MarketOutcome, compare_editorial_controls,
+                     simulate_market)
+
+__all__ = ["AdoptionCurve", "compare_platforms", "conversion_friction",
+           "simulate_adoption",
+           "MarketApp", "MarketOutcome", "compare_editorial_controls",
+           "simulate_market"]

@@ -1,0 +1,100 @@
+"""Adoption dynamics: the §3.4 incentive story as a simulation.
+
+The paper conjectures that W5's lower barrier to entry — signup "simply
+by checking a box" instead of re-entering data — together with network
+effects will "lead to a burgeoning set of Web applications".  That is
+an economic claim, not a systems claim; we model it with a standard
+Bass-style diffusion process whose single W5-specific parameter is
+**conversion friction**: the probability that a user who has decided
+to try the app actually completes signup.
+
+* On W5, trying an app is one click: friction ≈ 1.
+* On the siloed Web, trying an app means re-uploading your data:
+  friction decays with the number of items to move.
+
+Everything else (innovation/imitation coefficients, population) is
+held equal, so the output isolates the architecture's effect.  The
+model is labeled *illustrative* in EXPERIMENTS.md — it shows the
+direction and rough magnitude of the claimed effect, not a forecast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class AdoptionCurve:
+    """Result of one simulated launch."""
+
+    platform: str
+    adopters_by_step: list[int]
+    population: int
+
+    def time_to_fraction(self, fraction: float) -> Optional[int]:
+        """First step reaching ``fraction`` of the population, or None."""
+        target = fraction * self.population
+        for step, count in enumerate(self.adopters_by_step):
+            if count >= target:
+                return step
+        return None
+
+    @property
+    def final_share(self) -> float:
+        if not self.adopters_by_step or not self.population:
+            return 0.0
+        return self.adopters_by_step[-1] / self.population
+
+
+def conversion_friction(items_to_migrate: int,
+                        per_item_cost: float = 0.08) -> float:
+    """Probability a willing user completes a status-quo signup.
+
+    Each item to re-upload independently risks abandonment; the W5
+    checkbox corresponds to ``items_to_migrate == 0`` → friction 1.0.
+    """
+    return (1.0 - per_item_cost) ** max(0, items_to_migrate)
+
+
+def simulate_adoption(population: int = 1000, steps: int = 60,
+                      innovation: float = 0.01, imitation: float = 0.4,
+                      friction: float = 1.0, platform: str = "w5",
+                      seed: int = 17) -> AdoptionCurve:
+    """Bass-style diffusion with a completion-friction multiplier.
+
+    Each step, every non-adopter *attempts* adoption with probability
+    ``innovation + imitation * adopted_fraction`` and *completes* it
+    with probability ``friction``.
+    """
+    if not 0.0 <= friction <= 1.0:
+        raise ValueError("friction must be within [0, 1]")
+    rng = random.Random(seed)
+    adopted = 0
+    curve = []
+    for __ in range(steps):
+        fraction = adopted / population if population else 0.0
+        p_attempt = min(1.0, innovation + imitation * fraction)
+        p_adopt = p_attempt * friction
+        remaining = population - adopted
+        # binomial draw over the remaining population
+        new = sum(1 for __ in range(remaining) if rng.random() < p_adopt)
+        adopted += new
+        curve.append(adopted)
+    return AdoptionCurve(platform=platform, adopters_by_step=curve,
+                         population=population)
+
+
+def compare_platforms(population: int = 1000, steps: int = 60,
+                      items_to_migrate: int = 25, seed: int = 17
+                      ) -> dict[str, AdoptionCurve]:
+    """The C7 head-to-head: identical app, identical population, the
+    only difference is signup friction."""
+    w5 = simulate_adoption(population=population, steps=steps,
+                           friction=1.0, platform="w5", seed=seed)
+    silo = simulate_adoption(
+        population=population, steps=steps,
+        friction=conversion_friction(items_to_migrate),
+        platform="status-quo", seed=seed)
+    return {"w5": w5, "status-quo": silo}

@@ -1,0 +1,135 @@
+"""The application market under editorial pressure (§3.2).
+
+"One can imagine applications, in an attempt to entrench themselves,
+writing out user data in proprietary format [...] Nothing in W5
+prevents such behavior, but W5 editorial controls can discourage it,
+just as their analogues do for antisocial software on today's
+desktops."
+
+A small market simulation makes the claim measurable.  Apps have an
+intrinsic ``quality`` and an ``antisocial`` flag (proprietary formats,
+lock-in).  Each round, users pick apps by a score that mixes quality,
+popularity, and — when editorial controls are on — an editorial
+penalty on flagged apps (editors audit a fraction of the catalog per
+round and flag what they find).  Anti-social apps also get a captive
+retention bonus: their users churn less because leaving costs data —
+precisely the lock-in the paper wants the market to punish rather than
+reward.  The C11 experiment compares anti-social market share with and
+without editors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MarketApp:
+    """One application competing for users."""
+
+    name: str
+    quality: float
+    antisocial: bool = False
+    flagged: bool = False
+    users: int = 0
+
+
+@dataclass
+class MarketOutcome:
+    """Result of one simulated market."""
+
+    editorial_controls: bool
+    share_by_step: list[float]   # anti-social share of all users
+    apps: list[MarketApp] = field(default_factory=list)
+
+    @property
+    def final_antisocial_share(self) -> float:
+        return self.share_by_step[-1] if self.share_by_step else 0.0
+
+
+def simulate_market(n_apps: int = 20, antisocial_fraction: float = 0.3,
+                    population: int = 2000, steps: int = 50,
+                    editorial_controls: bool = True,
+                    audit_rate: float = 0.15,
+                    editorial_penalty: float = 0.6,
+                    lock_in_retention: float = 0.25,
+                    seed: int = 41) -> MarketOutcome:
+    """Run the market.
+
+    ``audit_rate`` — fraction of unaudited apps editors inspect per
+    round; ``editorial_penalty`` — multiplicative score penalty once
+    flagged; ``lock_in_retention`` — extra per-round retention an
+    anti-social app enjoys from captive data.
+    """
+    rng = random.Random(seed)
+    apps = []
+    for i in range(n_apps):
+        antisocial = rng.random() < antisocial_fraction
+        # anti-social developers spend on polish, not interop:
+        # quality is drawn from the same distribution
+        apps.append(MarketApp(name=f"app-{i}",
+                              quality=rng.uniform(0.3, 1.0),
+                              antisocial=antisocial))
+    if not any(a.antisocial for a in apps):
+        apps[0].antisocial = True  # keep the experiment meaningful
+
+    # users start uniformly distributed
+    base = population // n_apps
+    for app in apps:
+        app.users = base
+
+    share_by_step = []
+    for __ in range(steps):
+        # editors audit
+        if editorial_controls:
+            for app in apps:
+                if app.antisocial and not app.flagged \
+                        and rng.random() < audit_rate:
+                    app.flagged = True
+
+        # each app's attractiveness this round
+        total_users = sum(a.users for a in apps) or 1
+
+        def score(app: MarketApp) -> float:
+            s = app.quality * (0.5 + 0.5 * app.users / total_users)
+            if app.flagged:
+                s *= (1.0 - editorial_penalty)
+            return s
+
+        scores = {a.name: score(a) for a in apps}
+        score_total = sum(scores.values()) or 1.0
+
+        # churn: a slice of each app's users reconsiders
+        movers = []
+        for app in apps:
+            churn = 0.2
+            if app.antisocial:
+                churn *= (1.0 - lock_in_retention)
+            leaving = int(app.users * churn)
+            app.users -= leaving
+            movers.append(leaving)
+        pool = sum(movers)
+        # movers redistribute proportionally to score
+        assigned = 0
+        for app in apps[:-1]:
+            take = int(pool * scores[app.name] / score_total)
+            app.users += take
+            assigned += take
+        apps[-1].users += pool - assigned
+
+        anti = sum(a.users for a in apps if a.antisocial)
+        share_by_step.append(anti / (sum(a.users for a in apps) or 1))
+
+    return MarketOutcome(editorial_controls=editorial_controls,
+                         share_by_step=share_by_step, apps=apps)
+
+
+def compare_editorial_controls(seed: int = 41, **kw) -> dict[str, MarketOutcome]:
+    """The C11 head-to-head: identical market, editors on vs off."""
+    return {
+        "with editors": simulate_market(editorial_controls=True,
+                                        seed=seed, **kw),
+        "without editors": simulate_market(editorial_controls=False,
+                                           seed=seed, **kw),
+    }

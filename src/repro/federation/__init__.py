@@ -1,0 +1,5 @@
+"""Multi-provider W5: peering, linked accounts, mirrored data (§3.3)."""
+
+from .peering import ProviderLink, SyncError, SyncState, converged
+
+__all__ = ["ProviderLink", "SyncError", "SyncState", "converged"]

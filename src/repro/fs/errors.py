@@ -1,0 +1,23 @@
+"""Filesystem errors."""
+
+from __future__ import annotations
+
+
+class FsError(Exception):
+    """Base class for filesystem failures unrelated to labels."""
+
+
+class NoSuchPath(FsError):
+    """Path does not exist."""
+
+
+class PathExists(FsError):
+    """Attempt to create something that already exists."""
+
+
+class NotADirectory(FsError):
+    """A path component that must be a directory is a file."""
+
+
+class IsADirectory(FsError):
+    """A file operation was attempted on a directory."""

@@ -1,0 +1,399 @@
+"""The labeled filesystem.
+
+All user data on a W5 cluster lives in files (photos, blog posts,
+friend lists) whose labels the platform enforces on every access (§2:
+the provider's software must track data "to and from persistent
+storage").
+
+Label semantics
+---------------
+
+Each object (file or directory) carries:
+
+* ``slabel`` — secrecy.  *Reading* is a flow object → process and
+  requires ``S_obj ⊆ S_proc``; *writing* is process → object and
+  requires ``S_proc ⊆ S_obj``.  A tainted process can therefore write
+  only into files at least as tainted as itself — the classic
+  no-write-down rule that stops a malicious app from copying Bob's
+  photos into a public file.
+
+* ``ilabel`` — integrity, checked in the dual direction: reading
+  requires ``I_proc ⊆ I_obj`` (a high-integrity process only consumes
+  endorsed inputs), writing requires ``I_obj ⊆ I_proc``.
+
+* **Write protection (§3.1)** falls out of integrity: when Bob's data
+  is created, the platform puts Bob's *write tag* ``w_bob`` into the
+  file's integrity label.  Writing then requires the writer to carry
+  ``w_bob`` in its own integrity label, which it can only do with the
+  ``w_bob+`` capability — exactly the "write privilege" Bob delegates
+  "as he sees fit".  No parallel permission system is needed.
+
+Capability waivers
+------------------
+
+File access applies a process's capabilities exactly where Flume's
+endpoint rule would let it declare a file endpoint, i.e. only where the
+waiver is equivalent to a *legal label-change round trip*:
+
+* integrity read-down: a process may read an object missing some of
+  its integrity tags iff it holds ``w-`` for each (it could have
+  dropped ``w``, read, and stayed low — sound);
+* integrity write-up: writing an object that requires ``w`` is allowed
+  iff the process holds ``w+`` (it could have claimed ``w`` first) —
+  this *is* W5's delegable write privilege;
+* secrecy write-down: allowed iff the process holds ``t-`` for each
+  shed tag (declassification authority);
+* secrecy read-up: allowed only for tags the process fully *owns*
+  (``t+`` and ``t-``): with ``t+`` alone, raise–read–lower is not a
+  legal sequence, so a mere ``t+`` holder must explicitly raise its
+  label (and get stuck tainted) to read.
+
+Otherwise processes do not auto-raise labels on read (Flume, not
+Asbestos): a read that would need a label change fails loudly, and the
+caller must ``raise_secrecy`` first.  The :class:`FsView` convenience
+wrapper keeps application code short without weakening the checks.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..core import access
+from ..kernel import Kernel, Process
+from ..kernel import audit as A
+from ..labels import IntegrityViolation, Label, SecrecyViolation
+from .errors import (FsError, IsADirectory, NoSuchPath, NotADirectory,
+                     PathExists)
+
+
+@dataclass
+class Inode:
+    """Common metadata for files and directories."""
+
+    name: str
+    slabel: Label
+    ilabel: Label
+    created_by: str = ""
+
+    def is_dir(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class File(Inode):
+    """A leaf object holding an arbitrary payload."""
+
+    data: Any = None
+    version: int = 1
+
+    def is_dir(self) -> bool:
+        return False
+
+    def size(self) -> int:
+        """Approximate byte size for quota accounting."""
+        if isinstance(self.data, (bytes, bytearray)):
+            return len(self.data)
+        if isinstance(self.data, str):
+            return len(self.data.encode())
+        return len(repr(self.data))
+
+
+@dataclass
+class Directory(Inode):
+    """An interior node mapping names to children."""
+
+    entries: dict[str, Inode] = field(default_factory=dict)
+
+    def is_dir(self) -> bool:
+        return True
+
+
+def split_path(path: str) -> list[str]:
+    """Normalize ``/a/b/c`` into components, rejecting empties."""
+    parts = [p for p in path.strip("/").split("/") if p]
+    for p in parts:
+        if p in (".", ".."):
+            raise FsError(f"relative component {p!r} not supported")
+    return parts
+
+
+class LabeledFileSystem:
+    """A tree of labeled inodes guarded by the flow rules.
+
+    The filesystem holds a reference to the kernel only for auditing
+    and resource charging; the flow decisions use the same pure
+    functions as IPC, so FS and IPC can never disagree about policy.
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.root = Directory(name="/", slabel=Label.EMPTY,
+                              ilabel=Label.EMPTY, created_by="provider")
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, process: Process, path: str,
+                 want_parent: bool = False) -> Inode:
+        """Walk the tree, read-checking every directory traversed.
+
+        Directory traversal is a read of the directory's entry list, so
+        each component must be readable by ``process`` — otherwise the
+        existence of names inside a secret directory would itself leak.
+        """
+        parts = split_path(path)
+        if want_parent:
+            if not parts:
+                raise FsError("path has no parent")
+            parts = parts[:-1]
+        node: Inode = self.root
+        walked = ""
+        for part in parts:
+            if not node.is_dir():
+                raise NotADirectory(f"{walked or '/'} is not a directory")
+            self._check_read(process, node, walked or "/")
+            assert isinstance(node, Directory)
+            try:
+                node = node.entries[part]
+            except KeyError:
+                raise NoSuchPath(f"{walked}/{part}") from None
+            walked = f"{walked}/{part}"
+        return node
+
+    def _parent_and_leaf(self, process: Process,
+                         path: str) -> tuple[Directory, str]:
+        parent = self._resolve(process, path, want_parent=True)
+        if not parent.is_dir():
+            raise NotADirectory(f"parent of {path} is not a directory")
+        assert isinstance(parent, Directory)
+        leaf = split_path(path)[-1]
+        return parent, leaf
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+
+    def _check_read(self, process: Process, node: Inode, path: str) -> None:
+        try:
+            access.check_read(process, node.slabel, node.ilabel, path)
+        except (SecrecyViolation, IntegrityViolation):
+            self.kernel.audit.record(A.FILE_READ, False, process.name,
+                                     f"read {path} refused")
+            raise
+
+    def _check_write(self, process: Process, node: Inode, path: str) -> None:
+        try:
+            access.check_write(process, node.slabel, node.ilabel, path)
+        except (SecrecyViolation, IntegrityViolation):
+            self.kernel.audit.record(A.FILE_WRITE, False, process.name,
+                                     f"write {path} refused")
+            raise
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def mkdir(self, process: Process, path: str,
+              slabel: Optional[Label] = None,
+              ilabel: Optional[Label] = None) -> Directory:
+        """Create a directory; labels default to the creator's labels.
+
+        Creating an entry writes to the parent directory, so the parent
+        must be writable by the process.
+        """
+        parent, leaf = self._parent_and_leaf(process, path)
+        self._check_read(process, parent, path)
+        self._check_write(process, parent, path)
+        if leaf in parent.entries:
+            raise PathExists(path)
+        d = Directory(name=leaf,
+                      slabel=process.slabel if slabel is None else slabel,
+                      ilabel=process.ilabel if ilabel is None else ilabel,
+                      created_by=process.name)
+        self._validate_new_labels(process, d, path)
+        parent.entries[leaf] = d
+        self.kernel.audit.record(A.FILE_WRITE, True, process.name,
+                                 f"mkdir {path}")
+        return d
+
+    def create(self, process: Process, path: str, data: Any,
+               slabel: Optional[Label] = None,
+               ilabel: Optional[Label] = None) -> File:
+        """Create a file.  Labels default to the creator's labels.
+
+        The chosen secrecy label must dominate the creator's (no
+        writing secrets into a less-secret file at birth); the chosen
+        integrity label must be within what the creator can vouch for.
+        """
+        parent, leaf = self._parent_and_leaf(process, path)
+        self._check_read(process, parent, path)
+        self._check_write(process, parent, path)
+        if leaf in parent.entries:
+            raise PathExists(path)
+        f = File(name=leaf,
+                 slabel=process.slabel if slabel is None else slabel,
+                 ilabel=process.ilabel if ilabel is None else ilabel,
+                 created_by=process.name, data=copy.deepcopy(data))
+        self._validate_new_labels(process, f, path)
+        self.kernel.resources.charge(process, "disk", f.size())
+        parent.entries[leaf] = f
+        self.kernel.audit.record(A.FILE_WRITE, True, process.name,
+                                 f"create {path}")
+        return f
+
+    def _validate_new_labels(self, process: Process, node: Inode,
+                             path: str) -> None:
+        """A freshly created object is a write, checked like one."""
+        self._check_write(process, node, path)
+
+    def read(self, process: Process, path: str) -> Any:
+        """Return a *copy* of a file's payload after the read checks.
+
+        The copy is load-bearing: handing out the stored object by
+        reference would let a process mutate storage in place,
+        bypassing the write checks entirely (a reader could append to
+        a stored list and the vandalism would stick even though its
+        ``write`` was refused).
+        """
+        node = self._resolve(process, path)
+        if node.is_dir():
+            raise IsADirectory(path)
+        self._check_read(process, node, path)
+        self.kernel.resources.charge(process, "disk_read", 1)
+        self.kernel.audit.record(A.FILE_READ, True, process.name,
+                                 f"read {path}")
+        assert isinstance(node, File)
+        return copy.deepcopy(node.data)
+
+    def write(self, process: Process, path: str, data: Any) -> File:
+        """Overwrite a file's payload after the write checks."""
+        node = self._resolve(process, path)
+        if node.is_dir():
+            raise IsADirectory(path)
+        self._check_write(process, node, path)
+        assert isinstance(node, File)
+        self.kernel.resources.charge(process, "disk", max(
+            0, File(name="", slabel=Label.EMPTY, ilabel=Label.EMPTY,
+                    data=data).size() - node.size()))
+        node.data = copy.deepcopy(data)
+        node.version += 1
+        self.kernel.audit.record(A.FILE_WRITE, True, process.name,
+                                 f"write {path}")
+        return node
+
+    def delete(self, process: Process, path: str) -> None:
+        """Remove a file or empty directory (a write to object+parent)."""
+        parent, leaf = self._parent_and_leaf(process, path)
+        self._check_read(process, parent, path)
+        self._check_write(process, parent, path)
+        try:
+            node = parent.entries[leaf]
+        except KeyError:
+            raise NoSuchPath(path) from None
+        self._check_write(process, node, path)
+        if node.is_dir() and getattr(node, "entries", None):
+            raise FsError(f"directory {path} not empty")
+        del parent.entries[leaf]
+        self.kernel.audit.record(A.FILE_WRITE, True, process.name,
+                                 f"delete {path}")
+
+    def listdir(self, process: Process, path: str = "/") -> list[str]:
+        """Entry names of a directory (a read of the directory)."""
+        node = self.root if path in ("", "/") else self._resolve(process, path)
+        if not node.is_dir():
+            raise NotADirectory(path)
+        self._check_read(process, node, path)
+        assert isinstance(node, Directory)
+        return sorted(node.entries)
+
+    def stat(self, process: Process, path: str) -> dict[str, Any]:
+        """Metadata for a path (requires readability of the object)."""
+        node = self._resolve(process, path)
+        self._check_read(process, node, path)
+        info: dict[str, Any] = {
+            "name": node.name,
+            "is_dir": node.is_dir(),
+            "slabel": node.slabel,
+            "ilabel": node.ilabel,
+            "created_by": node.created_by,
+        }
+        if isinstance(node, File):
+            info["size"] = node.size()
+            info["version"] = node.version
+        return info
+
+    def exists(self, process: Process, path: str) -> bool:
+        """True if ``path`` resolves for this process.
+
+        Deliberately label-checked: a path inside an unreadable
+        directory reports ``False`` rather than leaking existence.
+        """
+        try:
+            self._resolve(process, path)
+            return True
+        except (NoSuchPath, SecrecyViolation, IntegrityViolation,
+                NotADirectory):
+            return False
+
+    def walk(self, process: Process, path: str = "/") -> Iterable[tuple[str, Inode]]:
+        """Yield (path, inode) for every object readable by ``process``.
+
+        Unreadable subtrees are skipped silently — the caller learns
+        nothing about them, matching the covert-channel posture of
+        :mod:`repro.db`.
+        """
+        node = self.root if path in ("", "/") else self._resolve(process, path)
+        stack: list[tuple[str, Inode]] = [(path if path != "/" else "", node)]
+        while stack:
+            prefix, current = stack.pop()
+            try:
+                self._check_read(process, current, prefix or "/")
+            except (SecrecyViolation, IntegrityViolation):
+                continue
+            yield (prefix or "/", current)
+            if isinstance(current, Directory):
+                for name, child in sorted(current.entries.items()):
+                    stack.append((f"{prefix}/{name}", child))
+
+
+class FsView:
+    """A filesystem handle bound to one process.
+
+    This is what the platform injects into application code next to
+    its :class:`~repro.kernel.W5Syscalls`; it simply curries the
+    process argument so app code reads naturally.
+    """
+
+    def __init__(self, fs: LabeledFileSystem, process: Process) -> None:
+        self._fs = fs
+        self._process = process
+
+    def mkdir(self, path: str, **kw: Any) -> Directory:
+        return self._fs.mkdir(self._process, path, **kw)
+
+    def create(self, path: str, data: Any, **kw: Any) -> File:
+        return self._fs.create(self._process, path, data, **kw)
+
+    def read(self, path: str) -> Any:
+        return self._fs.read(self._process, path)
+
+    def write(self, path: str, data: Any) -> File:
+        return self._fs.write(self._process, path, data)
+
+    def delete(self, path: str) -> None:
+        self._fs.delete(self._process, path)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        return self._fs.listdir(self._process, path)
+
+    def stat(self, path: str) -> dict[str, Any]:
+        return self._fs.stat(self._process, path)
+
+    def exists(self, path: str) -> bool:
+        return self._fs.exists(self._process, path)
+
+    def walk(self, path: str = "/") -> Iterable[tuple[str, Inode]]:
+        return self._fs.walk(self._process, path)

@@ -1,0 +1,17 @@
+"""The W5 reference monitor: processes, endpoints, IPC, audit."""
+
+from .audit import AuditEvent, AuditLog
+from .errors import (DeadProcess, EndpointMisuse, KernelError, MailboxEmpty,
+                     NoSuchEndpoint, NoSuchProcess, ResourceExhausted)
+from .ipc import Message
+from .kernel import Kernel, ResourceHook
+from .process import BOTH, RECV, SEND, Endpoint, Process
+from .syscalls import W5Syscalls
+
+__all__ = [
+    "AuditEvent", "AuditLog",
+    "DeadProcess", "EndpointMisuse", "KernelError", "MailboxEmpty",
+    "NoSuchEndpoint", "NoSuchProcess", "ResourceExhausted",
+    "Message", "Kernel", "ResourceHook",
+    "BOTH", "RECV", "SEND", "Endpoint", "Process", "W5Syscalls",
+]

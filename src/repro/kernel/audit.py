@@ -1,0 +1,112 @@
+"""Audit log: the kernel's append-only record of security decisions.
+
+W5 argues (§2) that users must be able to hold the provider to account;
+the audit log is the mechanism.  Every flow decision, label change,
+spawn, grant, and export attempt is recorded — allowed or denied — so
+tests and benchmarks can assert not just on outcomes but on the
+decisions that produced them.
+
+The log is deliberately outside the label system: audit records are
+provider-private and never flow back to applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+#: Event categories, used for filtering.
+SPAWN = "spawn"
+EXIT = "exit"
+SEND = "send"
+RECEIVE = "receive"
+LABEL_CHANGE = "label_change"
+GRANT = "grant"
+TAG_CREATE = "tag_create"
+ENDPOINT = "endpoint"
+FILE_READ = "file_read"
+FILE_WRITE = "file_write"
+DB_QUERY = "db_query"
+EXPORT = "export"
+DECLASSIFY = "declassify"
+RESOURCE = "resource"
+
+
+@dataclass(frozen=True, slots=True)
+class AuditEvent:
+    """One security decision."""
+
+    seq: int
+    category: str
+    allowed: bool
+    subject: str          # acting process name (or "gateway", "provider")
+    detail: str
+    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "ALLOW" if self.allowed else "DENY"
+        return f"[{self.seq}] {verdict} {self.category} {self.subject}: {self.detail}"
+
+
+class AuditLog:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events: list[AuditEvent] = []
+        self._seq = 0
+        self._capacity = capacity
+        self._subscribers: list[Callable[[AuditEvent], None]] = []
+
+    def record(self, category: str, allowed: bool, subject: str,
+               detail: str, **extra: Any) -> AuditEvent:
+        """Append an event and notify subscribers."""
+        self._seq += 1
+        event = AuditEvent(self._seq, category, allowed, subject, detail, extra)
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[: len(self._events) - self._capacity]
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+    def subscribe(self, fn: Callable[[AuditEvent], None]) -> None:
+        """Register a callback invoked on every new event."""
+        self._subscribers.append(fn)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        return iter(self._events)
+
+    def events(self, category: Optional[str] = None,
+               subject: Optional[str] = None,
+               allowed: Optional[bool] = None) -> list[AuditEvent]:
+        """Events matching every given filter."""
+        out = []
+        for e in self._events:
+            if category is not None and e.category != category:
+                continue
+            if subject is not None and e.subject != subject:
+                continue
+            if allowed is not None and e.allowed != allowed:
+                continue
+            out.append(e)
+        return out
+
+    def denials(self, category: Optional[str] = None) -> list[AuditEvent]:
+        """All denied events, optionally in one category."""
+        return self.events(category=category, allowed=False)
+
+    def count(self, category: Optional[str] = None,
+              allowed: Optional[bool] = None) -> int:
+        return len(self.events(category=category, allowed=allowed))
+
+    def last(self) -> Optional[AuditEvent]:
+        return self._events[-1] if self._events else None
+
+    def clear(self) -> None:
+        """Drop all events (test convenience; providers would archive)."""
+        self._events.clear()

@@ -1,0 +1,39 @@
+"""Kernel-level errors (on top of the label errors)."""
+
+from __future__ import annotations
+
+from ..labels import LabelError
+
+
+class KernelError(Exception):
+    """Base class for kernel refusals unrelated to labels."""
+
+
+class NoSuchProcess(KernelError):
+    """The named process does not exist or has exited."""
+
+
+class NoSuchEndpoint(KernelError):
+    """The named endpoint does not exist or was closed."""
+
+
+class DeadProcess(KernelError):
+    """Operation attempted by or on a process that has exited."""
+
+
+class MailboxEmpty(KernelError):
+    """A receive was attempted with no deliverable message queued."""
+
+
+class EndpointMisuse(KernelError):
+    """An endpoint was used in a direction it does not support."""
+
+
+class ResourceExhausted(KernelError):
+    """A resource quota (CPU, memory, disk, network, queries) ran out."""
+
+
+__all__ = [
+    "KernelError", "NoSuchProcess", "NoSuchEndpoint", "DeadProcess",
+    "MailboxEmpty", "EndpointMisuse", "ResourceExhausted", "LabelError",
+]

@@ -1,0 +1,41 @@
+"""IPC messages.
+
+A message is immutable payload plus the security context it was sent
+under: the label of the sending endpoint (which becomes the *floor* on
+what the receiver learns) and any capabilities the sender chose to
+delegate.  Capability delegation rides the same checked channel as
+data — a process cannot receive privilege it could not have received
+bytes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..labels import CapabilitySet, Label
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One delivered IPC message."""
+
+    sender_pid: int
+    sender_endpoint: int
+    recipient_pid: int
+    recipient_endpoint: int
+    payload: Any
+    #: Labels of the sending endpoint at send time (receiver-visible).
+    slabel: Label
+    ilabel: Label
+    #: Capabilities delegated alongside the payload.
+    granted: CapabilitySet = CapabilitySet.EMPTY
+    topic: str = ""
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Message(#{self.message_id} {self.sender_pid}->"
+                f"{self.recipient_pid} topic={self.topic!r})")

@@ -1,0 +1,154 @@
+"""Capabilities: the privileges that let a process change its labels.
+
+Flume's model gives a process a set of capabilities, each of which is a
+tag with a sign:
+
+* ``t+`` — the holder may *add* ``t`` to one of its labels (for a
+  secrecy tag: the holder may read ``t``-tainted data by raising its
+  own secrecy; for an integrity tag: the holder may *claim* ``t``).
+* ``t-`` — the holder may *remove* ``t`` (for secrecy: declassify; for
+  integrity: drop an endorsement).
+
+A process that holds both signs *owns* the tag and can move data across
+the ``t`` boundary at will — this is exactly the privilege an end-user
+delegates to a declassifier in W5 (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .label import Label
+from .tags import Tag
+
+PLUS = "+"
+MINUS = "-"
+
+
+@dataclass(frozen=True, slots=True)
+class Capability:
+    """A single signed capability, ``t+`` or ``t-``."""
+
+    tag: Tag
+    sign: str
+
+    def __post_init__(self) -> None:
+        if self.sign not in (PLUS, MINUS):
+            raise ValueError(f"capability sign must be '+' or '-', got {self.sign!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.tag.tag_id}:{self.tag.purpose}{self.sign}"
+
+
+def plus(tag: Tag) -> Capability:
+    """Shorthand for ``Capability(tag, '+')``."""
+    return Capability(tag, PLUS)
+
+
+def minus(tag: Tag) -> Capability:
+    """Shorthand for ``Capability(tag, '-')``."""
+    return Capability(tag, MINUS)
+
+
+class CapabilitySet:
+    """An immutable set of capabilities with the derived views the flow
+    rules need.
+
+    ``plus_tags`` / ``minus_tags`` are the Flume ``D+`` / ``D-`` sets: the
+    tags the holder could add to, respectively remove from, its labels.
+    """
+
+    __slots__ = ("_caps", "_plus", "_minus")
+
+    EMPTY: "CapabilitySet"
+
+    def __init__(self, caps: Iterable[Capability] = ()) -> None:
+        cap_set = frozenset(caps)
+        self._caps = cap_set
+        self._plus = Label(c.tag for c in cap_set if c.sign == PLUS)
+        self._minus = Label(c.tag for c in cap_set if c.sign == MINUS)
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def plus_tags(self) -> Label:
+        """Tags the holder may add (Flume's ``D+``)."""
+        return self._plus
+
+    @property
+    def minus_tags(self) -> Label:
+        """Tags the holder may remove (Flume's ``D-``)."""
+        return self._minus
+
+    def owned_tags(self) -> Label:
+        """Tags for which the holder has both signs (full ownership)."""
+        return self._plus & self._minus
+
+    def owns(self, tag: Tag) -> bool:
+        return tag in self._plus and tag in self._minus
+
+    def can_add(self, tag: Tag) -> bool:
+        return tag in self._plus
+
+    def can_remove(self, tag: Tag) -> bool:
+        return tag in self._minus
+
+    # -- set protocol -----------------------------------------------------
+
+    def __contains__(self, cap: Capability) -> bool:
+        return cap in self._caps
+
+    def __iter__(self) -> Iterator[Capability]:
+        return iter(self._caps)
+
+    def __len__(self) -> int:
+        return len(self._caps)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CapabilitySet):
+            return self._caps == other._caps
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._caps)
+
+    def __or__(self, other: "CapabilitySet | Iterable[Capability]") -> "CapabilitySet":
+        other_caps = other._caps if isinstance(other, CapabilitySet) else frozenset(other)
+        return CapabilitySet(self._caps | other_caps)
+
+    def __sub__(self, other: "CapabilitySet | Iterable[Capability]") -> "CapabilitySet":
+        other_caps = other._caps if isinstance(other, CapabilitySet) else frozenset(other)
+        return CapabilitySet(self._caps - other_caps)
+
+    def __le__(self, other: "CapabilitySet") -> bool:
+        return self._caps <= other._caps
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def owning(cls, *tags: Tag) -> "CapabilitySet":
+        """A capability set that fully owns every tag in ``tags``."""
+        caps: list[Capability] = []
+        for t in tags:
+            caps.append(plus(t))
+            caps.append(minus(t))
+        return cls(caps)
+
+    def grant(self, *caps: Capability) -> "CapabilitySet":
+        """Return a new set with ``caps`` added."""
+        return CapabilitySet(self._caps | set(caps))
+
+    def revoke(self, *caps: Capability) -> "CapabilitySet":
+        """Return a new set with ``caps`` removed."""
+        return CapabilitySet(self._caps - set(caps))
+
+    def restricted_to(self, caps: Iterable[Capability]) -> "CapabilitySet":
+        """Intersection — used when spawning with attenuated privilege."""
+        return CapabilitySet(self._caps & frozenset(caps))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CapabilitySet({sorted(map(repr, self._caps))})"
+
+
+CapabilitySet.EMPTY = CapabilitySet()

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the DIFC label machinery.
+
+Every refusal by the reference monitor raises a subclass of
+:class:`LabelError`, so callers can catch "the platform said no" with a
+single except clause while tests can assert on the precise refusal.
+"""
+
+from __future__ import annotations
+
+
+class LabelError(Exception):
+    """Base class for all label/flow violations."""
+
+
+class FlowViolation(LabelError):
+    """An information flow was refused by the secrecy or integrity rules."""
+
+
+class SecrecyViolation(FlowViolation):
+    """Data would have flowed to a party not cleared for its secrecy tags."""
+
+
+class IntegrityViolation(FlowViolation):
+    """A receiver required integrity tags the sender could not vouch for."""
+
+
+class CapabilityError(LabelError):
+    """A label change or privileged operation lacked the needed capability."""
+
+
+class TagError(LabelError):
+    """A malformed or unknown tag was used."""

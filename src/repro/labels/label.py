@@ -1,0 +1,120 @@
+"""Labels: immutable sets of tags forming the DIFC lattice.
+
+Following Flume (Krohn et al., SOSP 2007), a label is just a finite set
+of tags; the partial order is subset inclusion, join is union and meet
+is intersection.  Secrecy labels and integrity labels use the same
+structure — only the direction of the flow checks differs (see
+:mod:`repro.labels.flow`).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Iterator
+
+from .tags import Tag
+
+
+class Label:
+    """An immutable set of :class:`~repro.labels.tags.Tag`.
+
+    Supports the usual set operators, which double as lattice
+    operations: ``|`` is join, ``&`` is meet, ``<=`` is the "can flow
+    to" partial order for secrecy (and its reverse for integrity).
+    """
+
+    __slots__ = ("_tags", "_hash")
+
+    #: The bottom of the lattice, shared to keep the common case cheap.
+    EMPTY: "Label"
+
+    def __init__(self, tags: Iterable[Tag] = ()) -> None:
+        tag_set = frozenset(tags)
+        for t in tag_set:
+            if not isinstance(t, Tag):
+                raise TypeError(f"labels hold Tags, got {type(t).__name__}")
+        self._tags = tag_set
+        self._hash = hash(tag_set)
+
+    # -- set protocol -------------------------------------------------
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in self._tags
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(self._tags)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Label):
+            return self._tags == other._tags
+        if isinstance(other, (frozenset, set)):
+            return self._tags == other
+        return NotImplemented
+
+    # -- lattice operations -------------------------------------------
+
+    def __or__(self, other: "Label | AbstractSet[Tag]") -> "Label":
+        return Label(self._tags | _tags_of(other))
+
+    def __and__(self, other: "Label | AbstractSet[Tag]") -> "Label":
+        return Label(self._tags & _tags_of(other))
+
+    def __sub__(self, other: "Label | AbstractSet[Tag]") -> "Label":
+        return Label(self._tags - _tags_of(other))
+
+    def __le__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        return self._tags <= _tags_of(other)
+
+    def __lt__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        return self._tags < _tags_of(other)
+
+    def __ge__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        return self._tags >= _tags_of(other)
+
+    def __gt__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        return self._tags > _tags_of(other)
+
+    def join(self, other: "Label") -> "Label":
+        """Least upper bound (set union)."""
+        return self | other
+
+    def meet(self, other: "Label") -> "Label":
+        """Greatest lower bound (set intersection)."""
+        return self & other
+
+    # -- conveniences ---------------------------------------------------
+
+    def add(self, *tags: Tag) -> "Label":
+        """Return a new label with ``tags`` added (labels are immutable)."""
+        return Label(self._tags | set(tags))
+
+    def remove(self, *tags: Tag) -> "Label":
+        """Return a new label with ``tags`` removed (no error if absent)."""
+        return Label(self._tags - set(tags))
+
+    def tags(self) -> frozenset[Tag]:
+        """The underlying frozen tag set."""
+        return self._tags
+
+    def is_empty(self) -> bool:
+        return not self._tags
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._tags:
+            return "Label{}"
+        inner = ",".join(sorted(f"{t.tag_id}:{t.purpose}" for t in self._tags))
+        return f"Label{{{inner}}}"
+
+
+def _tags_of(value: "Label | AbstractSet[Tag]") -> frozenset[Tag]:
+    if isinstance(value, Label):
+        return value._tags
+    return frozenset(value)
+
+
+Label.EMPTY = Label()

@@ -1,0 +1,11 @@
+"""Language-level DIFC: the paper's §3.1 'alternate architecture'."""
+
+from .collections import LabeledList
+from .values import (ImplicitFlowError, Labeled, declassify, export,
+                     lift, ljoin, lmap, lselect)
+
+__all__ = [
+    "LabeledList",
+    "ImplicitFlowError", "Labeled", "declassify", "export",
+    "lift", "ljoin", "lmap", "lselect",
+]

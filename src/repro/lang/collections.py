@@ -1,0 +1,77 @@
+"""Labeled collections: per-element provenance.
+
+The payoff of language-level DIFC is that a *collection* can mix
+elements of different provenance and still be partially exportable.
+``LabeledList`` keeps each element's label separate; exporting to a
+viewer yields exactly the elements their authority covers, plus an
+honest count of what was withheld (the count itself reveals only what
+the boilerplate policy already reveals: that *something* exists — the
+same information a 403 carries in the process-level model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from ..labels import CapabilitySet, exportable_tags
+from .values import Labeled, lift
+
+
+class LabeledList:
+    """A sequence of independently-labeled elements."""
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._items: list[Labeled] = [lift(x) for x in items]
+
+    def append(self, item: Any) -> None:
+        self._items.append(lift(item))
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.append(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Labeled]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Labeled:
+        return self._items[index]
+
+    # -- label-aware operations ------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any]) -> "LabeledList":
+        """Element-wise map, preserving each element's own label."""
+        out = LabeledList()
+        for item in self._items:
+            out.append(Labeled(fn(item.peek()), item.label))
+        return out
+
+    def sort_by(self, key: Callable[[Any], Any],
+                reverse: bool = False) -> "LabeledList":
+        """Sort on a key of the raw values.
+
+        Honest caveat (documented, not hidden): the *order* of the
+        exported subset can depend on unexportable elements' keys only
+        through their absence — elements are compared before
+        filtering, but withheld elements are removed wholesale, so no
+        secret key value is observable in the survivors' relative
+        order beyond what filtering already reveals.
+        """
+        out = LabeledList()
+        out._items = sorted(self._items, key=lambda it: key(it.peek()),
+                            reverse=reverse)
+        return out
+
+    def export_for(self, authority: CapabilitySet
+                   ) -> tuple[list[Any], int]:
+        """(deliverable raw items, withheld count) for an authority."""
+        delivered: list[Any] = []
+        withheld = 0
+        for item in self._items:
+            if exportable_tags(item.label, authority).is_empty():
+                delivered.append(item.peek())
+            else:
+                withheld += 1
+        return delivered, withheld

@@ -1,0 +1,189 @@
+"""Language-level DIFC: labeled values.
+
+§3.1: "An alternate architecture built with language-level support
+[5, 12] is also possible."  This package is that alternative, at the
+granularity SIF/Jif work at: labels attach to *values*, not processes.
+Every derived value carries the join of its inputs' labels, and the
+only way a label ever shrinks is explicit declassification with the
+matching authority.
+
+Why bother, when the kernel already enforces process labels?
+Granularity.  A process computing over five users' data is tainted
+with all five tags and its output is all-or-nothing at the perimeter;
+a *value-level* computation keeps each item's provenance separate, so
+the exportable subset can be delivered and only the rest withheld.
+Experiment A2 measures exactly that difference on the social feed.
+
+Implicit flows
+--------------
+
+The classic language-level hazard is branching on a secret::
+
+    if secret_flag:          # the branch itself leaks
+        public = 1
+
+``Labeled.__bool__`` therefore raises :class:`ImplicitFlowError`:
+secret-dependent control flow must go through :func:`lselect`, which
+folds the condition's label into whichever branch value is chosen —
+making the (unavoidable) flow explicit and tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, TypeVar
+
+from ..labels import (CapabilitySet, Label, SecrecyViolation,
+                      exportable_tags)
+
+T = TypeVar("T")
+
+
+class ImplicitFlowError(TypeError):
+    """Secret-dependent control flow attempted outside lselect."""
+
+
+class Labeled:
+    """An immutable (value, secrecy-label) pair.
+
+    Arithmetic and comparison operators propagate taint: the result of
+    ``a + b`` carries ``a.label | b.label``.  Truthiness is forbidden
+    (see module docstring); iteration and indexing return labeled
+    elements carrying the container's label joined with nothing —
+    element-level provenance requires building the container from
+    labeled elements (see :func:`lmap` and LabeledList).
+    """
+
+    __slots__ = ("_value", "_label")
+
+    def __init__(self, value: Any, label: Label = Label.EMPTY) -> None:
+        self._value = value
+        self._label = label
+
+    @property
+    def label(self) -> Label:
+        return self._label
+
+    def peek(self) -> Any:
+        """The raw value, for *trusted* code only (the platform uses
+        this inside the perimeter; applications get values out only
+        through :func:`export`)."""
+        return self._value
+
+    # -- taint-propagating operators -------------------------------------
+
+    def _combine(self, other: Any, op: Callable[[Any, Any], Any]
+                 ) -> "Labeled":
+        if isinstance(other, Labeled):
+            return Labeled(op(self._value, other._value),
+                           self._label | other._label)
+        return Labeled(op(self._value, other), self._label)
+
+    def __add__(self, other):
+        return self._combine(other, lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return self._combine(other, lambda a, b: b + a)
+
+    def __sub__(self, other):
+        return self._combine(other, lambda a, b: a - b)
+
+    def __mul__(self, other):
+        return self._combine(other, lambda a, b: a * b)
+
+    def __truediv__(self, other):
+        return self._combine(other, lambda a, b: a / b)
+
+    def __eq__(self, other):
+        return self._combine(other, lambda a, b: a == b)
+
+    def __ne__(self, other):
+        return self._combine(other, lambda a, b: a != b)
+
+    def __lt__(self, other):
+        return self._combine(other, lambda a, b: a < b)
+
+    def __le__(self, other):
+        return self._combine(other, lambda a, b: a <= b)
+
+    def __gt__(self, other):
+        return self._combine(other, lambda a, b: a > b)
+
+    def __ge__(self, other):
+        return self._combine(other, lambda a, b: a >= b)
+
+    def __hash__(self):
+        raise ImplicitFlowError(
+            "labeled values are unhashable: hashing would leak through "
+            "collection placement")
+
+    def __bool__(self) -> bool:
+        raise ImplicitFlowError(
+            "branching on a labeled value is an implicit flow; "
+            "use lselect(cond, then, otherwise)")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Labeled({self._value!r}, {self._label!r})"
+
+
+def lift(value: Any, label: Label = Label.EMPTY) -> Labeled:
+    """Wrap a raw value (idempotent on already-labeled values)."""
+    if isinstance(value, Labeled):
+        return Labeled(value.peek(), value.label | label)
+    return Labeled(value, label)
+
+
+def lmap(fn: Callable[..., T], *args: Any) -> Labeled:
+    """Apply ``fn`` to the raw values; the result joins every label."""
+    label = Label.EMPTY
+    raw = []
+    for a in args:
+        if isinstance(a, Labeled):
+            label = label | a.label
+            raw.append(a.peek())
+        else:
+            raw.append(a)
+    return Labeled(fn(*raw), label)
+
+
+def lselect(cond: Labeled, then: Any, otherwise: Any) -> Labeled:
+    """The explicit conditional: pick a branch on a labeled boolean.
+
+    The chosen value's label joins the condition's label — the flow
+    from the secret condition into the result is tracked, not hidden.
+    """
+    if not isinstance(cond, Labeled):
+        raise TypeError("lselect condition must be a Labeled boolean")
+    picked = then if cond.peek() else otherwise
+    return lift(picked, cond.label)
+
+
+def ljoin(values: Iterable[Any]) -> Label:
+    """The join of all labels present in ``values``."""
+    label = Label.EMPTY
+    for v in values:
+        if isinstance(v, Labeled):
+            label = label | v.label
+    return label
+
+
+def export(value: Labeled, authority: CapabilitySet) -> Any:
+    """Cross the perimeter: return the raw value iff ``authority`` can
+    shed every tag on it; raise :class:`SecrecyViolation` otherwise."""
+    residue = exportable_tags(value.label, authority)
+    if not residue.is_empty():
+        raise SecrecyViolation(
+            f"value carries tags {sorted(t.tag_id for t in residue)} "
+            f"outside the export authority")
+    return value.peek()
+
+
+def declassify(value: Labeled, tags: Label,
+               authority: CapabilitySet) -> Labeled:
+    """Explicitly shed ``tags`` from a value's label (needs ``t-`` for
+    each); the language-level analogue of a declassifier's act."""
+    if not tags <= authority.minus_tags:
+        missing = tags - authority.minus_tags
+        raise SecrecyViolation(
+            f"missing '-' authority for tags "
+            f"{sorted(t.tag_id for t in missing)}")
+    return Labeled(value.peek(), value.label - tags)

@@ -1,0 +1,85 @@
+"""Client-side support: a browser model with MashupOS-style frames.
+
+§3.5: "JavaScript is an important Web feature, as well as a source of
+many security problems [...] W5 could disable JavaScript entirely by
+filtering it out at the security perimeter, but recent ideas described
+in MashupOS could extend W5 policies to the client's Web browser."
+
+Both options are modeled:
+
+* the perimeter filter lives in :mod:`repro.net.gateway` (default);
+* this module models the MashupOS extension — a :class:`Browser`
+  whose pages are composed of **frames**, each attributed to the
+  application that produced it.  A frame's script may read sibling
+  frames only with the same origin app; cross-origin reads raise
+  :class:`FrameIsolationError`.  That is what lets a deployment turn
+  the JS filter *off* for users who opt in, without reopening
+  cross-app script theft.
+
+The model is deliberately small — origins and scripted reads — because
+that is the part of MashupOS W5's argument depends on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .client import ExternalClient
+
+_frame_ids = itertools.count(1)
+
+
+class FrameIsolationError(Exception):
+    """A script touched a frame of a different origin."""
+
+
+@dataclass
+class Frame:
+    """One isolated compartment of a page."""
+
+    origin_app: str
+    content: Any
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Frame(#{self.frame_id} origin={self.origin_app})"
+
+
+class Browser:
+    """A client-side composition surface over an external client.
+
+    ``visit(app, path)`` fetches through the (perimeter-checked)
+    client and mounts the body in a frame attributed to ``app``.
+    ``script_read(reader, target)`` models a script in ``reader``
+    dereferencing ``target``'s DOM — allowed only same-origin.
+    """
+
+    def __init__(self, client: ExternalClient) -> None:
+        self.client = client
+        self.frames: list[Frame] = []
+
+    def visit(self, app: str, path: str, **params: Any) -> Frame:
+        response = self.client.get(path, **params)
+        frame = Frame(origin_app=app, content=response.body)
+        self.frames.append(frame)
+        return frame
+
+    def compose(self, origin_app: str, content: Any) -> Frame:
+        """Mount locally-generated content (a client-side mashup shim)."""
+        frame = Frame(origin_app=origin_app, content=content)
+        self.frames.append(frame)
+        return frame
+
+    def script_read(self, reader: Frame, target: Frame) -> Any:
+        """A script in ``reader`` reads ``target``'s content."""
+        if reader.origin_app != target.origin_app:
+            raise FrameIsolationError(
+                f"script from {reader.origin_app!r} may not read a "
+                f"{target.origin_app!r} frame")
+        return target.content
+
+    def page(self) -> list[tuple[str, Any]]:
+        """What the user sees: every frame, regardless of origin."""
+        return [(f.origin_app, f.content) for f in self.frames]

@@ -1,0 +1,74 @@
+"""External clients: the browsers outside the perimeter.
+
+An :class:`ExternalClient` is intentionally dumb — a cookie jar and a
+transport function — because W5 changes servers, not clients (§1).
+Whatever a client receives is, by definition, *outside* the perimeter;
+the test suites treat ``client.received`` as the ground truth for
+"what leaked".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .http import GET, POST, HttpRequest, HttpResponse
+from .session import SESSION_COOKIE
+
+Transport = Callable[[HttpRequest], HttpResponse]
+
+
+class ExternalClient:
+    """A browser owned by one person, possibly logged in somewhere."""
+
+    def __init__(self, owner: str, transport: Transport) -> None:
+        self.owner = owner
+        self.transport = transport
+        self.cookies: dict[str, str] = {}
+        #: Every response body this client ever received (leak oracle).
+        self.received: list[Any] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                params: Optional[dict[str, Any]] = None,
+                body: Any = None) -> HttpResponse:
+        req = HttpRequest(method=method, path=path,
+                          params=dict(params or {}),
+                          cookies=dict(self.cookies), body=body)
+        resp = self.transport(req)
+        self.cookies.update(resp.set_cookies)
+        self.received.append(resp.body)
+        return resp
+
+    def get(self, path: str, **params: Any) -> HttpResponse:
+        return self.request(GET, path, params=params)
+
+    def post(self, path: str, params: Optional[dict[str, Any]] = None,
+             body: Any = None) -> HttpResponse:
+        return self.request(POST, path, params=params, body=body)
+
+    # -- conveniences ---------------------------------------------------
+
+    def login(self, password: str, path: str = "/login") -> HttpResponse:
+        return self.post(path, params={"username": self.owner,
+                                       "password": password})
+
+    def logged_in(self) -> bool:
+        return SESSION_COOKIE in self.cookies
+
+    def ever_received(self, needle: Any) -> bool:
+        """True if ``needle`` appeared in (or as a substring of) any
+        response body this client got — the leak test used throughout
+        the experiments."""
+        for body in self.received:
+            if body == needle:
+                return True
+            if isinstance(body, str) and isinstance(needle, str) \
+                    and needle in body:
+                return True
+            if isinstance(body, (list, tuple)) and needle in body:
+                return True
+            if isinstance(body, dict) and (needle in body.values()
+                                           or needle in body):
+                return True
+        return False

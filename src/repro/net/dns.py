@@ -1,0 +1,91 @@
+"""The DNS front-end (§2).
+
+"Indeed, all of W5 should have DNS and HTTP front-ends so that users
+can interact with a W5 application with today's Web clients."
+
+A tiny name system maps hostnames to provider transports, so a client
+can ``browse("http://w5.example/app/blog/list")`` exactly as a 2007
+browser would: resolve the host, send the path to whatever answers.
+Federation benefits too — two providers registered under different
+names are distinct origins to the same browser, cookies and all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .client import ExternalClient, Transport
+from .http import HttpRequest, HttpResponse
+
+
+class NameNotFound(Exception):
+    """No record for the hostname."""
+
+
+class Resolver:
+    """hostname → transport records (the simulator's whole DNS)."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, Transport] = {}
+
+    def register(self, hostname: str, transport: Transport) -> None:
+        self._records[hostname.lower()] = transport
+
+    def resolve(self, hostname: str) -> Transport:
+        try:
+            return self._records[hostname.lower()]
+        except KeyError:
+            raise NameNotFound(hostname) from None
+
+    def hostnames(self) -> list[str]:
+        return sorted(self._records)
+
+
+def split_url(url: str) -> tuple[str, str]:
+    """``http://host/path`` → (host, /path); scheme optional."""
+    rest = url
+    for scheme in ("https://", "http://"):
+        if rest.startswith(scheme):
+            rest = rest[len(scheme):]
+            break
+    host, sep, path = rest.partition("/")
+    if not host:
+        raise ValueError(f"no hostname in url {url!r}")
+    return host, "/" + path
+
+
+class WebBrowserClient:
+    """A multi-origin client: one cookie jar *per hostname*.
+
+    Wraps :class:`ExternalClient` so the leak-oracle machinery keeps
+    working per origin, while URLs route through the resolver.
+    """
+
+    def __init__(self, owner: str, resolver: Resolver) -> None:
+        self.owner = owner
+        self.resolver = resolver
+        self._origins: dict[str, ExternalClient] = {}
+
+    def origin(self, hostname: str) -> ExternalClient:
+        """The per-origin client (created on first use)."""
+        host = hostname.lower()
+        if host not in self._origins:
+            transport = self.resolver.resolve(host)
+            self._origins[host] = ExternalClient(self.owner, transport)
+        return self._origins[host]
+
+    def browse(self, url: str, method: str = "GET",
+               params: Optional[dict] = None) -> HttpResponse:
+        host, path = split_url(url)
+        client = self.origin(host)
+        return client.request(method, path, params=params)
+
+    def login(self, url: str, password: str) -> HttpResponse:
+        host, path = split_url(url)
+        return self.origin(host).post(
+            path or "/login", params={"username": self.owner,
+                                      "password": password})
+
+    def ever_received_anywhere(self, needle) -> bool:
+        return any(c.ever_received(needle)
+                   for c in self._origins.values())

@@ -1,0 +1,92 @@
+"""Email: the perimeter's second door.
+
+Two pieces of the paper meet here.  §2's example application "sends
+him daily e-mail with the 5 most 'relevant' photos and blog entries",
+so apps must be able to emit mail; and §3.1's example policy says a
+user's data "may be viewed only by his roommates and certainly not,
+say, emailed to the application's author" — so outgoing mail must pass
+exactly the same export check as HTTP responses.
+
+:class:`EmailGateway` owns the address book (address → platform user,
+or an external stranger) and consults the same authority oracle as the
+HTTP gateway.  Mail to an address owned by user *u* is an export to
+recipient *u*; mail to an unknown address is an export to an anonymous
+stranger (only public data may ride).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..kernel import Kernel
+from ..kernel import audit as A
+from ..labels import Label, exportable_tags
+from .gateway import AuthorityFn, ExportViolation
+
+
+@dataclass(frozen=True)
+class Email:
+    """One delivered message (already outside the perimeter)."""
+
+    to_address: str
+    subject: str
+    body: object
+
+
+@dataclass
+class Mailbox:
+    address: str
+    owner: Optional[str]  # platform username, or None for external
+    messages: list[Email] = field(default_factory=list)
+
+
+class EmailGateway:
+    """The mail exit: same labels, same authority, different medium."""
+
+    def __init__(self, kernel: Kernel, authority_for: AuthorityFn) -> None:
+        self.kernel = kernel
+        self.authority_for = authority_for
+        self._boxes: dict[str, Mailbox] = {}
+        self.sent = 0
+        self.refused = 0
+
+    # -- address book ---------------------------------------------------
+
+    def register_address(self, address: str,
+                         owner: Optional[str] = None) -> Mailbox:
+        box = Mailbox(address=address, owner=owner)
+        self._boxes[address] = box
+        return box
+
+    def mailbox(self, address: str) -> Mailbox:
+        if address not in self._boxes:
+            # unknown addresses exist implicitly (the open internet)
+            self._boxes[address] = Mailbox(address=address, owner=None)
+        return self._boxes[address]
+
+    # -- the checked exit --------------------------------------------------
+
+    def send(self, to_address: str, subject: str, body: object,
+             content_label: Label) -> Email:
+        """Deliver mail iff the content may be exported to the
+        address's owner.  Raises :class:`ExportViolation` otherwise."""
+        box = self.mailbox(to_address)
+        authority = self.authority_for(box.owner) if box.owner else \
+            self.authority_for(None)
+        residue = exportable_tags(content_label, authority)
+        if not residue.is_empty():
+            self.refused += 1
+            self.kernel.audit.record(
+                A.EXPORT, False, "email-gateway",
+                f"deny mail to {to_address} (owner={box.owner}): residual "
+                f"tags {sorted(t.tag_id for t in residue)}")
+            raise ExportViolation(
+                f"mail to {to_address} would carry secrecy tags outside "
+                f"the recipient's authority")
+        self.sent += 1
+        self.kernel.audit.record(A.EXPORT, True, "email-gateway",
+                                 f"mail to {to_address}")
+        email = Email(to_address=to_address, subject=subject, body=body)
+        box.messages.append(email)
+        return email

@@ -1,0 +1,94 @@
+"""A minimal HTTP object model.
+
+W5 keeps today's clients (§1: "the clients are the same"), so the
+reproduction models HTTP as data structures rather than sockets: a
+request carries method/path/params/cookies, a response carries status,
+body and headers.  While a response is still *inside* the perimeter it
+additionally carries ``content_label`` — the secrecy label of the data
+it was rendered from; the gateway consults and then strips it at
+egress, so nothing labeled ever reaches an
+:class:`~repro.net.client.ExternalClient`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..labels import Label
+
+GET = "GET"
+POST = "POST"
+
+
+@dataclass
+class HttpRequest:
+    """One client request as it arrives at the provider's front door."""
+
+    method: str
+    path: str
+    params: dict[str, Any] = field(default_factory=dict)
+    cookies: dict[str, str] = field(default_factory=dict)
+    body: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+    def path_parts(self) -> list[str]:
+        return [p for p in self.path.split("/") if p]
+
+
+@dataclass
+class HttpResponse:
+    """One response.
+
+    ``content_label`` is meaningful only inside the perimeter; the
+    gateway zeroes it after the export check.  ``set_cookies`` become
+    client cookie-jar updates on delivery.
+    """
+
+    status: int = 200
+    body: Any = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    set_cookies: dict[str, str] = field(default_factory=dict)
+    content_label: Label = field(default_factory=lambda: Label.EMPTY)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def ok(body: Any, label: Label = Label.EMPTY, **headers: str) -> HttpResponse:
+    """Shorthand for a 200 response."""
+    return HttpResponse(status=200, body=body, headers=dict(headers),
+                        content_label=label)
+
+
+def error(status: int, message: str) -> HttpResponse:
+    """Shorthand for an error response (always unlabeled)."""
+    return HttpResponse(status=status, body={"error": message})
+
+
+_SCRIPT_RE = re.compile(r"<\s*script\b.*?<\s*/\s*script\s*>",
+                        re.IGNORECASE | re.DOTALL)
+_INLINE_JS_RE = re.compile(r"\son\w+\s*=\s*(\"[^\"]*\"|'[^']*')",
+                           re.IGNORECASE)
+
+
+def strip_javascript(html: str) -> str:
+    """Remove script blocks and inline handlers from HTML.
+
+    §3.5: "W5 could disable JavaScript entirely by filtering it out at
+    the security perimeter."  This is that filter; the gateway applies
+    it when its policy is ``JS_BLOCK``.
+    """
+    cleaned = _SCRIPT_RE.sub("", html)
+    cleaned = _INLINE_JS_RE.sub("", cleaned)
+    return cleaned
+
+
+def contains_javascript(html: str) -> bool:
+    """True if ``html`` still carries script blocks or inline handlers."""
+    return bool(_SCRIPT_RE.search(html)) or bool(_INLINE_JS_RE.search(html))

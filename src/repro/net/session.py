@@ -1,0 +1,114 @@
+"""Session management: cookies in, authenticated identities out.
+
+When an HTTP request arrives, "the provider would read incoming cookies
+or HTTP data fields to authenticate the user" (§2).  The session
+manager is provider code (trusted): it issues unguessable tokens at
+login and maps them back to usernames on later requests.
+
+Tokens are drawn from a deterministic PRNG seeded per-manager so test
+runs are reproducible; the *number* of bits is what a real deployment
+would care about, not their source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: The cookie name W5 sessions travel under.
+SESSION_COOKIE = "w5_session"
+
+
+class AuthError(Exception):
+    """Bad credentials or an unusable session token."""
+
+
+@dataclass(frozen=True)
+class Session:
+    token: str
+    username: str
+
+
+class SessionManager:
+    """Issues and resolves session tokens; stores password hashes.
+
+    Passwords are stored salted-and-hashed with :func:`hash` for
+    brevity — credential storage strength is orthogonal to everything
+    this reproduction measures.
+
+    ``ttl`` bounds a session's lifetime in clock units; the manager's
+    clock is logical (advanced by :meth:`tick` or by the platform), so
+    expiry is deterministic under test.  ``None`` disables expiry.
+    """
+
+    def __init__(self, seed: int = 0x57515,
+                 ttl: Optional[float] = None) -> None:
+        self._rng = random.Random(seed)
+        self._sessions: dict[str, Session] = {}
+        self._issued_at: dict[str, float] = {}
+        self._credentials: dict[str, int] = {}
+        self._salt = self._rng.getrandbits(64)
+        self.ttl = ttl
+        self.now: float = 0.0
+
+    def tick(self, dt: float = 1.0) -> None:
+        """Advance the logical clock."""
+        self.now += dt
+
+    # -- accounts -----------------------------------------------------
+
+    def register(self, username: str, password: str) -> None:
+        if username in self._credentials:
+            raise AuthError(f"user {username!r} already exists")
+        self._credentials[username] = self._digest(password)
+
+    def has_user(self, username: str) -> bool:
+        return username in self._credentials
+
+    def _digest(self, password: str) -> int:
+        return hash((self._salt, password))
+
+    # -- sessions ------------------------------------------------------
+
+    def login(self, username: str, password: str) -> Session:
+        """Check credentials and mint a session."""
+        expected = self._credentials.get(username)
+        if expected is None or expected != self._digest(password):
+            raise AuthError("bad username or password")
+        token = f"s{self._rng.getrandbits(128):032x}"
+        session = Session(token=token, username=username)
+        self._sessions[token] = session
+        self._issued_at[token] = self.now
+        return session
+
+    def resolve(self, token: Optional[str]) -> Optional[Session]:
+        """The session for ``token``; None for absent, invalid, or
+        expired tokens (expired ones are dropped on sight)."""
+        if not token:
+            return None
+        session = self._sessions.get(token)
+        if session is None:
+            return None
+        if self.ttl is not None and \
+                self.now - self._issued_at.get(token, 0.0) > self.ttl:
+            self.logout(token)
+            return None
+        return session
+
+    def logout(self, token: str) -> None:
+        self._sessions.pop(token, None)
+        self._issued_at.pop(token, None)
+
+    def active_sessions(self, username: str) -> int:
+        return sum(1 for s in self._sessions.values()
+                   if s.username == username)
+
+    def remove_user(self, username: str) -> None:
+        """Drop credentials and kill every live session (account
+        deletion path)."""
+        self._credentials.pop(username, None)
+        doomed = [token for token, s in self._sessions.items()
+                  if s.username == username]
+        for token in doomed:
+            self.logout(token)

@@ -1,0 +1,26 @@
+"""The W5 meta-application: provider, accounts, registries, app launch."""
+
+from .accounts import UserAccount
+from .context import AppContext, AppHandler
+from .debug import CrashReport, DebugService
+from .endorsement import EndorsementService
+from .errors import (AppCrashed, NoSuchApp, NoSuchUser, NotAuthorized,
+                     PlatformError)
+from .groups import GroupService, GroupSpace
+from .inspect import Explanation, PolicyInspector
+from .persist import restore_provider, set_password, snapshot_provider
+from .provider import Provider
+from .registry import APP, DECLASSIFIER, MODULE, AppModule, Registry
+
+__all__ = [
+    "UserAccount",
+    "AppContext", "AppHandler",
+    "CrashReport", "DebugService", "EndorsementService",
+    "AppCrashed", "NoSuchApp", "NoSuchUser", "NotAuthorized",
+    "PlatformError",
+    "GroupService", "GroupSpace",
+    "Explanation", "PolicyInspector",
+    "restore_provider", "set_password", "snapshot_provider",
+    "Provider",
+    "APP", "DECLASSIFIER", "MODULE", "AppModule", "Registry",
+]

@@ -1,0 +1,154 @@
+"""The application context: everything developer code gets at launch.
+
+When a request reaches an application, the platform spawns a confined
+process and calls the app's handler with one argument — an
+:class:`AppContext`.  Through it the app reaches the syscall API, the
+labeled filesystem and database (all bound to its own process, so every
+access is checked), the request, and a few conveniences.
+
+Nothing here is trusted: the context only *curries* the process into
+interfaces whose checks live below it.  A malicious handler can call
+anything on this object and still cannot exceed its labels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from ..db import DbView
+from ..fs import FsView
+from ..kernel import W5Syscalls
+from ..labels import Tag
+from ..net import HttpRequest
+from .errors import NoSuchApp, NoSuchUser
+from .registry import AppModule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .provider import Provider
+
+
+class AppContext:
+    """Per-request world handed to an application handler."""
+
+    def __init__(self, provider: "Provider", app: AppModule,
+                 sys: W5Syscalls, fs: FsView, db: DbView,
+                 request: HttpRequest, viewer: Optional[str]) -> None:
+        self.provider = provider
+        self.app = app
+        self.sys = sys
+        self.fs = fs
+        self.db = db
+        self.request = request
+        #: The authenticated user this request renders for (None = anon).
+        self.viewer = viewer
+        #: Cookies the response should set.
+        self.set_cookies: dict[str, str] = {}
+
+    # -- identity helpers -------------------------------------------------
+
+    def tag_for(self, username: str) -> Tag:
+        """A user's data tag.  Tag *identity* is public metadata — only
+        the capabilities over it are guarded."""
+        return self.provider.account(username).data_tag
+
+    def write_tag_for(self, username: str) -> Tag:
+        return self.provider.account(username).write_tag
+
+    def users(self) -> list[str]:
+        """All usernames (public directory)."""
+        return self.provider.usernames()
+
+    def profile_of(self, username: str) -> dict[str, str]:
+        """A user's profile fields.
+
+        Profiles are the user's *data*: reading one taints the calling
+        process with the owner's tag (the process must be able to raise
+        to it, i.e. the owner enabled this app).
+        """
+        account = self.provider.account(username)
+        self.read_user(username)
+        return dict(account.profile)
+
+    # -- label conveniences ---------------------------------------------
+
+    def read_user(self, owner: str) -> None:
+        """Taint this process with ``owner``'s data tag so it may read
+        their files/rows.  Requires the ``tag+`` capability, which the
+        launch granted iff ``owner`` enabled this app."""
+        tag = self.tag_for(owner)
+        if tag not in self.sys.my_secrecy():
+            self.sys.raise_secrecy(tag)
+
+    def reading_users(self) -> list[str]:
+        """Usernames whose tags this process currently carries."""
+        carried = self.sys.my_secrecy()
+        return [u for u in self.users() if self.tag_for(u) in carried]
+
+    # -- group spaces (§3.1 "roommates") ----------------------------------
+
+    def my_groups(self) -> list[str]:
+        """Groups the viewer belongs to."""
+        if self.viewer is None:
+            return []
+        return self.provider.groups.groups_of(self.viewer)
+
+    def read_group(self, name: str) -> None:
+        """Taint with a group's tag to read its shared space.  Works
+        only if some member of the group enabled this app (that is
+        what put the ``tag+`` in the launch capabilities)."""
+        group = self.provider.groups.get(name)
+        if group.data_tag not in self.sys.my_secrecy():
+            self.sys.raise_secrecy(group.data_tag)
+
+    def group_tags(self, name: str):
+        """(data_tag, write_tag) of a group, for labeling shared data."""
+        group = self.provider.groups.get(name)
+        return group.data_tag, group.write_tag
+
+    # -- module composition (§2: user-chosen modules) ----------------------
+
+    def call_module(self, slot: str, default_ref: str,
+                    *args: Any, **kwargs: Any) -> Any:
+        """Invoke the viewer's preferred module for ``slot``.
+
+        The chosen module's handler runs *in this same confined
+        process* — it can do nothing the app itself could not.  The
+        invocation is recorded as a usage edge for the §3.2 code
+        search.
+        """
+        ref = default_ref
+        if self.viewer is not None:
+            account = self.provider.account(self.viewer)
+            ref = account.preferred_module(slot, default_ref)
+        module = self.provider.modules.get(ref)
+        self.provider.record_usage(self.app.name, module.name)
+        return module.handler(self, *args, **kwargs)
+
+    # -- the mail exit (§2 daily digest / §3.1 export policy) -------------
+
+    def send_email(self, to_address: str, subject: str, body: Any):
+        """Send mail through the perimeter's email gateway.
+
+        The content label is this process's *current* secrecy label —
+        whatever the app has read so far rides along, and the gateway
+        refuses delivery unless the address's owner is cleared for all
+        of it (§3.1: data may go to the owner's roommates "and
+        certainly not, say, emailed to the application's author").
+        """
+        return self.provider.email.send(
+            to_address, subject, body,
+            content_label=self.sys.my_secrecy())
+
+    def my_email_address(self) -> str:
+        if self.viewer is None:
+            raise NoSuchUser("anonymous users have no mailbox")
+        return self.provider.account(self.viewer).email_address
+
+    # -- response helpers ----------------------------------------------
+
+    def set_cookie(self, name: str, value: str) -> None:
+        self.set_cookies[name] = value
+
+
+#: Application handler signature.
+AppHandler = Callable[[AppContext], Any]

@@ -1,0 +1,78 @@
+"""The debugging service: crash reports that cannot leak user data.
+
+§3.5: "If the platform were to send core dumps to developers, it could
+wrongly expose users' data to developers.  Yet developers need to get
+some information when their applications malfunction."
+
+The resolution implemented here: a :class:`CrashReport` carries only
+*code-shaped* facts — exception class name, the frame locations inside
+the developer's own handler (file, line, function), and a counter —
+and **never** the exception message, local variables, or request
+parameters, all of which may embed user data.  Reports are keyed by
+developer; each developer sees only their own apps' crashes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .registry import AppModule
+
+_report_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """One sanitized crash record."""
+
+    report_id: int
+    app_name: str
+    developer: str
+    exception_type: str
+    #: (filename, line, function) frames, innermost last.
+    frames: tuple[tuple[str, int, str], ...]
+
+    def location(self) -> str:
+        if not self.frames:
+            return "<unknown>"
+        filename, line, func = self.frames[-1]
+        return f"{filename}:{line} in {func}"
+
+
+@dataclass
+class DebugService:
+    """Collects and serves sanitized crash reports."""
+
+    reports: list[CrashReport] = field(default_factory=list)
+
+    def record_crash(self, app: AppModule, exc: BaseException
+                     ) -> CrashReport:
+        """Build a report from a live exception, keeping only code
+        locations.  The exception *message* is deliberately dropped —
+        it can embed user data (e.g. ``KeyError: 'bobs-secret-key'``).
+        """
+        frames = tuple(
+            (frame.filename.rsplit("/", 1)[-1], frame.lineno or 0,
+             frame.name)
+            for frame in traceback.extract_tb(exc.__traceback__))
+        report = CrashReport(
+            report_id=next(_report_ids),
+            app_name=app.name,
+            developer=app.developer,
+            exception_type=type(exc).__name__,
+            frames=frames)
+        self.reports.append(report)
+        return report
+
+    def reports_for(self, developer: str,
+                    app_name: Optional[str] = None) -> list[CrashReport]:
+        """A developer's own crash feed (never anyone else's)."""
+        return [r for r in self.reports
+                if r.developer == developer
+                and (app_name is None or r.app_name == app_name)]
+
+    def crash_count(self, app_name: str) -> int:
+        return sum(1 for r in self.reports if r.app_name == app_name)

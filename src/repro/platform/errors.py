@@ -1,0 +1,24 @@
+"""Platform-level errors."""
+
+from __future__ import annotations
+
+
+class PlatformError(Exception):
+    """Base class for meta-application failures."""
+
+
+class NoSuchUser(PlatformError):
+    """The named account does not exist."""
+
+
+class NoSuchApp(PlatformError):
+    """The named application/module is not registered."""
+
+
+class NotAuthorized(PlatformError):
+    """The acting user lacks the right to perform a platform action."""
+
+
+class AppCrashed(PlatformError):
+    """Developer code raised; the platform converts this to a 500
+    without leaking internals (§3.5 Debugging)."""

@@ -1,0 +1,96 @@
+"""Policy inspection: the provider's "why?" button.
+
+W5 gives users fine-grained control (§1), which is only real if a user
+can *see* the consequences of her grants.  ``PolicyInspector`` answers
+the two questions a policy UI needs:
+
+* :meth:`matrix` — for every (owner, viewer) pair, may owner-tagged
+  data currently exit toward viewer?
+* :meth:`explain` — *why*: which grant (or intrinsic rule) decides,
+  listing every grant consulted and its verdict.
+
+Read-only and outside the enforcement path: it reuses the same
+declassifier decisions the gateway does, so what it reports is what
+would happen (and a test asserts that agreement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..declassify import ReleaseContext
+from .provider import Provider
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why data flows (or does not) from owner toward viewer."""
+
+    owner: str
+    viewer: Optional[str]
+    allowed: bool
+    #: The deciding rule: "owner", a declassifier name, or "".
+    deciding_rule: str
+    #: (declassifier name, verdict) for every grant consulted.
+    consulted: tuple[tuple[str, bool], ...] = ()
+
+    def summary(self) -> str:
+        target = self.viewer or "anonymous"
+        if self.allowed and self.deciding_rule == "owner":
+            return f"{target} is the owner: the boilerplate policy applies"
+        if self.allowed:
+            return (f"released to {target} by the "
+                    f"{self.deciding_rule!r} declassifier")
+        if not self.consulted:
+            return (f"denied: {self.owner} granted no declassifiers, "
+                    f"so only {self.owner} may receive this data")
+        refused = ", ".join(name for name, ok in self.consulted if not ok)
+        return f"denied: every granted declassifier refused ({refused})"
+
+
+class PolicyInspector:
+    """Read-only policy introspection over a provider."""
+
+    def __init__(self, provider: Provider) -> None:
+        self.provider = provider
+
+    def explain(self, owner: str, viewer: Optional[str],
+                kind: str = "") -> Explanation:
+        """Why may (or may not) ``owner``'s data reach ``viewer`` now?"""
+        account = self.provider.account(owner)
+        if viewer == owner:
+            return Explanation(owner=owner, viewer=viewer, allowed=True,
+                               deciding_rule="owner")
+        svc = self.provider.declass
+        consulted: list[tuple[str, bool]] = []
+        deciding = ""
+        allowed = False
+        for grant in svc.grants_for(owner):
+            if grant.tag != account.data_tag:
+                continue
+            ctx = ReleaseContext(owner=owner, viewer=viewer, kind=kind,
+                                 now=svc.now)
+            verdict = grant.declassifier.decide(ctx)
+            consulted.append((grant.declassifier.name, verdict))
+            if verdict and not allowed:
+                allowed = True
+                deciding = grant.declassifier.name
+        return Explanation(owner=owner, viewer=viewer, allowed=allowed,
+                           deciding_rule=deciding,
+                           consulted=tuple(consulted))
+
+    def matrix(self) -> dict[tuple[str, Optional[str]], bool]:
+        """The full (owner, viewer) export matrix, anonymous included."""
+        users = self.provider.usernames()
+        out: dict[tuple[str, Optional[str]], bool] = {}
+        for owner in users:
+            for viewer in [*users, None]:
+                out[(owner, viewer)] = self.explain(owner, viewer).allowed
+        return out
+
+    def reachable_audience(self, owner: str) -> list[Optional[str]]:
+        """Everyone who could currently receive ``owner``'s data."""
+        users = self.provider.usernames()
+        return [viewer for viewer in [*users, None]
+                if self.explain(owner, viewer).allowed]

@@ -1,0 +1,206 @@
+"""Provider persistence: snapshot and restore a whole deployment.
+
+What is durable and what is not mirrors a real deployment:
+
+* **durable** — the tag registry, every account (tags, enablements,
+  write grants, module preferences, profile, policies, pins), every
+  *builtin* declassifier grant (name + config), the labeled filesystem
+  and store, endorsements, adoption and usage ledgers;
+* **not durable, by design** — live sessions (users re-authenticate
+  after a restart), kernel processes (all request-scoped), the audit
+  log (a real provider archives it out of band), and **code**: handler
+  objects cannot be serialized, so the operator re-registers the app
+  catalog on boot — exactly like reinstalling binaries on a rebuilt
+  server — and ``restore_provider`` checks that every app users had
+  enabled is present again;
+* **dropped with a record** — grants of non-builtin declassifiers
+  whose config is not JSON-serializable (e.g. a ``ViewerPredicate``
+  closure): they are listed in the returned report so the provider can
+  ask those users to re-grant, rather than silently widening or
+  narrowing anyone's policy.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+
+from ..db import restore_store, snapshot_store
+from ..declassify import BUILTINS
+from ..fs import restore_fs, snapshot_fs
+from ..kernel import Kernel
+from ..labels import CapabilitySet, Label, TagRegistry
+from .accounts import UserAccount
+from .errors import PlatformError
+from .provider import Provider
+from .registry import AppModule
+
+
+def snapshot_provider(provider: Provider) -> dict[str, Any]:
+    """Serialize everything durable.  JSON-compatible by construction
+    (verified by a round-trip in the tests)."""
+    accounts = []
+    for username in provider.usernames():
+        a = provider.account(username)
+        accounts.append({
+            "username": a.username,
+            "data_tag_id": a.data_tag.tag_id,
+            "write_tag_id": a.write_tag.tag_id,
+            "enabled_apps": sorted(a.enabled_apps),
+            "writable_apps": sorted(a.writable_apps),
+            "module_preferences": dict(a.module_preferences),
+            "profile": dict(a.profile),
+            "require_endorsed": a.require_endorsed,
+            "email_address": a.email_address,
+            "js_policy": a.js_policy,
+            "audited_versions": dict(a.audited_versions),
+        })
+
+    grants = []
+    skipped_grants = []
+    for g in provider.declass._grants:
+        config = {k: (sorted(v) if isinstance(v, frozenset) else v)
+                  for k, v in g.declassifier.config.items()}
+        record = {"owner": g.owner, "tag_id": g.tag.tag_id,
+                  "declassifier": g.declassifier.name, "config": config}
+        try:
+            json.dumps(record)
+        except TypeError:
+            skipped_grants.append({"owner": g.owner,
+                                   "declassifier": g.declassifier.name})
+            continue
+        if g.declassifier.name not in BUILTINS:
+            skipped_grants.append({"owner": g.owner,
+                                   "declassifier": g.declassifier.name})
+            continue
+        grants.append(record)
+
+    groups = []
+    for name in sorted(provider.groups._groups):
+        g = provider.groups.get(name)
+        groups.append({
+            "name": g.name,
+            "owner": g.owner,
+            "data_tag_id": g.data_tag.tag_id,
+            "write_tag_id": g.write_tag.tag_id,
+            "members": sorted(g.members),
+            "writers": sorted(g.writers),
+        })
+
+    return {
+        "name": provider.name,
+        "registry": provider.kernel.tags.export_state(),
+        "provider_write_tag_id": provider._provider_write.tag_id,
+        "accounts": accounts,
+        "groups": groups,
+        "grants": grants,
+        "skipped_grants": skipped_grants,
+        "endorsements": sorted(provider.endorsements.endorsed),
+        "adoptions": list(provider.adoptions),
+        "usage_edges": list(provider.usage_edges),
+        "declass_clock": provider.declass.now,
+        "fs": snapshot_fs(provider.fs),
+        "db": snapshot_store(provider.db),
+    }
+
+
+def restore_provider(state: dict[str, Any],
+                     app_catalog: Iterable[AppModule] = (),
+                     resources=None) -> tuple[Provider, dict[str, Any]]:
+    """Rebuild a provider from a snapshot.
+
+    ``app_catalog`` is the code the operator reinstalls.  Returns the
+    provider plus a report: declassifier grants that could not be
+    restored and enabled apps missing from the reinstalled catalog.
+    """
+    provider = Provider(name=state["name"], resources=resources)
+
+    # Replace the freshly-minted registry with the durable one and
+    # repair the provider's own bootstrap references.
+    provider.kernel.tags = TagRegistry.import_state(state["registry"])
+    pw_tag = provider.kernel.tags.lookup(state["provider_write_tag_id"])
+    provider._provider_write = pw_tag
+    svc = provider._account_service
+    svc.caps = CapabilitySet.owning(pw_tag)
+    svc.ilabel = Label([pw_tag])
+
+    # Storage comes back verbatim (including /users and home dirs).
+    provider.fs = restore_fs(provider.kernel, state["fs"])
+    provider.db = restore_store(provider.kernel, state["db"])
+
+    # Code reinstall.
+    for module in app_catalog:
+        provider.register_app(module)
+
+    report: dict[str, Any] = {"unrestored_grants":
+                              list(state.get("skipped_grants", [])),
+                              "missing_apps": []}
+
+    # Accounts: credentials are re-registered with a placeholder that
+    # forces a password reset in a real deployment; here users simply
+    # re-register their password via the sessions API.
+    for ad in state["accounts"]:
+        account = UserAccount(
+            username=ad["username"],
+            data_tag=provider.kernel.tags.lookup(ad["data_tag_id"]),
+            write_tag=provider.kernel.tags.lookup(ad["write_tag_id"]),
+            enabled_apps=set(ad["enabled_apps"]),
+            writable_apps=set(ad["writable_apps"]),
+            module_preferences=dict(ad["module_preferences"]),
+            profile=dict(ad["profile"]),
+            require_endorsed=ad["require_endorsed"],
+            email_address=ad["email_address"],
+            js_policy=ad["js_policy"],
+            audited_versions=dict(ad["audited_versions"]))
+        provider._accounts[account.username] = account
+        provider.email.register_address(account.email_address,
+                                        owner=account.username)
+        for app in sorted(account.enabled_apps):
+            if app not in provider.apps:
+                report["missing_apps"].append(
+                    {"username": account.username, "app": app})
+
+    # Policy grants (builtins only; the rest are in the report).
+    for gd in state["grants"]:
+        cls = BUILTINS[gd["declassifier"]]
+        tag = provider.kernel.tags.lookup(gd["tag_id"])
+        provider.declass.grant(gd["owner"], tag, cls(gd["config"]))
+
+    # Group spaces: rebuild rosters and rebind each group's policy to
+    # its (already restored) roster-following grant so later roster
+    # edits keep steering the live declassifier.
+    from .groups import GroupSpace
+    for gd in state.get("groups", []):
+        group = GroupSpace(
+            name=gd["name"], owner=gd["owner"],
+            data_tag=provider.kernel.tags.lookup(gd["data_tag_id"]),
+            write_tag=provider.kernel.tags.lookup(gd["write_tag_id"]),
+            members=set(gd["members"]), writers=set(gd["writers"]))
+        for grant in provider.declass.grants_for(group.owner):
+            if grant.tag == group.data_tag \
+                    and grant.declassifier.name == "group":
+                group.policy = grant.declassifier
+                break
+        else:
+            from ..declassify import Group as GroupPolicy
+            group.policy = GroupPolicy({"members": sorted(group.members)})
+            provider.declass.grant(group.owner, group.data_tag,
+                                   group.policy)
+        provider.groups._groups[group.name] = group
+
+    for name in state.get("endorsements", []):
+        if name in provider.apps:
+            provider.endorsements.endorse(name, endorser="restored")
+    provider.adoptions = [tuple(x) for x in state.get("adoptions", [])]
+    provider.usage_edges = [tuple(x) for x in state.get("usage_edges", [])]
+    provider.declass.now = state.get("declass_clock", 0.0)
+    return provider, report
+
+
+def set_password(provider: Provider, username: str, password: str) -> None:
+    """Post-restore credential bootstrap (the 'password reset' path)."""
+    if username not in provider._accounts:
+        raise PlatformError(f"no account {username!r}")
+    if provider.sessions.has_user(username):
+        raise PlatformError(f"{username!r} already has credentials")
+    provider.sessions.register(username, password)

@@ -1,0 +1,170 @@
+"""Application and module registry.
+
+Developers upload software to the provider (§2).  A registry entry is
+an :class:`AppModule`: a handler callable plus metadata — developer,
+version, declared imports (the dependency edges §3.2's code search
+ranks), and whether the source is open.
+
+The registry supports the paper's development models directly:
+
+* **closed source** — ``source_open=False``: the module is
+  "executable but not readable"; :meth:`Registry.source_of` refuses.
+* **open source + forking** — :meth:`Registry.fork` clones an open
+  module under a new developer, preserving lineage, so "any developer
+  — not just the application owner — can customize an existing
+  application" and instantly offer it to the user pool.
+* **versioning** — every (name) keeps its version history;
+  :meth:`Registry.get` resolves ``name`` to the latest or
+  ``name@version`` to a pinned one, so a user can say "I want version
+  X.Y of that Web application, not the latest" (§2).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Optional
+
+from .errors import NoSuchApp, NotAuthorized, PlatformError
+
+#: Registry entry kinds.
+APP = "app"          # user-facing application with URL routes
+MODULE = "module"    # library imported by apps (croppers, labelers)
+DECLASSIFIER = "declassifier"
+
+
+@dataclass(frozen=True)
+class AppModule:
+    """One uploaded piece of software."""
+
+    name: str
+    developer: str
+    handler: Callable[..., Any]
+    kind: str = APP
+    version: str = "1.0"
+    description: str = ""
+    source_open: bool = True
+    #: Names of registry modules this one imports (dependency edges).
+    imports: tuple[str, ...] = ()
+    #: Name of the module this one was forked from, if any.
+    forked_from: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        """The user-visible identifier, e.g. ``devA/crop`` (§2 URLs)."""
+        return f"{self.developer}/{self.name}"
+
+    def source(self) -> str:
+        """The module's source code (only meaningful if open)."""
+        return inspect.getsource(self.handler)
+
+    def loc(self) -> int:
+        """Logic lines of the handler (M3 metric): non-blank,
+        non-comment, docstrings excluded."""
+        from ..core.loc import code_loc
+        try:
+            src = self.source()
+        except (OSError, TypeError):
+            return 0
+        return code_loc(src)
+
+
+class Registry:
+    """Name → version history of :class:`AppModule`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, list[AppModule]] = {}
+
+    # -- uploads ---------------------------------------------------------
+
+    def register(self, module: AppModule) -> AppModule:
+        """Upload a module.  A new version of an existing name must come
+        from the same developer (forks get their own name)."""
+        history = self._entries.get(module.name)
+        if history and history[-1].developer != module.developer:
+            raise NotAuthorized(
+                f"{module.developer} cannot publish over "
+                f"{history[-1].developer}'s module {module.name!r}")
+        if history and any(m.version == module.version for m in history):
+            raise PlatformError(
+                f"{module.name} version {module.version} already published")
+        self._entries.setdefault(module.name, []).append(module)
+        return module
+
+    def fork(self, original_name: str, new_developer: str,
+             new_name: Optional[str] = None,
+             handler: Optional[Callable[..., Any]] = None,
+             description: str = "") -> AppModule:
+        """Clone an *open-source* module under a new developer.
+
+        The fork keeps the original handler unless a replacement is
+        supplied (the customizing developer's patch).
+        """
+        original = self.get(original_name)
+        if not original.source_open:
+            raise NotAuthorized(
+                f"{original_name} is closed-source and cannot be forked")
+        fork = replace(
+            original,
+            name=new_name or f"{original.name}-{new_developer}",
+            developer=new_developer,
+            handler=handler or original.handler,
+            version="1.0",
+            description=description or f"fork of {original.qualified}",
+            forked_from=original.qualified)
+        return self.register(fork)
+
+    # -- resolution --------------------------------------------------------
+
+    def get(self, ref: str) -> AppModule:
+        """Resolve ``name`` (latest) or ``name@version`` (pinned)."""
+        name, _, version = ref.partition("@")
+        history = self._entries.get(name)
+        if not history:
+            raise NoSuchApp(name)
+        if not version:
+            return history[-1]
+        for m in history:
+            if m.version == version:
+                return m
+        raise NoSuchApp(f"{name}@{version}")
+
+    def versions(self, name: str) -> list[str]:
+        history = self._entries.get(name)
+        if not history:
+            raise NoSuchApp(name)
+        return [m.version for m in history]
+
+    def source_of(self, ref: str) -> str:
+        """The source of an open module; refuses for closed source."""
+        module = self.get(ref)
+        if not module.source_open:
+            raise NotAuthorized(f"{ref} is closed-source")
+        return module.source()
+
+    # -- enumeration (feeds the §3.2 code search) ------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name.partition("@")[0] in self._entries
+
+    def __iter__(self) -> Iterator[AppModule]:
+        for history in self._entries.values():
+            yield history[-1]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def by_kind(self, kind: str) -> list[AppModule]:
+        return [m for m in self if m.kind == kind]
+
+    def by_developer(self, developer: str) -> list[AppModule]:
+        return [m for m in self if m.developer == developer]
+
+    def dependency_edges(self) -> list[tuple[str, str]]:
+        """(importer, imported) pairs over latest versions."""
+        edges = []
+        for m in self:
+            for dep in m.imports:
+                if dep in self:
+                    edges.append((m.name, dep))
+        return edges

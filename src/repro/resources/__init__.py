@@ -1,0 +1,9 @@
+"""Resource policing: containers, quotas, and query scheduling (§3.5)."""
+
+from .containers import KINDS, ResourceManager, Usage
+from .scheduler import FairShareScheduler, FifoScheduler, Job, slowdown
+
+__all__ = [
+    "KINDS", "ResourceManager", "Usage",
+    "FairShareScheduler", "FifoScheduler", "Job", "slowdown",
+]

@@ -1,0 +1,85 @@
+"""Query schedulers: FIFO vs fair-share (§3.5's database concern).
+
+"A W5 cluster would need to welcome SQL from all developers, and
+therefore must prevent malicious queries from locking the database for
+all other applications."  Quotas bound *total* consumption; the
+scheduler bounds *latency*: even before a hog exhausts its quota, a
+fair-share discipline keeps honest queries flowing.
+
+The simulation is discrete: each job is (owner, cost-in-ticks); the
+scheduler decides which job runs each tick.  ``completion_times``
+returns, per owner, when their last job finished — the metric
+experiment C9 tabulates under a hostile workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of schedulable work."""
+
+    owner: str
+    cost: int
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError("job cost must be positive")
+
+
+class FifoScheduler:
+    """Run jobs strictly in arrival order: a hog at the head of the
+    queue blocks everyone (the failure mode W5 must avoid)."""
+
+    name = "fifo"
+
+    def completion_times(self, jobs: Iterable[Job]) -> dict[str, int]:
+        clock = 0
+        finished: dict[str, int] = {}
+        for job in jobs:
+            clock += job.cost
+            finished[job.owner] = clock
+        return finished
+
+
+class FairShareScheduler:
+    """Round-robin one tick per owner: each owner's latency depends on
+    the number of *owners*, not on any single owner's appetite."""
+
+    name = "fair-share"
+
+    def completion_times(self, jobs: Iterable[Job]) -> dict[str, int]:
+        queues: dict[str, deque[int]] = {}
+        order: list[str] = []
+        for job in jobs:
+            if job.owner not in queues:
+                queues[job.owner] = deque()
+                order.append(job.owner)
+            queues[job.owner].append(job.cost)
+        remaining = {owner: q.popleft() for owner, q in queues.items()}
+        finished: dict[str, int] = {}
+        clock = 0
+        while remaining:
+            for owner in list(order):
+                if owner not in remaining:
+                    continue
+                clock += 1
+                remaining[owner] -= 1
+                if remaining[owner] == 0:
+                    if queues[owner]:
+                        remaining[owner] = queues[owner].popleft()
+                    else:
+                        finished[owner] = clock
+                        del remaining[owner]
+        return finished
+
+
+def slowdown(times: dict[str, int], solo_costs: dict[str, int]
+             ) -> dict[str, float]:
+    """Completion time relative to running alone (1.0 = unaffected)."""
+    return {owner: times[owner] / solo_costs[owner]
+            for owner in times if solo_costs.get(owner)}

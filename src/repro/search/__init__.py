@@ -1,0 +1,11 @@
+"""Code search: dependency-graph ranking, editors, trust (§3.2)."""
+
+from .coderank import (DependencyGraph, EMBED, IMPORT, coderank,
+                       popularity_rank, precision_at_k, top_k)
+from .editors import Editor, EditorBoard, TrustScorer
+
+__all__ = [
+    "DependencyGraph", "EMBED", "IMPORT", "coderank",
+    "popularity_rank", "precision_at_k", "top_k",
+    "Editor", "EditorBoard", "TrustScorer",
+]

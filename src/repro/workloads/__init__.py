@@ -1,0 +1,13 @@
+"""Synthetic workloads: social graphs, content corpora, module worlds."""
+
+from .modules import ModuleEcosystem, make_module_ecosystem
+from .social import (BARABASI_ALBERT, COMPLETE, SocialWorld, WATTS_STROGATZ,
+                     make_social_world, username, zipf_choices)
+from .traces import Request, make_trace, trace_stats
+
+__all__ = [
+    "ModuleEcosystem", "make_module_ecosystem",
+    "BARABASI_ALBERT", "COMPLETE", "SocialWorld", "WATTS_STROGATZ",
+    "make_social_world", "username", "zipf_choices",
+    "Request", "make_trace", "trace_stats",
+]

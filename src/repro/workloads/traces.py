@@ -1,0 +1,86 @@
+"""Request traces: reproducible mixed workloads for macro experiments.
+
+A trace is a list of :class:`Request` records (viewer, kind, target)
+with Zipf-skewed popularity on both viewers and targets — a few hot
+users draw most of the traffic, matching what any real social site
+sees.  The M6 bench replays traces through the full pipeline; the
+generator lives here so other experiments (and downstream users) can
+share the exact same workload definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .social import zipf_choices
+
+#: Request kinds the standard catalog serves.
+PROFILE = "profile"
+PHOTOS = "photos"
+BLOG = "blog"
+FEED = "feed"
+
+KINDS = (PROFILE, PHOTOS, BLOG, FEED)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One trace entry."""
+
+    viewer: str
+    kind: str
+    target: str
+
+    def path_and_params(self) -> tuple[str, dict]:
+        """The HTTP request this entry corresponds to."""
+        if self.kind == PROFILE:
+            return "/app/social/profile", {"user": self.target}
+        if self.kind == PHOTOS:
+            return "/app/photo-share/list", {"owner": self.target}
+        if self.kind == BLOG:
+            return "/app/blog/list", {"author": self.target}
+        if self.kind == FEED:
+            return "/app/social/feed", {}
+        raise ValueError(f"unknown request kind {self.kind!r}")
+
+
+def make_trace(users: Sequence[str], length: int,
+               viewer_skew: float = 1.1, target_skew: float = 1.4,
+               kind_weights: Iterable[float] = (3, 3, 2, 1),
+               seed: int = 23) -> list[Request]:
+    """Generate a reproducible trace over ``users``.
+
+    ``kind_weights`` orders (profile, photos, blog, feed); skews shape
+    the Zipf popularity of viewers and targets independently.
+    """
+    if not users:
+        return []
+    viewers = zipf_choices(list(users), length, skew=viewer_skew,
+                           seed=seed)
+    targets = zipf_choices(list(users), length, skew=target_skew,
+                           seed=seed + 1)
+    weights = list(kind_weights)
+    if len(weights) != len(KINDS):
+        raise ValueError(f"need {len(KINDS)} kind weights")
+    import random
+    rng = random.Random(seed + 2)
+    kinds = rng.choices(KINDS, weights=weights, k=length)
+    return [Request(viewer=v, kind=k, target=t)
+            for v, k, t in zip(viewers, kinds, targets)]
+
+
+def trace_stats(trace: Sequence[Request]) -> dict[str, float]:
+    """Summary statistics (used in bench output and tests)."""
+    if not trace:
+        return {"length": 0, "unique_viewers": 0, "unique_targets": 0,
+                "self_traffic": 0.0}
+    viewers = [r.viewer for r in trace]
+    targets = [r.target for r in trace]
+    self_traffic = sum(1 for r in trace if r.viewer == r.target)
+    return {
+        "length": len(trace),
+        "unique_viewers": len(set(viewers)),
+        "unique_targets": len(set(targets)),
+        "self_traffic": self_traffic / len(trace),
+    }

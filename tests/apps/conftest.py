@@ -1,0 +1,52 @@
+"""Shared fixtures: a provider with the standard catalog and three users."""
+
+import pytest
+
+from repro.apps import install_adversarial_apps, install_standard_apps
+from repro.net import ExternalClient
+from repro.platform import Provider
+
+
+@pytest.fixture()
+def provider():
+    p = Provider()
+    install_standard_apps(p)
+    install_adversarial_apps(p)
+    return p
+
+
+def make_user(provider, username, enable=(), friends=()):
+    """Sign up a user, enable apps, grant a friends-only declassifier."""
+    client = ExternalClient(username, provider.transport())
+    client.post("/signup", params={"username": username, "password": "pw"})
+    client.login("pw")
+    for app in enable:
+        client.post("/policy/enable", params={"app": app})
+    provider.grant_builtin_declassifier(username, "friends-only",
+                                        {"friends": list(friends)})
+    return client
+
+
+@pytest.fixture()
+def bob(provider):
+    return make_user(provider,
+                     "bob",
+                     enable=("photo-share", "blog", "social",
+                             "recommender", "dating", "chameleon",
+                             "address-map"),
+                     friends=("amy",))
+
+
+@pytest.fixture()
+def amy(provider):
+    return make_user(provider,
+                     "amy",
+                     enable=("photo-share", "blog", "social",
+                             "recommender", "dating", "chameleon",
+                             "address-map"),
+                     friends=("bob",))
+
+
+@pytest.fixture()
+def eve(provider):
+    return make_user(provider, "eve", enable=("social",), friends=())

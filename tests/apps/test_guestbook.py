@@ -1,0 +1,52 @@
+"""Tests for the guestbook app (multi-owner pages)."""
+
+
+class TestGuestbook:
+    def _enable_all(self, provider, *usernames):
+        for u in usernames:
+            provider.enable_app(u, "guestbook")
+
+    def test_sign_and_view_own_wall(self, provider, bob, amy):
+        self._enable_all(provider, "bob", "amy")
+        amy.get("/app/guestbook/sign", wall="bob", text="hi bob!")
+        r = bob.get("/app/guestbook/view", wall="bob")
+        assert r.ok
+        assert {"author": "amy", "text": "hi bob!"} in r.body["entries"]
+
+    def test_comment_is_the_authors_data(self, provider, bob, amy):
+        """The comment row carries amy's labels: bob sees it because
+        amy's declassifier approves bob (they are friends)."""
+        self._enable_all(provider, "bob", "amy")
+        amy.get("/app/guestbook/sign", wall="bob", text="amy-was-here")
+        r = bob.get("/app/guestbook/view", wall="bob")
+        assert any(e["text"] == "amy-was-here" for e in r.body["entries"])
+
+    def test_wall_with_stranger_comment_blocked(self, provider, bob,
+                                                amy, eve):
+        """eve signs bob's wall but approves nobody: the composed wall
+        cannot be exported to bob while her comment is on it."""
+        self._enable_all(provider, "bob", "amy", "eve")
+        eve.get("/app/guestbook/sign", wall="bob", text="EVE-PRIVATE")
+        r = bob.get("/app/guestbook/view", wall="bob")
+        assert r.status == 403
+        assert not bob.ever_received("EVE-PRIVATE")
+
+    def test_erase_own_comments_only(self, provider, bob, amy):
+        self._enable_all(provider, "bob", "amy")
+        amy.get("/app/guestbook/sign", wall="bob", text="a1")
+        bob.get("/app/guestbook/sign", wall="bob", text="b1")
+        r = amy.get("/app/guestbook/erase", wall="bob")
+        assert r.body["erased"] == 1
+        r = bob.get("/app/guestbook/view", wall="bob")
+        texts = [e["text"] for e in r.body["entries"]]
+        assert texts == ["b1"]
+
+    def test_vandal_cannot_erase_others(self, provider, bob, amy, eve):
+        """eve's erase touches only her own (nonexistent) comments —
+        write protection on amy's rows."""
+        self._enable_all(provider, "bob", "amy", "eve")
+        amy.get("/app/guestbook/sign", wall="bob", text="keep-me")
+        r = eve.get("/app/guestbook/erase", wall="bob")
+        assert r.body["erased"] == 0
+        r = bob.get("/app/guestbook/view", wall="bob")
+        assert [e["text"] for e in r.body["entries"]] == ["keep-me"]

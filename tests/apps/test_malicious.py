@@ -1,0 +1,113 @@
+"""Tests for the adversarial catalog: every attack must fail on W5."""
+
+import pytest
+
+from repro.net import ExternalClient
+
+
+SECRET = "BOBS-DIARY-CONTENTS"
+
+
+@pytest.fixture()
+def bob_with_secret(provider, bob):
+    provider.store_user_data("bob", "diary.txt", SECRET)
+    return bob
+
+
+class TestDataThief:
+    def test_victim_must_enable_the_thief(self, provider, bob_with_secret,
+                                          eve):
+        """If bob never enabled data-thief, it cannot even read."""
+        r = eve.get("/app/data-thief/go", victim="bob")
+        assert r.status in (403, 500)
+        assert not eve.ever_received(SECRET)
+
+    def test_thief_reads_but_cannot_export(self, provider, bob_with_secret,
+                                           eve):
+        """bob falls for it and enables the thief; his data still only
+        exits toward bob (§3.1 boilerplate policy)."""
+        provider.enable_app("bob", "data-thief")
+        r = eve.get("/app/data-thief/go", victim="bob")
+        assert r.status == 403
+        assert not eve.ever_received(SECRET)
+
+    def test_thief_output_reaches_victim_fine(self, provider,
+                                              bob_with_secret):
+        provider.enable_app("bob", "data-thief")
+        bob = bob_with_secret
+        r = bob.get("/app/data-thief/go", victim="bob")
+        assert r.ok  # to bob himself, this is just a backup app
+
+    def test_anonymous_gets_nothing(self, provider, bob_with_secret):
+        provider.enable_app("bob", "data-thief")
+        anon = ExternalClient("anon", provider.transport())
+        r = anon.get("/app/data-thief/go", victim="bob")
+        assert r.status in (403, 500)
+        assert not anon.ever_received(SECRET)
+
+
+class TestExfilWriter:
+    def test_cannot_write_secrets_to_public_file(self, provider,
+                                                 bob_with_secret, eve):
+        provider.enable_app("bob", "exfil-writer")
+        # prepare a public drop directory anyone could read
+        svc = provider.kernel.spawn_trusted("setup")
+        from repro.fs import FsView
+        # root is provider-write-protected; use the account service
+        FsView(provider.fs, provider._account_service).mkdir("/public_drop")
+        r = eve.get("/app/exfil-writer/go", victim="bob")
+        assert r.status in (403, 500)
+        # nothing was dropped
+        snoop = provider.kernel.spawn_trusted("snoop")
+        assert FsView(provider.fs, snoop).listdir("/public_drop") == []
+
+
+class TestColludingPair:
+    def test_confederate_relay_refused(self, provider, bob_with_secret,
+                                       eve):
+        provider.enable_app("bob", "confederate")
+        r = eve.get("/app/confederate/go", victim="bob")
+        assert r.status in (403, 500)
+        assert not eve.ever_received(SECRET)
+        # the kernel logged the denied send
+        assert provider.kernel.audit.count(category="send",
+                                           allowed=False) >= 1
+
+
+class TestVandal:
+    def test_deface_blocked_without_write_grant(self, provider,
+                                                bob_with_secret, eve):
+        """bob enables the vandal read-only; write protection holds."""
+        provider.enable_app("bob", "vandal", allow_write=False)
+        r = eve.get("/app/vandal/go", victim="bob", mode="deface")
+        # the app itself ran (reading is allowed), but touched nothing
+        assert provider.read_user_data("bob", "diary.txt") == SECRET
+
+    def test_delete_blocked_without_write_grant(self, provider,
+                                                bob_with_secret, eve):
+        provider.enable_app("bob", "vandal", allow_write=False)
+        eve.get("/app/vandal/go", victim="bob", mode="delete")
+        assert provider.read_user_data("bob", "diary.txt") == SECRET
+
+    def test_vandal_with_write_grant_succeeds(self, provider,
+                                              bob_with_secret):
+        """If bob grants write, the vandal CAN deface — the paper's
+        point: 'must trust the delegate to write faithful
+        representations' (§3.1).  Choice has consequences; the
+        mechanism only guarantees what was promised."""
+        provider.enable_app("bob", "vandal", allow_write=True)
+        bob = bob_with_secret
+        r = bob.get("/app/vandal/go", victim="bob", mode="deface")
+        assert r.ok and r.body["vandalized"] >= 1
+        assert provider.read_user_data("bob", "diary.txt") == "DEFACED"
+
+
+class TestProprietaryWriter:
+    def test_antisocial_app_is_not_blocked(self, provider, bob):
+        """W5 does not prevent anti-social behaviour (§3.2) — the blob
+        is stored under the user's own labels, fair and square."""
+        provider.enable_app("bob", "proprietary-writer")
+        r = bob.get("/app/proprietary-writer/save", music="jazz")
+        assert r.ok
+        blob = provider.read_user_data("bob", "proprietary.dat")
+        assert blob.startswith("PROPRIETARYv1")

@@ -1,0 +1,96 @@
+"""Tests for the photo-sharing and blogging applications."""
+
+
+class TestPhotoShare:
+    def test_upload_and_list(self, provider, bob):
+        bob.get("/app/photo-share/upload", filename="a.jpg", data="<jpegA>")
+        bob.get("/app/photo-share/upload", filename="b.jpg", data="<jpegB>")
+        r = bob.get("/app/photo-share/list")
+        assert r.body["photos"] == ["a.jpg", "b.jpg"]
+
+    def test_view_own_photo(self, provider, bob):
+        bob.get("/app/photo-share/upload", filename="a.jpg", data="<jpegA>")
+        r = bob.get("/app/photo-share/view", filename="a.jpg")
+        assert r.body["data"] == "<jpegA>"
+
+    def test_friend_views_photo_via_declassifier(self, provider, bob, amy):
+        bob.get("/app/photo-share/upload", filename="a.jpg", data="<jpegA>")
+        r = amy.get("/app/photo-share/view", owner="bob", filename="a.jpg")
+        assert r.ok and r.body["data"] == "<jpegA>"
+
+    def test_stranger_blocked_at_perimeter(self, provider, bob, eve):
+        """eve enabled nothing relevant and is not bob's friend: even
+        though the social fabric exists, the perimeter refuses."""
+        bob.get("/app/photo-share/upload", filename="a.jpg",
+                data="<BOBS-PRIVATE-JPEG>")
+        r = eve.get("/app/photo-share/view", owner="bob", filename="a.jpg")
+        assert r.status in (403, 500)
+        assert not eve.ever_received("<BOBS-PRIVATE-JPEG>")
+
+    def test_crop_uses_preferred_module(self, provider, bob):
+        bob.get("/app/photo-share/upload", filename="a.jpg", data="RAW")
+        bob.post("/policy/prefer", params={"slot": "cropper",
+                                           "module": "crop-smart"})
+        bob.get("/app/photo-share/crop", filename="a.jpg",
+                width=64, height=64)
+        r = bob.get("/app/photo-share/view", filename="a.jpg")
+        assert r.body["data"] == "cropped[64x64,smart]:RAW"
+
+    def test_default_crop_module(self, provider, bob):
+        bob.get("/app/photo-share/upload", filename="a.jpg", data="RAW")
+        bob.get("/app/photo-share/crop", filename="a.jpg",
+                width=32, height=32)
+        r = bob.get("/app/photo-share/view", filename="a.jpg")
+        assert "center" in r.body["data"]
+
+    def test_module_usage_recorded(self, provider, bob):
+        bob.get("/app/photo-share/upload", filename="a.jpg", data="RAW")
+        bob.get("/app/photo-share/crop", filename="a.jpg")
+        assert ("photo-share", "crop-basic") in provider.usage_edges
+
+    def test_anonymous_rejected(self, provider):
+        from repro.net import ExternalClient
+        anon = ExternalClient("nobody", provider.transport())
+        r = anon.get("/app/photo-share/list")
+        assert r.body.get("error") == "log in first"
+
+
+class TestBlog:
+    def test_post_and_read(self, provider, bob):
+        bob.get("/app/blog/post", title="hello", body="first post")
+        r = bob.get("/app/blog/read", title="hello")
+        assert r.body["body"] == "first post"
+
+    def test_list_titles(self, provider, bob):
+        bob.get("/app/blog/post", title="one", body="x")
+        bob.get("/app/blog/post", title="two", body="y")
+        r = bob.get("/app/blog/list")
+        assert sorted(r.body["titles"]) == ["one", "two"]
+
+    def test_friend_reads_blog(self, provider, bob, amy):
+        bob.get("/app/blog/post", title="hello", body="for friends")
+        r = amy.get("/app/blog/read", author="bob", title="hello")
+        assert r.ok and r.body["body"] == "for friends"
+
+    def test_stranger_cannot_read_blog(self, provider, bob, eve):
+        bob.get("/app/blog/post", title="hello", body="BOBS-SECRET-POST")
+        r = eve.get("/app/blog/read", author="bob", title="hello")
+        assert r.status in (403, 500)
+        assert not eve.ever_received("BOBS-SECRET-POST")
+
+    def test_edit_own_post(self, provider, bob):
+        bob.get("/app/blog/post", title="hello", body="v1")
+        bob.get("/app/blog/edit", title="hello", body="v2")
+        assert bob.get("/app/blog/read", title="hello").body["body"] == "v2"
+
+    def test_missing_post(self, provider, bob):
+        r = bob.get("/app/blog/read", title="ghost")
+        assert r.body["error"] == "no such post"
+
+    def test_cross_app_data_sharing(self, provider, bob):
+        """Figure 2: the recommender (a different app by a different
+        developer) computes over blog rows the blog app created."""
+        bob.get("/app/blog/post", title="shared", body="z")
+        bob.get("/app/social/befriend", friend="bob")
+        r = bob.get("/app/recommender/digest")
+        assert r.ok

@@ -1,0 +1,134 @@
+"""Tests for social networking, recommender, dating, chameleon, mashup."""
+
+
+class TestSocial:
+    def test_befriend_and_list(self, provider, bob):
+        bob.get("/app/social/befriend", friend="amy")
+        r = bob.get("/app/social/friends")
+        assert r.body["friends"] == ["amy"]
+
+    def test_profile_of_friend(self, provider, bob, amy):
+        provider.set_profile("bob", music="jazz")
+        r = amy.get("/app/social/profile", user="bob")
+        assert r.ok and r.body["profile"]["music"] == "jazz"
+
+    def test_profile_blocked_for_stranger(self, provider, bob, eve):
+        provider.set_profile("bob", music="SECRET-JAZZ")
+        r = eve.get("/app/social/profile", user="bob")
+        assert r.status in (403, 500)
+        assert not eve.ever_received("SECRET-JAZZ")
+
+    def test_feed_commingles_friends(self, provider, bob, amy):
+        amy.get("/app/blog/post", title="amy-post", body="x")
+        bob.get("/app/social/befriend", friend="amy")
+        r = bob.get("/app/social/feed")
+        assert {"author": "amy", "title": "amy-post"} in r.body["feed"]
+
+    def test_feed_export_needs_every_owner_consent(self, provider, bob,
+                                                   amy, eve):
+        """A feed mixing amy's and eve's posts reaches bob only if both
+        declassifiers approve him; eve's does not."""
+        amy.get("/app/blog/post", title="amy-post", body="x")
+        # eve posts, and bob befriends eve in app data — but eve's
+        # friends-only declassifier has no friends.
+        eve.post("/policy/enable", params={"app": "blog"})
+        eve.get("/app/blog/post", title="eve-post", body="EVE-PRIVATE")
+        bob.get("/app/social/befriend", friend="amy")
+        bob.get("/app/social/befriend", friend="eve")
+        r = bob.get("/app/social/feed")
+        assert r.status == 403
+        assert not bob.ever_received("eve-post")
+
+
+class TestRecommender:
+    def test_digest_over_friends(self, provider, bob, amy):
+        amy.get("/app/blog/post", title="t1", body="b1")
+        amy.get("/app/photo-share/upload", filename="p1.jpg", data="D")
+        bob.get("/app/social/befriend", friend="amy")
+        r = bob.get("/app/recommender/digest", k=5)
+        assert r.ok
+        kinds = {item["kind"] for item in r.body["digest"]}
+        assert "photo" in kinds and "post" in kinds
+
+    def test_digest_respects_k(self, provider, bob, amy):
+        for i in range(4):
+            amy.get("/app/blog/post", title=f"t{i}", body="b")
+        bob.get("/app/social/befriend", friend="amy")
+        r = bob.get("/app/recommender/digest", k=2)
+        assert len(r.body["digest"]) == 2
+        assert r.body["considered"] == 4
+
+    def test_custom_scorer_preference(self, provider, bob, amy):
+        amy.get("/app/blog/post", title="long", body="A" * 500)
+        amy.get("/app/photo-share/upload", filename="p.jpg", data="D")
+        bob.get("/app/social/befriend", friend="amy")
+        bob.post("/policy/prefer", params={"slot": "scorer",
+                                           "module": "score-verbose"})
+        r = bob.get("/app/recommender/digest", k=1)
+        assert r.body["digest"][0]["kind"] == "post"
+
+
+class TestDating:
+    def _join_all(self, provider, bob, amy):
+        provider.set_profile("bob", music="jazz", food="ramen")
+        provider.set_profile("amy", music="jazz", food="tacos")
+        bob.get("/app/dating/join", bio="likes jazz")
+        amy.get("/app/dating/join", bio="likes jazz too")
+
+    def test_matches_ranked(self, provider, bob, amy):
+        self._join_all(provider, bob, amy)
+        r = bob.get("/app/dating/matches", k=3)
+        assert r.ok
+        assert r.body["matches"][0]["user"] == "amy"
+        assert r.body["matches"][0]["score"] >= 1.0
+
+    def test_custom_metric(self, provider, bob, amy):
+        self._join_all(provider, bob, amy)
+        bob.post("/policy/prefer", params={"slot": "metric",
+                                           "module": "metric-opposites"})
+        r = bob.get("/app/dating/matches", k=3)
+        # opposites metric counts differing fields (food + romance maybe)
+        assert r.body["matches"][0]["score"] >= 1.0
+
+    def test_must_join_first(self, provider, bob):
+        r = bob.get("/app/dating/matches")
+        assert r.body["error"] == "join first"
+
+
+class TestChameleon:
+    def test_owner_sees_everything(self, provider, bob):
+        provider.set_profile("bob", books="sci-fi", music="jazz")
+        bob.get("/app/chameleon/configure", field="books", hide_from="dot")
+        r = bob.get("/app/chameleon/show")
+        assert r.body["profile"]["books"] == "sci-fi"
+
+    def test_hidden_from_love_interest(self, provider, bob, amy):
+        provider.set_profile("bob", books="sci-fi", music="jazz")
+        bob.get("/app/chameleon/configure", field="books", hide_from="amy")
+        r = amy.get("/app/chameleon/show", owner="bob")
+        assert r.ok
+        assert "books" not in r.body["profile"]
+        assert r.body["profile"]["music"] == "jazz"
+
+    def test_other_friends_still_see(self, provider, bob, amy):
+        provider.set_profile("bob", books="sci-fi")
+        bob.get("/app/chameleon/configure", field="books", hide_from="dot")
+        r = amy.get("/app/chameleon/show", owner="bob")
+        assert r.body["profile"]["books"] == "sci-fi"
+
+
+class TestMashup:
+    def test_map_renders_server_side(self, provider, bob):
+        bob.get("/app/address-map/add", name="mom", address="12 Elm St")
+        bob.get("/app/address-map/add", name="dan", address="9 Oak Ave")
+        r = bob.get("/app/address-map/map")
+        assert r.ok
+        assert r.body["markers"] == 2
+        assert "mom@" in r.body["map"] and "dan@" in r.body["map"]
+
+    def test_addresses_never_reach_other_viewers(self, provider, bob, eve):
+        bob.get("/app/address-map/add", name="mom",
+                address="SECRET-12-ELM")
+        r = eve.get("/app/address-map/map")
+        # eve sees her own (empty) book, or a refusal — never bob's data
+        assert not eve.ever_received("SECRET-12-ELM")

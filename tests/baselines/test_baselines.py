@@ -1,0 +1,139 @@
+"""Unit tests for the status-quo baseline models."""
+
+import pytest
+
+from repro.baselines import (AddressBookService, ApiMashup, DeveloperServer,
+                             MapProviderServer, MashupOsMashup, SiloError,
+                             SiloedWeb, ThirdPartyPlatform)
+
+PROFILE = {"music": "jazz", "food": "ramen", "romance": "looking"}
+
+
+class TestSiloedWeb:
+    @pytest.fixture()
+    def web(self):
+        w = SiloedWeb()
+        w.add_site("flickr-like")
+        w.add_site("blogger-like")
+        w.add_site("faces-like")
+        return w
+
+    def test_reentry_scales_with_sites(self, web):
+        fields = web.join_everywhere("bob", PROFILE)
+        assert fields == 3 * len(PROFILE)
+        assert web.duplicated_fields("bob") == 3
+
+    def test_duplicate_signup_rejected(self, web):
+        web.site("flickr-like").signup("bob", PROFILE)
+        with pytest.raises(SiloError):
+            web.site("flickr-like").signup("bob", PROFILE)
+
+    def test_store_requires_signup(self, web):
+        with pytest.raises(SiloError):
+            web.site("flickr-like").store("ghost", "x", 1)
+
+    def test_no_cross_site_reads(self, web):
+        web.join_everywhere("bob", PROFILE)
+        web.site("flickr-like").store("bob", "photo1", "<jpeg>")
+        with pytest.raises(SiloError):
+            web.cross_site_read("blogger-like", "bob", "flickr-like",
+                                "photo1")
+
+    def test_migration_is_per_item(self, web):
+        web.join_everywhere("bob", PROFILE)
+        site = web.site("flickr-like")
+        for i in range(10):
+            site.store("bob", f"photo{i}", f"<jpeg{i}>")
+        moved = web.migrate("bob", "flickr-like", "faces-like")
+        assert moved == 10
+        assert web.site("faces-like").fetch("bob", "photo3") == "<jpeg3>"
+
+    def test_operator_sees_everything(self, web):
+        site = web.site("flickr-like")
+        site.signup("bob", PROFILE)
+        site.store("bob", "diary", "SECRET")
+        assert "SECRET" in site.operator_visible
+        assert "jazz" in site.operator_visible
+
+    def test_new_site_starts_empty(self, web):
+        late = web.add_site("newcomer")
+        assert late.user_count() == 0
+
+    def test_duplicate_site_rejected(self, web):
+        with pytest.raises(SiloError):
+            web.add_site("flickr-like")
+
+
+class TestThirdPartyPlatform:
+    @pytest.fixture()
+    def platform(self):
+        p = ThirdPartyPlatform()
+        p.signup("bob", PROFILE)
+        return p
+
+    def test_app_use_ships_profile_to_developer(self, platform):
+        server = DeveloperServer("mallory", render=lambda p: "<page>")
+        platform.register_app("horoscope", server)
+        platform.install_app("bob", "horoscope")
+        platform.use_app("bob", "horoscope")
+        assert server.saw_value("jazz")
+        assert platform.developer_exposure("horoscope") == 1
+
+    def test_use_requires_install(self, platform):
+        server = DeveloperServer("d", render=lambda p: "")
+        platform.register_app("x", server)
+        with pytest.raises(PermissionError):
+            platform.use_app("bob", "x")
+
+    def test_install_unknown_app(self, platform):
+        with pytest.raises(KeyError):
+            platform.install_app("bob", "ghost")
+
+    def test_every_use_leaks_again(self, platform):
+        server = DeveloperServer("d", render=lambda p: "")
+        platform.register_app("x", server)
+        platform.install_app("bob", "x")
+        for __ in range(5):
+            platform.use_app("bob", "x")
+        assert platform.developer_exposure("x") == 5
+
+    def test_render_result_relayed(self, platform):
+        server = DeveloperServer(
+            "d", render=lambda p: f"hello {p['music']} fan")
+        platform.register_app("x", server)
+        platform.install_app("bob", "x")
+        assert platform.use_app("bob", "x") == "hello jazz fan"
+
+
+class TestMashups:
+    @pytest.fixture()
+    def world(self):
+        book = AddressBookService()
+        book.add("bob", "mom", "12 Elm St")
+        book.add("bob", "dan", "9 Oak Ave")
+        maps = MapProviderServer()
+        return book, maps
+
+    def test_status_quo_leaks_names_and_addresses(self, world):
+        book, maps = world
+        page = ApiMashup(book, maps).render("bob")
+        assert "<page>" in page
+        assert maps.saw("mom") and maps.saw("12 Elm St")
+
+    def test_mashupos_hides_names_not_addresses(self, world):
+        book, maps = world
+        page = MashupOsMashup(book, maps).render("bob")
+        assert "mom" in page  # composed client-side
+        assert not maps.saw("mom")
+        assert maps.saw("12 Elm St")  # the paper's point
+
+    def test_api_caprice_breaks_mashups(self, world):
+        book, maps = world
+        book.api_enabled = False
+        with pytest.raises(PermissionError):
+            ApiMashup(book, maps).render("bob")
+
+    def test_marker_count_matches_entries(self, world):
+        book, maps = world
+        ApiMashup(book, maps).render("bob")
+        assert len(maps.received_addresses) == 2

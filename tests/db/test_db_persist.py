@@ -1,0 +1,82 @@
+"""Tests for store persistence (provider restart)."""
+
+import json
+
+import pytest
+
+from repro.db import LabeledStore, restore_store, snapshot_store
+from repro.kernel import Kernel
+from repro.labels import Label, TagRegistry
+
+
+def build_world():
+    kernel = Kernel(namespace="prod")
+    provider = kernel.spawn_trusted("provider")
+    t = kernel.create_tag(provider, purpose="bob")
+    store = LabeledStore(kernel)
+    store.create_table(provider, "posts", indexes=["author"],
+                       pad_scan_to=100)
+    store.insert(provider, "posts", {"author": "pub", "body": "open"})
+    writer = kernel.spawn_trusted("w", slabel=Label([t]))
+    store.insert(writer, "posts", {"author": "bob", "body": "private"})
+    return kernel, store, t
+
+
+def restart(kernel, store):
+    registry_state = json.loads(json.dumps(kernel.tags.export_state()))
+    db_state = json.loads(json.dumps(snapshot_store(store)))
+    new_kernel = Kernel(namespace="prod")
+    new_kernel.tags = TagRegistry.import_state(registry_state)
+    return new_kernel, restore_store(new_kernel, db_state)
+
+
+class TestStorePersistence:
+    def test_rows_roundtrip(self):
+        kernel, store, t = build_world()
+        nk, ns = restart(kernel, store)
+        provider = nk.spawn_trusted("p")
+        assert ns.count(provider, "posts", where={"author": "pub"}) == 1
+
+    def test_label_filtering_survives(self):
+        kernel, store, t = build_world()
+        nk, ns = restart(kernel, store)
+        snoop = nk.spawn_trusted("snoop")
+        rows = ns.select(snoop, "posts")
+        assert [r["author"] for r in rows] == ["pub"]
+        cleared = nk.spawn_trusted("c", slabel=Label(
+            [nk.tags.lookup(t.tag_id)]))
+        assert ns.count(cleared, "posts") == 2
+
+    def test_indexes_rebuilt(self):
+        kernel, store, t = build_world()
+        nk, ns = restart(kernel, store)
+        cleared = nk.spawn_trusted("c", slabel=Label(
+            [nk.tags.lookup(t.tag_id)]))
+        rows = ns.select(cleared, "posts", where={"author": "bob"})
+        assert len(rows) == 1 and rows[0]["body"] == "private"
+
+    def test_pad_scan_to_survives(self):
+        kernel, store, t = build_world()
+        nk, ns = restart(kernel, store)
+        assert ns.table("posts").pad_scan_to == 100
+
+    def test_row_ids_do_not_collide_after_restart(self):
+        kernel, store, t = build_world()
+        nk, ns = restart(kernel, store)
+        provider = nk.spawn_trusted("p")
+        new_id = ns.insert(provider, "posts", {"author": "new"})
+        cleared = nk.spawn_trusted("c", slabel=Label(
+            [nk.tags.lookup(t.tag_id)]))
+        assert ns.count(cleared, "posts") == 3
+        ids = {r["author"] for r in ns.select(cleared, "posts")}
+        assert ids == {"pub", "bob", "new"}
+
+    def test_versions_roundtrip(self):
+        kernel, store, t = build_world()
+        provider = kernel.spawn_trusted("p0")
+        store.update(provider, "posts", where={"author": "pub"},
+                     changes={"body": "edited"})
+        nk, ns = restart(kernel, store)
+        p = nk.spawn_trusted("p")
+        row = ns.select(p, "posts", where={"author": "pub"})[0]
+        assert row["body"] == "edited"

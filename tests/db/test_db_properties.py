@@ -1,0 +1,87 @@
+"""Property tests: the store's covert-channel-free query semantics.
+
+The central invariant (DESIGN.md §4, C10): for any query, the result a
+process sees over a table equals the result it would see over the
+table with all rows it cannot read *physically removed*.  If that holds
+for select/count/update/delete, no query can be used as an oracle on
+invisible data.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import LabeledStore
+from repro.kernel import Kernel
+from repro.labels import Label
+
+
+def build_world(rows):
+    """rows: list of (secret?, value) -> two stores: full and stripped."""
+    kernel = Kernel()
+    provider = kernel.spawn_trusted("provider")
+    t = kernel.create_tag(provider, purpose="secret")
+    tainted = kernel.spawn_trusted("writer", slabel=Label([t]))
+    snoop = kernel.spawn_trusted("snoop")
+
+    full = LabeledStore(kernel)
+    full.create_table(provider, "t", indexes=["k"])
+    stripped = LabeledStore(kernel)
+    stripped.create_table(provider, "t", indexes=["k"])
+
+    for secret, value in rows:
+        payload = {"k": value % 3, "v": value}
+        if secret:
+            full.insert(tainted, "t", payload)
+        else:
+            full.insert(provider, "t", payload)
+            stripped.insert(provider, "t", payload)
+    return snoop, full, stripped
+
+
+rows_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 20)), max_size=25)
+
+
+class TestVisibilityEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(rows_strategy)
+    def test_select_equivalent_to_stripped_table(self, rows):
+        snoop, full, stripped = build_world(rows)
+        got = sorted(r["v"] for r in full.select(snoop, "t"))
+        want = sorted(r["v"] for r in stripped.select(snoop, "t"))
+        assert got == want
+
+    @settings(max_examples=80, deadline=None)
+    @given(rows_strategy, st.integers(0, 2))
+    def test_indexed_select_equivalent(self, rows, key):
+        snoop, full, stripped = build_world(rows)
+        got = sorted(r["v"] for r in full.select(snoop, "t", where={"k": key}))
+        want = sorted(r["v"] for r in stripped.select(snoop, "t",
+                                                      where={"k": key}))
+        assert got == want
+
+    @settings(max_examples=80, deadline=None)
+    @given(rows_strategy)
+    def test_count_equivalent(self, rows):
+        snoop, full, stripped = build_world(rows)
+        assert full.count(snoop, "t") == stripped.count(snoop, "t")
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows_strategy)
+    def test_update_touches_same_rows(self, rows):
+        snoop, full, stripped = build_world(rows)
+        n_full = full.update(snoop, "t", predicate=lambda r: r["v"] > 5,
+                             changes={"touched": True})
+        n_stripped = stripped.update(snoop, "t",
+                                     predicate=lambda r: r["v"] > 5,
+                                     changes={"touched": True})
+        assert n_full == n_stripped
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows_strategy)
+    def test_delete_touches_same_rows(self, rows):
+        snoop, full, stripped = build_world(rows)
+        assert (full.delete(snoop, "t", predicate=lambda r: r["v"] % 2 == 0)
+                == stripped.delete(snoop, "t",
+                                   predicate=lambda r: r["v"] % 2 == 0))

@@ -1,0 +1,97 @@
+"""Unit tests for declassifier combinators."""
+
+import pytest
+
+from repro.declassify import (AllOf, AnyOf, FriendsOnly, Group, Not,
+                              Public, ReleaseContext, TimeEmbargo)
+
+
+def ctx(viewer, now=0.0, owner="bob"):
+    return ReleaseContext(owner=owner, viewer=viewer, now=now)
+
+
+FRIENDS = FriendsOnly({"friends": ["amy", "carl"]})
+EMBARGO = TimeEmbargo({"release_at": 100.0})
+
+
+class TestAllOf:
+    def test_conjunction(self):
+        policy = AllOf(FRIENDS, EMBARGO)
+        # friend before embargo: no
+        assert not policy.decide(ctx("amy", now=0.0))
+        # friend after embargo: yes
+        assert policy.decide(ctx("amy", now=150.0))
+        # stranger after embargo: no
+        assert not policy.decide(ctx("eve", now=150.0))
+
+    def test_owner_passes_because_children_do(self):
+        policy = AllOf(FRIENDS, EMBARGO)
+        assert policy.decide(ctx("bob", now=0.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AllOf()
+
+    def test_nesting(self):
+        policy = AllOf(AnyOf(FRIENDS, Group({"members": ["dot"]})),
+                       EMBARGO)
+        assert policy.decide(ctx("dot", now=200.0))
+        assert not policy.decide(ctx("dot", now=0.0))
+
+
+class TestAnyOf:
+    def test_union(self):
+        policy = AnyOf(FRIENDS, Group({"members": ["dot"]}))
+        assert policy.decide(ctx("amy"))
+        assert policy.decide(ctx("dot"))
+        assert not policy.decide(ctx("eve"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+
+
+class TestNot:
+    def test_inverts_for_others(self):
+        policy = Not(FRIENDS)
+        assert not policy.decide(ctx("amy"))   # friend now excluded
+        assert policy.decide(ctx("eve"))       # stranger now included
+
+    def test_owner_never_locked_out(self):
+        policy = Not(Public())
+        assert policy.decide(ctx("bob"))
+        assert not policy.decide(ctx("eve"))
+
+
+class TestAuditSurface:
+    def test_total_surface_counts_connective_and_children(self):
+        policy = AllOf(FRIENDS, EMBARGO)
+        total = policy.total_audit_surface()
+        assert total >= (FriendsOnly.audit_surface_loc()
+                         + TimeEmbargo.audit_surface_loc())
+        # still far below any application (the M3 property holds)
+        assert total < 80
+
+    def test_duplicate_child_classes_counted_once(self):
+        policy = AnyOf(FriendsOnly({"friends": ["a"]}),
+                       FriendsOnly({"friends": ["b"]}))
+        single = AnyOf(FRIENDS).total_audit_surface()
+        assert policy.total_audit_surface() == single
+
+
+class TestEndToEnd:
+    def test_friends_and_embargo_at_the_gateway(self):
+        """The composed policy drives real exports."""
+        from repro import W5System
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"])
+        amy = w5.add_user("amy", apps=["blog"])
+        w5.provider.revoke_declassifier("bob")  # drop the default grant
+        w5.grant_declassifier("bob", AllOf(
+            FriendsOnly({"friends": ["amy"]}),
+            TimeEmbargo({"release_at": 100.0})))
+        bob.get("/app/blog/post", title="trip", body="photos later")
+        assert amy.get("/app/blog/read", author="bob",
+                       title="trip").status == 403
+        w5.provider.declass.now = 150.0
+        assert amy.get("/app/blog/read", author="bob", title="trip").ok

@@ -1,0 +1,94 @@
+"""Unit tests for the kernel-level declassifier process."""
+
+import pytest
+
+from repro.declassify import (FriendsOnly, KernelDeclassifier, Public,
+                              ReleaseRefused)
+from repro.kernel import Kernel, MailboxEmpty, RECV, SEND
+from repro.labels import Label, SecrecyViolation
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture()
+def world(kernel):
+    """bob's tag, a tainted producer app, a clean consumer, and a
+    friends-only declassifier bridging them."""
+    root = kernel.spawn_trusted("root")
+    tag = kernel.create_tag(root, purpose="bob-data", tag_owner="bob")
+    producer = kernel.spawn_trusted("photo-app", slabel=Label([tag]))
+    producer_out = kernel.create_endpoint(producer, direction=SEND)
+    consumer = kernel.spawn_trusted("amy-renderer")
+    consumer_in = kernel.create_endpoint(consumer, direction=RECV)
+    declas = KernelDeclassifier(kernel, tag,
+                                FriendsOnly({"friends": ["amy"]}),
+                                owner="bob")
+    return tag, producer, producer_out, consumer, consumer_in, declas
+
+
+class TestPump:
+    def test_approved_release_flows(self, kernel, world):
+        tag, producer, p_out, consumer, c_in, declas = world
+        kernel.send(producer, p_out, declas.inbox, {"photo": "beach.jpg"})
+        released = declas.pump("amy", c_in)
+        assert released == {"photo": "beach.jpg"}
+        assert kernel.receive(consumer).payload == {"photo": "beach.jpg"}
+
+    def test_refused_release_blocks_and_drops(self, kernel, world):
+        tag, producer, p_out, consumer, c_in, declas = world
+        kernel.send(producer, p_out, declas.inbox, {"photo": "private.jpg"})
+        with pytest.raises(ReleaseRefused):
+            declas.pump("eve", c_in)
+        # nothing reached the consumer, and the request is gone
+        with pytest.raises(MailboxEmpty):
+            kernel.receive(consumer)
+        assert declas.pending() == 0
+
+    def test_producer_cannot_bypass_declassifier(self, kernel, world):
+        """The tainted app cannot send to the clean consumer directly —
+        only through the declassifier."""
+        tag, producer, p_out, consumer, c_in, declas = world
+        with pytest.raises(SecrecyViolation):
+            kernel.send(producer, p_out, c_in, {"photo": "stolen.jpg"})
+
+    def test_declassifier_confined_to_its_tag(self, kernel, world):
+        """Holding bob's t- gives no power over amy's tag."""
+        tag, producer, p_out, consumer, c_in, declas = world
+        root = kernel.spawn_trusted("root2")
+        amy_tag = kernel.create_tag(root, purpose="amy-data",
+                                    tag_owner="amy")
+        amy_producer = kernel.spawn_trusted("amy-app", slabel=Label([amy_tag]))
+        amy_out = kernel.create_endpoint(amy_producer, direction=SEND)
+        # amy's tainted data cannot even reach bob's declassifier inbox
+        with pytest.raises(SecrecyViolation):
+            kernel.send(amy_producer, amy_out, declas.inbox, "amy-secret")
+
+    def test_fifo_over_multiple_requests(self, kernel, world):
+        tag, producer, p_out, consumer, c_in, declas = world
+        for i in range(3):
+            kernel.send(producer, p_out, declas.inbox, i)
+        for expected in range(3):
+            assert declas.pump("amy", c_in) == expected
+
+    def test_clock_feeds_policy(self, kernel):
+        from repro.declassify import TimeEmbargo
+        root = kernel.spawn_trusted("root")
+        tag = kernel.create_tag(root, tag_owner="bob")
+        producer = kernel.spawn_trusted("app", slabel=Label([tag]))
+        p_out = kernel.create_endpoint(producer, direction=SEND)
+        consumer = kernel.spawn_trusted("c")
+        c_in = kernel.create_endpoint(consumer, direction=RECV)
+        clock = {"t": 0.0}
+        declas = KernelDeclassifier(kernel, tag,
+                                    TimeEmbargoPolicy := TimeEmbargo(
+                                        {"release_at": 10.0}),
+                                    owner="bob", clock=lambda: clock["t"])
+        kernel.send(producer, p_out, declas.inbox, "early")
+        with pytest.raises(ReleaseRefused):
+            declas.pump("amy", c_in)
+        clock["t"] = 11.0
+        kernel.send(producer, p_out, declas.inbox, "late")
+        assert declas.pump("amy", c_in) == "late"

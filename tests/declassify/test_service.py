@@ -1,0 +1,101 @@
+"""Unit tests for the declassification service (grants + authority)."""
+
+import pytest
+
+from repro.declassify import (DeclassificationService, FriendsOnly, Public,
+                              TimeEmbargo)
+from repro.kernel import Kernel
+from repro.labels import Label, exportable_tags
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture()
+def svc(kernel):
+    return DeclassificationService(kernel)
+
+
+@pytest.fixture()
+def bob_tag(kernel):
+    root = kernel.spawn_trusted("root")
+    return kernel.create_tag(root, purpose="bob-data", tag_owner="bob")
+
+
+class TestGrants:
+    def test_grant_and_list(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": ["amy"]}))
+        assert len(svc.grants_for("bob")) == 1
+        assert svc.grants_for("amy") == []
+
+    def test_revoke_all_on_tag(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, Public())
+        svc.grant("bob", bob_tag, FriendsOnly())
+        assert svc.revoke("bob", bob_tag) == 2
+        assert svc.grants_for("bob") == []
+
+    def test_revoke_by_name(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, Public())
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": ["amy"]}))
+        assert svc.revoke("bob", bob_tag, declassifier_name="public") == 1
+        assert svc.grants_for("bob")[0].declassifier.name == "friends-only"
+
+    def test_grants_audited(self, svc, kernel, bob_tag):
+        svc.grant("bob", bob_tag, Public())
+        assert kernel.audit.count(category="declassify") == 1
+
+
+class TestMayRelease:
+    def test_no_grants_no_release(self, svc, bob_tag):
+        assert not svc.may_release(bob_tag, "amy")
+
+    def test_friend_released(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": ["amy"]}))
+        assert svc.may_release(bob_tag, "amy")
+        assert not svc.may_release(bob_tag, "eve")
+
+    def test_any_approving_grant_suffices(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": []}))
+        svc.grant("bob", bob_tag, Public())
+        assert svc.may_release(bob_tag, "anyone")
+
+    def test_embargo_uses_service_clock(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, TimeEmbargo({"release_at": 100.0}))
+        svc.now = 50.0
+        assert not svc.may_release(bob_tag, "amy")
+        svc.now = 150.0
+        assert svc.may_release(bob_tag, "amy")
+
+    def test_refusals_audited(self, svc, kernel, bob_tag):
+        svc.may_release(bob_tag, "amy")
+        assert kernel.audit.count(category="declassify", allowed=False) == 1
+
+
+class TestAuthorityFor:
+    def test_own_tags_always_included(self, svc, bob_tag):
+        caps = svc.authority_for("bob", own_tags=[bob_tag])
+        assert caps.can_remove(bob_tag)
+
+    def test_granted_viewer_gets_minus(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": ["amy"]}))
+        caps = svc.authority_for("amy")
+        assert caps.can_remove(bob_tag)
+
+    def test_ungranted_viewer_gets_nothing(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": ["amy"]}))
+        assert len(svc.authority_for("eve")) == 0
+
+    def test_authority_composes_with_export_check(self, svc, bob_tag):
+        """End-to-end with the labels layer: the authority makes the
+        residual exportable set empty exactly for approved viewers."""
+        svc.grant("bob", bob_tag, FriendsOnly({"friends": ["amy"]}))
+        content = Label([bob_tag])
+        assert exportable_tags(content, svc.authority_for("amy")).is_empty()
+        assert not exportable_tags(content, svc.authority_for("eve")).is_empty()
+
+    def test_anonymous_viewer(self, svc, bob_tag):
+        svc.grant("bob", bob_tag, Public())
+        caps = svc.authority_for(None)
+        assert caps.can_remove(bob_tag)

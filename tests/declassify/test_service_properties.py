@@ -1,0 +1,76 @@
+"""Property tests: the declassification service's two interfaces agree.
+
+``may_release(tag, viewer)`` (the per-decision oracle) and
+``authority_for(viewer)`` (the bulk capability set the gateway uses)
+must never disagree — a mismatch would mean the audit trail and the
+enforcement diverge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.declassify import (DeclassificationService, FriendsOnly, Group,
+                              Public, TimeEmbargo)
+from repro.kernel import Kernel
+
+USERS = ["u0", "u1", "u2", "u3"]
+
+
+def build_service(grant_specs, clock):
+    kernel = Kernel()
+    svc = DeclassificationService(kernel)
+    svc.now = clock
+    root = kernel.spawn_trusted("root")
+    tags = {u: kernel.create_tag(root, purpose=u, tag_owner=u)
+            for u in USERS}
+    for owner, kind, config_users, release_at in grant_specs:
+        if kind == "public":
+            policy = Public()
+        elif kind == "friends":
+            policy = FriendsOnly({"friends": config_users})
+        elif kind == "group":
+            policy = Group({"members": config_users})
+        else:
+            policy = TimeEmbargo({"release_at": release_at})
+        svc.grant(owner, tags[owner], policy)
+    return svc, tags
+
+
+grant_spec = st.tuples(
+    st.sampled_from(USERS),
+    st.sampled_from(["public", "friends", "group", "embargo"]),
+    st.lists(st.sampled_from(USERS), max_size=3),
+    st.floats(min_value=0, max_value=200))
+
+
+class TestInterfaceAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(grant_spec, max_size=6),
+           st.floats(min_value=0, max_value=200),
+           st.sampled_from(USERS + [None]))
+    def test_oracle_matches_authority(self, grants, clock, viewer):
+        svc, tags = build_service(grants, clock)
+        authority = svc.authority_for(viewer)
+        for owner, tag in tags.items():
+            oracle = svc.may_release(tag, viewer)
+            bulk = authority.can_remove(tag)
+            assert oracle == bulk, (
+                f"may_release={oracle} but authority={bulk} for "
+                f"tag of {owner}, viewer {viewer}")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(grant_spec, max_size=6),
+           st.sampled_from(USERS))
+    def test_own_tags_always_in_authority(self, grants, viewer):
+        svc, tags = build_service(grants, 0.0)
+        authority = svc.authority_for(viewer, own_tags=[tags[viewer]])
+        assert authority.can_remove(tags[viewer])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(grant_spec, max_size=6))
+    def test_revoking_everything_empties_authority(self, grants):
+        svc, tags = build_service(grants, 150.0)
+        for owner, tag in tags.items():
+            svc.revoke(owner, tag)
+        for viewer in USERS + [None]:
+            assert len(svc.authority_for(viewer)) == 0

@@ -1,0 +1,66 @@
+"""Unit tests for the adoption model."""
+
+import pytest
+
+from repro.ecosystem import (compare_platforms, conversion_friction,
+                             simulate_adoption)
+
+
+class TestFriction:
+    def test_zero_items_is_frictionless(self):
+        assert conversion_friction(0) == 1.0
+
+    def test_friction_decays_with_items(self):
+        assert conversion_friction(10) < conversion_friction(5) < 1.0
+
+    def test_negative_items_clamped(self):
+        assert conversion_friction(-3) == 1.0
+
+
+class TestSimulation:
+    def test_curve_monotone(self):
+        curve = simulate_adoption(population=200, steps=30)
+        counts = curve.adopters_by_step
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_deterministic_with_seed(self):
+        a = simulate_adoption(seed=4)
+        b = simulate_adoption(seed=4)
+        assert a.adopters_by_step == b.adopters_by_step
+
+    def test_zero_friction_never_adopts(self):
+        curve = simulate_adoption(population=100, steps=20, friction=0.0)
+        assert curve.final_share == 0.0
+
+    def test_bad_friction_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_adoption(friction=1.5)
+
+    def test_time_to_fraction(self):
+        curve = simulate_adoption(population=500, steps=80, friction=1.0,
+                                  seed=2)
+        t_half = curve.time_to_fraction(0.5)
+        assert t_half is not None
+        t_tenth = curve.time_to_fraction(0.1)
+        assert t_tenth is not None and t_tenth <= t_half
+
+    def test_time_to_fraction_unreached(self):
+        curve = simulate_adoption(population=100, steps=3, friction=0.01)
+        assert curve.time_to_fraction(0.9) is None
+
+
+class TestComparison:
+    def test_w5_adopts_faster(self):
+        """The C7 shape: same app, same crowd — the checkbox platform
+        reaches critical mass first."""
+        curves = compare_platforms(population=800, steps=80,
+                                   items_to_migrate=25)
+        t_w5 = curves["w5"].time_to_fraction(0.5)
+        t_silo = curves["status-quo"].time_to_fraction(0.5)
+        assert t_w5 is not None
+        assert t_silo is None or t_silo > t_w5
+
+    def test_final_share_ordering(self):
+        curves = compare_platforms(population=400, steps=40,
+                                   items_to_migrate=40)
+        assert curves["w5"].final_share > curves["status-quo"].final_share

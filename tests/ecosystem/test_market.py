@@ -1,0 +1,49 @@
+"""Unit tests for the anti-social-app market model."""
+
+import pytest
+
+from repro.ecosystem import compare_editorial_controls, simulate_market
+
+
+class TestMarket:
+    def test_deterministic(self):
+        a = simulate_market(seed=2)
+        b = simulate_market(seed=2)
+        assert a.share_by_step == b.share_by_step
+
+    def test_population_conserved(self):
+        outcome = simulate_market(population=1000, n_apps=10, seed=3)
+        assert sum(a.users for a in outcome.apps) == 1000
+
+    def test_shares_are_fractions(self):
+        outcome = simulate_market(seed=4)
+        assert all(0.0 <= s <= 1.0 for s in outcome.share_by_step)
+
+    def test_at_least_one_antisocial_app(self):
+        outcome = simulate_market(antisocial_fraction=0.0, seed=5)
+        assert any(a.antisocial for a in outcome.apps)
+
+    def test_editors_flag_antisocial_apps_only(self):
+        outcome = simulate_market(editorial_controls=True, steps=80,
+                                  seed=6)
+        assert all(a.antisocial for a in outcome.apps if a.flagged)
+        assert any(a.flagged for a in outcome.apps)
+
+    def test_no_flags_without_editors(self):
+        outcome = simulate_market(editorial_controls=False, seed=6)
+        assert not any(a.flagged for a in outcome.apps)
+
+    def test_editorial_controls_reduce_antisocial_share(self):
+        """The §3.2 claim's direction, on the same market."""
+        outcomes = compare_editorial_controls(seed=41)
+        assert (outcomes["with editors"].final_antisocial_share
+                < outcomes["without editors"].final_antisocial_share)
+
+    def test_lock_in_helps_when_unpoliced(self):
+        """Without editors, lock-in retention pushes anti-social share
+        above its initial fraction — the failure mode W5 inherits from
+        today's desktops, absent editorial pressure."""
+        outcome = simulate_market(editorial_controls=False, steps=60,
+                                  antisocial_fraction=0.3, seed=41)
+        initial = outcome.share_by_step[0]
+        assert outcome.final_antisocial_share >= initial * 0.9

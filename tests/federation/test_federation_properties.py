@@ -1,0 +1,82 @@
+"""Property tests: federation convergence under random edit schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation import ProviderLink, converged
+from repro.fs import FsView
+from repro.platform import Provider
+
+
+def build_link():
+    a = Provider(name="A")
+    b = Provider(name="B")
+    for p in (a, b):
+        p.signup("bob", "pw")
+    link = ProviderLink(a, b)
+    link.link_account("bob")
+    link.grant_sync("bob")
+    return a, b, link
+
+
+def apply_edit(provider, filename, content):
+    account = provider.account("bob")
+    agent = provider._user_agent(account)
+    fs = FsView(provider.fs, agent)
+    path = f"/users/bob/{filename}"
+    if fs.exists(path):
+        fs.write(path, content)
+    else:
+        fs.create(path, content)
+    provider.kernel.exit(agent)
+
+
+#: Each event: (side, file slot, content id, sync-after?)
+events = st.lists(
+    st.tuples(st.sampled_from(["A", "B"]), st.integers(0, 3),
+              st.integers(0, 9), st.booleans()),
+    max_size=20)
+
+
+class TestFederationConvergence:
+    @settings(max_examples=40, deadline=None)
+    @given(events)
+    def test_one_final_round_always_converges(self, schedule):
+        a, b, link = build_link()
+        for side, slot, content, sync_after in schedule:
+            provider = a if side == "A" else b
+            apply_edit(provider, f"f{slot}", f"content-{content}")
+            if sync_after:
+                link.sync_user("bob")
+        link.sync_user("bob")
+        assert converged(link, "bob")
+
+    @settings(max_examples=30, deadline=None)
+    @given(events)
+    def test_sync_is_idempotent_at_fixpoint(self, schedule):
+        a, b, link = build_link()
+        for side, slot, content, __ in schedule:
+            provider = a if side == "A" else b
+            apply_edit(provider, f"f{slot}", f"content-{content}")
+        link.sync_user("bob")
+        assert link.sync_user("bob") == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(events)
+    def test_no_data_invented(self, schedule):
+        """Every file on either side after syncing carries content some
+        edit actually wrote."""
+        a, b, link = build_link()
+        written = set()
+        for side, slot, content, sync_after in schedule:
+            provider = a if side == "A" else b
+            payload = f"content-{content}"
+            apply_edit(provider, f"f{slot}", payload)
+            written.add(payload)
+            if sync_after:
+                link.sync_user("bob")
+        link.sync_user("bob")
+        from repro.federation.peering import _snapshot
+        for provider in (a, b):
+            for value in _snapshot(provider, "bob").values():
+                assert value in written

@@ -1,0 +1,139 @@
+"""Unit tests for provider peering and account mirroring."""
+
+import pytest
+
+from repro.federation import ProviderLink, SyncError, converged
+from repro.fs import FsView
+from repro.platform import NoSuchUser, NotAuthorized, Provider
+
+
+@pytest.fixture()
+def providers():
+    a = Provider(name="w5-alpha")
+    b = Provider(name="w5-beta")
+    a.signup("bob", "pw")
+    b.signup("bob", "pw")
+    a.signup("eve", "pw")
+    b.signup("eve", "pw")
+    return a, b
+
+
+@pytest.fixture()
+def link(providers):
+    a, b = providers
+    return ProviderLink(a, b)
+
+
+class TestLinking:
+    def test_self_peering_rejected(self, providers):
+        a, __ = providers
+        with pytest.raises(SyncError):
+            ProviderLink(a, a)
+
+    def test_link_requires_both_accounts(self, link):
+        with pytest.raises(NoSuchUser):
+            link.link_account("ghost")
+
+    def test_link_and_state(self, link):
+        state = link.link_account("bob")
+        assert not state.granted_on_a and not state.granted_on_b
+        assert link.state_of("bob") is state
+        assert link.state_of("nobody") is None
+
+    def test_sync_without_link_fails(self, link):
+        with pytest.raises(SyncError):
+            link.sync_user("bob")
+
+    def test_sync_without_grants_fails(self, link):
+        link.link_account("bob")
+        with pytest.raises(NotAuthorized):
+            link.sync_user("bob")
+
+    def test_one_sided_grant_insufficient(self, link):
+        link.link_account("bob")
+        link.grant_sync("bob", on="a")
+        with pytest.raises(NotAuthorized):
+            link.sync_user("bob")
+
+
+class TestSync:
+    def _full_link(self, link):
+        link.link_account("bob")
+        link.grant_sync("bob")
+        return link
+
+    def test_a_to_b_propagation(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("bob", "diary.txt", "day one")
+        moved = link.sync_user("bob")
+        assert moved == 1
+        assert b.read_user_data("bob", "diary.txt") == "day one"
+        assert converged(link, "bob")
+
+    def test_b_to_a_propagation(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        b.store_user_data("bob", "notes.txt", "from beta")
+        link.sync_user("bob")
+        assert a.read_user_data("bob", "notes.txt") == "from beta"
+
+    def test_update_propagates(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "v1")
+        link.sync_user("bob")
+        # user edits on A; next round carries the edit
+        agent = a._user_agent(a.account("bob"))
+        FsView(a.fs, agent).write("/users/bob/f", "v2")
+        a.kernel.exit(agent)
+        link.sync_user("bob")
+        assert b.read_user_data("bob", "f") == "v2"
+
+    def test_sync_is_idempotent(self, providers, link):
+        a, __ = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "v1")
+        assert link.sync_user("bob") == 1
+        assert link.sync_user("bob") == 0
+
+    def test_conflict_resolves_deterministically(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "from-A")
+        b.store_user_data("bob", "f", "from-B")
+        link.sync_user("bob")
+        # A is pumped first: A's content wins on both sides
+        assert a.read_user_data("bob", "f") == "from-A"
+        assert b.read_user_data("bob", "f") == "from-A"
+        assert converged(link, "bob")
+
+    def test_only_linked_users_data_moves(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("eve", "private.txt", "eves-stuff")
+        link.sync_user("bob")
+        # eve never linked: her file stays on A only
+        from repro.fs import NoSuchPath
+        with pytest.raises(Exception):
+            b.read_user_data("eve", "private.txt")
+
+    def test_mirrored_data_still_protected_on_b(self, providers, link):
+        """The §3.3 requirement: the mirror is as protected on B as the
+        original on A — eve on B cannot read bob's mirrored diary."""
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("bob", "diary.txt", "BOBS-MIRRORED-SECRET")
+        link.sync_user("bob")
+        eve_proc = b.kernel.spawn_trusted("eve-snoop")
+        from repro.labels import SecrecyViolation
+        with pytest.raises(SecrecyViolation):
+            FsView(b.fs, eve_proc).read("/users/bob/diary.txt")
+
+    def test_transfer_counter(self, providers, link):
+        a, __ = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f1", "x")
+        a.store_user_data("bob", "f2", "y")
+        link.sync_user("bob")
+        assert link.state_of("bob").transfers == 2

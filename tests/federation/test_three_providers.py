@@ -1,0 +1,65 @@
+"""Transitive federation: three providers in a chain (§3.3 'more
+elaborate systems, wherein providers have explicit peering
+arrangements')."""
+
+import pytest
+
+from repro.federation import ProviderLink, converged
+from repro.platform import Provider
+
+
+@pytest.fixture()
+def chain():
+    providers = [Provider(name=f"w5-{x}") for x in ("a", "b", "c")]
+    for p in providers:
+        p.signup("bob", "pw")
+    ab = ProviderLink(providers[0], providers[1])
+    bc = ProviderLink(providers[1], providers[2])
+    for link in (ab, bc):
+        link.link_account("bob")
+        link.grant_sync("bob")
+    return providers, ab, bc
+
+
+class TestChain:
+    def test_data_propagates_transitively(self, chain):
+        (a, b, c), ab, bc = chain
+        a.store_user_data("bob", "f", "born-on-a")
+        ab.sync_user("bob")
+        bc.sync_user("bob")
+        assert c.read_user_data("bob", "f") == "born-on-a"
+
+    def test_reverse_propagation(self, chain):
+        (a, b, c), ab, bc = chain
+        c.store_user_data("bob", "g", "born-on-c")
+        bc.sync_user("bob")
+        ab.sync_user("bob")
+        assert a.read_user_data("bob", "g") == "born-on-c"
+
+    def test_full_mesh_convergence_rounds(self, chain):
+        """After edits land on all three, two rounds of each link
+        converge the chain (diameter-bounded propagation)."""
+        (a, b, c), ab, bc = chain
+        a.store_user_data("bob", "fa", "A")
+        b.store_user_data("bob", "fb", "B")
+        c.store_user_data("bob", "fc", "C")
+        for __ in range(2):
+            ab.sync_user("bob")
+            bc.sync_user("bob")
+        assert converged(ab, "bob") and converged(bc, "bob")
+        for p in (a, b, c):
+            assert p.read_user_data("bob", "fa") == "A"
+            assert p.read_user_data("bob", "fb") == "B"
+            assert p.read_user_data("bob", "fc") == "C"
+
+    def test_policy_holds_on_every_hop(self, chain):
+        (a, b, c), ab, bc = chain
+        a.store_user_data("bob", "secret", "CHAIN-SECRET")
+        ab.sync_user("bob")
+        bc.sync_user("bob")
+        from repro.fs import FsView
+        from repro.labels import SecrecyViolation
+        for p in (a, b, c):
+            snoop = p.kernel.spawn_trusted("snoop")
+            with pytest.raises(SecrecyViolation):
+                FsView(p.fs, snoop).read("/users/bob/secret")

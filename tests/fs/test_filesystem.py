@@ -1,0 +1,224 @@
+"""Unit tests for the labeled filesystem."""
+
+import pytest
+
+from repro.fs import (FsError, FsView, IsADirectory, LabeledFileSystem,
+                      NoSuchPath, NotADirectory, PathExists, split_path)
+from repro.kernel import Kernel
+from repro.labels import (CapabilitySet, IntegrityViolation, Label,
+                          SecrecyViolation, minus, plus)
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture()
+def fs(kernel):
+    return LabeledFileSystem(kernel)
+
+
+@pytest.fixture()
+def provider(kernel):
+    return kernel.spawn_trusted("provider")
+
+
+class TestPathHandling:
+    def test_split_path(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("a/b/") == ["a", "b"]
+        assert split_path("/") == []
+
+    def test_relative_components_rejected(self):
+        with pytest.raises(FsError):
+            split_path("/a/../b")
+
+
+class TestBasicOps:
+    def test_create_read_roundtrip(self, fs, provider):
+        fs.create(provider, "/hello.txt", "world")
+        assert fs.read(provider, "/hello.txt") == "world"
+
+    def test_nested_dirs(self, fs, provider):
+        fs.mkdir(provider, "/users")
+        fs.mkdir(provider, "/users/bob")
+        fs.create(provider, "/users/bob/photo.jpg", b"jpeg")
+        assert fs.read(provider, "/users/bob/photo.jpg") == b"jpeg"
+        assert fs.listdir(provider, "/users") == ["bob"]
+
+    def test_write_bumps_version(self, fs, provider):
+        fs.create(provider, "/f", "v1")
+        fs.write(provider, "/f", "v2")
+        assert fs.read(provider, "/f") == "v2"
+        assert fs.stat(provider, "/f")["version"] == 2
+
+    def test_missing_path(self, fs, provider):
+        with pytest.raises(NoSuchPath):
+            fs.read(provider, "/nope")
+
+    def test_create_duplicate(self, fs, provider):
+        fs.create(provider, "/f", 1)
+        with pytest.raises(PathExists):
+            fs.create(provider, "/f", 2)
+
+    def test_read_directory_fails(self, fs, provider):
+        fs.mkdir(provider, "/d")
+        with pytest.raises(IsADirectory):
+            fs.read(provider, "/d")
+
+    def test_file_as_directory_fails(self, fs, provider):
+        fs.create(provider, "/f", 1)
+        with pytest.raises(NotADirectory):
+            fs.create(provider, "/f/child", 2)
+
+    def test_delete_file(self, fs, provider):
+        fs.create(provider, "/f", 1)
+        fs.delete(provider, "/f")
+        assert not fs.exists(provider, "/f")
+
+    def test_delete_nonempty_dir_fails(self, fs, provider):
+        fs.mkdir(provider, "/d")
+        fs.create(provider, "/d/f", 1)
+        with pytest.raises(FsError):
+            fs.delete(provider, "/d")
+
+    def test_stat_fields(self, fs, provider):
+        fs.create(provider, "/f", "abc")
+        st = fs.stat(provider, "/f")
+        assert st["size"] == 3 and not st["is_dir"]
+        assert st["created_by"] == "provider"
+
+
+class TestSecrecyEnforcement:
+    def test_secret_file_unreadable_by_clean_process(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.create(provider, "/secret", "bobs-data", slabel=Label([t]))
+        reader = kernel.spawn_trusted("reader")
+        with pytest.raises(SecrecyViolation):
+            fs.read(reader, "/secret")
+
+    def test_tainted_process_reads_secret(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.create(provider, "/secret", "bobs-data", slabel=Label([t]))
+        reader = kernel.spawn_trusted("reader", slabel=Label([t]))
+        assert fs.read(reader, "/secret") == "bobs-data"
+
+    def test_no_write_down(self, fs, kernel, provider):
+        """A tainted process cannot copy secrets into a public file."""
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.create(provider, "/public", "harmless")
+        tainted = kernel.spawn_trusted("app", slabel=Label([t]))
+        with pytest.raises(SecrecyViolation):
+            fs.write(tainted, "/public", "stolen-secret")
+
+    def test_tainted_process_writes_up(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.create(provider, "/bob-notes", "", slabel=Label([t]))
+        tainted = kernel.spawn_trusted("app", slabel=Label([t]))
+        fs.write(tainted, "/bob-notes", "processed")
+        reader = kernel.spawn_trusted("r", slabel=Label([t]))
+        assert fs.read(reader, "/bob-notes") == "processed"
+
+    def test_create_cannot_launder_at_birth(self, fs, kernel, provider):
+        """A tainted process may not create a clean file."""
+        t = kernel.create_tag(provider, purpose="bob")
+        tainted = kernel.spawn_trusted("app", slabel=Label([t]))
+        with pytest.raises(SecrecyViolation):
+            fs.create(tainted, "/leak", "secret", slabel=Label.EMPTY)
+
+    def test_secret_directory_hides_entries(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.mkdir(provider, "/bob", slabel=Label([t]))
+        clean = kernel.spawn_trusted("snoop")
+        with pytest.raises(SecrecyViolation):
+            fs.listdir(clean, "/bob")
+        # resolution through the secret dir also fails
+        assert not fs.exists(clean, "/bob/anything")
+
+    def test_denials_are_audited(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.create(provider, "/secret", "x", slabel=Label([t]))
+        snoop = kernel.spawn_trusted("snoop")
+        with pytest.raises(SecrecyViolation):
+            fs.read(snoop, "/secret")
+        assert kernel.audit.count(category="file_read", allowed=False) == 1
+
+
+class TestWriteProtection:
+    """W5 §3.1: user data is write-protected by default; write privilege
+    is delegated via the owner's write tag (integrity)."""
+
+    def _setup_protected_file(self, fs, kernel, provider):
+        w = kernel.create_tag(provider, purpose="bob-write", kind="integrity")
+        owner = kernel.spawn_trusted("bob-agent", ilabel=Label([w]),
+                                     caps=CapabilitySet.owning(w))
+        fs.create(owner, "/bob-photo", b"original", ilabel=Label([w]))
+        return w, owner
+
+    def test_unprivileged_app_cannot_overwrite(self, fs, kernel, provider):
+        w, __ = self._setup_protected_file(fs, kernel, provider)
+        vandal = kernel.spawn_trusted("vandal")
+        with pytest.raises(IntegrityViolation):
+            fs.write(vandal, "/bob-photo", b"defaced")
+        assert fs.read(provider, "/bob-photo") == b"original"
+
+    def test_unprivileged_app_cannot_delete(self, fs, kernel, provider):
+        w, __ = self._setup_protected_file(fs, kernel, provider)
+        vandal = kernel.spawn_trusted("vandal")
+        with pytest.raises(IntegrityViolation):
+            fs.delete(vandal, "/bob-photo")
+
+    def test_delegated_writer_can_write(self, fs, kernel, provider):
+        w, owner = self._setup_protected_file(fs, kernel, provider)
+        editor = kernel.spawn_trusted("editor", caps=CapabilitySet([plus(w)]))
+        fs.write(editor, "/bob-photo", b"cropped")
+        assert fs.read(provider, "/bob-photo") == b"cropped"
+
+    def test_everyone_can_still_read(self, fs, kernel, provider):
+        self._setup_protected_file(fs, kernel, provider)
+        reader = kernel.spawn_trusted("reader")
+        assert fs.read(reader, "/bob-photo") == b"original"
+
+
+class TestWalk:
+    def test_walk_skips_unreadable_subtrees(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.mkdir(provider, "/pub")
+        fs.create(provider, "/pub/a", 1)
+        fs.mkdir(provider, "/priv", slabel=Label([t]))
+        priv_writer = kernel.spawn_trusted("w", slabel=Label([t]))
+        fs.create(priv_writer, "/priv/b", 2)
+        snoop = kernel.spawn_trusted("snoop")
+        paths = [p for p, __ in fs.walk(snoop)]
+        assert "/pub/a" in paths
+        assert all("/priv" not in p for p in paths)
+
+    def test_walk_sees_everything_for_cleared(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="bob")
+        fs.mkdir(provider, "/priv", slabel=Label([t]))
+        cleared = kernel.spawn_trusted("c", slabel=Label([t]))
+        fs.create(cleared, "/priv/b", 2)
+        paths = [p for p, __ in fs.walk(cleared)]
+        assert "/priv/b" in paths
+
+
+class TestFsView:
+    def test_view_curries_process(self, fs, kernel, provider):
+        view = FsView(fs, provider)
+        view.mkdir("/d")
+        view.create("/d/f", "x")
+        assert view.read("/d/f") == "x"
+        assert view.listdir("/d") == ["f"]
+        assert view.exists("/d/f")
+        view.write("/d/f", "y")
+        assert view.stat("/d/f")["version"] == 2
+        view.delete("/d/f")
+        assert not view.exists("/d/f")
+
+    def test_view_enforces_labels(self, fs, kernel, provider):
+        t = kernel.create_tag(provider, purpose="s")
+        fs.create(provider, "/s", "secret", slabel=Label([t]))
+        snoop_view = FsView(fs, kernel.spawn_trusted("snoop"))
+        with pytest.raises(SecrecyViolation):
+            snoop_view.read("/s")

@@ -1,0 +1,119 @@
+"""Property tests: filesystem invariants under random operations.
+
+Random processes with random capabilities perform random create/read/
+write/delete sequences.  After the dust settles:
+
+* no read ever returned data whose secrecy exceeded the reader's reach;
+* no object labeled with a write tag was modified by a process that
+  never held the tag's '+' capability;
+* label metadata on surviving objects never changed (labels are
+  immutable at creation).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import LabeledFileSystem
+from repro.kernel import Kernel
+from repro.labels import (CapabilitySet, Label, LabelError, minus, plus)
+
+
+def build_world():
+    kernel = Kernel()
+    provider = kernel.spawn_trusted("provider")
+    t = kernel.create_tag(provider, purpose="secret")
+    w = kernel.create_tag(provider, purpose="write", kind="integrity")
+    fs = LabeledFileSystem(kernel)
+    procs = [
+        ("clean", kernel.spawn_trusted("clean")),
+        ("tainted", kernel.spawn_trusted("tainted", slabel=Label([t]))),
+        ("writer", kernel.spawn_trusted(
+            "writer", caps=CapabilitySet([plus(w)]))),
+        ("owner", kernel.spawn_trusted(
+            "owner", slabel=Label([t]),
+            caps=CapabilitySet.owning(t, w))),
+    ]
+    return kernel, fs, t, w, dict(procs)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "read", "write", "delete"]),
+        st.sampled_from(["clean", "tainted", "writer", "owner"]),
+        st.integers(0, 5),          # file slot
+        st.booleans(),              # secret label?
+        st.booleans()),             # write-protected?
+    max_size=30)
+
+
+class TestFsRandomOps:
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_invariants_hold(self, operations):
+        kernel, fs, t, w, procs = build_world()
+        observed_reads = []   # (proc name, data)
+        for op, who, slot, secret, protected in operations:
+            proc = procs[who]
+            path = f"/f{slot}"
+            try:
+                if op == "create":
+                    fs.create(proc, path,
+                              {"made_by": who, "secret": secret},
+                              slabel=Label([t]) if secret else Label.EMPTY,
+                              ilabel=Label([w]) if protected
+                              else Label.EMPTY)
+                elif op == "read":
+                    observed_reads.append((who, fs.read(proc, path)))
+                elif op == "write":
+                    fs.write(proc, path, {"overwritten_by": who})
+                elif op == "delete":
+                    fs.delete(proc, path)
+            except (LabelError, Exception):
+                continue
+
+        # invariant 1: secrecy — 'clean' and 'writer' (no t caps) must
+        # never have observed data created under the secret label
+        for who, data in observed_reads:
+            if isinstance(data, dict) and data.get("secret"):
+                assert who in ("tainted", "owner"), (
+                    f"{who} read secret data {data}")
+
+        # invariant 2: write protection — a protected file can only
+        # have been overwritten by 'writer' or 'owner' (who hold w+)
+        for slot in range(6):
+            path = f"/f{slot}"
+            if not fs.exists(procs["owner"], path):
+                continue
+            stat = fs.stat(procs["owner"], path)
+            if w in stat["ilabel"]:
+                data = fs.read(procs["owner"], path)
+                if isinstance(data, dict) and "overwritten_by" in data:
+                    assert data["overwritten_by"] in ("writer", "owner")
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops)
+    def test_labels_immutable_after_creation(self, operations):
+        kernel, fs, t, w, procs = build_world()
+        created_labels = {}
+        for op, who, slot, secret, protected in operations:
+            proc = procs[who]
+            path = f"/f{slot}"
+            try:
+                if op == "create":
+                    node = fs.create(
+                        proc, path, "x",
+                        slabel=Label([t]) if secret else Label.EMPTY,
+                        ilabel=Label([w]) if protected else Label.EMPTY)
+                    created_labels[path] = (node.slabel, node.ilabel)
+                elif op == "write":
+                    fs.write(proc, path, "y")
+                elif op == "delete":
+                    fs.delete(proc, path)
+                    created_labels.pop(path, None)
+            except Exception:
+                continue
+        for path, (slabel, ilabel) in created_labels.items():
+            if fs.exists(procs["owner"], path):
+                stat = fs.stat(procs["owner"], path)
+                assert stat["slabel"] == slabel
+                assert stat["ilabel"] == ilabel

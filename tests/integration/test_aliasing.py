@@ -1,0 +1,87 @@
+"""Regression tests: storage never hands out mutable references.
+
+Found via the group read-only-member scenario: ``fs.read`` used to
+return the stored object itself, so a reader could ``append`` to a
+stored list in place and the mutation stuck even though its ``write``
+was later refused — write protection bypassed without a single failed
+check.  These tests pin the fix (defensive deep copies at the fs/db
+boundary) in both directions: reads don't alias storage, and storage
+doesn't alias caller objects.
+"""
+
+import pytest
+
+from repro.db import LabeledStore
+from repro.fs import LabeledFileSystem
+from repro.kernel import Kernel
+from repro.labels import CapabilitySet, IntegrityViolation, Label, plus
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+class TestFsAliasing:
+    def test_read_does_not_alias_storage(self, kernel):
+        fs = LabeledFileSystem(kernel)
+        root = kernel.spawn_trusted("root")
+        w = kernel.create_tag(root, kind="integrity")
+        owner = kernel.spawn_trusted("owner",
+                                     caps=CapabilitySet([plus(w)]))
+        fs.create(owner, "/board", ["original"], ilabel=Label([w]))
+        # a read-only process mutates its copy in place
+        reader = kernel.spawn_trusted("reader")
+        board = fs.read(reader, "/board")
+        board.append("VANDALISM")
+        # its write is refused AND storage is untouched
+        with pytest.raises(IntegrityViolation):
+            fs.write(reader, "/board", board)
+        assert fs.read(owner, "/board") == ["original"]
+
+    def test_create_does_not_alias_caller_object(self, kernel):
+        fs = LabeledFileSystem(kernel)
+        p = kernel.spawn_trusted("p")
+        payload = {"k": ["a"]}
+        fs.create(p, "/f", payload)
+        payload["k"].append("b")  # caller keeps mutating their object
+        assert fs.read(p, "/f") == {"k": ["a"]}
+
+    def test_write_does_not_alias_caller_object(self, kernel):
+        fs = LabeledFileSystem(kernel)
+        p = kernel.spawn_trusted("p")
+        fs.create(p, "/f", [])
+        data = [1]
+        fs.write(p, "/f", data)
+        data.append(2)
+        assert fs.read(p, "/f") == [1]
+
+
+class TestDbAliasing:
+    def test_select_does_not_alias_nested_values(self, kernel):
+        store = LabeledStore(kernel)
+        p = kernel.spawn_trusted("p")
+        store.create_table(p, "t")
+        store.insert(p, "t", {"items": ["a"]})
+        rows = store.select(p, "t")
+        rows[0]["items"].append("INJECTED")
+        assert store.select(p, "t")[0]["items"] == ["a"]
+
+    def test_insert_does_not_alias_caller_dict(self, kernel):
+        store = LabeledStore(kernel)
+        p = kernel.spawn_trusted("p")
+        store.create_table(p, "t")
+        values = {"items": ["a"]}
+        store.insert(p, "t", values)
+        values["items"].append("b")
+        assert store.select(p, "t")[0]["items"] == ["a"]
+
+    def test_update_does_not_alias_changes(self, kernel):
+        store = LabeledStore(kernel)
+        p = kernel.spawn_trusted("p")
+        store.create_table(p, "t")
+        store.insert(p, "t", {"x": 1})
+        changes = {"blob": ["v1"]}
+        store.update(p, "t", changes=changes)
+        changes["blob"].append("v2")
+        assert store.select(p, "t")[0]["blob"] == ["v1"]

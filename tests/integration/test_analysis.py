@@ -1,0 +1,94 @@
+"""Tests for the benchmark-report analysis module."""
+
+import json
+
+import pytest
+
+from repro.analysis import (BenchRow, markdown_table, overhead_factors,
+                            parse_benchmark_json, render_report)
+
+
+def fake_bench(name, median, rounds=10):
+    return {"name": name,
+            "stats": {"median": median, "mean": median * 1.1,
+                      "stddev": median * 0.1, "rounds": rounds}}
+
+
+FAKE = {"benchmarks": [
+    fake_bench("test_bench_m2_w5_request", 9e-5),
+    fake_bench("test_bench_m2_unprotected_handler", 1.6e-7),
+    fake_bench("test_bench_m2_static_route", 1.5e-5),
+    fake_bench("test_bench_m4_send_receive[0]", 1e-5),
+    fake_bench("test_bench_m4_unmonitored_baseline", 9e-8),
+    fake_bench("test_bench_c1_theft", 7e-3),
+    fake_bench("test_bench_a1_floating_labels", 2e-2),
+]}
+
+
+class TestParsing:
+    def test_rows_parsed_and_sorted(self):
+        rows = parse_benchmark_json(FAKE)
+        assert len(rows) == 7
+        groups = [r.group for r in rows]
+        assert groups == sorted(groups)
+
+    def test_group_extraction(self):
+        rows = {r.name: r.group for r in parse_benchmark_json(FAKE)}
+        assert rows["test_bench_m2_w5_request"] == "M2"
+        assert rows["test_bench_c1_theft"] == "C1"
+        assert rows["test_bench_a1_floating_labels"] == "A1"
+        assert rows["test_bench_m4_send_receive[0]"] == "M4"
+
+    def test_empty_input(self):
+        assert parse_benchmark_json({}) == []
+
+
+class TestRendering:
+    def test_human_median_units(self):
+        assert BenchRow("x", "M1", 5e-8, 0, 0, 1).human_median() \
+            == "50 ns"
+        assert BenchRow("x", "M1", 5e-6, 0, 0, 1).human_median() \
+            == "5.0 µs"
+        assert BenchRow("x", "M1", 5e-3, 0, 0, 1).human_median() \
+            == "5.00 ms"
+        assert BenchRow("x", "M1", 5.0, 0, 0, 1).human_median() \
+            == "5.00 s"
+
+    def test_markdown_table_shape(self):
+        table = markdown_table(parse_benchmark_json(FAKE))
+        lines = table.splitlines()
+        assert lines[0].startswith("| experiment |")
+        assert len(lines) == 2 + 7
+
+    def test_overhead_factors(self):
+        factors = overhead_factors(parse_benchmark_json(FAKE))
+        assert factors["request_vs_bare"] == pytest.approx(9e-5 / 1.6e-7)
+        assert factors["request_vs_static"] == pytest.approx(6.0)
+        assert factors["ipc_vs_bare"] == pytest.approx(1e-5 / 9e-8)
+
+    def test_render_report_end_to_end(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(FAKE))
+        report = render_report(str(path))
+        assert "# Benchmark timing report" in report
+        assert "Overhead factors" in report
+        assert "m2_w5_request" in report
+
+
+class TestAgainstRealBenchRun:
+    def test_parses_actual_pytest_benchmark_output(self, tmp_path):
+        """Run one tiny real bench with JSON output and parse it."""
+        import subprocess
+        import sys
+        out = tmp_path / "real.json"
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest",
+             "benchmarks/test_bench_m1_labels.py::test_bench_m1_full_check",
+             "--benchmark-only", f"--benchmark-json={out}", "-q",
+             "-p", "no:cacheprovider"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stdout + result.stderr
+        rows = parse_benchmark_json(json.loads(out.read_text()))
+        assert len(rows) == 1
+        assert rows[0].group == "M1"
+        assert rows[0].median_s > 0

@@ -1,0 +1,122 @@
+"""Property test: the perimeter is sound under fuzzed request streams.
+
+Hypothesis drives random populations, random friendships, random app
+requests (benign and adversarial) from random viewers, and asserts the
+global soundness invariant after every run: a client received a byte of
+some owner's secret only if, at that moment, the owner was the viewer
+or the owner's declassifier approved them.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import W5System
+
+USERS = ["u0", "u1", "u2", "u3"]
+APPS = ["photo-share", "blog", "social", "data-thief"]
+
+
+def secret_of(user: str) -> str:
+    return f"SECRET-{user}-PAYLOAD"
+
+
+@st.composite
+def scenarios(draw):
+    friendships = draw(st.sets(
+        st.tuples(st.sampled_from(USERS), st.sampled_from(USERS))
+        .filter(lambda p: p[0] < p[1]), max_size=6))
+    enablements = draw(st.sets(
+        st.tuples(st.sampled_from(USERS), st.sampled_from(APPS)),
+        max_size=12))
+    request = st.tuples(st.sampled_from(USERS),       # viewer
+                        st.sampled_from(APPS),        # app
+                        st.sampled_from(USERS))       # target owner
+    requests = draw(st.lists(request, max_size=15))
+    return friendships, enablements, requests
+
+
+class TestGatewayFuzz:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scenarios())
+    def test_no_unauthorized_bytes_ever_exit(self, scenario):
+        friendships, enablements, requests = scenario
+        friends_of = {u: set() for u in USERS}
+        for a, b in friendships:
+            friends_of[a].add(b)
+            friends_of[b].add(a)
+
+        w5 = W5System(with_adversaries=True)
+        for u in USERS:
+            w5.add_user(u, friends=sorted(friends_of[u]))
+            w5.provider.store_user_data(u, "secret.txt", secret_of(u))
+        for u, app in enablements:
+            w5.provider.enable_app(u, app)
+
+        for viewer, app, owner in requests:
+            client = w5.client(viewer)
+            if app == "photo-share":
+                client.get(f"/app/{app}/view", owner=owner,
+                           filename="secret.txt")
+                client.get(f"/app/{app}/list", owner=owner)
+            elif app == "blog":
+                client.get(f"/app/{app}/list", author=owner)
+            elif app == "social":
+                client.get(f"/app/{app}/profile", user=owner)
+            else:  # the thief
+                client.get(f"/app/{app}/go", victim=owner)
+
+        # global soundness: received secrets imply authorization
+        for owner in USERS:
+            authorized = friends_of[owner] | {owner}
+            for viewer in USERS:
+                if viewer in authorized:
+                    continue
+                assert not w5.client(viewer).ever_received(
+                    secret_of(owner)), (
+                    f"{viewer} obtained {owner}'s secret without "
+                    f"authorization (friends={friends_of[owner]})")
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scenarios())
+    def test_anonymous_never_receives_secrets(self, scenario):
+        friendships, enablements, requests = scenario
+        w5 = W5System(with_adversaries=True)
+        for u in USERS:
+            w5.add_user(u)
+            w5.provider.store_user_data(u, "secret.txt", secret_of(u))
+        for u, app in enablements:
+            w5.provider.enable_app(u, app)
+        anon = w5.anonymous_client()
+        for __, app, owner in requests:
+            anon.get(f"/app/{app}/view", owner=owner,
+                     filename="secret.txt")
+            anon.get(f"/app/{app}/go", victim=owner)
+        for owner in USERS:
+            assert not anon.ever_received(secret_of(owner))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scenarios())
+    def test_every_refusal_is_audited(self, scenario):
+        """Every 403 the fuzz run produces corresponds to at least one
+        DENY record in the audit log (no silent refusals)."""
+        friendships, enablements, requests = scenario
+        w5 = W5System(with_adversaries=True)
+        for u in USERS:
+            w5.add_user(u)
+            w5.provider.store_user_data(u, "secret.txt", secret_of(u))
+        for u, app in enablements:
+            w5.provider.enable_app(u, app)
+        refusals = 0
+        for viewer, app, owner in requests:
+            r = w5.client(viewer).get(f"/app/{app}/view", owner=owner,
+                                      filename="secret.txt")
+            if r.status == 403:
+                refusals += 1
+        denies = (w5.audit().count(category="export", allowed=False)
+                  + w5.audit().count(category="file_read", allowed=False)
+                  + w5.audit().count(category="label_change",
+                                     allowed=False))
+        assert denies >= refusals

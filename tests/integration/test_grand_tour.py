@@ -1,0 +1,116 @@
+"""The grand tour: one scenario through every subsystem at once.
+
+A provider with quotas and rate limits hosts a loaded social world;
+friends browse, adversaries attack, a user composes policies, the
+provider restarts from snapshot, and a peer provider mirrors an
+account — with the leak oracle and the audit log checked at the end.
+If a cross-subsystem interaction is broken, this is where it shows.
+"""
+
+import json
+
+import pytest
+
+from repro import W5System
+from repro.apps import STANDARD_CATALOG, ADVERSARIAL_CATALOG
+from repro.core import Metrics
+from repro.declassify import AllOf, FriendsOnly, TimeEmbargo
+from repro.federation import ProviderLink
+from repro.platform import (Provider, restore_provider, set_password,
+                            snapshot_provider)
+from repro.workloads import make_social_world, make_trace
+
+SECRET_PREFIX = "GRAND-TOUR-SECRET-"
+
+
+@pytest.mark.slow
+class TestGrandTour:
+    def test_everything_together(self):
+        # --- build: quotas + adversaries + a loaded world -------------
+        world = make_social_world(n_users=8, photos_per_user=1,
+                                  posts_per_user=1, seed=77)
+        w5 = W5System(
+            with_adversaries=True,
+            quota_overrides={"app:resource-hog": {"syscalls": 50}})
+        metrics = Metrics(w5.audit())
+        w5.load_world(world)
+        for user in world.users:
+            w5.provider.store_user_data(user, "secret.txt",
+                                        SECRET_PREFIX + user)
+
+        # --- traffic: a mixed trace served correctly ------------------
+        trace = make_trace(world.users, 60, seed=3)
+        for request in trace:
+            path, params = request.path_and_params()
+            w5.client(request.viewer).get(path, **params)
+
+        # --- adversaries: thief, hog, phone-home ----------------------
+        victim = world.users[0]
+        for app in ("data-thief", "phone-home", "resource-hog"):
+            w5.provider.enable_app(victim, app)
+        mallory = w5.add_user("mallory")
+        mallory.get("/app/data-thief/go", victim=victim)
+        mallory.get("/app/phone-home/go", victim=victim)
+        mallory.get("/app/resource-hog/go", spins=10_000)
+
+        # --- policy composition: friends AND embargo ------------------
+        composer = world.users[1]
+        w5.provider.revoke_declassifier(composer)
+        w5.provider.grant_declassifier(
+            composer, AllOf(
+                FriendsOnly({"friends": world.friend_list(composer)}),
+                TimeEmbargo({"release_at": 50.0})))
+        friend = world.friend_list(composer)[0]
+        r = w5.client(friend).get("/app/photo-share/list", owner=composer)
+        assert r.status == 403           # embargo still active
+        w5.provider.declass.now = 60.0
+        r = w5.client(friend).get("/app/photo-share/list", owner=composer)
+        assert r.ok                      # both conditions met
+
+        # --- restart: snapshot, restore, re-auth ----------------------
+        blob = json.dumps(snapshot_provider(w5.provider))
+        restored, report = restore_provider(
+            json.loads(blob),
+            app_catalog=list(STANDARD_CATALOG) + list(ADVERSARIAL_CATALOG))
+        assert report["missing_apps"] == []
+        set_password(restored, victim, "fresh")
+        from repro.net import ExternalClient
+        back = ExternalClient(victim, restored.transport())
+        back.login("fresh")
+        assert back.get("/app/photo-share/list").ok
+
+        # --- federation: mirror the victim to a peer ------------------
+        peer = Provider(name="w5-peer")
+        peer.signup(victim, "pw")
+        link = ProviderLink(restored, peer)
+        link.link_account(victim)
+        link.grant_sync(victim)
+        link.sync_user(victim)
+        assert peer.read_user_data(victim, "secret.txt") \
+            == SECRET_PREFIX + victim
+        snoop = peer.kernel.spawn_trusted("snoop")
+        from repro.fs import FsView
+        from repro.labels import SecrecyViolation
+        with pytest.raises(SecrecyViolation):
+            FsView(peer.fs, snoop).read(f"/users/{victim}/secret.txt")
+
+        # --- the verdicts ---------------------------------------------
+        # 1. no secret ever reached anyone but its owner's audience
+        for user in world.users:
+            secret = SECRET_PREFIX + user
+            holders = [name for name in [*world.users, "mallory"]
+                       if name != user
+                       and w5.client(name).ever_received(secret)]
+            allowed = set(world.friend_list(user))
+            assert set(holders) <= allowed, (user, holders)
+        # 2. mallory specifically got nothing
+        assert not any(mallory.ever_received(SECRET_PREFIX + u)
+                       for u in world.users)
+        # 3. mallory's mail server stayed empty
+        assert w5.provider.email.mailbox(
+            "mallory@evil.example").messages == []
+        # 4. the hog was throttled
+        assert w5.resources.denial_count("syscalls") >= 1
+        # 5. the system was busy and the audit log saw it all
+        assert metrics.count("export") > 50
+        assert metrics.count("export", allowed=False) >= 1

@@ -1,0 +1,79 @@
+"""Property tests: the HTTP front door never melts down or leaks.
+
+Random (often garbage) paths, params, and cookies against a loaded
+provider.  Invariants:
+
+* every request yields a structured HttpResponse with a known status;
+* no response body ever contains a traceback or internal exception
+  text;
+* no response to an unauthenticated or wrong-user request ever
+  contains the planted secret.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import W5System
+from repro.net import HttpRequest
+
+SECRET = "PLANTED-SECRET-0xBEEF"
+
+KNOWN_STATUSES = {200, 400, 403, 404, 429, 500}
+
+
+def build_target():
+    w5 = W5System(with_adversaries=True)
+    bob = w5.add_user("bob", apps=["blog", "photo-share", "data-thief"])
+    bob.get("/app/blog/post", title="t", body=SECRET)
+    w5.provider.store_user_data("bob", "diary.txt", SECRET)
+    return w5
+
+
+_TARGET = build_target()
+
+
+path_segments = st.lists(
+    st.one_of(
+        st.sampled_from(["app", "policy", "login", "signup", "search",
+                         "blog", "photo-share", "data-thief", "read",
+                         "view", "go", "..", "", "%00", "\x00", "a" * 200]),
+        st.text(max_size=12)),
+    max_size=5)
+
+params = st.dictionaries(
+    st.sampled_from(["title", "author", "owner", "victim", "filename",
+                     "username", "password", "app", "q", "k", "note"]),
+    st.one_of(st.text(max_size=20), st.integers(), st.none(),
+              st.sampled_from(["bob", "t", "diary.txt", "-1", "1e309"])),
+    max_size=5)
+
+cookies = st.dictionaries(
+    st.sampled_from(["w5_session", "junk"]),
+    st.text(max_size=24), max_size=2)
+
+
+class TestHttpFuzz:
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(path_segments, params, cookies,
+           st.sampled_from(["GET", "POST", "PUT", ""]))
+    def test_front_door_is_total_and_tight(self, segments, query,
+                                           jar, method):
+        path = "/" + "/".join(segments)
+        request = HttpRequest(method=method or "GET", path=path,
+                              params=dict(query), cookies=dict(jar))
+        response = _TARGET.provider.handle_request(request)
+        assert response.status in KNOWN_STATUSES
+        body_text = repr(response.body)
+        assert "Traceback" not in body_text
+        assert SECRET not in body_text
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params)
+    def test_thief_app_never_leaks_to_fuzzer(self, query):
+        """Even aiming the thief app directly with fuzzy params."""
+        request = HttpRequest(method="GET", path="/app/data-thief/go",
+                              params={**dict(query), "victim": "bob"})
+        response = _TARGET.provider.handle_request(request)
+        assert SECRET not in repr(response.body)

@@ -1,0 +1,101 @@
+"""Joint ownership: data tagged with TWO users' tags.
+
+The paper's commingling story implies data that belongs to several
+people at once (a photo of bob and amy together).  In DIFC that is
+just a two-tag label, and everything composes: reading needs both
+taints, writing needs both write privileges, and export needs BOTH
+owners' declassifiers to approve the viewer.
+"""
+
+import pytest
+
+from repro import W5System
+from repro.fs import FsView
+from repro.labels import (CapabilitySet, IntegrityViolation, Label,
+                          SecrecyViolation)
+
+
+@pytest.fixture()
+def world():
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["photo-share"], friends=["amy", "carl"])
+    amy = w5.add_user("amy", apps=["photo-share"], friends=["bob"])
+    carl = w5.add_user("carl", apps=["photo-share"], friends=["bob"])
+    p = w5.provider
+    acc_bob, acc_amy = p.account("bob"), p.account("amy")
+    # a trusted agent holding both users' authority stores the joint photo
+    agent = p.kernel.spawn_trusted(
+        "joint-agent",
+        slabel=Label([acc_bob.data_tag, acc_amy.data_tag]),
+        ilabel=Label([acc_bob.write_tag, acc_amy.write_tag]),
+        caps=CapabilitySet.owning(acc_bob.data_tag, acc_amy.data_tag,
+                                  acc_bob.write_tag, acc_amy.write_tag))
+    agent_fs = FsView(p.fs, agent)
+    agent_fs.mkdir("/users/bob/photos",
+                   slabel=Label([acc_bob.data_tag]),
+                   ilabel=Label([acc_bob.write_tag]))
+    agent_fs.create(
+        "/users/bob/photos/joint.jpg", "<bob+amy at the party>",
+        slabel=Label([acc_bob.data_tag, acc_amy.data_tag]),
+        ilabel=Label([acc_bob.write_tag, acc_amy.write_tag]))
+    p.kernel.exit(agent)
+    return w5
+
+
+class TestJointLabels:
+    def test_single_taint_cannot_read(self, world):
+        p = world.provider
+        only_bob = p.kernel.spawn_trusted(
+            "r", slabel=Label([p.account("bob").data_tag]))
+        with pytest.raises(SecrecyViolation):
+            FsView(p.fs, only_bob).read("/users/bob/photos/joint.jpg")
+
+    def test_double_taint_reads(self, world):
+        p = world.provider
+        both = p.kernel.spawn_trusted(
+            "r", slabel=Label([p.account("bob").data_tag,
+                               p.account("amy").data_tag]))
+        assert FsView(p.fs, both).read("/users/bob/photos/joint.jpg") \
+            == "<bob+amy at the party>"
+
+    def test_single_write_privilege_cannot_modify(self, world):
+        from repro.labels import plus
+        p = world.provider
+        both_read = Label([p.account("bob").data_tag,
+                           p.account("amy").data_tag])
+        half_writer = p.kernel.spawn_trusted(
+            "w", slabel=both_read,
+            caps=CapabilitySet([plus(p.account("bob").write_tag)]))
+        with pytest.raises(IntegrityViolation):
+            FsView(p.fs, half_writer).write("/users/bob/photos/joint.jpg",
+                                            "cropped")
+
+    def test_export_needs_both_owners_consent(self, world):
+        """carl is bob's friend but not amy's: the joint photo must
+        not reach him; amy's friend-of-both... nobody but bob and amy
+        themselves qualify here."""
+        p = world.provider
+        joint = Label([p.account("bob").data_tag,
+                       p.account("amy").data_tag])
+        from repro.net import ExportViolation
+        # carl: approved by bob's declassifier only
+        with pytest.raises(ExportViolation):
+            p.gateway.export_check(joint, "carl")
+        # amy: her own tag + bob's friends-only grant covers bob's tag
+        p.gateway.export_check(joint, "amy")
+        # bob: symmetric
+        p.gateway.export_check(joint, "bob")
+
+    def test_app_pipeline_respects_joint_label(self, world):
+        carl = world.client("carl")
+        r = carl.get("/app/photo-share/view", owner="bob",
+                     filename="joint.jpg")
+        assert r.status in (403, 500)
+        assert not carl.ever_received("<bob+amy at the party>")
+        amy = world.client("amy")
+        r = amy.get("/app/photo-share/view", owner="bob",
+                    filename="joint.jpg")
+        # amy must first taint with bob's tag (enabled app) AND may
+        # receive the result (both declassifiers approve her)
+        assert r.ok
+        assert r.body["data"] == "<bob+amy at the party>"

@@ -1,0 +1,132 @@
+"""End-to-end lifecycle scenarios across many subsystems at once."""
+
+import pytest
+
+from repro import W5System
+from repro.platform import AppModule, NotAuthorized
+
+
+class TestForkAndVersionLifecycle:
+    def test_fork_acquires_users_instantly(self):
+        """§2: 'At that point, the customizing developer has a pool of
+        users (who need only check a box)' — and module preferences
+        switch per user with no data movement."""
+        w5 = W5System()
+        provider = w5.provider
+        bob = w5.add_user("bob", apps=["photo-share"])
+        amy = w5.add_user("amy", apps=["photo-share"])
+        for c in (bob, amy):
+            c.get("/app/photo-share/upload", filename="p.jpg", data="RAW")
+
+        def crop_fork(ctx, data, width, height):
+            return f"cropped[{width}x{height},forked]:{data}"
+        provider.fork_app("crop-basic", "indie", new_name="crop-forked",
+                          handler=crop_fork)
+
+        # bob switches, amy stays — same photos, different code paths
+        bob.post("/policy/prefer", params={"slot": "cropper",
+                                           "module": "crop-forked"})
+        bob.get("/app/photo-share/crop", filename="p.jpg")
+        amy.get("/app/photo-share/crop", filename="p.jpg")
+        assert "forked" in bob.get("/app/photo-share/view",
+                                   filename="p.jpg").body["data"]
+        assert "center" in amy.get("/app/photo-share/view",
+                                   filename="p.jpg").body["data"]
+
+    def test_version_pinning_via_url(self):
+        """§2: users can run 'version X.Y of that Web application, not
+        the latest' by navigating to a versioned URL."""
+        w5 = W5System()
+        provider = w5.provider
+
+        def v1(ctx):
+            return {"version": "one"}
+
+        def v2(ctx):
+            return {"version": "two"}
+        provider.register_app(AppModule("greeter", "dev", v1,
+                                        version="1.0"))
+        provider.register_app(AppModule("greeter", "dev", v2,
+                                        version="2.0"))
+        bob = w5.add_user("bob", apps=["greeter"])
+        assert bob.get("/app/greeter/go").body == {"version": "two"}
+        assert bob.get("/app/greeter@1.0/go").body == {"version": "one"}
+
+    def test_closed_source_runs_but_hides_source(self):
+        w5 = W5System(with_adversaries=True)
+        provider = w5.provider
+        module = provider.apps.get("data-thief")
+        assert not module.source_open
+        with pytest.raises(NotAuthorized):
+            provider.apps.source_of("data-thief")
+        with pytest.raises(NotAuthorized):
+            provider.apps.fork("data-thief", "copycat")
+        # yet it executes fine (for its victim, who opted in)
+        bob = w5.add_user("bob", apps=["data-thief"])
+        w5.provider.store_user_data("bob", "f", "x")
+        assert bob.get("/app/data-thief/go", victim="bob").ok
+
+
+class TestRevocationLifecycle:
+    def test_declassifier_revocation_closes_the_hole(self):
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"], friends=["amy"])
+        amy = w5.add_user("amy", apps=["blog"], friends=["bob"])
+        bob.get("/app/blog/post", title="t", body="visible-to-amy")
+        assert amy.get("/app/blog/read", author="bob", title="t").ok
+        # bob revokes; amy's next request bounces
+        w5.provider.revoke_declassifier("bob")
+        r = amy.get("/app/blog/read", author="bob", title="t")
+        assert r.status == 403
+
+    def test_disable_app_revokes_read(self):
+        w5 = W5System(with_adversaries=True)
+        bob = w5.add_user("bob", apps=["data-thief"])
+        w5.provider.store_user_data("bob", "f", "x")
+        assert bob.get("/app/data-thief/go", victim="bob").ok
+        w5.provider.disable_app("bob", "data-thief")
+        r = bob.get("/app/data-thief/go", victim="bob")
+        assert r.status in (403, 500)
+
+    def test_regranting_restores(self):
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"], friends=[])
+        amy = w5.add_user("amy", apps=["blog"], friends=["bob"])
+        bob.get("/app/blog/post", title="t", body="b")
+        assert amy.get("/app/blog/read", author="bob",
+                       title="t").status == 403
+        w5.provider.grant_builtin_declassifier("bob", "friends-only",
+                                               {"friends": ["amy"]})
+        assert amy.get("/app/blog/read", author="bob", title="t").ok
+
+
+class TestMixedPolicyWorld:
+    def test_embargo_and_friends_compose(self):
+        """A user may hold several grants; release happens when any
+        approves — the union-of-policies semantics."""
+        from repro.declassify import TimeEmbargo
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"], friends=["amy"])
+        amy = w5.add_user("amy", apps=["blog"], friends=["bob"])
+        eve = w5.add_user("eve", apps=["blog"])
+        w5.grant_declassifier("bob", TimeEmbargo({"release_at": 100.0}))
+        bob.get("/app/blog/post", title="t", body="embargoed")
+        # before the embargo: friend yes (friends-only), stranger no
+        assert amy.get("/app/blog/read", author="bob", title="t").ok
+        assert eve.get("/app/blog/read", author="bob",
+                       title="t").status == 403
+        # after the embargo: everyone
+        w5.provider.declass.now = 200.0
+        assert eve.get("/app/blog/read", author="bob", title="t").ok
+
+    def test_public_declassifier_opens_to_anonymous(self):
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"])
+        w5.provider.grant_builtin_declassifier("bob", "public")
+        bob.get("/app/blog/post", title="t", body="hello world")
+        anon = w5.anonymous_client()
+        # anonymous can't *run* the blog app (needs login), but bob's
+        # tag no longer blocks exports to anonymous:
+        from repro.labels import Label
+        tag = w5.provider.account("bob").data_tag
+        w5.provider.gateway.export_check(Label([tag]), None)

@@ -1,0 +1,102 @@
+"""The oracle and the mechanism agree.
+
+The gateway decides exports with a fast-path oracle
+(:meth:`DeclassificationService.authority_for`); the paper's actual
+mechanism is a *declassifier process* holding ``t-`` and pumping data
+through its endpoints (:class:`KernelDeclassifier`).  If the two ever
+disagreed, the audit story would describe a different system than the
+one enforced.  This property test drives both with the same random
+policies and viewers and requires identical verdicts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.declassify import (DeclassificationService, FriendsOnly, Group,
+                              KernelDeclassifier, Public, ReleaseRefused,
+                              TimeEmbargo)
+from repro.kernel import Kernel, RECV, SEND
+from repro.labels import Label
+
+USERS = ["bob", "amy", "carl", None]
+
+
+def build_policy(kind, config_users, release_at):
+    if kind == "public":
+        return Public()
+    if kind == "friends":
+        return FriendsOnly({"friends": config_users})
+    if kind == "group":
+        return Group({"members": config_users})
+    return TimeEmbargo({"release_at": release_at})
+
+
+policy_spec = st.tuples(
+    st.sampled_from(["public", "friends", "group", "embargo"]),
+    st.lists(st.sampled_from([u for u in USERS if u]), max_size=2),
+    st.floats(min_value=0, max_value=200))
+
+
+class TestOracleMatchesMechanism:
+    @settings(max_examples=80, deadline=None)
+    @given(policy_spec, st.sampled_from(USERS),
+           st.floats(min_value=0, max_value=200))
+    def test_pump_succeeds_iff_oracle_approves(self, spec, viewer, clock):
+        kind, config_users, release_at = spec
+        policy = build_policy(kind, config_users, release_at)
+
+        # --- the oracle's answer -----------------------------------
+        kernel = Kernel()
+        svc = DeclassificationService(kernel)
+        svc.now = clock
+        root = kernel.spawn_trusted("root")
+        tag = kernel.create_tag(root, purpose="bob-data",
+                                tag_owner="bob")
+        svc.grant("bob", tag, policy)
+        oracle_says = svc.authority_for(viewer).can_remove(tag)
+
+        # --- the mechanism's answer --------------------------------
+        producer = kernel.spawn_trusted("app", slabel=Label([tag]))
+        out = kernel.create_endpoint(producer, direction=SEND)
+        consumer = kernel.spawn_trusted("renderer")
+        inbox = kernel.create_endpoint(consumer, direction=RECV)
+        declas = KernelDeclassifier(kernel, tag,
+                                    build_policy(kind, config_users,
+                                                 release_at),
+                                    owner="bob", clock=lambda: clock)
+        kernel.send(producer, out, declas.inbox, "payload")
+        try:
+            declas.pump(viewer, inbox)
+            mechanism_says = True
+        except ReleaseRefused:
+            mechanism_says = False
+
+        assert oracle_says == mechanism_says, (
+            f"oracle={oracle_says} mechanism={mechanism_says} for "
+            f"{kind} config={config_users} viewer={viewer} t={clock}")
+
+    @settings(max_examples=40, deadline=None)
+    @given(policy_spec, st.sampled_from(USERS))
+    def test_mechanism_delivery_reaches_consumer_exactly_on_approval(
+            self, spec, viewer):
+        kind, config_users, release_at = spec
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        tag = kernel.create_tag(root, purpose="bob", tag_owner="bob")
+        producer = kernel.spawn_trusted("app", slabel=Label([tag]))
+        out = kernel.create_endpoint(producer, direction=SEND)
+        consumer = kernel.spawn_trusted("renderer")
+        inbox = kernel.create_endpoint(consumer, direction=RECV)
+        declas = KernelDeclassifier(
+            kernel, tag, build_policy(kind, config_users, release_at),
+            owner="bob", clock=lambda: 150.0)
+        kernel.send(producer, out, declas.inbox, "payload")
+        try:
+            declas.pump(viewer, inbox)
+            delivered = kernel.pending(consumer) == 1
+            approved = True
+        except ReleaseRefused:
+            delivered = kernel.pending(consumer) == 0
+            approved = False
+        # delivery happens exactly when approved; never half-way
+        assert delivered, f"approved={approved} but queue inconsistent"

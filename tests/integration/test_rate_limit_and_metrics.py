@@ -1,0 +1,122 @@
+"""Tests for gateway rate limiting and the metrics aggregator."""
+
+import pytest
+
+from repro.core import Metrics
+from repro.kernel import AuditLog
+from repro.net import ExternalClient
+from repro.platform import AppModule, Provider
+
+
+def echo(ctx):
+    return {"ok": True}
+
+
+class TestRateLimiting:
+    def _provider(self, limit):
+        p = Provider(rate_limit=limit)
+        p.register_app(AppModule("echo", "dev", echo))
+        p.signup("bob", "pw")
+        p.enable_app("bob", "echo")
+        return p
+
+    def test_within_limit_unaffected(self):
+        p = self._provider(limit=50)
+        bob = ExternalClient("bob", p.transport())
+        bob.login("pw")
+        for __ in range(10):
+            assert bob.get("/app/echo/go").ok
+
+    def test_over_limit_gets_429(self):
+        p = self._provider(limit=5)
+        bob = ExternalClient("bob", p.transport())
+        bob.login("pw")
+        statuses = [bob.get("/app/echo/go").status for __ in range(10)]
+        assert statuses.count(429) >= 4
+        assert p.gateway.rate_limited >= 4
+
+    def test_limit_is_per_principal(self):
+        p = self._provider(limit=5)
+        p.signup("amy", "pw")
+        p.enable_app("amy", "echo")
+        bob = ExternalClient("bob", p.transport())
+        bob.login("pw")
+        amy = ExternalClient("amy", p.transport())
+        amy.login("pw")
+        for __ in range(7):
+            bob.get("/app/echo/go")
+        # bob is throttled; amy is untouched
+        assert bob.get("/app/echo/go").status == 429
+        assert amy.get("/app/echo/go").ok
+
+    def test_window_resets(self):
+        p = self._provider(limit=3)
+        p.gateway.rate_window = 10
+        bob = ExternalClient("bob", p.transport())
+        bob.login("pw")
+        for __ in range(9):
+            bob.get("/app/echo/go")
+        # crossing the window boundary clears the buckets
+        results = [bob.get("/app/echo/go").status for __ in range(4)]
+        assert 200 in results
+
+    def test_no_limit_by_default(self):
+        p = self._provider(limit=None)
+        bob = ExternalClient("bob", p.transport())
+        bob.login("pw")
+        assert all(bob.get("/app/echo/go").ok for __ in range(50))
+
+    def test_anonymous_shares_a_bucket(self):
+        p = self._provider(limit=5)
+        a = ExternalClient("x", p.transport())
+        b = ExternalClient("y", p.transport())
+        for __ in range(3):
+            a.get("/")
+            b.get("/")
+        assert b.get("/").status == 429
+
+
+class TestMetrics:
+    def test_counts_existing_and_new_events(self):
+        log = AuditLog()
+        log.record("send", True, "a", "pre-existing")
+        metrics = Metrics(log)
+        log.record("send", False, "a", "after-attach")
+        assert metrics.count("send") == 2
+        assert metrics.count("send", allowed=False) == 1
+
+    def test_denial_rate(self):
+        log = AuditLog()
+        metrics = Metrics(log)
+        assert metrics.denial_rate("export") == 0.0
+        log.record("export", True, "gw", "x")
+        log.record("export", False, "gw", "y")
+        assert metrics.denial_rate("export") == 0.5
+
+    def test_busiest_and_most_denied(self):
+        log = AuditLog()
+        metrics = Metrics(log)
+        for __ in range(5):
+            log.record("send", True, "chatty", "x")
+        log.record("send", False, "shady", "y")
+        assert metrics.busiest_subjects(1)[0][0] == "chatty"
+        assert metrics.top_denied_subjects(1)[0] == ("shady", 1)
+
+    def test_snapshot_keys(self):
+        log = AuditLog()
+        metrics = Metrics(log)
+        log.record("export", True, "gw", "x")
+        log.record("export", False, "gw", "y")
+        snap = metrics.snapshot()
+        assert snap == {"export.allow": 1, "export.deny": 1}
+
+    def test_live_on_a_real_provider(self):
+        from repro import W5System
+        w5 = W5System()
+        metrics = Metrics(w5.audit())
+        bob = w5.add_user("bob", apps=["blog"])
+        eve = w5.add_user("eve", apps=["blog"])
+        bob.get("/app/blog/post", title="t", body="b")
+        eve.get("/app/blog/read", author="bob", title="t")
+        assert metrics.count("export", allowed=False) >= 1
+        assert metrics.denial_rate("export") > 0.0

@@ -1,0 +1,59 @@
+"""Scale smoke tests: the invariants hold on a larger world."""
+
+import pytest
+
+from repro import W5System
+from repro.workloads import make_social_world, make_trace
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_fifty_users_five_hundred_requests(self):
+        world = make_social_world(n_users=50, photos_per_user=1,
+                                  posts_per_user=1, seed=99)
+        w5 = W5System()
+        w5.load_world(world)
+        trace = make_trace(world.users, 500, seed=4)
+        served = refused = 0
+        for request in trace:
+            path, params = request.path_and_params()
+            r = w5.client(request.viewer).get(path, **params)
+            if r.ok:
+                served += 1
+            elif r.status == 403:
+                refused += 1
+        assert served + refused == len(trace)
+
+        # spot-check the leak oracle across the whole population
+        for user in world.users[:10]:
+            secret = world.photos[user][0]["bytes"]
+            allowed = set(world.friend_list(user)) | {user}
+            for other in world.users:
+                if other in allowed:
+                    continue
+                assert not w5.client(other).ever_received(secret), (
+                    user, other)
+
+    def test_tag_space_scales(self):
+        """100 users = 200 tags; label ops stay correct at that size."""
+        w5 = W5System()
+        for i in range(100):
+            w5.add_user(f"user{i:03d}")
+        assert len(w5.provider.usernames()) == 100
+        tags = {w5.provider.account(f"user{i:03d}").data_tag.tag_id
+                for i in range(100)}
+        assert len(tags) == 100  # all distinct
+
+    def test_deep_label_compositions(self):
+        """A process tainted with 100 tags still round-trips checks."""
+        from repro.labels import Label
+        w5 = W5System()
+        users = [w5.add_user(f"u{i}") and f"u{i}" for i in range(100)]
+        all_tags = [w5.provider.account(u).data_tag for u in users]
+        proc = w5.provider.kernel.spawn_trusted(
+            "wide", slabel=Label(all_tags))
+        assert len(proc.slabel) == 100
+        # export needs all 100 authorities; no viewer has them
+        from repro.net import ExportViolation
+        with pytest.raises(ExportViolation):
+            w5.provider.gateway.export_check(proc.slabel, "u0")

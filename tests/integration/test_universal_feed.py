@@ -1,0 +1,69 @@
+"""Tests for the provider's value-level universal feed (/feed)."""
+
+import pytest
+
+from repro import W5System
+
+
+@pytest.fixture()
+def world():
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["blog"], friends=["amy"])
+    amy = w5.add_user("amy", apps=["blog"], friends=["bob"])
+    eve = w5.add_user("eve", apps=["blog"])
+    bob.get("/app/blog/post", title="bob-1", body="x")
+    amy.get("/app/blog/post", title="amy-1", body="y")
+    eve.get("/app/blog/post", title="eve-1", body="z")
+    return w5, bob, amy, eve
+
+
+class TestUniversalFeed:
+    def test_viewer_gets_authorized_subset(self, world):
+        w5, bob, amy, eve = world
+        r = bob.get("/feed")
+        assert r.ok
+        authors = {item["author"] for item in r.body["feed"]}
+        # bob sees his own and amy's (friend), not eve's
+        assert authors == {"bob", "amy"}
+        assert r.body["withheld"] == 1
+
+    def test_partial_delivery_not_403(self, world):
+        """The A2 payoff in the live platform: mixed provenance no
+        longer collapses to all-or-nothing."""
+        w5, bob, amy, eve = world
+        r = bob.get("/feed")
+        assert r.status == 200
+        assert len(r.body["feed"]) == 2
+
+    def test_stranger_sees_only_own(self, world):
+        w5, bob, amy, eve = world
+        r = eve.get("/feed")
+        assert {i["author"] for i in r.body["feed"]} == {"eve"}
+        assert r.body["withheld"] == 2
+
+    def test_anonymous_sees_nothing_private(self, world):
+        w5, *_ = world
+        anon = w5.anonymous_client()
+        r = anon.get("/feed")
+        assert r.ok
+        assert r.body["feed"] == []
+        assert r.body["withheld"] == 3
+
+    def test_no_bodies_only_titles(self, world):
+        """The universal feed deliberately exposes titles/authors, not
+        bodies (metadata postured like the guestbook's markers)."""
+        w5, bob, *_ = world
+        r = bob.get("/feed")
+        assert all(set(item) == {"author", "title"}
+                   for item in r.body["feed"])
+
+    def test_empty_platform(self):
+        w5 = W5System()
+        anon = w5.anonymous_client()
+        r = anon.get("/feed")
+        assert r.ok and r.body["feed"] == []
+
+    def test_k_limits(self, world):
+        w5, bob, *_ = world
+        r = bob.get("/feed", k=1)
+        assert len(r.body["feed"]) == 1

@@ -1,0 +1,119 @@
+"""Integration tests: the W5System facade end to end."""
+
+import pytest
+
+from repro import W5System
+from repro.workloads import make_social_world
+
+
+class TestFacadeBasics:
+    def test_add_user_and_client(self):
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"])
+        assert bob.logged_in()
+        assert w5.client("bob") is bob
+
+    def test_quickstart_scenario(self):
+        """The README quickstart, verified."""
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["photo-share"], friends=["amy"])
+        amy = w5.add_user("amy", apps=["photo-share"], friends=["bob"])
+        bob.get("/app/photo-share/upload", filename="x.jpg", data="<jpeg>")
+        r = amy.get("/app/photo-share/view", owner="bob", filename="x.jpg")
+        assert r.body["data"] == "<jpeg>"
+
+    def test_befriend_updates_both_layers(self):
+        w5 = W5System()
+        w5.add_user("bob", apps=["social", "blog"])
+        w5.add_user("amy", apps=["social", "blog"])
+        w5.befriend("bob", "amy")
+        # app layer
+        assert w5.client("bob").get(
+            "/app/social/friends").body["friends"] == ["amy"]
+        # policy layer: amy may now receive bob's data
+        amy_auth = w5.provider._authority_for("amy")
+        assert amy_auth.can_remove(w5.provider.account("bob").data_tag)
+
+    def test_leak_check(self):
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["blog"])
+        bob.get("/app/blog/post", title="t", body="FINDME")
+        bob.get("/app/blog/read", title="t")
+        report = w5.leak_check("FINDME", "MISSING")
+        assert report["FINDME"] == ["bob"]
+        assert report["MISSING"] == []
+
+    def test_anonymous_client_public_root(self):
+        w5 = W5System()
+        anon = w5.anonymous_client()
+        r = anon.get("/")
+        assert r.ok and "photo-share" in r.body["apps"]
+
+    def test_code_search_over_catalog(self):
+        w5 = W5System()
+        bob = w5.add_user("bob", apps=["photo-share"])
+        bob.get("/app/photo-share/upload", filename="x.jpg", data="d")
+        bob.get("/app/photo-share/crop", filename="x.jpg")
+        ranked = w5.code_search(k=30)
+        assert "crop-basic" in ranked  # usage edge observed
+
+
+class TestWorldLoading:
+    def test_load_world_populates_everything(self):
+        w5 = W5System()
+        world = make_social_world(n_users=6, photos_per_user=1,
+                                  posts_per_user=1)
+        w5.load_world(world)
+        user = world.users[0]
+        client = w5.client(user)
+        photos = client.get("/app/photo-share/list").body["photos"]
+        assert len(photos) == 1
+        titles = client.get("/app/blog/list").body["titles"]
+        assert len(titles) == 1
+
+    def test_friends_can_browse_loaded_world(self):
+        w5 = W5System()
+        world = make_social_world(n_users=6, photos_per_user=1, seed=9)
+        w5.load_world(world)
+        user = world.users[0]
+        friends = world.friend_list(user)
+        assert friends
+        friend = friends[0]
+        r = w5.client(friend).get("/app/photo-share/list", owner=user)
+        assert r.ok and len(r.body["photos"]) == 1
+
+    def test_strangers_blocked_in_loaded_world(self):
+        w5 = W5System()
+        world = make_social_world(n_users=8, photos_per_user=1, seed=9)
+        w5.load_world(world)
+        user = world.users[0]
+        strangers = [u for u in world.users
+                     if u != user and not world.are_friends(user, u)]
+        assert strangers
+        secret = world.photos[user][0]["bytes"]
+        r = w5.client(strangers[0]).get("/app/photo-share/view",
+                                        owner=user,
+                                        filename=world.photos[user][0]
+                                        ["filename"])
+        assert r.status in (403, 500)
+        assert not w5.client(strangers[0]).ever_received(secret)
+
+
+class TestQuotasThroughFacade:
+    def test_quota_override_throttles_one_app(self):
+        w5 = W5System(
+            with_adversaries=True,
+            quota_overrides={"app:resource-hog": {"syscalls": 50}})
+        eve = w5.add_user("eve", apps=["resource-hog"])
+        r = eve.get("/app/resource-hog/go", spins=10_000)
+        # the hog was cut off mid-spin (LabelError/KernelError → 4xx/5xx)
+        assert r.status in (403, 500)
+        assert w5.resources.denial_count("syscalls") >= 1
+
+    def test_honest_apps_unaffected_by_override(self):
+        w5 = W5System(
+            with_adversaries=True,
+            quota_overrides={"app:resource-hog": {"syscalls": 10}})
+        bob = w5.add_user("bob", apps=["blog"])
+        bob.get("/app/blog/post", title="t", body="b")
+        assert bob.get("/app/blog/read", title="t").ok

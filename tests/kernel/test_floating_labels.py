@@ -1,0 +1,90 @@
+"""Tests for the Asbestos-style floating-label ablation mode."""
+
+import pytest
+
+from repro.kernel import Kernel, RECV, SEND
+from repro.labels import Label, SecrecyViolation
+
+
+def tainted_sender_world(floating):
+    kernel = Kernel(floating_labels=floating)
+    root = kernel.spawn_trusted("root")
+    t = kernel.create_tag(root, purpose="secret")
+    sender = kernel.spawn_trusted("tainted", slabel=Label([t]))
+    receiver = kernel.spawn_trusted("clean")
+    out = kernel.create_endpoint(sender, direction=SEND)
+    inbox = kernel.create_endpoint(receiver, direction=RECV)
+    return kernel, t, sender, receiver, out, inbox
+
+
+class TestFloatingMode:
+    def test_default_mode_refuses(self):
+        kernel, t, sender, receiver, out, inbox = \
+            tainted_sender_world(floating=False)
+        with pytest.raises(SecrecyViolation):
+            kernel.send(sender, out, inbox, "secret")
+
+    def test_floating_mode_absorbs_taint(self):
+        kernel, t, sender, receiver, out, inbox = \
+            tainted_sender_world(floating=True)
+        kernel.send(sender, out, inbox, "secret")
+        msg = kernel.receive(receiver)
+        assert msg.payload == "secret"
+        assert t in receiver.slabel  # the receiver floated up
+
+    def test_floated_receiver_is_now_confined(self):
+        """Safety is preserved: the floated receiver can no longer
+        send to clean processes either."""
+        kernel, t, sender, receiver, out, inbox = \
+            tainted_sender_world(floating=True)
+        kernel.send(sender, out, inbox, "secret")
+        kernel.receive(receiver)
+        third = kernel.spawn_trusted("third")
+        third_in = kernel.create_endpoint(third, direction=RECV)
+        # receiver's old endpoint floated with it, but a *clean-labeled*
+        # destination still refuses unless it floats too; forward taint:
+        recv_out = kernel.create_endpoint(receiver, direction=SEND)
+        kernel.send(receiver, recv_out, third_in, "relay")
+        kernel.receive(third)
+        assert t in third.slabel  # creep continues, but never leaks
+
+    def test_taint_creep_is_monotone(self):
+        """The ablation's point: after a gossip round, everyone who
+        ever heard from a tainted peer is tainted."""
+        kernel = Kernel(floating_labels=True)
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root)
+        procs = [kernel.spawn_trusted("p0", slabel=Label([t]))]
+        procs += [kernel.spawn_trusted(f"p{i}") for i in range(1, 6)]
+        endpoints = [(kernel.create_endpoint(p, direction=SEND),
+                      kernel.create_endpoint(p, direction=RECV))
+                     for p in procs]
+        # chain: p0 -> p1 -> ... -> p5
+        for i in range(5):
+            kernel.send(procs[i], endpoints[i][0], endpoints[i + 1][1],
+                        f"hop{i}")
+            kernel.receive(procs[i + 1])
+        assert all(t in p.slabel for p in procs)
+
+    def test_integrity_still_enforced_when_floating(self):
+        kernel = Kernel(floating_labels=True)
+        root = kernel.spawn_trusted("root")
+        i_tag = kernel.create_tag(root, kind="integrity")
+        from repro.labels import CapabilitySet, IntegrityViolation, plus
+        sender = kernel.spawn_trusted("unendorsed")
+        receiver = kernel.spawn_trusted(
+            "picky", ilabel=Label([i_tag]),
+            caps=CapabilitySet([plus(i_tag)]))
+        out = kernel.create_endpoint(sender, direction=SEND)
+        inbox = kernel.create_endpoint(receiver, direction=RECV,
+                                       ilabel=Label([i_tag]))
+        with pytest.raises(IntegrityViolation):
+            kernel.send(sender, out, inbox, "untrusted")
+
+    def test_float_events_audited(self):
+        kernel, t, sender, receiver, out, inbox = \
+            tainted_sender_world(floating=True)
+        kernel.send(sender, out, inbox, "x")
+        floats = [e for e in kernel.audit
+                  if e.category == "label_change" and "floated" in e.detail]
+        assert len(floats) == 1

@@ -1,0 +1,217 @@
+"""Unit tests for IPC: send/receive, flow enforcement, cap delegation."""
+
+import pytest
+
+from repro.labels import (CapabilityError, CapabilitySet, IntegrityViolation,
+                          Label, SecrecyViolation, minus, plus)
+from repro.kernel import (DeadProcess, EndpointMisuse, Kernel, MailboxEmpty,
+                          NoSuchEndpoint, RECV, SEND)
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+def make_pair(kernel, s_a=Label.EMPTY, s_b=Label.EMPTY,
+              caps_a=CapabilitySet.EMPTY, caps_b=CapabilitySet.EMPTY):
+    a = kernel.spawn_trusted("a", slabel=s_a, caps=caps_a)
+    b = kernel.spawn_trusted("b", slabel=s_b, caps=caps_b)
+    ep_a = kernel.create_endpoint(a, direction=SEND, name="a.out")
+    ep_b = kernel.create_endpoint(b, direction=RECV, name="b.in")
+    return a, b, ep_a, ep_b
+
+
+class TestBasicMessaging:
+    def test_roundtrip(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        kernel.send(a, ep_a, ep_b, {"hello": "world"}, topic="greet")
+        msg = kernel.receive(b, topic="greet")
+        assert msg.payload == {"hello": "world"}
+        assert msg.sender_pid == a.pid
+
+    def test_fifo_order(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        for i in range(5):
+            kernel.send(a, ep_a, ep_b, i)
+        got = [kernel.receive(b).payload for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_topic_filter(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        kernel.send(a, ep_a, ep_b, 1, topic="x")
+        kernel.send(a, ep_a, ep_b, 2, topic="y")
+        assert kernel.receive(b, topic="y").payload == 2
+        assert kernel.receive(b, topic="x").payload == 1
+
+    def test_endpoint_filter(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        ep_b2 = kernel.create_endpoint(b, direction=RECV, name="b.in2")
+        kernel.send(a, ep_a, ep_b2, "two")
+        with pytest.raises(MailboxEmpty):
+            kernel.receive(b, endpoint=ep_b)
+        assert kernel.receive(b, endpoint=ep_b2).payload == "two"
+
+    def test_empty_mailbox_raises(self, kernel):
+        __, b, __, __ = make_pair(kernel)
+        with pytest.raises(MailboxEmpty):
+            kernel.receive(b)
+
+    def test_pending_counts(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        kernel.send(a, ep_a, ep_b, 1, topic="x")
+        kernel.send(a, ep_a, ep_b, 2, topic="x")
+        kernel.send(a, ep_a, ep_b, 3, topic="y")
+        assert kernel.pending(b) == 3
+        assert kernel.pending(b, topic="x") == 2
+
+
+class TestEndpointMisuseCases:
+    def test_send_from_foreign_endpoint(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        with pytest.raises(EndpointMisuse):
+            kernel.send(b, ep_a, ep_b, "spoof")
+
+    def test_send_from_recv_endpoint(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        ep_a_in = kernel.create_endpoint(a, direction=RECV)
+        with pytest.raises(EndpointMisuse):
+            kernel.send(a, ep_a_in, ep_b, "x")
+
+    def test_send_to_send_endpoint(self, kernel):
+        a, b, ep_a, __ = make_pair(kernel)
+        ep_b_out = kernel.create_endpoint(b, direction=SEND)
+        with pytest.raises(EndpointMisuse):
+            kernel.send(a, ep_a, ep_b_out, "x")
+
+    def test_send_to_closed_endpoint(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        kernel.close_endpoint(b, ep_b)
+        with pytest.raises(NoSuchEndpoint):
+            kernel.send(a, ep_a, ep_b, "x")
+
+    def test_send_to_dead_process(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        kernel.exit(b)
+        with pytest.raises((DeadProcess, NoSuchEndpoint)):
+            kernel.send(a, ep_a, ep_b, "x")
+
+
+class TestFlowEnforcement:
+    def test_tainted_to_clean_refused(self, kernel):
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root)
+        a = kernel.spawn_trusted("tainted", slabel=Label([t]))
+        b = kernel.spawn_trusted("clean")
+        ep_a = kernel.create_endpoint(a, direction=SEND)
+        ep_b = kernel.create_endpoint(b, direction=RECV)
+        with pytest.raises(SecrecyViolation):
+            kernel.send(a, ep_a, ep_b, "secret")
+        # the denial is audited
+        assert kernel.audit.count(category="send", allowed=False) == 1
+
+    def test_clean_to_tainted_allowed(self, kernel):
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root)
+        a = kernel.spawn_trusted("clean")
+        b = kernel.spawn_trusted("tainted", slabel=Label([t]))
+        ep_a = kernel.create_endpoint(a, direction=SEND)
+        ep_b = kernel.create_endpoint(b, direction=RECV)
+        kernel.send(a, ep_a, ep_b, "public")
+        assert kernel.receive(b).payload == "public"
+
+    def test_receiver_can_accept_taint_via_declared_endpoint(self, kernel):
+        """A clean process holding t+ accepts tainted data by declaring
+        a tainted receive endpoint — the explicit Flume discipline."""
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root)
+        a = kernel.spawn_trusted("tainted", slabel=Label([t]))
+        b = kernel.spawn_trusted("reader", caps=CapabilitySet([plus(t)]))
+        ep_a = kernel.create_endpoint(a, direction=SEND)
+        ep_b = kernel.create_endpoint(b, direction=RECV, slabel=Label([t]))
+        kernel.send(a, ep_a, ep_b, "secret")
+        assert kernel.receive(b).payload == "secret"
+
+    def test_capabilities_never_apply_implicitly_at_send(self, kernel):
+        """The endpoint discipline's whole point: a declassifier
+        holding t- still cannot leak through its *default* (tainted)
+        endpoint — declassification must be an explicit act (declaring
+        the clean outlet), never a side effect of holding power."""
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root)
+        declas = kernel.spawn_trusted("declas", slabel=Label([t]),
+                                      caps=CapabilitySet([minus(t)]))
+        out_default = kernel.create_endpoint(declas, direction=SEND)
+        clean = kernel.spawn_trusted("outside")
+        inbox = kernel.create_endpoint(clean, direction=RECV)
+        with pytest.raises(SecrecyViolation):
+            kernel.send(declas, out_default, inbox, "oops")
+
+    def test_declassifier_endpoint_lets_data_out(self, kernel):
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root)
+        declas = kernel.spawn_trusted("declas", slabel=Label([t]),
+                                      caps=CapabilitySet([minus(t)]))
+        out = kernel.spawn_trusted("outside")
+        ep_d = kernel.create_endpoint(declas, slabel=Label.EMPTY,
+                                      direction=SEND)
+        ep_o = kernel.create_endpoint(out, direction=RECV)
+        kernel.send(declas, ep_d, ep_o, "approved-export")
+        assert kernel.receive(out).payload == "approved-export"
+
+    def test_integrity_required_by_receiver(self, kernel):
+        root = kernel.spawn_trusted("root")
+        i = kernel.create_tag(root, kind="integrity")
+        sender = kernel.spawn_trusted("unendorsed")
+        receiver = kernel.spawn_trusted("picky", ilabel=Label([i]),
+                                        caps=CapabilitySet([plus(i), minus(i)]))
+        ep_s = kernel.create_endpoint(sender, direction=SEND)
+        ep_r = kernel.create_endpoint(receiver, direction=RECV,
+                                      ilabel=Label([i]))
+        with pytest.raises(IntegrityViolation):
+            kernel.send(sender, ep_s, ep_r, "untrusted bits")
+
+    def test_endorsed_sender_passes_integrity(self, kernel):
+        root = kernel.spawn_trusted("root")
+        i = kernel.create_tag(root, kind="integrity")
+        sender = kernel.spawn_trusted("endorsed", ilabel=Label([i]))
+        receiver = kernel.spawn_trusted("picky", ilabel=Label([i]),
+                                        caps=CapabilitySet.owning(i))
+        ep_s = kernel.create_endpoint(sender, direction=SEND)
+        ep_r = kernel.create_endpoint(receiver, direction=RECV,
+                                      ilabel=Label([i]))
+        kernel.send(sender, ep_s, ep_r, "trusted bits")
+        assert kernel.receive(receiver).payload == "trusted bits"
+
+
+class TestCapabilityDelegation:
+    def test_grant_travels_with_message(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        t = kernel.create_tag(a)
+        kernel.send(a, ep_a, ep_b, "here are the keys",
+                    grant=CapabilitySet([plus(t), minus(t)]))
+        kernel.receive(b)
+        assert b.caps.owns(t)
+
+    def test_grant_applied_only_on_receive(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        t = kernel.create_tag(a)
+        kernel.send(a, ep_a, ep_b, "keys", grant=CapabilitySet([plus(t)]))
+        assert not b.caps.can_add(t)  # not yet received
+        kernel.receive(b)
+        assert b.caps.can_add(t)
+
+    def test_cannot_grant_unheld_caps(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        other = kernel.spawn_trusted("other")
+        t = kernel.create_tag(other)
+        with pytest.raises(CapabilityError):
+            kernel.send(a, ep_a, ep_b, "x", grant=CapabilitySet([plus(t)]))
+
+    def test_grant_check_precedes_delivery(self, kernel):
+        a, b, ep_a, ep_b = make_pair(kernel)
+        other = kernel.spawn_trusted("other")
+        t = kernel.create_tag(other)
+        with pytest.raises(CapabilityError):
+            kernel.send(a, ep_a, ep_b, "x", grant=CapabilitySet([minus(t)]))
+        assert kernel.pending(b) == 0

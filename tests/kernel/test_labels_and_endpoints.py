@@ -1,0 +1,128 @@
+"""Unit tests for label changes and endpoint declarations."""
+
+import pytest
+
+from repro.labels import (CapabilityError, CapabilitySet, Label,
+                          SecrecyViolation, minus, plus)
+from repro.kernel import EndpointMisuse, Kernel, RECV, SEND
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture()
+def proc(kernel):
+    return kernel.spawn_trusted("app")
+
+
+class TestLabelChange:
+    def test_raise_with_plus_cap(self, kernel, proc):
+        t = kernel.create_tag(proc)
+        kernel.drop_caps(proc, [minus(t)])
+        kernel.change_label(proc, secrecy=Label([t]))
+        assert t in proc.slabel
+
+    def test_raise_without_cap_refused(self, kernel, proc):
+        other = kernel.spawn_trusted("other")
+        t = kernel.create_tag(other)
+        with pytest.raises(CapabilityError):
+            kernel.change_label(proc, secrecy=Label([t]))
+
+    def test_lower_without_minus_refused(self, kernel, proc):
+        t = kernel.create_tag(proc)
+        kernel.change_label(proc, secrecy=Label([t]))
+        kernel.drop_caps(proc, [minus(t)])
+        with pytest.raises(CapabilityError):
+            kernel.change_label(proc, secrecy=Label.EMPTY)
+
+    def test_integrity_change(self, kernel, proc):
+        t = kernel.create_tag(proc, kind="integrity")
+        kernel.change_label(proc, integrity=Label([t]))
+        assert t in proc.ilabel
+
+    def test_refused_change_leaves_labels_intact(self, kernel, proc):
+        other = kernel.spawn_trusted("other")
+        t = kernel.create_tag(other)
+        with pytest.raises(CapabilityError):
+            kernel.change_label(proc, secrecy=Label([t]))
+        assert proc.slabel == Label.EMPTY
+
+    def test_syscall_helpers(self, kernel, proc):
+        sys = kernel.syscalls_for(proc)
+        t = sys.create_tag("x")
+        sys.raise_secrecy(t)
+        assert t in sys.my_secrecy()
+        sys.lower_secrecy(t)
+        assert t not in sys.my_secrecy()
+
+
+class TestEndpointDeclaration:
+    def test_default_endpoint_mirrors_process(self, kernel, proc):
+        t = kernel.create_tag(proc)
+        kernel.change_label(proc, secrecy=Label([t]))
+        ep = kernel.create_endpoint(proc)
+        assert ep.slabel == Label([t])
+
+    def test_endpoint_above_label_needs_plus(self, kernel, proc):
+        t = kernel.create_tag(proc)
+        kernel.drop_caps(proc, [minus(t)])
+        ep = kernel.create_endpoint(proc, slabel=Label([t]))
+        assert t in ep.slabel
+
+    def test_endpoint_below_label_needs_minus(self, kernel):
+        k = Kernel()
+        root = k.spawn_trusted("root")
+        t = k.create_tag(root)
+        # tainted process WITH t-: may declare a clean send endpoint
+        declas = k.spawn_trusted("declas", slabel=Label([t]),
+                                 caps=CapabilitySet([minus(t)]))
+        ep = k.create_endpoint(declas, slabel=Label.EMPTY, direction=SEND)
+        assert ep.slabel == Label.EMPTY
+        # tainted process WITHOUT t-: refused
+        tainted = k.spawn_trusted("tainted", slabel=Label([t]))
+        with pytest.raises(SecrecyViolation):
+            k.create_endpoint(tainted, slabel=Label.EMPTY, direction=SEND)
+
+    def test_unrelated_tag_refused(self, kernel, proc):
+        other = kernel.spawn_trusted("other")
+        t = kernel.create_tag(other)
+        with pytest.raises(SecrecyViolation):
+            kernel.create_endpoint(proc, slabel=Label([t]))
+
+    def test_bad_direction_rejected(self, kernel, proc):
+        with pytest.raises(EndpointMisuse):
+            kernel.create_endpoint(proc, direction="sideways")
+
+    def test_close_endpoint(self, kernel, proc):
+        ep = kernel.create_endpoint(proc)
+        kernel.close_endpoint(proc, ep)
+        assert ep.closed
+
+    def test_cannot_close_foreign_endpoint(self, kernel, proc):
+        other = kernel.spawn_trusted("other")
+        ep = kernel.create_endpoint(other)
+        with pytest.raises(EndpointMisuse):
+            kernel.close_endpoint(proc, ep)
+
+
+class TestEndpointRevalidation:
+    def test_label_change_closes_out_of_reach_endpoints(self, kernel, proc):
+        """After dropping t- the process can no longer keep a clean
+        endpoint while tainted: raising secrecy closes it."""
+        t = kernel.create_tag(proc)
+        clean_ep = kernel.create_endpoint(proc, slabel=Label.EMPTY,
+                                          direction=SEND, name="out")
+        kernel.drop_caps(proc, [minus(t)])
+        closed = kernel.change_label(proc, secrecy=Label([t]))
+        assert clean_ep in closed
+        assert clean_ep.closed
+
+    def test_endpoint_survives_if_still_reachable(self, kernel, proc):
+        t = kernel.create_tag(proc)
+        ep = kernel.create_endpoint(proc, name="flex")
+        # process keeps ownership of t, so the clean endpoint stays legal
+        closed = kernel.change_label(proc, secrecy=Label([t]))
+        assert ep not in closed
+        assert not ep.closed

@@ -1,0 +1,121 @@
+"""Direct coverage of the W5Syscalls facade (the only API apps get)."""
+
+import pytest
+
+from repro.kernel import Kernel, MailboxEmpty, RECV, SEND
+from repro.labels import CapabilitySet, Label, minus, plus
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture()
+def sys(kernel):
+    proc = kernel.spawn_trusted("app", owner_user="bob")
+    return kernel.syscalls_for(proc)
+
+
+class TestIntrospection:
+    def test_identity(self, sys):
+        assert sys.name == "app"
+        assert isinstance(sys.pid, int)
+
+    def test_labels_start_empty(self, sys):
+        assert sys.my_secrecy() == Label.EMPTY
+        assert sys.my_integrity() == Label.EMPTY
+        assert len(sys.my_caps()) == 0
+
+    def test_locals_scratch(self, sys):
+        sys.locals()["x"] = 42
+        assert sys.locals()["x"] == 42
+
+
+class TestLabelSyscalls:
+    def test_create_tag_confers_ownership(self, sys):
+        t = sys.create_tag("mine")
+        assert sys.my_caps().owns(t)
+        assert t.owner == "bob"  # inherited from the process owner
+
+    def test_raise_lower_roundtrip(self, sys):
+        t = sys.create_tag("x")
+        sys.raise_secrecy(t)
+        assert t in sys.my_secrecy()
+        sys.lower_secrecy(t)
+        assert t not in sys.my_secrecy()
+
+    def test_drop_caps_is_permanent(self, sys):
+        from repro.labels import CapabilityError
+        t = sys.create_tag("x")
+        sys.drop_caps(minus(t))
+        sys.raise_secrecy(t)  # still has plus
+        with pytest.raises(CapabilityError):
+            sys.lower_secrecy(t)
+
+    def test_change_label_integrity(self, sys):
+        t = sys.create_tag("w", kind="integrity")
+        sys.change_label(integrity=Label([t]))
+        assert t in sys.my_integrity()
+
+
+class TestIpcSyscalls:
+    def test_endpoint_lifecycle(self, sys):
+        ep = sys.create_endpoint(direction=RECV, name="in")
+        assert not ep.closed
+        sys.close_endpoint(ep)
+        assert ep.closed
+
+    def test_send_receive_between_children(self, sys):
+        """A parent spawns two children and bridges them."""
+        a = sys.spawn("child-a")
+        b = sys.spawn("child-b")
+        out = a.create_endpoint(direction=SEND)
+        inbox = b.create_endpoint(direction=RECV)
+        a.send(out, inbox, {"msg": "hi"}, topic="greet")
+        assert b.pending(topic="greet") == 1
+        assert b.receive(topic="greet").payload == {"msg": "hi"}
+
+    def test_grant_over_ipc(self, sys):
+        t = sys.create_tag("shared")
+        child = sys.spawn("child")
+        out = sys.create_endpoint(direction=SEND)
+        inbox = child.create_endpoint(direction=RECV)
+        sys.send(out, inbox, "keys", grant=CapabilitySet([plus(t)]))
+        child.receive()
+        assert child.my_caps().can_add(t)
+
+    def test_pending_empty(self, sys):
+        assert sys.pending() == 0
+        with pytest.raises(MailboxEmpty):
+            sys.receive()
+
+
+class TestProcessSyscalls:
+    def test_spawn_returns_child_handle(self, sys):
+        child = sys.spawn("worker")
+        assert child.name == "worker"
+        assert child.pid != sys.pid
+
+    def test_spawn_with_attenuated_grant(self, sys):
+        t = sys.create_tag("x")
+        child = sys.spawn("worker", grant=CapabilitySet([plus(t)]))
+        assert child.my_caps().can_add(t)
+        assert not child.my_caps().can_remove(t)
+
+    def test_child_inherits_owner_user(self, kernel, sys):
+        child = sys.spawn("worker")
+        assert kernel.process(child.pid).owner_user == "bob"
+
+    def test_exit(self, kernel, sys):
+        child = sys.spawn("worker")
+        child.exit(value="done")
+        assert not kernel.process(child.pid).alive
+        assert kernel.process(child.pid).exit_value == "done"
+
+    def test_exited_child_rejects_syscalls(self, sys):
+        from repro.kernel import DeadProcess
+        child = sys.spawn("worker")
+        child.exit()
+        with pytest.raises(DeadProcess):
+            child.create_tag("too-late")

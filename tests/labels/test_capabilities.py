@@ -1,0 +1,95 @@
+"""Unit tests for capabilities and capability sets."""
+
+import pytest
+
+from repro.labels import Capability, CapabilitySet, Label, TagRegistry, minus, plus
+
+
+@pytest.fixture()
+def reg():
+    return TagRegistry()
+
+
+@pytest.fixture()
+def t(reg):
+    return reg.create(purpose="bob")
+
+
+@pytest.fixture()
+def u(reg):
+    return reg.create(purpose="alice")
+
+
+class TestCapability:
+    def test_sign_validation(self, t):
+        with pytest.raises(ValueError):
+            Capability(t, "*")
+
+    def test_plus_minus_helpers(self, t):
+        assert plus(t).sign == "+"
+        assert minus(t).sign == "-"
+
+    def test_equality(self, t):
+        assert plus(t) == Capability(t, "+")
+        assert plus(t) != minus(t)
+
+
+class TestCapabilitySetViews:
+    def test_plus_minus_views(self, t, u):
+        caps = CapabilitySet([plus(t), minus(u)])
+        assert caps.plus_tags == Label([t])
+        assert caps.minus_tags == Label([u])
+
+    def test_owned_requires_both_signs(self, t, u):
+        caps = CapabilitySet([plus(t), minus(t), plus(u)])
+        assert caps.owns(t)
+        assert not caps.owns(u)
+        assert caps.owned_tags() == Label([t])
+
+    def test_can_add_and_remove(self, t):
+        caps = CapabilitySet([plus(t)])
+        assert caps.can_add(t)
+        assert not caps.can_remove(t)
+
+    def test_empty_set(self, t):
+        assert not CapabilitySet.EMPTY.can_add(t)
+        assert len(CapabilitySet.EMPTY) == 0
+
+
+class TestCapabilitySetAlgebra:
+    def test_owning_constructor(self, t, u):
+        caps = CapabilitySet.owning(t, u)
+        assert caps.owns(t) and caps.owns(u)
+        assert len(caps) == 4
+
+    def test_grant_revoke(self, t, u):
+        caps = CapabilitySet([plus(t)])
+        grown = caps.grant(minus(t), plus(u))
+        assert grown.owns(t) and grown.can_add(u)
+        shrunk = grown.revoke(plus(u))
+        assert not shrunk.can_add(u)
+        # original untouched
+        assert not caps.owns(t)
+
+    def test_union_and_difference(self, t, u):
+        a = CapabilitySet([plus(t)])
+        b = CapabilitySet([minus(t), plus(u)])
+        assert (a | b).owns(t)
+        assert not ((a | b) - b).owns(t)
+
+    def test_restricted_to(self, t, u):
+        full = CapabilitySet.owning(t, u)
+        narrowed = full.restricted_to([plus(t)])
+        assert narrowed.can_add(t)
+        assert not narrowed.can_remove(t)
+        assert not narrowed.can_add(u)
+
+    def test_subset_order(self, t, u):
+        small = CapabilitySet([plus(t)])
+        big = CapabilitySet([plus(t), minus(u)])
+        assert small <= big
+        assert not big <= small
+
+    def test_hash_and_eq(self, t):
+        assert CapabilitySet([plus(t)]) == CapabilitySet([plus(t)])
+        assert hash(CapabilitySet([plus(t)])) == hash(CapabilitySet([plus(t)]))

@@ -1,0 +1,153 @@
+"""Unit tests for the flow and label-change rules."""
+
+import pytest
+
+from repro.labels import (CapabilityError, CapabilitySet, IntegrityViolation,
+                          Label, SecrecyViolation, TagRegistry, can_flow,
+                          can_flow_integrity, can_flow_secrecy, check_flow,
+                          check_label_change, endpoint_label_legal,
+                          exportable_tags, label_change_allowed, minus, owns_all,
+                          plus, reachable_secrecy_range, tag_in_reach)
+
+
+@pytest.fixture()
+def reg():
+    return TagRegistry()
+
+
+@pytest.fixture()
+def bob(reg):
+    return reg.create(purpose="bob-secret", owner="bob")
+
+
+@pytest.fixture()
+def alice(reg):
+    return reg.create(purpose="alice-secret", owner="alice")
+
+
+@pytest.fixture()
+def endorse(reg):
+    return reg.create(purpose="provider-endorsed", kind="integrity")
+
+
+E = CapabilitySet.EMPTY
+
+
+class TestSecrecyFlow:
+    def test_subset_flows(self, bob):
+        assert can_flow_secrecy(Label([bob]), Label([bob]))
+        assert can_flow_secrecy(Label(), Label([bob]))
+
+    def test_superset_blocked(self, bob):
+        assert not can_flow_secrecy(Label([bob]), Label())
+
+    def test_incomparable_blocked(self, bob, alice):
+        assert not can_flow_secrecy(Label([bob]), Label([alice]))
+
+    def test_sender_minus_cap_declassifies(self, bob):
+        d = CapabilitySet([minus(bob)])
+        assert can_flow_secrecy(Label([bob]), Label(), d_from=d)
+
+    def test_receiver_plus_cap_raises(self, bob):
+        d = CapabilitySet([plus(bob)])
+        assert can_flow_secrecy(Label([bob]), Label(), d_to=d)
+
+    def test_plus_cap_on_sender_does_not_help(self, bob):
+        d = CapabilitySet([plus(bob)])
+        assert not can_flow_secrecy(Label([bob]), Label(), d_from=d)
+
+    def test_minus_cap_on_receiver_does_not_help(self, bob):
+        d = CapabilitySet([minus(bob)])
+        assert not can_flow_secrecy(Label([bob]), Label(), d_to=d)
+
+
+class TestIntegrityFlow:
+    def test_receiver_requirement_met(self, endorse):
+        assert can_flow_integrity(Label([endorse]), Label([endorse]))
+
+    def test_receiver_requirement_unmet(self, endorse):
+        assert not can_flow_integrity(Label(), Label([endorse]))
+
+    def test_higher_integrity_sender_ok(self, endorse):
+        assert can_flow_integrity(Label([endorse]), Label())
+
+    def test_sender_plus_cap_can_claim(self, endorse):
+        d = CapabilitySet([plus(endorse)])
+        assert can_flow_integrity(Label(), Label([endorse]), d_from=d)
+
+    def test_receiver_minus_cap_can_waive(self, endorse):
+        d = CapabilitySet([minus(endorse)])
+        assert can_flow_integrity(Label(), Label([endorse]), d_to=d)
+
+
+class TestCheckFlow:
+    def test_combined_ok(self, bob, endorse):
+        assert can_flow(Label([bob]), Label([endorse]), Label([bob]), Label())
+        check_flow(Label([bob]), Label([endorse]), Label([bob]), Label())
+
+    def test_secrecy_violation_raises_with_tags(self, bob):
+        with pytest.raises(SecrecyViolation) as exc:
+            check_flow(Label([bob]), Label(), Label(), Label())
+        assert str(bob.tag_id) in str(exc.value)
+
+    def test_integrity_violation_raises(self, endorse):
+        with pytest.raises(IntegrityViolation):
+            check_flow(Label(), Label(), Label(), Label([endorse]))
+
+
+class TestLabelChange:
+    def test_add_needs_plus(self, bob):
+        assert label_change_allowed(Label(), Label([bob]), CapabilitySet([plus(bob)]))
+        assert not label_change_allowed(Label(), Label([bob]), E)
+
+    def test_drop_needs_minus(self, bob):
+        assert label_change_allowed(Label([bob]), Label(), CapabilitySet([minus(bob)]))
+        assert not label_change_allowed(Label([bob]), Label(), CapabilitySet([plus(bob)]))
+
+    def test_noop_change_always_allowed(self, bob):
+        assert label_change_allowed(Label([bob]), Label([bob]), E)
+
+    def test_mixed_change(self, bob, alice):
+        caps = CapabilitySet([plus(alice), minus(bob)])
+        assert label_change_allowed(Label([bob]), Label([alice]), caps)
+
+    def test_check_label_change_names_missing_caps(self, bob):
+        with pytest.raises(CapabilityError) as exc:
+            check_label_change(Label(), Label([bob]), E)
+        assert "'+'" in str(exc.value)
+        with pytest.raises(CapabilityError) as exc:
+            check_label_change(Label([bob]), Label(), E)
+        assert "'-'" in str(exc.value)
+
+
+class TestEndpointRules:
+    def test_reachable_range(self, bob, alice):
+        s = Label([bob])
+        caps = CapabilitySet([minus(bob), plus(alice)])
+        low, high = reachable_secrecy_range(s, caps)
+        assert low == Label()
+        assert high == Label([bob, alice])
+
+    def test_endpoint_within_range(self, bob, alice):
+        s = Label([bob])
+        caps = CapabilitySet([plus(alice)])
+        assert endpoint_label_legal(Label([bob]), s, caps)
+        assert endpoint_label_legal(Label([bob, alice]), s, caps)
+        # cannot declare below own label without minus cap
+        assert not endpoint_label_legal(Label(), s, caps)
+        # cannot declare unrelated tags
+        assert not endpoint_label_legal(Label([alice]), s, caps)
+
+    def test_exportable_tags(self, bob, alice):
+        s = Label([bob, alice])
+        assert exportable_tags(s, CapabilitySet([minus(bob)])) == Label([alice])
+        assert exportable_tags(s, CapabilitySet.owning(bob, alice)).is_empty()
+
+    def test_owns_all(self, bob, alice):
+        assert owns_all(Label([bob]), CapabilitySet.owning(bob))
+        assert not owns_all(Label([bob, alice]), CapabilitySet.owning(bob))
+
+    def test_tag_in_reach(self, bob, alice):
+        assert tag_in_reach(bob, Label([bob]), E)
+        assert tag_in_reach(alice, Label(), CapabilitySet([plus(alice)]))
+        assert not tag_in_reach(alice, Label([bob]), E)

@@ -1,0 +1,104 @@
+"""Table-driven conformance tests against the Flume rules (DESIGN.md §5).
+
+Each case spells out a scenario from the normative semantics in terms
+of tag letters and expected verdicts, so a change to the flow rules
+that silently altered the model would fail here with a readable name.
+"""
+
+import pytest
+
+from repro.labels import (CapabilitySet, Label, TagRegistry, can_flow,
+                          can_flow_integrity, can_flow_secrecy,
+                          label_change_allowed, minus, plus)
+
+_REG = TagRegistry()
+A, B, C = (_REG.create(purpose=p) for p in "abc")
+
+
+def L(*tags):
+    return Label(tags)
+
+
+def D(*caps):
+    return CapabilitySet(caps)
+
+
+SECRECY_CASES = [
+    # (name, S_from, S_to, D_from, D_to, expected)
+    ("equal labels flow", L(A), L(A), D(), D(), True),
+    ("subset flows up", L(A), L(A, B), D(), D(), True),
+    ("superset cannot flow down", L(A, B), L(A), D(), D(), False),
+    ("disjoint blocked", L(A), L(B), D(), D(), False),
+    ("sender minus sheds", L(A), L(), D(minus(A)), D(), True),
+    ("sender minus sheds into disjoint", L(A), L(B), D(minus(A)), D(), True),
+    ("receiver plus absorbs", L(A), L(), D(), D(plus(A)), True),
+    ("sender plus useless", L(A), L(), D(plus(A)), D(), False),
+    ("receiver minus useless", L(A), L(), D(), D(minus(A)), False),
+    ("partial shed insufficient", L(A, B), L(), D(minus(A)), D(), False),
+    ("shed+absorb combine", L(A, B), L(), D(minus(A)), D(plus(B)), True),
+    ("empty to empty", L(), L(), D(), D(), True),
+    ("empty flows anywhere", L(), L(A, B, C), D(), D(), True),
+]
+
+
+INTEGRITY_CASES = [
+    # (name, I_from, I_to, D_from, D_to, expected)
+    ("no requirement", L(), L(), D(), D(), True),
+    ("requirement met", L(A), L(A), D(), D(), True),
+    ("higher integrity ok", L(A, B), L(A), D(), D(), True),
+    ("requirement unmet", L(), L(A), D(), D(), False),
+    ("sender plus claims", L(), L(A), D(plus(A)), D(), True),
+    ("receiver minus waives", L(), L(A), D(), D(minus(A)), True),
+    ("sender minus useless", L(), L(A), D(minus(A)), D(), False),
+    ("receiver plus useless", L(), L(A), D(), D(plus(A)), False),
+    ("partial claim insufficient", L(), L(A, B), D(plus(A)), D(), False),
+]
+
+
+CHANGE_CASES = [
+    # (name, old, new, caps, expected)
+    ("noop", L(A), L(A), D(), True),
+    ("add with plus", L(), L(A), D(plus(A)), True),
+    ("add without plus", L(), L(A), D(minus(A)), False),
+    ("drop with minus", L(A), L(), D(minus(A)), True),
+    ("drop without minus", L(A), L(), D(plus(A)), False),
+    ("swap with both", L(A), L(B), D(minus(A), plus(B)), True),
+    ("swap missing drop", L(A), L(B), D(plus(B)), False),
+    ("swap missing add", L(A), L(B), D(minus(A)), False),
+    ("multi add", L(), L(A, B), D(plus(A), plus(B)), True),
+    ("multi add partial", L(), L(A, B), D(plus(A)), False),
+]
+
+
+class TestSecrecyConformance:
+    @pytest.mark.parametrize(
+        "name,s_from,s_to,d_from,d_to,expected", SECRECY_CASES,
+        ids=[c[0] for c in SECRECY_CASES])
+    def test_case(self, name, s_from, s_to, d_from, d_to, expected):
+        assert can_flow_secrecy(s_from, s_to, d_from, d_to) == expected
+
+
+class TestIntegrityConformance:
+    @pytest.mark.parametrize(
+        "name,i_from,i_to,d_from,d_to,expected", INTEGRITY_CASES,
+        ids=[c[0] for c in INTEGRITY_CASES])
+    def test_case(self, name, i_from, i_to, d_from, d_to, expected):
+        assert can_flow_integrity(i_from, i_to, d_from, d_to) == expected
+
+
+class TestLabelChangeConformance:
+    @pytest.mark.parametrize(
+        "name,old,new,caps,expected", CHANGE_CASES,
+        ids=[c[0] for c in CHANGE_CASES])
+    def test_case(self, name, old, new, caps, expected):
+        assert label_change_allowed(old, new, caps) == expected
+
+
+class TestCombinedRule:
+    def test_both_dimensions_must_pass(self):
+        # secrecy ok, integrity not
+        assert not can_flow(L(), L(), L(), L(A))
+        # integrity ok, secrecy not
+        assert not can_flow(L(A), L(), L(), L())
+        # both ok
+        assert can_flow(L(A), L(B), L(A), L(), d_from=D(plus(B)))

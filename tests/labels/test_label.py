@@ -1,0 +1,95 @@
+"""Unit tests for the Label lattice type."""
+
+import pytest
+
+from repro.labels import Label, TagRegistry
+
+
+@pytest.fixture()
+def reg():
+    return TagRegistry()
+
+
+@pytest.fixture()
+def tags(reg):
+    return [reg.create(purpose=f"t{i}") for i in range(4)]
+
+
+class TestConstruction:
+    def test_empty_label(self):
+        assert len(Label()) == 0
+        assert Label().is_empty()
+
+    def test_empty_singleton_shared(self):
+        assert Label.EMPTY == Label()
+
+    def test_from_iterable(self, tags):
+        lbl = Label(tags[:2])
+        assert tags[0] in lbl and tags[1] in lbl
+        assert tags[2] not in lbl
+
+    def test_duplicates_collapse(self, tags):
+        assert len(Label([tags[0], tags[0]])) == 1
+
+    def test_non_tag_rejected(self):
+        with pytest.raises(TypeError):
+            Label(["not-a-tag"])  # type: ignore[list-item]
+
+    def test_equality_with_sets(self, tags):
+        assert Label(tags[:2]) == frozenset(tags[:2])
+        assert Label(tags[:2]) == set(tags[:2])
+
+
+class TestLatticeOps:
+    def test_join_is_union(self, tags):
+        a, b = Label(tags[:2]), Label(tags[1:3])
+        assert a.join(b) == Label(tags[:3])
+        assert (a | b) == a.join(b)
+
+    def test_meet_is_intersection(self, tags):
+        a, b = Label(tags[:2]), Label(tags[1:3])
+        assert a.meet(b) == Label([tags[1]])
+        assert (a & b) == a.meet(b)
+
+    def test_subtraction(self, tags):
+        a = Label(tags[:3])
+        assert a - Label(tags[:1]) == Label(tags[1:3])
+
+    def test_order_is_subset(self, tags):
+        assert Label(tags[:1]) <= Label(tags[:2])
+        assert not Label(tags[:2]) <= Label(tags[:1])
+        assert Label(tags[:1]) < Label(tags[:2])
+        assert Label(tags[:2]) >= Label(tags[:1])
+        assert Label(tags[:2]) > Label(tags[:1])
+
+    def test_incomparable_labels(self, tags):
+        a, b = Label([tags[0]]), Label([tags[1]])
+        assert not a <= b and not b <= a
+
+    def test_empty_is_bottom(self, tags):
+        assert Label.EMPTY <= Label(tags)
+
+
+class TestImmutability:
+    def test_add_returns_new(self, tags):
+        a = Label([tags[0]])
+        b = a.add(tags[1])
+        assert tags[1] not in a
+        assert tags[1] in b
+
+    def test_remove_returns_new(self, tags):
+        a = Label(tags[:2])
+        b = a.remove(tags[0])
+        assert tags[0] in a
+        assert tags[0] not in b
+
+    def test_remove_absent_is_noop(self, tags):
+        a = Label([tags[0]])
+        assert a.remove(tags[3]) == a
+
+    def test_hashable_and_usable_as_dict_key(self, tags):
+        d = {Label(tags[:2]): "x"}
+        assert d[Label(tags[:2])] == "x"
+
+    def test_iteration_yields_tags(self, tags):
+        assert set(Label(tags)) == set(tags)

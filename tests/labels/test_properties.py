@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the label lattice and flow rules.
+
+These check the algebraic laws the rest of the system silently relies
+on: the lattice axioms, monotonicity of the flow relation, and the
+central DIFC conservation property — no sequence of individually-safe
+operations can shed a secrecy tag without its '-' capability.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labels import (CapabilitySet, Label, TagRegistry, can_flow_secrecy,
+                          label_change_allowed, minus, plus)
+
+_REG = TagRegistry()
+_UNIVERSE = [_REG.create(purpose=f"u{i}") for i in range(8)]
+
+
+def labels():
+    return st.sets(st.sampled_from(_UNIVERSE), max_size=8).map(Label)
+
+
+def capsets():
+    cap = st.sampled_from(
+        [plus(t) for t in _UNIVERSE] + [minus(t) for t in _UNIVERSE])
+    return st.sets(cap, max_size=10).map(CapabilitySet)
+
+
+class TestLatticeLaws:
+    @given(labels(), labels())
+    def test_join_commutative(self, a, b):
+        assert a | b == b | a
+
+    @given(labels(), labels())
+    def test_meet_commutative(self, a, b):
+        assert a & b == b & a
+
+    @given(labels(), labels(), labels())
+    def test_join_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(labels(), labels(), labels())
+    def test_meet_associative(self, a, b, c):
+        assert (a & b) & c == a & (b & c)
+
+    @given(labels())
+    def test_idempotence(self, a):
+        assert a | a == a
+        assert a & a == a
+
+    @given(labels(), labels())
+    def test_absorption(self, a, b):
+        assert a | (a & b) == a
+        assert a & (a | b) == a
+
+    @given(labels(), labels())
+    def test_join_is_least_upper_bound(self, a, b):
+        j = a | b
+        assert a <= j and b <= j
+
+    @given(labels(), labels(), labels())
+    def test_order_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(labels(), labels())
+    def test_order_antisymmetric(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+
+class TestFlowLaws:
+    @given(labels())
+    def test_flow_reflexive(self, a):
+        assert can_flow_secrecy(a, a)
+
+    @given(labels(), labels(), labels())
+    def test_flow_transitive_without_caps(self, a, b, c):
+        if can_flow_secrecy(a, b) and can_flow_secrecy(b, c):
+            assert can_flow_secrecy(a, c)
+
+    @given(labels(), labels(), labels())
+    def test_flow_monotone_in_receiver(self, a, b, extra):
+        # enlarging the receiver's label never breaks a safe flow
+        if can_flow_secrecy(a, b):
+            assert can_flow_secrecy(a, b | extra)
+
+    @given(labels(), labels(), capsets())
+    def test_caps_only_enable_flows(self, a, b, d):
+        # capabilities are permissions: they can only allow more, never less
+        if can_flow_secrecy(a, b):
+            assert can_flow_secrecy(a, b, d_to=d)
+            assert can_flow_secrecy(a, b, d_from=d)
+
+    @given(labels(), labels())
+    def test_flow_agrees_with_subset_without_caps(self, a, b):
+        assert can_flow_secrecy(a, b) == (a <= b)
+
+
+class TestConservation:
+    """The DIFC safety core: taint is conserved without a '-' capability."""
+
+    @settings(max_examples=200)
+    @given(labels(), labels(), capsets())
+    def test_label_change_cannot_shed_unowned_taint(self, old, new, caps):
+        if label_change_allowed(old, new, caps):
+            shed = old - new
+            assert shed <= caps.minus_tags
+
+    @settings(max_examples=200)
+    @given(labels(), labels(), capsets(), capsets())
+    def test_flow_cannot_launder_taint(self, s_from, s_to, d_from, d_to):
+        """If a flow is allowed, every tag that 'disappears' was either
+        declassifiable by the sender or addable by the receiver."""
+        if can_flow_secrecy(s_from, s_to, d_from, d_to):
+            vanished = s_from - s_to
+            assert vanished <= (d_from.minus_tags | d_to.plus_tags)
+
+    @settings(max_examples=200)
+    @given(labels(), st.lists(st.tuples(labels(), capsets(), capsets()),
+                              max_size=5))
+    def test_multi_hop_chain_conserves_taint(self, start, hops):
+        """Walk a chain of safe flows; any tag lost along the way must be
+        accounted for by a '-' at the shedding hop or a '+' downstream."""
+        current = start
+        authorized = Label()
+        for (nxt, d_from, d_to) in hops:
+            if not can_flow_secrecy(current, nxt, d_from, d_to):
+                continue
+            authorized = authorized | d_from.minus_tags | d_to.plus_tags
+            current = nxt
+        lost = start - current
+        assert lost <= authorized

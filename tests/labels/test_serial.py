@@ -1,0 +1,88 @@
+"""Unit tests for label/capability serialization across registries."""
+
+import json
+
+import pytest
+
+from repro.labels import (CapabilitySet, Label, TagError, TagRegistry,
+                          capability_from_dict, capability_to_dict,
+                          capset_from_dict, capset_to_dict, label_from_dict,
+                          label_to_dict, minus, plus)
+
+
+@pytest.fixture()
+def reg_a():
+    return TagRegistry(namespace="A")
+
+
+@pytest.fixture()
+def reg_b():
+    return TagRegistry(namespace="B")
+
+
+class TestLabelSerialization:
+    def test_same_registry_roundtrip(self, reg_a):
+        tags = [reg_a.create(purpose=f"t{i}") for i in range(3)]
+        lbl = Label(tags)
+        data = label_to_dict(lbl, reg_a.namespace)
+        assert label_from_dict(data, reg_a) == lbl
+
+    def test_json_stable(self, reg_a):
+        lbl = Label([reg_a.create()])
+        data = label_to_dict(lbl, reg_a.namespace)
+        assert json.loads(json.dumps(data)) == data
+
+    def test_cross_registry_import(self, reg_a, reg_b):
+        t = reg_a.create(purpose="bob", owner="bob")
+        data = label_to_dict(Label([t]), reg_a.namespace)
+        local = label_from_dict(data, reg_b)
+        (lt,) = local.tags()
+        assert reg_b.foreign_origin(lt) == ("A", t.tag_id)
+        assert lt.owner == "bob"
+
+    def test_cross_registry_import_converges(self, reg_a, reg_b):
+        t = reg_a.create()
+        data = label_to_dict(Label([t]), reg_a.namespace)
+        first = label_from_dict(data, reg_b)
+        second = label_from_dict(data, reg_b)
+        assert first == second
+
+    def test_unknown_native_tag_raises(self, reg_a):
+        data = {"namespace": "A", "tags": [{"tag_id": 404, "purpose": "",
+                                            "kind": "secrecy", "owner": None}]}
+        with pytest.raises(TagError):
+            label_from_dict(data, reg_a)
+
+    def test_empty_label_roundtrip(self, reg_a):
+        data = label_to_dict(Label(), reg_a.namespace)
+        assert label_from_dict(data, reg_a) == Label()
+
+
+class TestCapabilitySerialization:
+    def test_capability_roundtrip(self, reg_a):
+        t = reg_a.create()
+        for cap in (plus(t), minus(t)):
+            data = capability_to_dict(cap, reg_a.namespace)
+            assert capability_from_dict(data, reg_a) == cap
+
+    def test_bad_sign_rejected(self, reg_a):
+        t = reg_a.create()
+        data = capability_to_dict(plus(t), reg_a.namespace)
+        data["sign"] = "!"
+        with pytest.raises(TagError):
+            capability_from_dict(data, reg_a)
+
+    def test_capset_roundtrip(self, reg_a):
+        t, u = reg_a.create(), reg_a.create()
+        caps = CapabilitySet([plus(t), minus(t), plus(u)])
+        data = capset_to_dict(caps, reg_a.namespace)
+        assert capset_from_dict(data, reg_a) == caps
+
+    def test_capset_cross_registry(self, reg_a, reg_b):
+        t = reg_a.create(purpose="sync")
+        caps = CapabilitySet.owning(t)
+        data = capset_to_dict(caps, reg_a.namespace)
+        local = capset_from_dict(data, reg_b)
+        assert len(local) == 2
+        owned = local.owned_tags()
+        assert len(owned) == 1

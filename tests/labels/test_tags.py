@@ -1,0 +1,100 @@
+"""Unit tests for tag minting and the registry."""
+
+import pytest
+
+from repro.labels import INTEGRITY, SECRECY, Tag, TagError, TagRegistry
+
+
+class TestTagIdentity:
+    def test_tags_have_unique_ids(self):
+        reg = TagRegistry()
+        tags = [reg.create(purpose=f"t{i}") for i in range(100)]
+        assert len({t.tag_id for t in tags}) == 100
+
+    def test_equality_is_by_id_only(self):
+        a = Tag(1, purpose="a")
+        b = Tag(1, purpose="b", owner="someone")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_ids_not_equal(self):
+        assert Tag(1) != Tag(2)
+
+    def test_tags_are_hashable_and_frozen(self):
+        t = Tag(7, purpose="x")
+        with pytest.raises(AttributeError):
+            t.purpose = "y"  # type: ignore[misc]
+        assert t in {t}
+
+    def test_default_kind_is_secrecy(self):
+        reg = TagRegistry()
+        assert reg.create().kind == SECRECY
+
+
+class TestRegistry:
+    def test_lookup_roundtrip(self):
+        reg = TagRegistry()
+        t = reg.create(purpose="bob-secrecy", owner="bob")
+        assert reg.lookup(t.tag_id) is t
+
+    def test_lookup_unknown_raises(self):
+        reg = TagRegistry()
+        with pytest.raises(TagError):
+            reg.lookup(999)
+
+    def test_contains(self):
+        reg = TagRegistry()
+        t = reg.create()
+        other = TagRegistry().create()
+        assert t in reg
+        # same id minted by a different registry compares equal by id,
+        # and the registry only checks identity by id+metadata
+        assert other.tag_id == t.tag_id
+
+    def test_len_counts_minted_tags(self):
+        reg = TagRegistry()
+        for _ in range(5):
+            reg.create()
+        assert len(reg) == 5
+
+    def test_invalid_kind_rejected(self):
+        reg = TagRegistry()
+        with pytest.raises(TagError):
+            reg.create(kind="confidentiality")
+
+    def test_integrity_kind_accepted(self):
+        reg = TagRegistry()
+        assert reg.create(kind=INTEGRITY).kind == INTEGRITY
+
+    def test_tags_owned_by(self):
+        reg = TagRegistry()
+        b1 = reg.create(owner="bob")
+        b2 = reg.create(owner="bob")
+        reg.create(owner="alice")
+        assert set(reg.tags_owned_by("bob")) == {b1, b2}
+
+
+class TestForeignImport:
+    def test_import_is_idempotent(self):
+        reg = TagRegistry(namespace="A")
+        t1 = reg.import_foreign("B", 42, purpose="bob@B")
+        t2 = reg.import_foreign("B", 42)
+        assert t1 is t2
+
+    def test_imports_from_distinct_origins_differ(self):
+        reg = TagRegistry(namespace="A")
+        assert reg.import_foreign("B", 1) != reg.import_foreign("C", 1)
+
+    def test_foreign_origin_roundtrip(self):
+        reg = TagRegistry(namespace="A")
+        t = reg.import_foreign("B", 17)
+        assert reg.foreign_origin(t) == ("B", 17)
+
+    def test_native_tag_has_no_foreign_origin(self):
+        reg = TagRegistry()
+        assert reg.foreign_origin(reg.create()) is None
+
+    def test_imported_tag_is_looked_up_normally(self):
+        reg = TagRegistry(namespace="A")
+        t = reg.import_foreign("B", 5)
+        assert reg.lookup(t.tag_id) is t

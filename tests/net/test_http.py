@@ -1,0 +1,61 @@
+"""Unit tests for the HTTP object model and the JS perimeter filter."""
+
+from repro.labels import Label, TagRegistry
+from repro.net import (HttpRequest, HttpResponse, contains_javascript, error,
+                       ok, strip_javascript)
+
+
+class TestRequest:
+    def test_param_default(self):
+        r = HttpRequest("GET", "/x", params={"a": 1})
+        assert r.param("a") == 1
+        assert r.param("b", "dflt") == "dflt"
+
+    def test_path_parts(self):
+        assert HttpRequest("GET", "/app/photos/view").path_parts() == \
+            ["app", "photos", "view"]
+        assert HttpRequest("GET", "/").path_parts() == []
+
+
+class TestResponse:
+    def test_ok_helper(self):
+        reg = TagRegistry()
+        t = reg.create()
+        r = ok({"x": 1}, label=Label([t]))
+        assert r.ok and r.status == 200
+        assert t in r.content_label
+
+    def test_error_helper(self):
+        r = error(404, "gone")
+        assert not r.ok
+        assert r.body["error"] == "gone"
+        assert r.content_label == Label.EMPTY
+
+    def test_default_label_empty(self):
+        assert HttpResponse().content_label == Label.EMPTY
+
+
+class TestJsFilter:
+    def test_strips_script_blocks(self):
+        html = "<p>hi</p><script>steal(document.cookie)</script><p>bye</p>"
+        cleaned = strip_javascript(html)
+        assert "script" not in cleaned.lower()
+        assert "<p>hi</p>" in cleaned and "<p>bye</p>" in cleaned
+
+    def test_strips_multiline_script(self):
+        html = "a<script type='text/javascript'>\nx\ny\n</script>b"
+        assert strip_javascript(html) == "ab"
+
+    def test_strips_inline_handlers(self):
+        html = '<img src="x" onerror="leak()">'
+        cleaned = strip_javascript(html)
+        assert "onerror" not in cleaned
+
+    def test_detects_javascript(self):
+        assert contains_javascript("<script>x</script>")
+        assert contains_javascript('<a onclick="x()">')
+        assert not contains_javascript("<p>plain</p>")
+
+    def test_plain_html_untouched(self):
+        html = "<div class='x'>text</div>"
+        assert strip_javascript(html) == html

@@ -1,0 +1,100 @@
+"""Unit tests for session management."""
+
+import pytest
+
+from repro.net import AuthError, SessionManager
+
+
+@pytest.fixture()
+def sm():
+    m = SessionManager()
+    m.register("bob", "hunter2")
+    return m
+
+
+class TestAccounts:
+    def test_register_and_login(self, sm):
+        s = sm.login("bob", "hunter2")
+        assert s.username == "bob"
+        assert sm.resolve(s.token) == s
+
+    def test_duplicate_register(self, sm):
+        with pytest.raises(AuthError):
+            sm.register("bob", "x")
+
+    def test_has_user(self, sm):
+        assert sm.has_user("bob")
+        assert not sm.has_user("eve")
+
+    def test_wrong_password(self, sm):
+        with pytest.raises(AuthError):
+            sm.login("bob", "wrong")
+
+    def test_unknown_user(self, sm):
+        with pytest.raises(AuthError):
+            sm.login("eve", "x")
+
+
+class TestSessions:
+    def test_tokens_unique(self, sm):
+        tokens = {sm.login("bob", "hunter2").token for __ in range(20)}
+        assert len(tokens) == 20
+
+    def test_resolve_garbage(self, sm):
+        assert sm.resolve("bogus") is None
+        assert sm.resolve(None) is None
+        assert sm.resolve("") is None
+
+    def test_logout(self, sm):
+        s = sm.login("bob", "hunter2")
+        sm.logout(s.token)
+        assert sm.resolve(s.token) is None
+
+    def test_active_sessions(self, sm):
+        sm.register("amy", "pw")
+        sm.login("bob", "hunter2")
+        sm.login("bob", "hunter2")
+        sm.login("amy", "pw")
+        assert sm.active_sessions("bob") == 2
+        assert sm.active_sessions("amy") == 1
+
+    def test_deterministic_with_seed(self):
+        a, b = SessionManager(seed=7), SessionManager(seed=7)
+        a.register("u", "p")
+        b.register("u", "p")
+        assert a.login("u", "p").token == b.login("u", "p").token
+
+
+class TestExpiry:
+    def _manager(self, ttl):
+        m = SessionManager(ttl=ttl)
+        m.register("bob", "pw")
+        return m
+
+    def test_fresh_session_resolves(self):
+        m = self._manager(ttl=10)
+        s = m.login("bob", "pw")
+        m.tick(5)
+        assert m.resolve(s.token) == s
+
+    def test_expired_session_rejected_and_dropped(self):
+        m = self._manager(ttl=10)
+        s = m.login("bob", "pw")
+        m.tick(11)
+        assert m.resolve(s.token) is None
+        # a second resolve is also None (token was purged)
+        assert m.resolve(s.token) is None
+
+    def test_no_ttl_never_expires(self):
+        m = self._manager(ttl=None)
+        s = m.login("bob", "pw")
+        m.tick(1e9)
+        assert m.resolve(s.token) == s
+
+    def test_relogin_after_expiry(self):
+        m = self._manager(ttl=10)
+        s1 = m.login("bob", "pw")
+        m.tick(11)
+        assert m.resolve(s1.token) is None
+        s2 = m.login("bob", "pw")
+        assert m.resolve(s2.token) == s2

@@ -1,0 +1,77 @@
+"""Tests for §3.2 audit pinning (run exactly the audited version)."""
+
+import pytest
+
+from repro.net import ExternalClient
+from repro.platform import AppModule, NotAuthorized, Provider
+
+
+def v1(ctx):
+    return {"version": "1.0"}
+
+
+def v2(ctx):
+    return {"version": "2.0-with-surprise"}
+
+
+@pytest.fixture()
+def provider():
+    p = Provider()
+    p.register_app(AppModule("tool", "dev", v1, version="1.0"))
+    p.signup("bob", "pw")
+    p.enable_app("bob", "tool")
+    return p
+
+
+def client(provider, name="bob"):
+    c = ExternalClient(name, provider.transport())
+    c.login("pw")
+    return c
+
+
+class TestAuditPinning:
+    def test_pin_survives_new_uploads(self, provider):
+        bob = client(provider)
+        provider.pin_audited("bob", "tool", "1.0")
+        # the developer ships a new version the user has not audited
+        provider.register_app(AppModule("tool", "dev", v2, version="2.0"))
+        assert bob.get("/app/tool/go").body == {"version": "1.0"}
+
+    def test_unpinned_user_gets_latest(self, provider):
+        provider.register_app(AppModule("tool", "dev", v2, version="2.0"))
+        bob = client(provider)
+        assert bob.get("/app/tool/go").body["version"].startswith("2.0")
+
+    def test_explicit_version_url_overrides_pin(self, provider):
+        """A pinned user can still *deliberately* try a version by
+        naming it in the URL — the pin protects defaults, not choice."""
+        provider.register_app(AppModule("tool", "dev", v2, version="2.0"))
+        provider.pin_audited("bob", "tool", "1.0")
+        bob = client(provider)
+        assert bob.get("/app/tool@2.0/go").body["version"].startswith("2.0")
+
+    def test_unpin_restores_latest(self, provider):
+        provider.register_app(AppModule("tool", "dev", v2, version="2.0"))
+        provider.pin_audited("bob", "tool", "1.0")
+        provider.unpin_audited("bob", "tool")
+        bob = client(provider)
+        assert bob.get("/app/tool/go").body["version"].startswith("2.0")
+
+    def test_cannot_pin_closed_source(self, provider):
+        provider.register_app(AppModule("blackbox", "dev", v1,
+                                        source_open=False))
+        with pytest.raises(NotAuthorized):
+            provider.pin_audited("bob", "blackbox", "1.0")
+
+    def test_cannot_pin_missing_version(self, provider):
+        from repro.platform import NoSuchApp
+        with pytest.raises(NoSuchApp):
+            provider.pin_audited("bob", "tool", "9.9")
+
+    def test_pin_is_per_user(self, provider):
+        provider.register_app(AppModule("tool", "dev", v2, version="2.0"))
+        provider.pin_audited("bob", "tool", "1.0")
+        provider.signup("amy", "pw")
+        provider.enable_app("amy", "tool")
+        amy = client(provider, "amy")
+        assert amy.get("/app/tool/go").body["version"].startswith("2.0")

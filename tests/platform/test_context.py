@@ -1,0 +1,119 @@
+"""Edge-case coverage for the AppContext surface."""
+
+import pytest
+
+from repro.apps import install_standard_apps
+from repro.net import ExternalClient
+from repro.platform import AppModule, NoSuchApp, NoSuchUser, Provider
+
+
+@pytest.fixture()
+def provider():
+    p = Provider()
+    install_standard_apps(p)
+    p.signup("bob", "pw")
+    p.signup("amy", "pw")
+    return p
+
+
+def run_with_context(provider, handler, viewer="bob", enable=()):
+    """Register a one-off app and run it once for ``viewer``."""
+    provider.register_app(AppModule("probe", "test", handler))
+    for user in enable or (viewer,):
+        provider.enable_app(user, "probe")
+    client = ExternalClient(viewer, provider.transport())
+    client.login("pw")
+    return client.get("/app/probe/go")
+
+
+class TestIdentityHelpers:
+    def test_users_is_public_directory(self, provider):
+        r = run_with_context(provider, lambda ctx: ctx.users())
+        assert r.body == ["amy", "bob"]
+
+    def test_tag_for_unknown_user(self, provider):
+        def handler(ctx):
+            try:
+                ctx.tag_for("ghost")
+                return "no-error"
+            except NoSuchUser:
+                return "raised"
+        assert run_with_context(provider, handler).body == "raised"
+
+    def test_write_tag_for(self, provider):
+        def handler(ctx):
+            return ctx.write_tag_for("bob").kind
+        assert run_with_context(provider, handler).body == "integrity"
+
+    def test_reading_users_tracks_taint(self, provider):
+        provider.enable_app("amy", "probe") if False else None
+
+        def handler(ctx):
+            before = ctx.reading_users()
+            ctx.read_user("bob")
+            after = ctx.reading_users()
+            return {"before": before, "after": after}
+        r = run_with_context(provider, handler)
+        assert r.body["before"] == []
+        assert r.body["after"] == ["bob"]
+
+    def test_read_user_is_idempotent(self, provider):
+        def handler(ctx):
+            ctx.read_user("bob")
+            ctx.read_user("bob")  # second raise is a no-op
+            return len(ctx.sys.my_secrecy())
+        assert run_with_context(provider, handler).body == 1
+
+    def test_profile_of_taints_with_owner(self, provider):
+        provider.set_profile("amy", music="folk")
+
+        def handler(ctx):
+            profile = ctx.profile_of("amy")
+            return {"music": profile["music"],
+                    "tainted": ctx.reading_users()}
+        r = run_with_context(provider, handler, viewer="bob",
+                             enable=("bob", "amy"))
+        # the response is amy-tainted: only viewers amy approves get it;
+        # here bob has no grant from amy -> 403
+        assert r.status == 403
+
+
+class TestModuleDispatch:
+    def test_unknown_default_module(self, provider):
+        def handler(ctx):
+            return ctx.call_module("slot", "no-such-module")
+        r = run_with_context(provider, handler)
+        assert r.status in (404, 500)
+
+    def test_anonymous_viewer_uses_default(self, provider):
+        def handler(ctx):
+            return ctx.call_module("cropper", "crop-basic",
+                                   "RAW", 10, 10)
+        provider.register_app(AppModule("probe", "test", handler))
+        anon = ExternalClient("x", provider.transport())
+        r = anon.get("/app/probe/go")
+        assert "center" in r.body
+
+
+class TestEmailHelpers:
+    def test_my_email_address(self, provider):
+        r = run_with_context(provider,
+                             lambda ctx: ctx.my_email_address())
+        assert r.body == "bob@w5"
+
+    def test_send_email_carries_process_taint(self, provider):
+        def handler(ctx):
+            ctx.read_user("bob")
+            # mail to self: bob-tainted content to bob's box, fine
+            ctx.send_email(ctx.my_email_address(), "s", "tainted body")
+            return "sent"
+        r = run_with_context(provider, handler)
+        assert r.ok
+        assert len(provider.email.mailbox("bob@w5").messages) == 1
+
+    def test_set_cookie_flows_to_response(self, provider):
+        def handler(ctx):
+            ctx.set_cookie("theme", "dark")
+            return "ok"
+        r = run_with_context(provider, handler)
+        assert r.set_cookies["theme"] == "dark"

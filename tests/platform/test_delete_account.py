@@ -1,0 +1,84 @@
+"""Tests for account deletion (the right to leave)."""
+
+import pytest
+
+from repro import W5System
+from repro.platform import NoSuchUser
+
+
+@pytest.fixture()
+def world():
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["blog", "photo-share", "club-board"],
+                      friends=["amy"])
+    amy = w5.add_user("amy", apps=["blog", "club-board"], friends=["bob"])
+    bob.get("/app/blog/post", title="t1", body="post-one")
+    bob.get("/app/blog/post", title="t2", body="post-two")
+    bob.get("/app/photo-share/upload", filename="p.jpg", data="<jpeg>")
+    return w5, bob, amy
+
+
+class TestDeleteAccount:
+    def test_erasure_counts(self, world):
+        w5, bob, amy = world
+        erased = w5.provider.delete_account("bob")
+        assert erased["files"] >= 1     # the photo
+        assert erased["rows"] == 2      # the posts
+        assert erased["grants"] == 1    # friends-only
+
+    def test_account_gone(self, world):
+        w5, bob, amy = world
+        w5.provider.delete_account("bob")
+        with pytest.raises(NoSuchUser):
+            w5.provider.account("bob")
+        assert w5.provider.usernames() == ["amy"]
+
+    def test_data_unreachable_after_deletion(self, world):
+        w5, bob, amy = world
+        w5.provider.delete_account("bob")
+        # amy (former friend) finds nothing
+        r = amy.get("/app/blog/read", author="bob", title="t1")
+        assert r.status in (403, 404, 500) or \
+            r.body.get("error") is not None
+        assert not amy.ever_received("post-one")
+
+    def test_home_directory_gone(self, world):
+        w5, *_ = world
+        w5.provider.delete_account("bob")
+        svc = w5.provider._account_service
+        from repro.fs import FsView
+        assert "bob" not in FsView(w5.provider.fs, svc).listdir("/users")
+
+    def test_other_users_untouched(self, world):
+        w5, bob, amy = world
+        amy.get("/app/blog/post", title="a1", body="amys-post")
+        w5.provider.delete_account("bob")
+        assert amy.get("/app/blog/read", title="a1").body["body"] \
+            == "amys-post"
+
+    def test_tag_is_tombstoned_not_reused(self, world):
+        w5, *_ = world
+        old_tag = w5.provider.account("bob").data_tag
+        w5.provider.delete_account("bob")
+        # a new user (even reusing the name) gets fresh tags
+        w5.add_user("bob", apps=["blog"])
+        new_tag = w5.provider.account("bob").data_tag
+        assert new_tag.tag_id != old_tag.tag_id
+        # the old tag still resolves (tombstone), so stray labels
+        # remain locked rather than dangling
+        assert w5.provider.kernel.tags.lookup(old_tag.tag_id) == old_tag
+
+    def test_group_membership_cleaned(self, world):
+        w5, bob, amy = world
+        w5.provider.groups.create("amy", "club")
+        w5.provider.groups.add_member("amy", "club", "bob")
+        w5.provider.delete_account("bob")
+        assert not w5.provider.groups.get("club").is_member("bob")
+
+    def test_owned_group_survives_headless(self, world):
+        w5, bob, amy = world
+        w5.provider.groups.create("bob", "club")
+        w5.provider.groups.add_member("bob", "club", "amy")
+        w5.provider.delete_account("bob")
+        g = w5.provider.groups.get("club")
+        assert g.is_member("amy")  # shared space not destroyed

@@ -1,0 +1,188 @@
+"""Unit tests for integrity protection (endorsements) and the debug
+service (sanitized crash reports)."""
+
+import pytest
+
+from repro.net import ExternalClient
+from repro.platform import (AppModule, DebugService, EndorsementService,
+                            NoSuchApp, Provider, Registry)
+
+
+def lib_handler(ctx):
+    return "lib"
+
+
+def app_handler(ctx):
+    return "app"
+
+
+class TestEndorsementService:
+    @pytest.fixture()
+    def world(self):
+        reg = Registry()
+        reg.register(AppModule("lib", "d", lib_handler, kind="module"))
+        reg.register(AppModule("extra", "d", lib_handler, kind="module"))
+        reg.register(AppModule("app", "d", app_handler, imports=("lib",)))
+        return reg, EndorsementService()
+
+    def test_endorse_and_check(self, world):
+        reg, svc = world
+        svc.endorse("app")
+        svc.endorse("lib")
+        ok, missing = svc.check_app(reg, reg.get("app"))
+        assert ok and missing == []
+
+    def test_unendorsed_import_fails(self, world):
+        reg, svc = world
+        svc.endorse("app")
+        ok, missing = svc.check_app(reg, reg.get("app"))
+        assert not ok and missing == ["lib"]
+
+    def test_preferences_widen_closure(self, world):
+        reg, svc = world
+        svc.endorse("app")
+        svc.endorse("lib")
+        ok, missing = svc.check_app(reg, reg.get("app"),
+                                    preferences={"slot": "extra"})
+        assert not ok and missing == ["extra"]
+
+    def test_retract(self, world):
+        reg, svc = world
+        svc.endorse("lib")
+        svc.retract("lib")
+        assert not svc.is_endorsed("lib")
+
+    def test_transitive_closure(self):
+        reg = Registry()
+        reg.register(AppModule("c", "d", lib_handler, kind="module"))
+        reg.register(AppModule("b", "d", lib_handler, kind="module",
+                               imports=("c",)))
+        reg.register(AppModule("a", "d", app_handler, imports=("b",)))
+        svc = EndorsementService()
+        assert svc.component_closure(reg, reg.get("a")) == {"a", "b", "c"}
+
+    def test_history_records_endorser(self, world):
+        __, svc = world
+        svc.endorse("app", endorser="w5-weekly")
+        assert ("app", "w5-weekly") in svc.history
+
+
+class TestIntegrityPolicyOnProvider:
+    @pytest.fixture()
+    def provider(self):
+        p = Provider()
+        p.register_app(AppModule("lib", "d", lib_handler, kind="module"))
+        p.register_app(AppModule("app", "d", app_handler,
+                                 imports=("lib",)))
+        p.signup("bob", "pw")
+        p.enable_app("bob", "app")
+        return p
+
+    def _client(self, provider):
+        c = ExternalClient("bob", provider.transport())
+        c.login("pw")
+        return c
+
+    def test_default_policy_launches_anything(self, provider):
+        c = self._client(provider)
+        assert c.get("/app/app/go").ok
+
+    def test_strict_policy_blocks_unendorsed(self, provider):
+        provider.set_integrity_policy("bob", True)
+        c = self._client(provider)
+        r = c.get("/app/app/go")
+        assert r.status == 403
+        assert provider.kernel.audit.count(category="spawn",
+                                           allowed=False) >= 1
+
+    def test_strict_policy_allows_fully_endorsed(self, provider):
+        provider.set_integrity_policy("bob", True)
+        provider.endorse_module("app")
+        provider.endorse_module("lib")
+        c = self._client(provider)
+        assert c.get("/app/app/go").ok
+
+    def test_partial_endorsement_insufficient(self, provider):
+        provider.set_integrity_policy("bob", True)
+        provider.endorse_module("app")  # lib still unendorsed
+        c = self._client(provider)
+        assert c.get("/app/app/go").status == 403
+
+    def test_endorse_unknown_module(self, provider):
+        with pytest.raises(NoSuchApp):
+            provider.endorse_module("ghost")
+
+    def test_policy_via_http_form(self, provider):
+        c = self._client(provider)
+        r = c.post("/policy/integrity", params={"require_endorsed": True})
+        assert r.ok and r.body["require_endorsed"] is True
+        assert c.get("/app/app/go").status == 403
+
+    def test_policy_is_per_user(self, provider):
+        provider.set_integrity_policy("bob", True)
+        provider.signup("amy", "pw")
+        provider.enable_app("amy", "app")
+        amy = ExternalClient("amy", provider.transport())
+        amy.login("pw")
+        assert amy.get("/app/app/go").ok
+
+
+class TestDebugService:
+    def _crash(self, message):
+        p = Provider()
+
+        def buggy(ctx):
+            raise KeyError(message)
+        p.register_app(AppModule("buggy", "devD", buggy))
+        c = ExternalClient("x", p.transport())
+        c.get("/app/buggy/go")
+        return p
+
+    def test_crash_recorded_for_developer(self):
+        p = self._crash("boom")
+        reports = p.debug.reports_for("devD")
+        assert len(reports) == 1
+        assert reports[0].exception_type == "KeyError"
+        assert reports[0].app_name == "buggy"
+
+    def test_report_contains_code_location(self):
+        p = self._crash("boom")
+        report = p.debug.reports_for("devD")[0]
+        assert "buggy" in report.location()
+
+    def test_report_never_contains_message(self):
+        """The §3.5 property: the exception message may embed user
+        data, so it must not appear anywhere in the report."""
+        secret = "USERS-SECRET-IN-EXCEPTION"
+        p = self._crash(secret)
+        report = p.debug.reports_for("devD")[0]
+        assert secret not in repr(report)
+        # nor in the audit log
+        assert all(secret not in e.detail for e in p.kernel.audit)
+
+    def test_developers_see_only_their_own(self):
+        p = self._crash("x")
+        assert p.debug.reports_for("someone-else") == []
+
+    def test_crash_count(self):
+        p = Provider()
+
+        def buggy(ctx):
+            raise ValueError()
+        p.register_app(AppModule("buggy", "d", buggy))
+        c = ExternalClient("x", p.transport())
+        for __ in range(3):
+            c.get("/app/buggy/go")
+        assert p.debug.crash_count("buggy") == 3
+
+    def test_filter_by_app(self):
+        svc = DebugService()
+        app1 = AppModule("a1", "dev", lambda ctx: None)
+        app2 = AppModule("a2", "dev", lambda ctx: None)
+        try:
+            raise RuntimeError("z")
+        except RuntimeError as exc:
+            svc.record_crash(app1, exc)
+            svc.record_crash(app2, exc)
+        assert len(svc.reports_for("dev")) == 2
+        assert len(svc.reports_for("dev", app_name="a1")) == 1

@@ -1,0 +1,74 @@
+"""Property tests: group roster churn never out-runs enforcement.
+
+Random add/remove sequences on a group roster; at every step, the
+declassification oracle must approve exactly the current members for
+the group's tag — no stale approvals after removal, no missing ones
+after (re-)addition.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import W5System
+
+CANDIDATES = ["amy", "carl", "dot"]
+
+
+def build():
+    w5 = W5System()
+    w5.add_user("bob", apps=["club-board"])
+    for u in CANDIDATES:
+        w5.add_user(u, apps=["club-board"])
+    w5.provider.groups.create("bob", "g")
+    return w5
+
+
+churn = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]),
+              st.sampled_from(CANDIDATES),
+              st.booleans()),   # writer flag for adds
+    max_size=25)
+
+
+class TestRosterChurn:
+    @settings(max_examples=50, deadline=None)
+    @given(churn)
+    def test_oracle_tracks_roster_exactly(self, operations):
+        w5 = build()
+        svc = w5.provider.groups
+        group = svc.get("g")
+        for op, user, writer in operations:
+            try:
+                if op == "add":
+                    svc.add_member("bob", "g", user, writer=writer)
+                else:
+                    svc.remove_member("bob", "g", user)
+            except Exception:
+                continue
+            # invariant after every mutation
+            for candidate in CANDIDATES + ["bob"]:
+                expected = candidate in group.members
+                actual = w5.provider.declass.may_release(
+                    group.data_tag, candidate)
+                assert actual == expected, (op, user, candidate)
+
+    @settings(max_examples=30, deadline=None)
+    @given(churn)
+    def test_launch_write_caps_track_writers(self, operations):
+        w5 = build()
+        svc = w5.provider.groups
+        group = svc.get("g")
+        app = w5.provider.apps.get("club-board")
+        for op, user, writer in operations:
+            try:
+                if op == "add":
+                    svc.add_member("bob", "g", user, writer=writer)
+                else:
+                    svc.remove_member("bob", "g", user)
+            except Exception:
+                continue
+            for candidate in CANDIDATES:
+                caps = w5.provider.launch_caps(app, viewer=candidate)
+                has_write = caps.can_add(group.write_tag)
+                assert has_write == group.is_writer(candidate), (
+                    op, user, candidate)

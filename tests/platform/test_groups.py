@@ -1,0 +1,116 @@
+"""Tests for group spaces and the club-board app."""
+
+import pytest
+
+from repro import W5System
+from repro.platform import NotAuthorized, PlatformError
+
+
+@pytest.fixture()
+def world():
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["club-board"])
+    amy = w5.add_user("amy", apps=["club-board"])
+    eve = w5.add_user("eve", apps=["club-board"])
+    w5.provider.groups.create("bob", "roommates")
+    w5.provider.groups.add_member("bob", "roommates", "amy", writer=True)
+    return w5, bob, amy, eve
+
+
+class TestGroupService:
+    def test_create_and_roster(self, world):
+        w5, *_ = world
+        g = w5.provider.groups.get("roommates")
+        assert g.owner == "bob"
+        assert g.members == {"bob", "amy"}
+        assert g.is_writer("amy")
+
+    def test_duplicate_name_rejected(self, world):
+        w5, *_ = world
+        with pytest.raises(PlatformError):
+            w5.provider.groups.create("amy", "roommates")
+
+    def test_bad_names_rejected(self, world):
+        w5, *_ = world
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(PlatformError):
+                w5.provider.groups.create("bob", bad)
+
+    def test_only_owner_manages(self, world):
+        w5, *_ = world
+        with pytest.raises(NotAuthorized):
+            w5.provider.groups.add_member("amy", "roommates", "eve")
+        with pytest.raises(NotAuthorized):
+            w5.provider.groups.remove_member("eve", "roommates", "amy")
+
+    def test_owner_cannot_be_removed(self, world):
+        w5, *_ = world
+        with pytest.raises(PlatformError):
+            w5.provider.groups.remove_member("bob", "roommates", "bob")
+
+    def test_groups_of(self, world):
+        w5, *_ = world
+        assert w5.provider.groups.groups_of("amy") == ["roommates"]
+        assert w5.provider.groups.groups_of("eve") == []
+
+
+class TestClubBoard:
+    def test_member_posts_and_members_read(self, world):
+        w5, bob, amy, eve = world
+        bob.get("/app/club-board/post", group="roommates",
+                text="rent due friday")
+        r = amy.get("/app/club-board/read", group="roommates")
+        assert r.ok
+        assert r.body["board"] == [{"by": "bob",
+                                    "text": "rent due friday"}]
+
+    def test_writer_member_appends(self, world):
+        w5, bob, amy, eve = world
+        bob.get("/app/club-board/post", group="roommates", text="one")
+        amy.get("/app/club-board/post", group="roommates", text="two")
+        r = bob.get("/app/club-board/read", group="roommates")
+        assert [e["text"] for e in r.body["board"]] == ["one", "two"]
+
+    def test_non_member_blocked_at_perimeter(self, world):
+        w5, bob, amy, eve = world
+        bob.get("/app/club-board/post", group="roommates",
+                text="SECRET-RENT-DETAILS")
+        r = eve.get("/app/club-board/read", group="roommates")
+        assert r.status in (403, 500)
+        assert not eve.ever_received("SECRET-RENT-DETAILS")
+
+    def test_read_only_member_cannot_post(self, world):
+        w5, bob, amy, eve = world
+        w5.provider.groups.add_member("bob", "roommates", "eve",
+                                      writer=False)
+        bob.get("/app/club-board/post", group="roommates", text="x")
+        # eve can now read...
+        r = eve.get("/app/club-board/read", group="roommates")
+        assert r.ok
+        # ...but her post attempt dies on write protection
+        r = eve.get("/app/club-board/post", group="roommates",
+                    text="vandalism")
+        assert r.status in (403, 500)
+        r = bob.get("/app/club-board/read", group="roommates")
+        assert [e["text"] for e in r.body["board"]] == ["x"]
+
+    def test_removed_member_loses_access(self, world):
+        w5, bob, amy, eve = world
+        bob.get("/app/club-board/post", group="roommates",
+                text="before-amy-left")
+        assert amy.get("/app/club-board/read", group="roommates").ok
+        w5.provider.groups.remove_member("bob", "roommates", "amy")
+        r = amy.get("/app/club-board/read", group="roommates")
+        assert r.status in (403, 500)
+        assert not any("before-amy-left" in str(b)
+                       for b in amy.received[-1:])
+
+    def test_groups_listing(self, world):
+        w5, bob, amy, eve = world
+        assert bob.get("/app/club-board/groups").body == \
+            {"groups": ["roommates"]}
+
+    def test_unknown_group(self, world):
+        w5, bob, *_ = world
+        r = bob.get("/app/club-board/read", group="ghosts")
+        assert r.status in (400, 403, 404, 500)

@@ -1,0 +1,114 @@
+"""Tests for the policy inspector (explainability)."""
+
+import pytest
+
+from repro.declassify import Public, TimeEmbargo
+from repro.net import ExportViolation
+from repro.labels import Label
+from repro.platform import PolicyInspector, Provider
+
+
+@pytest.fixture()
+def provider():
+    p = Provider()
+    for u in ("bob", "amy", "eve"):
+        p.signup(u, "pw")
+    p.grant_builtin_declassifier("bob", "friends-only",
+                                 {"friends": ["amy"]})
+    return p
+
+
+@pytest.fixture()
+def inspector(provider):
+    return PolicyInspector(provider)
+
+
+class TestExplain:
+    def test_owner_rule(self, inspector):
+        e = inspector.explain("bob", "bob")
+        assert e.allowed and e.deciding_rule == "owner"
+        assert "boilerplate" in e.summary()
+
+    def test_friend_released_with_reason(self, inspector):
+        e = inspector.explain("bob", "amy")
+        assert e.allowed
+        assert e.deciding_rule == "friends-only"
+        assert "friends-only" in e.summary()
+
+    def test_stranger_denied_with_refusals(self, inspector):
+        e = inspector.explain("bob", "eve")
+        assert not e.allowed
+        assert ("friends-only", False) in e.consulted
+        assert "refused" in e.summary()
+
+    def test_no_grants_denial_message(self, inspector):
+        e = inspector.explain("amy", "eve")
+        assert not e.allowed
+        assert e.consulted == ()
+        assert "granted no declassifiers" in e.summary()
+
+    def test_first_approving_grant_wins(self, provider, inspector):
+        provider.grant_declassifier("bob", Public())
+        e = inspector.explain("bob", "eve")
+        assert e.allowed and e.deciding_rule == "public"
+        # both grants were consulted
+        assert dict(e.consulted) == {"friends-only": False,
+                                     "public": True}
+
+    def test_clock_sensitive_explanations(self, provider, inspector):
+        provider.grant_declassifier("amy",
+                                    TimeEmbargo({"release_at": 100.0}))
+        assert not inspector.explain("amy", "eve").allowed
+        provider.declass.now = 150.0
+        e = inspector.explain("amy", "eve")
+        assert e.allowed and e.deciding_rule == "time-embargo"
+
+
+class TestMatrixAgreement:
+    def test_matrix_shape(self, inspector, provider):
+        matrix = inspector.matrix()
+        users = provider.usernames()
+        assert len(matrix) == len(users) * (len(users) + 1)
+
+    def test_matrix_agrees_with_gateway(self, inspector, provider):
+        """The inspector predicts exactly what the gateway enforces."""
+        for (owner, viewer), predicted in inspector.matrix().items():
+            tag = provider.account(owner).data_tag
+            try:
+                provider.gateway.export_check(Label([tag]), viewer)
+                actual = True
+            except ExportViolation:
+                actual = False
+            assert predicted == actual, (owner, viewer)
+
+    def test_reachable_audience(self, inspector):
+        assert inspector.reachable_audience("bob") == ["amy", "bob"]
+        assert inspector.reachable_audience("eve") == ["eve"]
+
+
+class TestHttpRoutes:
+    def _login(self, provider, name):
+        from repro.net import ExternalClient
+        c = ExternalClient(name, provider.transport())
+        c.login("pw")
+        return c
+
+    def test_audience_route(self, provider):
+        bob = self._login(provider, "bob")
+        r = bob.get("/policy/audience")
+        assert r.ok and r.body["audience"] == ["amy", "bob"]
+
+    def test_explain_route_about_own_data_only(self, provider):
+        bob = self._login(provider, "bob")
+        r = bob.get("/policy/explain", viewer="eve")
+        assert r.ok and r.body["allowed"] is False
+        assert "refused" in r.body["why"]
+        # eve asking about HER data sees her policy, not bob's
+        eve = self._login(provider, "eve")
+        r = eve.get("/policy/explain", viewer="amy")
+        assert "granted no declassifiers" in r.body["why"]
+
+    def test_routes_require_login(self, provider):
+        from repro.net import ExternalClient
+        anon = ExternalClient("x", provider.transport())
+        assert anon.get("/policy/audience").status == 403

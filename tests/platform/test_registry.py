@@ -1,0 +1,134 @@
+"""Unit tests for the application/module registry."""
+
+import pytest
+
+from repro.platform import (APP, AppModule, MODULE, NoSuchApp, NotAuthorized,
+                            PlatformError, Registry)
+
+
+def handler_v1(ctx):
+    return "v1"
+
+
+def handler_v2(ctx):
+    return "v2"
+
+
+def fork_handler(ctx):
+    return "forked"
+
+
+@pytest.fixture()
+def reg():
+    return Registry()
+
+
+def make(name="photos", developer="devA", handler=handler_v1, **kw):
+    return AppModule(name=name, developer=developer, handler=handler, **kw)
+
+
+class TestRegistration:
+    def test_register_and_get(self, reg):
+        reg.register(make())
+        assert reg.get("photos").developer == "devA"
+
+    def test_unknown_app(self, reg):
+        with pytest.raises(NoSuchApp):
+            reg.get("nope")
+
+    def test_contains(self, reg):
+        reg.register(make())
+        assert "photos" in reg
+        assert "photos@1.0" in reg
+        assert "other" not in reg
+
+    def test_same_developer_can_publish_new_version(self, reg):
+        reg.register(make(version="1.0"))
+        reg.register(make(version="2.0", handler=handler_v2))
+        assert reg.get("photos").version == "2.0"
+
+    def test_other_developer_cannot_squat(self, reg):
+        reg.register(make())
+        with pytest.raises(NotAuthorized):
+            reg.register(make(developer="devB", version="3.0"))
+
+    def test_duplicate_version_rejected(self, reg):
+        reg.register(make(version="1.0"))
+        with pytest.raises(PlatformError):
+            reg.register(make(version="1.0", handler=handler_v2))
+
+
+class TestVersioning:
+    def test_pinned_version_resolves(self, reg):
+        reg.register(make(version="1.0"))
+        reg.register(make(version="2.0", handler=handler_v2))
+        assert reg.get("photos@1.0").handler is handler_v1
+        assert reg.get("photos@2.0").handler is handler_v2
+
+    def test_unknown_version(self, reg):
+        reg.register(make(version="1.0"))
+        with pytest.raises(NoSuchApp):
+            reg.get("photos@9.9")
+
+    def test_versions_listing(self, reg):
+        reg.register(make(version="1.0"))
+        reg.register(make(version="2.0", handler=handler_v2))
+        assert reg.versions("photos") == ["1.0", "2.0"]
+
+
+class TestForking:
+    def test_fork_open_source(self, reg):
+        reg.register(make())
+        fork = reg.fork("photos", "devB", handler=fork_handler)
+        assert fork.developer == "devB"
+        assert fork.forked_from == "devA/photos"
+        assert reg.get(fork.name).handler is fork_handler
+
+    def test_fork_keeps_original_handler_by_default(self, reg):
+        reg.register(make())
+        fork = reg.fork("photos", "devB")
+        assert fork.handler is handler_v1
+
+    def test_fork_closed_source_refused(self, reg):
+        reg.register(make(source_open=False))
+        with pytest.raises(NotAuthorized):
+            reg.fork("photos", "devB")
+
+    def test_fork_custom_name(self, reg):
+        reg.register(make())
+        fork = reg.fork("photos", "devB", new_name="better-photos")
+        assert reg.get("better-photos").forked_from == "devA/photos"
+
+
+class TestSourceAccess:
+    def test_open_source_readable(self, reg):
+        reg.register(make())
+        assert "def handler_v1" in reg.source_of("photos")
+
+    def test_closed_source_refused(self, reg):
+        reg.register(make(name="secretapp", source_open=False))
+        with pytest.raises(NotAuthorized):
+            reg.source_of("secretapp")
+
+    def test_loc_counts_nonblank(self, reg):
+        reg.register(make())
+        assert reg.get("photos").loc() == 2
+
+
+class TestEnumeration:
+    def test_by_kind_and_developer(self, reg):
+        reg.register(make(name="a1", kind=APP))
+        reg.register(make(name="m1", kind=MODULE))
+        reg.register(make(name="m2", kind=MODULE, developer="devB"))
+        assert [m.name for m in reg.by_kind(MODULE)] == ["m1", "m2"]
+        assert [m.name for m in reg.by_developer("devB")] == ["m2"]
+
+    def test_dependency_edges(self, reg):
+        reg.register(make(name="lib"))
+        reg.register(make(name="app1", imports=("lib", "external-untracked")))
+        assert reg.dependency_edges() == [("app1", "lib")]
+
+    def test_len_counts_names_not_versions(self, reg):
+        reg.register(make(version="1.0"))
+        reg.register(make(version="2.0", handler=handler_v2))
+        assert len(reg) == 1

@@ -1,0 +1,131 @@
+"""Tests for the provider's code-search endpoint and per-user JS policy."""
+
+import pytest
+
+from repro.apps import install_standard_apps
+from repro.net import Browser, ExternalClient, FrameIsolationError
+from repro.platform import AppModule, Provider
+
+
+@pytest.fixture()
+def provider():
+    p = Provider()
+    install_standard_apps(p)
+    return p
+
+
+def make_user(provider, name):
+    c = ExternalClient(name, provider.transport())
+    c.post("/signup", params={"username": name, "password": "pw"})
+    c.login("pw")
+    return c
+
+
+class TestCodeSearchEndpoint:
+    def test_search_returns_ranked_modules(self, provider):
+        bob = make_user(provider, "bob")
+        bob.post("/policy/enable", params={"app": "photo-share"})
+        bob.get("/app/photo-share/upload", filename="x", data="d")
+        bob.get("/app/photo-share/crop", filename="x")
+        r = bob.get("/search", k=50)
+        names = [m["name"] for m in r.body]
+        assert "crop-basic" in names
+        assert all("score" in m for m in r.body)
+
+    def test_query_filters(self, provider):
+        anon = ExternalClient("x", provider.transport())
+        r = anon.get("/search", q="crop", k=50)
+        assert r.body
+        assert all("crop" in (m["name"] + m["description"]).lower()
+                   for m in r.body)
+
+    def test_editor_endorsement_boosts(self, provider):
+        """An endorsement by a reputable editor lifts a module.  The
+        editor's reputation itself derives from adoption of its past
+        picks (§3.2), so it must have endorsed something users adopted.
+        """
+        bob = make_user(provider, "bob")
+        bob.post("/policy/enable", params={"app": "blog"})
+        ed = provider.editors.editor("w5-weekly")
+        ed.endorse("blog")        # an adopted pick → reputation
+        ed.endorse("crop-smart")  # the endorsement under test
+        results = {m["name"]: m["score"]
+                   for m in provider.code_search(k=100)}
+        # crop-smart beats a structurally identical unendorsed module
+        assert results["crop-smart"] > results["label-basic"]
+
+    def test_k_limits_results(self, provider):
+        assert len(provider.code_search(k=3)) == 3
+
+
+class TestPerUserJsPolicy:
+    SCRIPTY = "<b>hi</b><script>x()</script>"
+
+    def _scripty_provider(self):
+        p = Provider()
+
+        def scripty_app(ctx):
+            return self.SCRIPTY
+        p.register_app(AppModule("scripty", "dev", scripty_app))
+        return p
+
+    def test_default_blocks_scripts(self):
+        p = self._scripty_provider()
+        bob = make_user(p, "bob")
+        r = bob.get("/app/scripty/go")
+        assert "script" not in r.body
+
+    def test_user_opts_into_allow(self):
+        p = self._scripty_provider()
+        bob = make_user(p, "bob")
+        bob.post("/policy/javascript", params={"policy": "allow"})
+        r = bob.get("/app/scripty/go")
+        assert "<script>" in r.body
+
+    def test_policy_is_per_user(self):
+        p = self._scripty_provider()
+        bob = make_user(p, "bob")
+        amy = make_user(p, "amy")
+        bob.post("/policy/javascript", params={"policy": "allow"})
+        assert "<script>" in bob.get("/app/scripty/go").body
+        assert "script" not in amy.get("/app/scripty/go").body
+
+    def test_bad_policy_rejected(self):
+        p = self._scripty_provider()
+        bob = make_user(p, "bob")
+        r = bob.post("/policy/javascript", params={"policy": "yolo"})
+        assert r.status == 400
+
+
+class TestBrowserFrames:
+    def _browser(self, provider):
+        bob = make_user(provider, "bob")
+        bob.post("/policy/enable", params={"app": "blog"})
+        bob.get("/app/blog/post", title="t", body="b")
+        return Browser(bob)
+
+    def test_visit_mounts_frame(self, provider):
+        browser = self._browser(provider)
+        frame = browser.visit("blog", "/app/blog/list")
+        assert frame.origin_app == "blog"
+        assert frame.content["titles"] == ["t"]
+
+    def test_same_origin_script_reads(self, provider):
+        browser = self._browser(provider)
+        f1 = browser.visit("blog", "/app/blog/list")
+        f2 = browser.visit("blog", "/app/blog/read", title="t")
+        assert browser.script_read(f1, f2)["body"] == "b"
+
+    def test_cross_origin_script_blocked(self, provider):
+        browser = self._browser(provider)
+        f1 = browser.visit("blog", "/app/blog/list")
+        f2 = browser.compose("evil-widget", "<tracking pixel>")
+        with pytest.raises(FrameIsolationError):
+            browser.script_read(f2, f1)
+
+    def test_user_sees_all_frames(self, provider):
+        browser = self._browser(provider)
+        browser.visit("blog", "/app/blog/list")
+        browser.compose("widget", "clock")
+        origins = [o for o, __ in browser.page()]
+        assert origins == ["blog", "widget"]

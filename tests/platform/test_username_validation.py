@@ -1,0 +1,42 @@
+"""Unit tests for signup username validation (front-door hardening)."""
+
+import pytest
+
+from repro.platform import PlatformError, Provider
+
+
+@pytest.fixture()
+def provider():
+    return Provider()
+
+
+class TestUsernameValidation:
+    @pytest.mark.parametrize("name", [
+        "bob", "amy-smith", "carl_2", "a.b.c", "X" * 64, "u0"])
+    def test_valid_names_accepted(self, provider, name):
+        provider.signup(name, "pw")
+        assert provider.account(name).username == name
+
+    @pytest.mark.parametrize("name", [
+        "", " ", "bob smith", "bob/../root", "a\x00b", "bébé",
+        "X" * 65, "..", ".hidden", "provider", "a/b", "a\nb"])
+    def test_invalid_names_rejected(self, provider, name):
+        with pytest.raises(PlatformError):
+            provider.signup(name, "pw")
+
+    def test_non_string_rejected(self, provider):
+        with pytest.raises(PlatformError):
+            provider.signup(12345, "pw")  # type: ignore[arg-type]
+
+    def test_rejection_leaves_no_partial_account(self, provider):
+        with pytest.raises(PlatformError):
+            provider.signup("bad name", "pw")
+        assert provider.usernames() == []
+        assert not provider.sessions.has_user("bad name")
+
+    def test_http_signup_rejection_is_400(self, provider):
+        from repro.net import ExternalClient
+        c = ExternalClient("x", provider.transport())
+        r = c.post("/signup", params={"username": "bad name",
+                                      "password": "pw"})
+        assert r.status == 400

@@ -1,0 +1,129 @@
+"""Unit tests for resource containers and quotas."""
+
+import pytest
+
+from repro.kernel import Kernel, ResourceExhausted
+from repro.resources import ResourceManager
+
+
+class TestQuotaResolution:
+    def test_default_quota(self):
+        rm = ResourceManager(default_quotas={"messages": 5})
+        k = Kernel(resources=rm)
+        p = k.spawn_trusted("anyproc")
+        assert rm.quota_for(p, "messages") == 5
+        assert rm.quota_for(p, "disk") == float("inf")
+
+    def test_prefix_override(self):
+        rm = ResourceManager(default_quotas={"messages": 100},
+                             overrides={"app:hog": {"messages": 3}})
+        k = Kernel(resources=rm)
+        hog = k.spawn_trusted("app:hog")
+        other = k.spawn_trusted("app:nice")
+        assert rm.quota_for(hog, "messages") == 3
+        assert rm.quota_for(other, "messages") == 100
+
+    def test_longest_prefix_wins(self):
+        rm = ResourceManager(overrides={"app:": {"syscalls": 100},
+                                        "app:hog": {"syscalls": 3}})
+        k = Kernel(resources=rm)
+        hog = k.spawn_trusted("app:hog-v2")
+        assert rm.quota_for(hog, "syscalls") == 3
+
+
+class TestCharging:
+    def test_within_quota_accumulates(self):
+        rm = ResourceManager(default_quotas={"disk": 100})
+        k = Kernel(resources=rm)
+        p = k.spawn_trusted("p")
+        rm.charge(p, "disk", 60)
+        rm.charge(p, "disk", 40)
+        assert rm.usage_of(p).get("disk") == 100
+
+    def test_over_quota_refused(self):
+        rm = ResourceManager(default_quotas={"disk": 100})
+        k = Kernel(resources=rm)
+        p = k.spawn_trusted("p")
+        rm.charge(p, "disk", 100)
+        with pytest.raises(ResourceExhausted):
+            rm.charge(p, "disk", 1)
+        assert rm.denial_count("disk") == 1
+
+    def test_refused_charge_not_recorded(self):
+        rm = ResourceManager(default_quotas={"disk": 10})
+        k = Kernel(resources=rm)
+        p = k.spawn_trusted("p")
+        with pytest.raises(ResourceExhausted):
+            rm.charge(p, "disk", 11)
+        assert rm.usage_of(p).get("disk") == 0
+
+    def test_per_process_isolation(self):
+        rm = ResourceManager(default_quotas={"disk": 10})
+        k = Kernel(resources=rm)
+        a, b = k.spawn_trusted("a"), k.spawn_trusted("b")
+        rm.charge(a, "disk", 10)
+        rm.charge(b, "disk", 10)  # b has its own container
+
+    def test_total_by_prefix(self):
+        rm = ResourceManager()
+        k = Kernel(resources=rm)
+        a = k.spawn_trusted("app:x")
+        b = k.spawn_trusted("app:y")
+        c = k.spawn_trusted("gateway")
+        rm.charge(a, "disk", 5)
+        rm.charge(b, "disk", 7)
+        rm.charge(c, "disk", 100)
+        assert rm.total("disk", name_prefix="app:") == 12
+
+
+class TestKernelIntegration:
+    def test_kernel_charges_syscalls(self):
+        rm = ResourceManager(default_quotas={"messages": 2})
+        k = Kernel(resources=rm)
+        a = k.spawn_trusted("a")
+        b = k.spawn_trusted("b")
+        from repro.kernel import RECV, SEND
+        out = k.create_endpoint(a, direction=SEND)
+        inbox = k.create_endpoint(b, direction=RECV)
+        k.send(a, out, inbox, 1)
+        k.send(a, out, inbox, 2)
+        with pytest.raises(ResourceExhausted):
+            k.send(a, out, inbox, 3)
+        assert k.pending(b) == 2  # third send never enqueued
+
+    def test_tag_quota(self):
+        rm = ResourceManager(default_quotas={"tags": 1})
+        k = Kernel(resources=rm)
+        p = k.spawn_trusted("p")
+        k.create_tag(p)
+        with pytest.raises(ResourceExhausted):
+            k.create_tag(p)
+
+    def test_spawn_quota(self):
+        rm = ResourceManager(default_quotas={"processes": 1})
+        k = Kernel(resources=rm)
+        p = k.spawn_trusted("p")
+        k.spawn(p, "child1")
+        with pytest.raises(ResourceExhausted):
+            k.spawn(p, "child2")
+
+    def test_fs_disk_quota(self):
+        from repro.fs import LabeledFileSystem
+        rm = ResourceManager(default_quotas={"disk": 10})
+        k = Kernel(resources=rm)
+        fs = LabeledFileSystem(k)
+        p = k.spawn_trusted("p")
+        fs.create(p, "/small", "12345")
+        with pytest.raises(ResourceExhausted):
+            fs.create(p, "/big", "x" * 100)
+
+    def test_db_query_quota(self):
+        from repro.db import LabeledStore
+        rm = ResourceManager(default_quotas={"db_queries": 2})
+        k = Kernel(resources=rm)
+        store = LabeledStore(k)
+        p = k.spawn_trusted("p")
+        store.create_table(p, "t")
+        store.insert(p, "t", {"a": 1})
+        with pytest.raises(ResourceExhausted):
+            store.select(p, "t")

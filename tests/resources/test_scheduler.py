@@ -1,0 +1,76 @@
+"""Unit tests for the query schedulers."""
+
+import pytest
+
+from repro.resources import FairShareScheduler, FifoScheduler, Job, slowdown
+
+
+class TestJob:
+    def test_positive_cost_required(self):
+        with pytest.raises(ValueError):
+            Job("a", 0)
+
+
+class TestFifo:
+    def test_sequential_completion(self):
+        times = FifoScheduler().completion_times(
+            [Job("a", 3), Job("b", 2)])
+        assert times == {"a": 3, "b": 5}
+
+    def test_hog_blocks_everyone(self):
+        times = FifoScheduler().completion_times(
+            [Job("hog", 1000), Job("honest", 1)])
+        assert times["honest"] == 1001
+
+    def test_multiple_jobs_same_owner(self):
+        times = FifoScheduler().completion_times(
+            [Job("a", 2), Job("a", 2)])
+        assert times == {"a": 4}
+
+
+class TestFairShare:
+    def test_round_robin_interleaves(self):
+        times = FairShareScheduler().completion_times(
+            [Job("hog", 1000), Job("honest", 1)])
+        assert times["honest"] <= 2  # one tick each way
+        assert times["hog"] == 1001
+
+    def test_equal_jobs_fair(self):
+        times = FairShareScheduler().completion_times(
+            [Job("a", 5), Job("b", 5)])
+        assert abs(times["a"] - times["b"]) <= 1
+
+    def test_total_work_conserved(self):
+        jobs = [Job("a", 7), Job("b", 3), Job("c", 5)]
+        times = FairShareScheduler().completion_times(jobs)
+        assert max(times.values()) == 15
+
+    def test_queued_jobs_per_owner(self):
+        times = FairShareScheduler().completion_times(
+            [Job("a", 1), Job("a", 1), Job("b", 1)])
+        assert times["b"] <= 2
+        assert times["a"] == 3
+
+    def test_single_owner(self):
+        times = FairShareScheduler().completion_times([Job("a", 4)])
+        assert times == {"a": 4}
+
+
+class TestSlowdown:
+    def test_slowdown_relative_to_solo(self):
+        times = {"honest": 1001}
+        assert slowdown(times, {"honest": 1}) == {"honest": 1001.0}
+
+    def test_missing_solo_cost_skipped(self):
+        assert slowdown({"x": 10}, {}) == {}
+
+    def test_fairshare_bounds_honest_slowdown(self):
+        """The C9 shape: under fair-share an honest app's slowdown is
+        about the number of contenders, not the hog's job size."""
+        jobs = [Job("hog", 10_000), Job("honest", 10)]
+        fifo = slowdown(FifoScheduler().completion_times(jobs),
+                        {"hog": 10_000, "honest": 10})
+        fair = slowdown(FairShareScheduler().completion_times(jobs),
+                        {"hog": 10_000, "honest": 10})
+        assert fifo["honest"] > 100
+        assert fair["honest"] <= 2.1

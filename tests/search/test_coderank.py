@@ -1,0 +1,163 @@
+"""Unit tests for CodeRank and ranking helpers."""
+
+import math
+
+import pytest
+
+from repro.search import (DependencyGraph, EMBED, IMPORT, coderank,
+                          popularity_rank, precision_at_k, top_k)
+from repro.workloads import make_module_ecosystem
+
+
+class TestDependencyGraph:
+    def test_add_edges_and_modules(self):
+        dg = DependencyGraph()
+        dg.add_edge("app", "lib")
+        assert dg.modules() == ["app", "lib"]
+
+    def test_bad_kind_rejected(self):
+        dg = DependencyGraph()
+        with pytest.raises(ValueError):
+            dg.add_edge("a", "b", kind="telepathy")
+
+    def test_from_edges(self):
+        dg = DependencyGraph.from_edges([("a", "b"), ("b", "c")])
+        assert dg.graph.has_edge("a", "b")
+
+    def test_from_registry(self):
+        from repro.platform import AppModule, Registry
+        reg = Registry()
+        reg.register(AppModule("lib", "d", lambda ctx: None, kind="module"))
+        reg.register(AppModule("app", "d", lambda ctx: None,
+                               imports=("lib",)))
+        dg = DependencyGraph.from_registry(reg, usage_edges=[("app", "lib")])
+        # the import edge and the usage edge merge, strongest kind wins
+        assert dg.graph.number_of_edges() == 1
+        assert dg.graph["app"]["lib"]["kind"] == IMPORT
+
+
+class TestCodeRank:
+    def test_scores_sum_to_one(self):
+        dg = DependencyGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        scores = coderank(dg)
+        assert math.isclose(sum(scores.values()), 1.0, rel_tol=1e-6)
+
+    def test_empty_graph(self):
+        assert coderank(DependencyGraph()) == {}
+
+    def test_widely_imported_module_ranks_high(self):
+        edges = [(f"app{i}", "corelib") for i in range(10)]
+        edges += [("app0", "rarelib")]
+        scores = coderank(DependencyGraph.from_edges(edges))
+        assert scores["corelib"] > scores["rarelib"]
+
+    def test_endorsement_quality_matters(self):
+        """A module imported by a well-imported module outranks one
+        imported by an orphan — the PageRank property."""
+        edges = [("hub", "quality-dep")]
+        edges += [(f"app{i}", "hub") for i in range(8)]
+        edges += [("orphan", "orphan-dep")]
+        scores = coderank(DependencyGraph.from_edges(edges))
+        assert scores["quality-dep"] > scores["orphan-dep"]
+
+    def test_bad_damping_rejected(self):
+        dg = DependencyGraph.from_edges([("a", "b")])
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                coderank(dg, damping=bad)
+
+    def test_embed_weight_discounts(self):
+        dg = DependencyGraph()
+        for i in range(5):
+            dg.add_edge(f"a{i}", "via-import", kind=IMPORT)
+            dg.add_edge(f"b{i}", "via-embed", kind=EMBED)
+        scores = coderank(dg, import_weight=1.0, embed_weight=0.25)
+        assert scores["via-import"] > scores["via-embed"]
+
+    def test_equal_weights_make_kinds_equal(self):
+        dg = DependencyGraph()
+        for i in range(5):
+            dg.add_edge(f"a{i}", "x", kind=IMPORT)
+            dg.add_edge(f"b{i}", "y", kind=EMBED)
+        scores = coderank(dg, import_weight=1.0, embed_weight=1.0)
+        assert math.isclose(scores["x"], scores["y"], rel_tol=1e-9)
+
+    def test_deterministic(self):
+        eco = make_module_ecosystem(seed=5)
+        dg = DependencyGraph(graph=eco.graph)
+        assert coderank(dg) == coderank(dg)
+
+    def test_sybil_resistance_on_ecosystem(self):
+        """The C5 claim in miniature.  Self-reported usage counts are
+        fully spoofed by the spam clique; uniform PageRank is partly
+        fooled by the clique's recirculation; adoption-personalized
+        CodeRank (teleport mass only where real users are) finds the
+        planted core."""
+        eco = make_module_ecosystem(seed=3)
+        dg = DependencyGraph(graph=eco.graph)
+        candidates = eco.planted_core | eco.spam_clique | {
+            m for m in eco.modules if m.startswith("filler-")}
+        k = len(eco.planted_core)
+
+        pop = popularity_rank(eco.usage_counts)
+        p_popularity = precision_at_k(pop, eco.planted_core, k,
+                                      restrict_to=candidates)
+        assert p_popularity == 0.0  # spam owns the top-k
+
+        personalized = coderank(dg, personalization=eco.adoption_counts)
+        p_personalized = precision_at_k(personalized, eco.planted_core, k,
+                                        restrict_to=candidates)
+        assert p_personalized >= 0.8
+        assert p_personalized > p_popularity
+
+    def test_uniform_pagerank_is_spammable(self):
+        """The ablation motivating personalization: with uniform
+        teleport the spam clique amplifies its teleport mass and
+        crowds out the core — naive PageRank is not enough."""
+        eco = make_module_ecosystem(seed=3)
+        dg = DependencyGraph(graph=eco.graph)
+        uniform = coderank(dg)
+        spam_mass = sum(uniform[m] for m in eco.spam_clique)
+        core_mass = sum(uniform[m] for m in eco.planted_core)
+        assert spam_mass > core_mass
+
+    def test_personalization_starves_sybils(self):
+        eco = make_module_ecosystem(seed=3)
+        dg = DependencyGraph(graph=eco.graph)
+        personalized = coderank(dg, personalization=eco.adoption_counts)
+        spam_mass = sum(personalized[m] for m in eco.spam_clique)
+        core_mass = sum(personalized[m] for m in eco.planted_core)
+        assert core_mass > spam_mass * 5
+
+    def test_empty_personalization_falls_back_uniform(self):
+        dg = DependencyGraph.from_edges([("a", "b")])
+        assert coderank(dg, personalization={}) == coderank(dg)
+
+
+class TestRankingHelpers:
+    def test_top_k(self):
+        scores = {"a": 0.5, "b": 0.3, "c": 0.9}
+        assert top_k(scores, 2) == ["c", "a"]
+
+    def test_top_k_ties_deterministic(self):
+        scores = {"b": 0.5, "a": 0.5}
+        assert top_k(scores, 2) == ["a", "b"]
+
+    def test_top_k_restrict(self):
+        scores = {"a": 0.9, "b": 0.5, "c": 0.1}
+        assert top_k(scores, 2, restrict_to={"b", "c"}) == ["b", "c"]
+
+    def test_precision_at_k(self):
+        scores = {"a": 0.9, "b": 0.8, "c": 0.1}
+        assert precision_at_k(scores, {"a", "c"}, 2) == 0.5
+
+    def test_precision_k_zero(self):
+        assert precision_at_k({"a": 1.0}, {"a"}, 0) == 0.0
+
+    def test_popularity_rank_normalizes(self):
+        pr = popularity_rank({"a": 30, "b": 70})
+        assert math.isclose(pr["a"] + pr["b"], 1.0)
+        assert pr["b"] > pr["a"]
+
+    def test_popularity_rank_empty(self):
+        assert popularity_rank({}) == {}

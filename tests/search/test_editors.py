@@ -1,0 +1,83 @@
+"""Unit tests for editors, reputation, and the combined trust score."""
+
+import pytest
+
+from repro.search import DependencyGraph, EditorBoard, TrustScorer
+
+
+@pytest.fixture()
+def board():
+    b = EditorBoard()
+    b.editor("journal").endorse("corelib")
+    b.editor("journal").endorse("goodapp")
+    b.editor("shill").endorse("spamlib")
+    return b
+
+
+ADOPTION = {"corelib": 100, "goodapp": 60, "spamlib": 2}
+
+
+class TestEditors:
+    def test_editor_identity_stable(self, board):
+        assert board.editor("journal") is board.editor("journal")
+
+    def test_endorse_and_retract(self, board):
+        ed = board.editor("journal")
+        ed.endorse("x")
+        assert "x" in ed.endorsed
+        ed.retract("x")
+        assert "x" not in ed.endorsed
+
+    def test_editors_sorted(self, board):
+        assert [e.name for e in board.editors()] == ["journal", "shill"]
+
+    def test_reputation_tracks_adoption(self, board):
+        rep = board.reputation(ADOPTION)
+        assert rep["journal"] == 1.0
+        assert rep["shill"] < 0.1
+
+    def test_reputation_empty_endorsements(self):
+        b = EditorBoard()
+        b.editor("lazy")
+        assert b.reputation({"x": 5})["lazy"] == 0.0
+
+    def test_reputation_all_zero(self):
+        b = EditorBoard()
+        b.editor("e").endorse("m")
+        assert b.reputation({}) == {"e": 0.0}
+
+    def test_endorsement_score(self, board):
+        scores = board.endorsement_score(ADOPTION)
+        assert scores["corelib"] > scores["spamlib"]
+
+
+class TestTrustScorer:
+    def test_blend_includes_all_signals(self, board):
+        deps = DependencyGraph.from_edges(
+            [(f"app{i}", "corelib") for i in range(5)] + [("x", "spamlib")])
+        scorer = TrustScorer()
+        scores = scorer.score(deps, usage_counts={"corelib": 10,
+                                                  "spamlib": 50},
+                              board=board, adoption_counts=ADOPTION)
+        assert scores["corelib"] > scores["spamlib"]
+
+    def test_structure_only(self):
+        deps = DependencyGraph.from_edges([("a", "b")])
+        scorer = TrustScorer(w_structure=1.0, w_popularity=0.0,
+                             w_editorial=0.0)
+        scores = scorer.score(deps, usage_counts={})
+        assert scores["b"] > scores["a"]
+
+    def test_popularity_only(self):
+        scorer = TrustScorer(w_structure=0.0, w_popularity=1.0,
+                             w_editorial=0.0)
+        scores = scorer.score(DependencyGraph(),
+                              usage_counts={"hot": 90, "cold": 10})
+        assert scores["hot"] > scores["cold"]
+
+    def test_editorial_only(self, board):
+        scorer = TrustScorer(w_structure=0.0, w_popularity=0.0,
+                             w_editorial=1.0)
+        scores = scorer.score(DependencyGraph(), usage_counts={},
+                              board=board, adoption_counts=ADOPTION)
+        assert scores["corelib"] > scores.get("spamlib", 0.0)

@@ -1,0 +1,44 @@
+"""Unit tests for the synthetic module ecosystem."""
+
+from repro.workloads import make_module_ecosystem
+
+
+class TestModuleEcosystem:
+    def test_ground_truth_sets(self):
+        eco = make_module_ecosystem(n_core=5, n_spam=4)
+        assert len(eco.planted_core) == 5
+        assert len(eco.spam_clique) == 4
+        assert eco.planted_core.isdisjoint(eco.spam_clique)
+
+    def test_deterministic(self):
+        a = make_module_ecosystem(seed=1)
+        b = make_module_ecosystem(seed=1)
+        assert set(a.edges()) == set(b.edges())
+        assert a.usage_counts == b.usage_counts
+
+    def test_core_widely_imported(self):
+        eco = make_module_ecosystem(n_apps=50)
+        in_degrees = dict(eco.graph.in_degree())
+        core_avg = sum(in_degrees[m] for m in eco.planted_core) / \
+            len(eco.planted_core)
+        filler = [m for m in eco.modules if m.startswith("filler-")]
+        filler_avg = sum(in_degrees[m] for m in filler) / len(filler)
+        assert core_avg > filler_avg * 2
+
+    def test_spam_has_inflated_usage(self):
+        eco = make_module_ecosystem()
+        spam_avg = sum(eco.usage_counts[m] for m in eco.spam_clique) / \
+            len(eco.spam_clique)
+        filler = [m for m in eco.usage_counts if m.startswith("filler-")]
+        filler_avg = sum(eco.usage_counts[m] for m in filler) / len(filler)
+        assert spam_avg > filler_avg
+
+    def test_spam_clique_is_dense(self):
+        eco = make_module_ecosystem(n_spam=5)
+        for s in eco.spam_clique:
+            succ = set(eco.graph.successors(s))
+            assert eco.spam_clique - {s} <= succ
+
+    def test_modules_listing_sorted(self):
+        eco = make_module_ecosystem()
+        assert eco.modules == sorted(eco.modules)

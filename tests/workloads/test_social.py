@@ -1,0 +1,90 @@
+"""Unit tests for synthetic social worlds."""
+
+import pytest
+
+from repro.workloads import (BARABASI_ALBERT, COMPLETE, WATTS_STROGATZ,
+                             make_social_world, username, zipf_choices)
+
+
+class TestSocialWorld:
+    def test_population_size(self):
+        w = make_social_world(n_users=15)
+        assert len(w.users) == 15
+        assert len(w.friends) == 15
+
+    def test_deterministic_by_seed(self):
+        a = make_social_world(seed=3)
+        b = make_social_world(seed=3)
+        assert a.users == b.users
+        assert a.friends == b.friends
+        assert a.photos == b.photos
+
+    def test_different_seeds_differ(self):
+        a = make_social_world(seed=3, n_users=30)
+        b = make_social_world(seed=4, n_users=30)
+        assert a.friends != b.friends or a.profiles != b.profiles
+
+    def test_friendship_symmetric(self):
+        w = make_social_world(n_users=25)
+        for u, fs in w.friends.items():
+            for f in fs:
+                assert w.are_friends(f, u)
+
+    def test_are_friends_and_friend_list(self):
+        w = make_social_world(n_users=10)
+        u = w.users[0]
+        for f in w.friend_list(u):
+            assert w.are_friends(u, f)
+
+    def test_content_counts(self):
+        w = make_social_world(n_users=5, photos_per_user=4, posts_per_user=3)
+        assert all(len(w.photos[u]) == 4 for u in w.users)
+        assert all(len(w.posts[u]) == 3 for u in w.users)
+        assert w.total_items() == 5 * 7
+
+    def test_profiles_have_fields(self):
+        w = make_social_world(n_users=3)
+        for u in w.users:
+            assert {"music", "food", "romance"} <= set(w.profiles[u])
+
+    @pytest.mark.parametrize("model", [WATTS_STROGATZ, BARABASI_ALBERT,
+                                       COMPLETE])
+    def test_all_models_build(self, model):
+        w = make_social_world(n_users=12, model=model)
+        assert len(w.users) == 12
+
+    def test_complete_graph_all_friends(self):
+        w = make_social_world(n_users=6, model=COMPLETE)
+        for u in w.users:
+            assert len(w.friends[u]) == 5
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_social_world(model="smallworld-deluxe")
+
+    def test_tiny_populations(self):
+        for n in (0, 1, 2):
+            w = make_social_world(n_users=n)
+            assert len(w.users) == n
+
+    def test_usernames_unique(self):
+        w = make_social_world(n_users=100)
+        assert len(set(w.users)) == 100
+
+
+class TestZipf:
+    def test_draw_count(self):
+        assert len(zipf_choices(list("abcde"), 100)) == 100
+
+    def test_empty_items(self):
+        assert zipf_choices([], 10) == []
+
+    def test_skew_favors_head(self):
+        draws = zipf_choices(list(range(50)), 5000, skew=1.5, seed=2)
+        head = sum(1 for d in draws if d < 5)
+        tail = sum(1 for d in draws if d >= 45)
+        assert head > tail * 3
+
+    def test_deterministic(self):
+        assert zipf_choices([1, 2, 3], 20, seed=9) == \
+            zipf_choices([1, 2, 3], 20, seed=9)

@@ -1,0 +1,68 @@
+"""Unit tests for the request-trace generator."""
+
+import pytest
+
+from repro.workloads import Request, make_trace, trace_stats
+from repro.workloads.traces import BLOG, FEED, KINDS, PHOTOS, PROFILE
+
+
+class TestRequest:
+    def test_paths_per_kind(self):
+        assert Request("v", PROFILE, "t").path_and_params() == \
+            ("/app/social/profile", {"user": "t"})
+        assert Request("v", PHOTOS, "t").path_and_params()[1] == \
+            {"owner": "t"}
+        assert Request("v", BLOG, "t").path_and_params()[1] == \
+            {"author": "t"}
+        assert Request("v", FEED, "t").path_and_params() == \
+            ("/app/social/feed", {})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Request("v", "teleport", "t").path_and_params()
+
+
+class TestMakeTrace:
+    USERS = [f"u{i}" for i in range(10)]
+
+    def test_length(self):
+        assert len(make_trace(self.USERS, 50)) == 50
+
+    def test_empty_users(self):
+        assert make_trace([], 50) == []
+
+    def test_deterministic(self):
+        assert make_trace(self.USERS, 30, seed=4) == \
+            make_trace(self.USERS, 30, seed=4)
+
+    def test_different_seeds_differ(self):
+        assert make_trace(self.USERS, 30, seed=4) != \
+            make_trace(self.USERS, 30, seed=5)
+
+    def test_kinds_respect_weights(self):
+        trace = make_trace(self.USERS, 400, kind_weights=(1, 0, 0, 0))
+        assert all(r.kind == PROFILE for r in trace)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(self.USERS, 10, kind_weights=(1, 2))
+
+    def test_zipf_skew_concentrates_targets(self):
+        trace = make_trace(self.USERS, 2000, target_skew=1.8)
+        counts = {}
+        for r in trace:
+            counts[r.target] = counts.get(r.target, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > 4 * ranked[-1]
+
+
+class TestTraceStats:
+    def test_empty(self):
+        assert trace_stats([])["length"] == 0
+
+    def test_fields(self):
+        trace = make_trace([f"u{i}" for i in range(5)], 100, seed=1)
+        stats = trace_stats(trace)
+        assert stats["length"] == 100
+        assert 1 <= stats["unique_viewers"] <= 5
+        assert 0.0 <= stats["self_traffic"] <= 1.0
