@@ -1,0 +1,129 @@
+"""Record the perf trajectory: quick benchmark runs to JSON.
+
+Writes ``BENCH_M1.json`` (label-operation microbenchmarks, cached and
+uncached) and ``BENCH_M2.json`` (end-to-end request path) so CI can
+archive one number series per commit — the repo's before/after record
+for the fast-path label engine lives in these files and in
+EXPERIMENTS.md.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [--out DIR] [--repeat N]
+
+Quick mode by design: each measurement is a tight loop around the hot
+operation, reported as ops/sec (best of ``--repeat`` runs, to shed
+scheduler noise).  For statistically careful numbers use
+``pytest benchmarks/ --benchmark-only``; for a trajectory a cheap,
+stable point per commit beats an expensive one nobody records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def _ops_per_sec(fn, *, n: int, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def bench_m1(repeat: int) -> dict:
+    """Label-op throughput: flow checks, join, label change — each
+    uncached (the pure algebra) and cached (the memoized fast path)."""
+    from repro.labels import (CapabilitySet, FlowCache, Label, TagRegistry,
+                              can_flow, label_change_allowed, minus, plus)
+
+    reg = TagRegistry(namespace="bench-m1")
+    tags = [reg.create(purpose=f"t{i}") for i in range(256)]
+    results: dict[str, dict] = {}
+
+    for size in (1, 8, 64):
+        a = Label(tags[:size])
+        b = Label(tags[: size + size // 2 + 1])
+        caps = CapabilitySet(
+            [plus(t) for t in tags[: size + size // 2 + 1]]
+            + [minus(t) for t in tags[: size // 2 + 1]])
+        empty = Label.EMPTY
+        cache = FlowCache()
+        cache.can_flow(a, empty, b, empty, caps, caps)  # warm
+
+        n = 5_000 if size >= 64 else 20_000
+        uncached = _ops_per_sec(
+            lambda: can_flow(a, empty, b, empty, caps, caps),
+            n=n, repeat=repeat)
+        cached = _ops_per_sec(
+            lambda: cache.can_flow(a, empty, b, empty, caps, caps),
+            n=n, repeat=repeat)
+        join = _ops_per_sec(lambda: a | b, n=n, repeat=repeat)
+        change = _ops_per_sec(
+            lambda: label_change_allowed(a, b, caps), n=n, repeat=repeat)
+        results[f"size_{size}"] = {
+            "can_flow_uncached_ops": round(uncached),
+            "can_flow_cached_ops": round(cached),
+            "cache_speedup": round(cached / uncached, 2),
+            "join_ops": round(join),
+            "label_change_ops": round(change),
+        }
+    return results
+
+
+def bench_m2(repeat: int) -> dict:
+    """End-to-end request latency through the full W5 pipeline."""
+    from repro import W5System
+
+    w5 = W5System()
+    bob = w5.add_user("bob", apps=["blog"])
+    bob.get("/app/blog/post", title="t0", body="hello world")
+    assert bob.get("/app/blog/read", title="t0").ok
+
+    n = 300
+    request = _ops_per_sec(
+        lambda: bob.get("/app/blog/read", title="t0"), n=n, repeat=repeat)
+    static = _ops_per_sec(lambda: bob.get("/"), n=n, repeat=repeat)
+    cache_stats = w5.provider.kernel.flow_cache.stats()
+    return {
+        "w5_request_ops": round(request),
+        "static_route_ops": round(static),
+        "flow_cache_hit_rate": round(
+            w5.provider.kernel.flow_cache.hit_rate(), 4),
+        "flow_cache_hits": cache_stats["hit_total"],
+        "flow_cache_misses": cache_stats["miss_total"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=".", type=Path,
+                        help="directory for BENCH_*.json (default: cwd)")
+    parser.add_argument("--repeat", default=3, type=int,
+                        help="runs per measurement; best is kept")
+    args = parser.parse_args(argv)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "schema": 1,
+    }
+    for name, fn in (("M1", bench_m1), ("M2", bench_m2)):
+        payload = {"experiment": name, **meta,
+                   "results": fn(args.repeat)}
+        path = args.out / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+        print(json.dumps(payload["results"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,20 @@
 Throughput of the three hot-path label operations (flow check, join,
 label-change check) as label size grows.  These bound the per-message
 overhead every W5 operation pays.
+
+The ``cached`` variants measure the same operations through the
+:class:`~repro.labels.FlowCache` on a repeated-label workload — the
+fast-path label engine's target case — and the speedup test asserts
+the ≥2× acceptance bar.
 """
+
+import time
 
 import pytest
 
-from repro.labels import (CapabilitySet, Label, TagRegistry, can_flow,
-                          can_flow_secrecy, label_change_allowed, minus,
-                          plus)
+from repro.labels import (CapabilitySet, FlowCache, Label, TagRegistry,
+                          can_flow, can_flow_secrecy, label_change_allowed,
+                          minus, plus)
 
 from .conftest import print_table
 
@@ -54,3 +61,45 @@ def test_bench_m1_full_check(benchmark):
     empty = Label.EMPTY
     result = benchmark(can_flow, a, empty, b, empty, caps, caps)
     assert result
+
+
+@pytest.mark.parametrize("size", [1, 8, 64])
+def test_bench_m1_cached_flow_check(benchmark, size):
+    """The memoized check on a repeated-label workload (pure hits
+    after warm-up): this is what every kernel consumer now pays."""
+    a, b, caps = _setup(size)
+    cache = FlowCache()
+    empty = Label.EMPTY
+    cache.can_flow(a, empty, b, empty, caps, caps)  # warm
+    result = benchmark(cache.can_flow, a, empty, b, empty, caps, caps)
+    assert result
+    # every benchmarked call after the warm-up was a hit
+    assert cache.stats()["miss_total"] == 1
+
+
+def test_bench_m1_cache_speedup():
+    """Acceptance bar: ≥2× throughput on repeated-label flow checks
+    with the cache enabled (measured, not benchmarked, so the ratio
+    prints and asserts in one run)."""
+    a, b, caps = _setup(64)
+    empty = Label.EMPTY
+    cache = FlowCache()
+    n = 20_000
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        can_flow(a, empty, b, empty, caps, caps)
+    uncached_s = time.perf_counter() - t0
+
+    cache.can_flow(a, empty, b, empty, caps, caps)  # warm
+    t0 = time.perf_counter()
+    for _ in range(n):
+        cache.can_flow(a, empty, b, empty, caps, caps)
+    cached_s = time.perf_counter() - t0
+
+    speedup = uncached_s / cached_s
+    print_table("M1: repeated flow check, |label|=64, cached vs uncached",
+                ["variant", "ops/s"],
+                [["uncached", n / uncached_s], ["cached", n / cached_s],
+                 ["speedup", speedup]])
+    assert speedup >= 2.0, f"cache speedup only {speedup:.2f}x"

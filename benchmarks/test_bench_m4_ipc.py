@@ -3,16 +3,25 @@
 Send+receive throughput as the number of tags on the channel grows,
 plus the DESIGN.md §6 endpoint-discipline ablation: checked endpoint
 send vs a raw dict append (what an unmonitored system would do).
+
+``cached=False`` variants run the same workload on a kernel whose
+``FlowCache`` is a pass-through, giving the before/after pair
+EXPERIMENTS.md records; the speedup test asserts the ≥2× bar on the
+per-send flow check.
 """
+
+import time
 
 import pytest
 
 from repro.kernel import Kernel, RECV, SEND
-from repro.labels import Label
+from repro.labels import FlowCache, Label
+
+from .conftest import print_table
 
 
-def _pair(n_tags):
-    kernel = Kernel()
+def _pair(n_tags, cached=True):
+    kernel = Kernel(flow_cache=FlowCache(enabled=cached))
     root = kernel.spawn_trusted("root")
     tags = [kernel.create_tag(root) for __ in range(n_tags)]
     label = Label(tags)
@@ -23,9 +32,11 @@ def _pair(n_tags):
     return kernel, a, b, out, inbox
 
 
+@pytest.mark.parametrize("cached", [True, False],
+                         ids=["cached", "uncached"])
 @pytest.mark.parametrize("n_tags", [0, 8, 64])
-def test_bench_m4_send_receive(benchmark, n_tags):
-    kernel, a, b, out, inbox = _pair(n_tags)
+def test_bench_m4_send_receive(benchmark, n_tags, cached):
+    kernel, a, b, out, inbox = _pair(n_tags, cached=cached)
 
     def roundtrip():
         kernel.send(a, out, inbox, "payload")
@@ -33,6 +44,29 @@ def test_bench_m4_send_receive(benchmark, n_tags):
 
     msg = benchmark(roundtrip)
     assert msg.payload == "payload"
+
+
+def test_bench_m4_flow_check_speedup():
+    """Acceptance bar: the per-send flow check itself (the part the
+    cache accelerates; mailbox bookkeeping is common to both) is ≥2×
+    faster on a repeated 64-tag channel."""
+    n = 20_000
+    times = {}
+    for cached in (True, False):
+        kernel, a, b, out, inbox = _pair(64, cached=cached)
+        ep_args = (out.slabel, out.ilabel, inbox.slabel, inbox.ilabel)
+        kernel.flow_cache.check_flow(*ep_args)  # warm
+        t0 = time.perf_counter()
+        for _ in range(n):
+            kernel.flow_cache.check_flow(*ep_args)
+        times[cached] = time.perf_counter() - t0
+
+    speedup = times[False] / times[True]
+    print_table("M4: repeated 64-tag flow check, cached vs uncached",
+                ["variant", "ops/s"],
+                [["uncached", n / times[False]], ["cached", n / times[True]],
+                 ["speedup", speedup]])
+    assert speedup >= 2.0, f"cache speedup only {speedup:.2f}x"
 
 
 def test_bench_m4_unmonitored_baseline(benchmark):

@@ -8,11 +8,11 @@ import pytest
 
 from repro.db import LabeledStore
 from repro.kernel import Kernel
-from repro.labels import Label
+from repro.labels import FlowCache, Label
 
 
-def _store(n_rows, n_owners):
-    kernel = Kernel()
+def _store(n_rows, n_owners, cached=True):
+    kernel = Kernel(flow_cache=FlowCache(enabled=cached))
     provider = kernel.spawn_trusted("provider")
     store = LabeledStore(kernel)
     store.create_table(provider, "t", indexes=["k"])
@@ -27,9 +27,13 @@ def _store(n_rows, n_owners):
     return store, provider, reader
 
 
+@pytest.mark.parametrize("cached", [True, False],
+                         ids=["cached", "uncached"])
 @pytest.mark.parametrize("n_rows", [100, 1000])
-def test_bench_m5_filtered_full_scan(benchmark, n_rows):
-    store, provider, reader = _store(n_rows, n_owners=10)
+def test_bench_m5_filtered_full_scan(benchmark, n_rows, cached):
+    """The per-row-verdict cache's target case: a scan over rows drawn
+    from a small set of distinct labels re-checks each label once."""
+    store, provider, reader = _store(n_rows, n_owners=10, cached=cached)
     rows = benchmark(store.select, reader, "t",
                      predicate=lambda r: r["v"] % 2 == 0)
     assert rows == []  # reader is cleared for nothing

@@ -7,6 +7,7 @@ guards shared by the filesystem and database.
 
 from . import access
 from .metrics import Metrics
+from .snapshot import Snapshotable
 from .system import W5System
 
-__all__ = ["access", "Metrics", "W5System"]
+__all__ = ["access", "Metrics", "Snapshotable", "W5System"]

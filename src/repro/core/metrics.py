@@ -5,6 +5,12 @@ minute" without scanning the whole audit log.  ``Metrics`` subscribes
 to an :class:`~repro.kernel.audit.AuditLog` and keeps running counters
 by (category, verdict) and by subject, cheap to read at any time.
 
+It can also observe the kernel's flow cache
+(:meth:`attach_flow_cache`): cache hit/miss/invalidation counters ride
+along in :meth:`cache_snapshot`, and per-category flow-check latency is
+aggregated in :meth:`flow_latency` — this is how EXPERIMENTS.md's
+before/after numbers for the fast-path label engine are collected.
+
 Purely observational: it never influences a decision, so it sits
 outside the trusted base.
 """
@@ -12,9 +18,41 @@ outside the trusted base.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..kernel.audit import AuditEvent, AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..labels.cache import FlowCache
+
+
+class _LatencyStat:
+    """Streaming count/total/min/max for one flow-check category."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_us": (self.total / self.count * 1e6) if self.count else 0.0,
+            "min_us": (self.min * 1e6) if self.count else 0.0,
+            "max_us": self.max * 1e6,
+        }
 
 
 class Metrics:
@@ -24,6 +62,8 @@ class Metrics:
         self._by_category: Counter[tuple[str, bool]] = Counter()
         self._by_subject: Counter[str] = Counter()
         self._denials_by_subject: Counter[str] = Counter()
+        self._flow_cache: Optional["FlowCache"] = None
+        self._latency: dict[str, _LatencyStat] = {}
         # fold in anything already logged, then follow the stream
         for event in audit:
             self._ingest(event)
@@ -61,3 +101,46 @@ class Metrics:
         for (category, allowed), n in sorted(self._by_category.items()):
             out[f"{category}.{'allow' if allowed else 'deny'}"] = n
         return out
+
+    # -- flow-cache observation -------------------------------------------
+
+    def attach_flow_cache(self, cache: "FlowCache") -> "Metrics":
+        """Start observing ``cache``: its counters become readable via
+        :meth:`cache_snapshot` and every consumer-facing flow check is
+        timed into :meth:`flow_latency` (per category: ipc, fs.read,
+        fs.write, db.read, db.write, net.export, ...).  Returns self
+        for chaining: ``Metrics(k.audit).attach_flow_cache(k.flow_cache)``.
+        """
+        self._flow_cache = cache
+        cache.observer = self._observe_latency
+        return self
+
+    def _observe_latency(self, category: str, seconds: float) -> None:
+        stat = self._latency.get(category)
+        if stat is None:
+            stat = self._latency[category] = _LatencyStat()
+        stat.add(seconds)
+
+    def cache_snapshot(self) -> dict[str, Any]:
+        """The attached flow cache's hit/miss/invalidation counters
+        (empty dict if no cache is attached)."""
+        if self._flow_cache is None:
+            return {}
+        return self._flow_cache.stats()
+
+    def cache_hit_rate(self) -> float:
+        if self._flow_cache is None:
+            return 0.0
+        return self._flow_cache.hit_rate()
+
+    def flow_latency(self, category: Optional[str] = None) -> dict[str, Any]:
+        """Aggregated flow-check latency.
+
+        With ``category`` the stats for that category alone; without,
+        a mapping of every observed category to its stats.
+        """
+        if category is not None:
+            stat = self._latency.get(category)
+            return stat.as_dict() if stat is not None else {}
+        return {cat: stat.as_dict()
+                for cat, stat in sorted(self._latency.items())}

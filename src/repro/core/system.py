@@ -72,13 +72,13 @@ class W5System:
         """Symmetric friendship: app edges + declassifier lists."""
         for x, y in ((a, b), (b, a)):
             self._clients[x].get("/app/social/befriend", friend=y)
-            account = self.provider.account(x)
             for grant in self.provider.declass.grants_for(x):
                 if grant.declassifier.name == "friends-only":
-                    friends = set(grant.declassifier.config.get(
-                        "friends", frozenset()))
-                    friends.add(y)
-                    grant.declassifier.config["friends"] = frozenset(friends)
+                    friends = grant.declassifier.config.get(
+                        "friends", frozenset())
+                    self.provider.update_declassifier_config(
+                        x, "friends-only", friends=set(friends) | {y})
+                    break
 
     # ------------------------------------------------------------------
     # worlds

@@ -1,13 +1,21 @@
-"""Database errors."""
+"""Database errors, rooted in the unified :mod:`repro.errors` tree.
+
+:class:`NoSuchRow` deliberately reads the same for "absent" and
+"invisible to the caller" — and as a :class:`repro.errors.NotFound` it
+stays indistinguishable from a missing file or user, keeping the
+covert-channel posture of the label-filtered store.
+"""
 
 from __future__ import annotations
 
+from ..errors import NotFound, W5Error
 
-class DbError(Exception):
+
+class DbError(W5Error):
     """Base class for database failures unrelated to labels."""
 
 
-class NoSuchTable(DbError):
+class NoSuchTable(DbError, NotFound):
     """The named table does not exist."""
 
 
@@ -15,7 +23,7 @@ class TableExists(DbError):
     """Attempt to create a table that already exists."""
 
 
-class NoSuchRow(DbError):
+class NoSuchRow(DbError, NotFound):
     """A row id did not resolve (or is invisible to the caller)."""
 
 

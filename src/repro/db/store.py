@@ -104,6 +104,13 @@ class LabeledStore:
         self._tables: dict[str, Table] = {}
         self._row_ids = itertools.count(1)
 
+    def snapshot(self) -> dict[str, Any]:
+        """:class:`~repro.core.snapshot.Snapshotable` — serialize every
+        table with per-row labels (restore with
+        :func:`repro.db.restore_store`)."""
+        from .persist import snapshot_store
+        return snapshot_store(self)
+
     # ------------------------------------------------------------------
     # catalog
     # ------------------------------------------------------------------
@@ -137,7 +144,9 @@ class LabeledStore:
         table = self.table(name)
         for row in table.rows.values():
             access.check_write(process, row.slabel, row.ilabel,
-                               f"{name}#{row.row_id}")
+                               f"{name}#{row.row_id}",
+                               cache=self.kernel.flow_cache,
+                               category="db.write")
         del self._tables[name]
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"drop table {name}")
@@ -164,7 +173,9 @@ class LabeledStore:
                   ilabel=process.ilabel if ilabel is None else ilabel)
         try:
             access.check_write(process, row.slabel, row.ilabel,
-                               f"{table_name}#new")
+                               f"{table_name}#new",
+                               cache=self.kernel.flow_cache,
+                               category="db.write")
         except (SecrecyViolation, IntegrityViolation):
             self.kernel.audit.record(A.DB_QUERY, False, process.name,
                                      f"insert {table_name} refused")
@@ -192,13 +203,17 @@ class LabeledStore:
         table = self.table(table_name)
         updated = 0
         for row in self._candidate_rows(process, table, where):
-            if not access.readable(process, row.slabel, row.ilabel):
+            if not access.readable(process, row.slabel, row.ilabel,
+                                   cache=self.kernel.flow_cache,
+                                   category="db.read"):
                 continue
             if not _matches(row, where, predicate):
                 continue
             try:
                 access.check_write(process, row.slabel, row.ilabel,
-                                   f"{table_name}#{row.row_id}")
+                                   f"{table_name}#{row.row_id}",
+                                   cache=self.kernel.flow_cache,
+                                   category="db.write")
             except (SecrecyViolation, IntegrityViolation):
                 self.kernel.audit.record(
                     A.DB_QUERY, False, process.name,
@@ -220,13 +235,17 @@ class LabeledStore:
         table = self.table(table_name)
         doomed = []
         for row in self._candidate_rows(process, table, where):
-            if not access.readable(process, row.slabel, row.ilabel):
+            if not access.readable(process, row.slabel, row.ilabel,
+                                   cache=self.kernel.flow_cache,
+                                   category="db.read"):
                 continue
             if not _matches(row, where, predicate):
                 continue
             try:
                 access.check_write(process, row.slabel, row.ilabel,
-                                   f"{table_name}#{row.row_id}")
+                                   f"{table_name}#{row.row_id}",
+                                   cache=self.kernel.flow_cache,
+                                   category="db.write")
             except (SecrecyViolation, IntegrityViolation):
                 self.kernel.audit.record(
                     A.DB_QUERY, False, process.name,
@@ -261,7 +280,9 @@ class LabeledStore:
         for row in candidates:
             scanned += 1
             self.kernel.resources.charge(process, "db_rows_scanned", 1)
-            if not access.readable(process, row.slabel, row.ilabel):
+            if not access.readable(process, row.slabel, row.ilabel,
+                                   cache=self.kernel.flow_cache,
+                                   category="db.read"):
                 continue
             if not _matches(row, where, predicate):
                 continue
@@ -293,7 +314,9 @@ class LabeledStore:
             if not _matches(row, where, predicate):
                 continue
             access.check_read(process, row.slabel, row.ilabel,
-                              f"{table_name}#{row.row_id}")
+                              f"{table_name}#{row.row_id}",
+                              cache=self.kernel.flow_cache,
+                              category="db.read")
             out.append(row.snapshot())
         return out
 
@@ -309,7 +332,9 @@ class LabeledStore:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         row = table.rows.get(row_id)
-        if row is None or not access.readable(process, row.slabel, row.ilabel):
+        if row is None or not access.readable(
+                process, row.slabel, row.ilabel,
+                cache=self.kernel.flow_cache, category="db.read"):
             raise NoSuchRow(f"{table_name}#{row_id}")
         return row.snapshot()
 

@@ -69,6 +69,21 @@ class Declassifier:
         """Return True to release the owner's data to the viewer."""
         raise NotImplementedError
 
+    def update_config(self, **changes: Any) -> None:
+        """Amend the policy state, applying the same container-freezing
+        normalization as the constructor.
+
+        This is the *only* supported way to change a live
+        declassifier's policy — platforms route user edits through
+        :meth:`repro.platform.provider.Provider.update_declassifier_config`
+        so every policy change is explicit and auditable, instead of
+        reaching into :attr:`config` from outside.
+        """
+        for key, value in changes.items():
+            self.config[key] = (
+                frozenset(value) if isinstance(value, (list, set, tuple))
+                else value)
+
     @classmethod
     def audit_surface_loc(cls) -> int:
         """Logic lines of the decision code (M3 metric): non-blank,

@@ -1,13 +1,15 @@
-"""Filesystem errors."""
+"""Filesystem errors, rooted in the unified :mod:`repro.errors` tree."""
 
 from __future__ import annotations
 
+from ..errors import NotFound, W5Error
 
-class FsError(Exception):
+
+class FsError(W5Error):
     """Base class for filesystem failures unrelated to labels."""
 
 
-class NoSuchPath(FsError):
+class NoSuchPath(FsError, NotFound):
     """Path does not exist."""
 
 

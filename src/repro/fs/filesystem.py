@@ -132,6 +132,12 @@ class LabeledFileSystem:
         self.root = Directory(name="/", slabel=Label.EMPTY,
                               ilabel=Label.EMPTY, created_by="provider")
 
+    def snapshot(self) -> dict[str, Any]:
+        """:class:`~repro.core.snapshot.Snapshotable` — serialize the
+        whole labeled tree (restore with :func:`repro.fs.restore_fs`)."""
+        from .persist import snapshot_fs
+        return snapshot_fs(self)
+
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
@@ -178,7 +184,9 @@ class LabeledFileSystem:
 
     def _check_read(self, process: Process, node: Inode, path: str) -> None:
         try:
-            access.check_read(process, node.slabel, node.ilabel, path)
+            access.check_read(process, node.slabel, node.ilabel, path,
+                              cache=self.kernel.flow_cache,
+                              category="fs.read")
         except (SecrecyViolation, IntegrityViolation):
             self.kernel.audit.record(A.FILE_READ, False, process.name,
                                      f"read {path} refused")
@@ -186,7 +194,9 @@ class LabeledFileSystem:
 
     def _check_write(self, process: Process, node: Inode, path: str) -> None:
         try:
-            access.check_write(process, node.slabel, node.ilabel, path)
+            access.check_write(process, node.slabel, node.ilabel, path,
+                               cache=self.kernel.flow_cache,
+                               category="fs.write")
         except (SecrecyViolation, IntegrityViolation):
             self.kernel.audit.record(A.FILE_WRITE, False, process.name,
                                      f"write {path} refused")

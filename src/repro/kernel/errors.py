@@ -1,19 +1,25 @@
-"""Kernel-level errors (on top of the label errors)."""
+"""Kernel-level errors (on top of the label errors).
+
+All classes derive from the unified :class:`repro.errors.W5Error`
+hierarchy; lookups that fail are additionally
+:class:`repro.errors.NotFound`.
+"""
 
 from __future__ import annotations
 
+from ..errors import NotFound, W5Error
 from ..labels import LabelError
 
 
-class KernelError(Exception):
+class KernelError(W5Error):
     """Base class for kernel refusals unrelated to labels."""
 
 
-class NoSuchProcess(KernelError):
+class NoSuchProcess(KernelError, NotFound):
     """The named process does not exist or has exited."""
 
 
-class NoSuchEndpoint(KernelError):
+class NoSuchEndpoint(KernelError, NotFound):
     """The named endpoint does not exist or was closed."""
 
 

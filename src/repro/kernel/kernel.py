@@ -38,8 +38,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterable, Optional
 
-from ..labels import (Capability, CapabilitySet, Label, SecrecyViolation,
-                      Tag, TagRegistry, check_flow, check_label_change)
+from ..labels import (Capability, CapabilitySet, FlowCache, Label,
+                      SecrecyViolation, Tag, TagRegistry)
 from . import audit as A
 from .audit import AuditLog
 from .errors import (DeadProcess, EndpointMisuse, MailboxEmpty, NoSuchEndpoint,
@@ -77,11 +77,16 @@ class Kernel:
 
     def __init__(self, namespace: str = "w5",
                  resources: Optional[ResourceHook] = None,
-                 floating_labels: bool = False) -> None:
+                 floating_labels: bool = False,
+                 flow_cache: Optional[FlowCache] = None) -> None:
         self.tags = TagRegistry(namespace=namespace)
         self.audit = AuditLog()
         self.resources = resources or ResourceHook()
         self.floating_labels = floating_labels
+        #: Memoized flow decisions (see repro.labels.cache).  Pass
+        #: ``FlowCache(enabled=False)`` for a pass-through kernel; the
+        #: differential tests compare the two on identical histories.
+        self.flow_cache = flow_cache if flow_cache is not None else FlowCache()
         self._pids = itertools.count(1)
         self._procs: dict[int, Process] = {}
         #: endpoint_id -> (pid, Endpoint), a global routing table
@@ -130,9 +135,11 @@ class Kernel:
             raise CapabilityError(
                 f"spawn {name!r}: cannot grant capabilities the parent lacks")
         try:
-            check_flow(parent.slabel, parent.ilabel, child_s, child_i,
-                       d_from=parent.caps, d_to=grant,
-                       what=f"spawn {name!r}")
+            self.flow_cache.check_flow(parent.slabel, parent.ilabel,
+                                       child_s, child_i,
+                                       d_from=parent.caps, d_to=grant,
+                                       what=f"spawn {name!r}",
+                                       category="spawn")
         except Exception:
             self.audit.record(A.SPAWN, False, parent.name,
                               f"spawn {name!r}: initial labels unreachable")
@@ -153,6 +160,7 @@ class Kernel:
         for ep in process.endpoints.values():
             ep.closed = True
             self._endpoints.pop(ep.endpoint_id, None)
+        self.flow_cache.invalidate_subject(process.pid, reason="exit")
         self.resources.on_exit(process)
         self.audit.record(A.EXIT, True, process.name,
                           f"exit pid={process.pid}", pid=process.pid)
@@ -180,6 +188,7 @@ class Kernel:
         tag = self.tags.create(purpose=purpose, kind=kind,
                                owner=tag_owner or process.owner_user)
         process.caps = CapabilitySet.owning(tag) | process.caps
+        self.flow_cache.invalidate_subject(process.pid, reason="create-tag")
         self.audit.record(A.TAG_CREATE, True, process.name,
                           f"create tag {tag.tag_id} ({purpose})",
                           tag_id=tag.tag_id)
@@ -198,11 +207,13 @@ class Kernel:
         self.resources.charge(process, "syscalls", 1)
         try:
             if secrecy is not None:
-                check_label_change(process.slabel, secrecy, process.caps,
-                                   what=f"{process.name} secrecy")
+                self.flow_cache.check_label_change(
+                    process.slabel, secrecy, process.caps,
+                    what=f"{process.name} secrecy")
             if integrity is not None:
-                check_label_change(process.ilabel, integrity, process.caps,
-                                   what=f"{process.name} integrity")
+                self.flow_cache.check_label_change(
+                    process.ilabel, integrity, process.caps,
+                    what=f"{process.name} integrity")
         except Exception:
             self.audit.record(A.LABEL_CHANGE, False, process.name,
                               "label change refused")
@@ -211,7 +222,8 @@ class Kernel:
             process.slabel = secrecy
         if integrity is not None:
             process.ilabel = integrity
-        closed = process.revalidate_endpoints()
+        self.flow_cache.invalidate_subject(process.pid, reason="label-change")
+        closed = process.revalidate_endpoints(cache=self.flow_cache)
         for ep in closed:
             self._endpoints.pop(ep.endpoint_id, None)
         self.audit.record(A.LABEL_CHANGE, True, process.name,
@@ -222,6 +234,7 @@ class Kernel:
         """Irrevocably discard capabilities (attenuation is always legal)."""
         self._require_alive(process)
         process.caps = process.caps.revoke(*caps)
+        self.flow_cache.invalidate_subject(process.pid, reason="drop-caps")
         self.audit.record(A.GRANT, True, process.name, "dropped capabilities")
 
     # ------------------------------------------------------------------
@@ -246,7 +259,7 @@ class Kernel:
                       slabel=process.slabel if slabel is None else slabel,
                       ilabel=process.ilabel if ilabel is None else ilabel,
                       direction=direction, name=name)
-        if not process.endpoint_legal(ep):
+        if not process.endpoint_legal(ep, cache=self.flow_cache):
             self.audit.record(A.ENDPOINT, False, process.name,
                               f"endpoint {name!r} outside capability reach")
             raise SecrecyViolation(
@@ -319,18 +332,21 @@ class Kernel:
                     f"floated up by {len(overflow)} tags from "
                     f"{sender.name}")
             try:
-                check_flow(Label.EMPTY, from_ep.ilabel,
-                           Label.EMPTY, to_ep.ilabel,
-                           what=f"send {sender.name}->{recipient.name}")
+                self.flow_cache.check_flow(
+                    Label.EMPTY, from_ep.ilabel, Label.EMPTY, to_ep.ilabel,
+                    what=f"send {sender.name}->{recipient.name}",
+                    category="ipc")
             except Exception:
                 self.audit.record(A.SEND, False, sender.name,
                                   f"-> {recipient.name} refused")
                 raise
         else:
             try:
-                check_flow(from_ep.slabel, from_ep.ilabel,
-                           to_ep.slabel, to_ep.ilabel,
-                           what=f"send {sender.name}->{recipient.name}")
+                self.flow_cache.check_flow(
+                    from_ep.slabel, from_ep.ilabel,
+                    to_ep.slabel, to_ep.ilabel,
+                    what=f"send {sender.name}->{recipient.name}",
+                    category="ipc")
             except Exception:
                 self.audit.record(A.SEND, False, sender.name,
                                   f"-> {recipient.name} topic={topic!r} refused")
@@ -364,6 +380,8 @@ class Kernel:
             del process.mailbox[i]
             if len(msg.granted):
                 process.caps = process.caps | msg.granted
+                self.flow_cache.invalidate_subject(process.pid,
+                                                   reason="cap-grant")
                 self.audit.record(A.GRANT, True, process.name,
                                   f"received {len(msg.granted)} capabilities")
             self.audit.record(A.RECEIVE, True, process.name,

@@ -80,6 +80,12 @@ class Process:
                  caps: CapabilitySet, owner_user: Optional[str] = None) -> None:
         self.pid = pid
         self.name = name
+        #: Bumped on every label/capability assignment; the flow cache
+        #: keys its per-subject verdicts on (pid, epoch), so a stale
+        #: verdict can never outlive the state it was computed under —
+        #: even if trusted code mutates these attributes directly
+        #: instead of going through a kernel syscall.
+        self.label_epoch = 0
         self.slabel = slabel
         self.ilabel = ilabel
         self.caps = caps
@@ -92,19 +98,54 @@ class Process:
         #: Scratch space for application state; invisible to the kernel.
         self.locals: dict[str, Any] = {}
 
+    # -- label state (epoch-tracked for the flow cache) -------------------
+
+    @property
+    def slabel(self) -> Label:
+        return self._slabel
+
+    @slabel.setter
+    def slabel(self, value: Label) -> None:
+        self._slabel = value
+        self.label_epoch += 1
+
+    @property
+    def ilabel(self) -> Label:
+        return self._ilabel
+
+    @ilabel.setter
+    def ilabel(self, value: Label) -> None:
+        self._ilabel = value
+        self.label_epoch += 1
+
+    @property
+    def caps(self) -> CapabilitySet:
+        return self._caps
+
+    @caps.setter
+    def caps(self, value: CapabilitySet) -> None:
+        self._caps = value
+        self.label_epoch += 1
+
     # -- endpoint bookkeeping (kernel-internal) ---------------------------
 
-    def endpoint_legal(self, ep: Endpoint) -> bool:
+    def endpoint_legal(self, ep: Endpoint, cache=None) -> bool:
         """Check ``ep``'s declared labels against this process's reach.
 
         Secrecy endpoints must lie in ``[S − D⁻, S ∪ D⁺]``; integrity
         endpoints dually must lie in ``[I − D⁻, I ∪ D⁺]`` (an endpoint
         may not claim integrity the process could not claim).
+
+        ``cache`` is the kernel's :class:`~repro.labels.FlowCache`;
+        when given, the (pure, immutable-input) reach check is memoized.
         """
+        if cache is not None:
+            return cache.endpoint_legal(ep.slabel, ep.ilabel,
+                                        self.slabel, self.ilabel, self.caps)
         return (endpoint_label_legal(ep.slabel, self.slabel, self.caps)
                 and endpoint_label_legal(ep.ilabel, self.ilabel, self.caps))
 
-    def revalidate_endpoints(self) -> list[Endpoint]:
+    def revalidate_endpoints(self, cache=None) -> list[Endpoint]:
         """After a label change, close any endpoint that fell out of
         reach.  Returns the endpoints that were closed.
 
@@ -115,7 +156,7 @@ class Process:
         """
         closed = []
         for ep in self.endpoints.values():
-            if not ep.closed and not self.endpoint_legal(ep):
+            if not ep.closed and not self.endpoint_legal(ep, cache=cache):
                 ep.closed = True
                 closed.append(ep)
         return closed

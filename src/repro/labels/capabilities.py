@@ -16,6 +16,7 @@ delegates to a declassifier in W5 (§3.1).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -52,22 +53,48 @@ def minus(tag: Tag) -> Capability:
 
 
 class CapabilitySet:
-    """An immutable set of capabilities with the derived views the flow
-    rules need.
+    """An immutable, *interned* set of capabilities with the derived
+    views the flow rules need.
 
     ``plus_tags`` / ``minus_tags`` are the Flume ``D+`` / ``D-`` sets: the
     tags the holder could add to, respectively remove from, its labels.
+
+    Like :class:`~repro.labels.label.Label`, capability sets intern:
+    constructing a set whose capabilities already exist returns the
+    same object, so equality is usually pointer equality and the memo
+    tables in :mod:`repro.labels.cache` key on capability sets
+    directly.  Interning also makes the derived ``D+``/``D-`` labels
+    computed once per distinct set rather than per construction.
     """
 
-    __slots__ = ("_caps", "_plus", "_minus")
+    __slots__ = ("_caps", "_plus", "_minus", "__weakref__")
 
     EMPTY: "CapabilitySet"
 
-    def __init__(self, caps: Iterable[Capability] = ()) -> None:
+    #: Keyed by full tag identity + sign (see Label._intern for why
+    #: Capability equality, which follows tag-id equality, is not
+    #: enough to substitute one registry's capabilities for another's).
+    _intern: "weakref.WeakValueDictionary[frozenset, CapabilitySet]" = \
+        weakref.WeakValueDictionary()
+
+    def __new__(cls, caps: Iterable[Capability] = ()) -> "CapabilitySet":
         cap_set = frozenset(caps)
+        key = frozenset(
+            (c.tag.tag_id, c.tag.purpose, c.tag.kind, c.tag.owner, c.sign)
+            for c in cap_set)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self._caps = cap_set
         self._plus = Label(c.tag for c in cap_set if c.sign == PLUS)
         self._minus = Label(c.tag for c in cap_set if c.sign == MINUS)
+        cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        # Re-enter the intern table on unpickle/copy.
+        return (CapabilitySet, (tuple(self._caps),))
 
     # -- views ----------------------------------------------------------
 
@@ -106,6 +133,8 @@ class CapabilitySet:
         return len(self._caps)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, CapabilitySet):
             return self._caps == other._caps
         return NotImplemented

@@ -3,16 +3,24 @@
 Every refusal by the reference monitor raises a subclass of
 :class:`LabelError`, so callers can catch "the platform said no" with a
 single except clause while tests can assert on the precise refusal.
+
+All classes here also derive from the unified families in
+:mod:`repro.errors`: flow refusals are :class:`~repro.errors.FlowDenied`,
+and the ``Write*`` variants additionally carry
+:class:`~repro.errors.WriteDenied` so write-path refusals can be caught
+as a family without caring whether secrecy or integrity fired.
 """
 
 from __future__ import annotations
 
+from ..errors import FlowDenied, W5Error, WriteDenied
 
-class LabelError(Exception):
+
+class LabelError(W5Error):
     """Base class for all label/flow violations."""
 
 
-class FlowViolation(LabelError):
+class FlowViolation(LabelError, FlowDenied):
     """An information flow was refused by the secrecy or integrity rules."""
 
 
@@ -24,7 +32,15 @@ class IntegrityViolation(FlowViolation):
     """A receiver required integrity tags the sender could not vouch for."""
 
 
-class CapabilityError(LabelError):
+class WriteSecrecyViolation(SecrecyViolation, WriteDenied):
+    """A write was refused by the no-write-down secrecy rule."""
+
+
+class WriteIntegrityViolation(IntegrityViolation, WriteDenied):
+    """A write was refused for lack of the object's write privilege."""
+
+
+class CapabilityError(LabelError, FlowDenied):
     """A label change or privileged operation lacked the needed capability."""
 
 

@@ -83,6 +83,37 @@ def check_flow(s_from: Label, i_from: Label, s_to: Label, i_to: Label,
             f"{sorted(t.tag_id for t in missing)} the sender cannot vouch for")
 
 
+def can_read(obj_s: Label, obj_i: Label, subj_s: Label, subj_i: Label,
+             caps: CapabilitySet) -> bool:
+    """True iff a subject at (``subj_s``, ``subj_i``) with ``caps`` may
+    *read* an object labeled (``obj_s``, ``obj_i``).
+
+    The storage read rule shared by files and rows (DESIGN.md §5):
+
+    * secrecy: ``S_obj ⊆ S_subj`` extended only by fully-owned tags;
+    * integrity: ``I_subj − D⁻ ⊆ I_obj`` (read-down waivable with w-).
+
+    This is the single normative definition;
+    :func:`repro.core.access.readable` and the memoized
+    :meth:`repro.labels.cache.FlowCache.readable` both delegate here.
+    """
+    readable_as = subj_s | caps.owned_tags()
+    return (can_flow_secrecy(obj_s, readable_as)
+            and can_flow_integrity(obj_i, subj_i, d_to=caps))
+
+
+def can_write(obj_s: Label, obj_i: Label, subj_s: Label, subj_i: Label,
+              caps: CapabilitySet) -> bool:
+    """True iff a subject at (``subj_s``, ``subj_i``) with ``caps`` may
+    *write* an object labeled (``obj_s``, ``obj_i``).
+
+    * secrecy: ``S_subj − D⁻ ⊆ S_obj`` (write-down waivable with t-);
+    * integrity: ``I_obj ⊆ I_subj ∪ D⁺`` (write privilege via w+).
+    """
+    return (can_flow_secrecy(subj_s, obj_s, d_from=caps)
+            and can_flow_integrity(subj_i, obj_i, d_from=caps))
+
+
 def label_change_allowed(old: Label, new: Label, caps: CapabilitySet) -> bool:
     """True iff ``caps`` authorizes changing a label from ``old`` to ``new``.
 

@@ -1,39 +1,82 @@
-"""Labels: immutable sets of tags forming the DIFC lattice.
+"""Labels: immutable, *interned* sets of tags forming the DIFC lattice.
 
 Following Flume (Krohn et al., SOSP 2007), a label is just a finite set
 of tags; the partial order is subset inclusion, join is union and meet
 is intersection.  Secrecy labels and integrity labels use the same
 structure — only the direction of the flow checks differs (see
 :mod:`repro.labels.flow`).
+
+Interning
+---------
+
+Labels are the hottest values in the system: every syscall, file
+access, row scan and export check hashes and compares them.  Because
+they are immutable, :class:`Label` interns its instances — constructing
+a label whose tag set already exists anywhere in the process returns
+the *same object*, extending the long-standing ``Label.EMPTY`` sharing
+to every label.  Consequences the fast path relies on:
+
+* equality of interned labels is pointer equality (``a == b`` starts
+  with an ``a is b`` test that almost always decides);
+* the hash is computed once per distinct tag set, ever;
+* memo tables in :mod:`repro.labels.cache` can key on labels directly
+  with O(1) identity-backed lookups.
+
+Interning is an optimization, never a correctness requirement: a label
+that sneaks past the intern table (e.g. via ``copy.deepcopy`` of a
+container) still compares by value, and :meth:`__reduce__` routes
+pickle/copy back through the constructor so such strays re-intern.
+The table holds weak references, so labels that fall out of use are
+reclaimed rather than accumulating for the life of a provider.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import AbstractSet, Iterable, Iterator
 
 from .tags import Tag
 
 
 class Label:
-    """An immutable set of :class:`~repro.labels.tags.Tag`.
+    """An immutable, interned set of :class:`~repro.labels.tags.Tag`.
 
     Supports the usual set operators, which double as lattice
     operations: ``|`` is join, ``&`` is meet, ``<=`` is the "can flow
     to" partial order for secrecy (and its reverse for integrity).
     """
 
-    __slots__ = ("_tags", "_hash")
+    __slots__ = ("_tags", "_hash", "__weakref__")
 
     #: The bottom of the lattice, shared to keep the common case cheap.
     EMPTY: "Label"
 
-    def __init__(self, tags: Iterable[Tag] = ()) -> None:
+    #: The intern table.  Keys spell out the *full* tag identity
+    #: (id + audit metadata), not Tag equality (which is by id alone):
+    #: two registries may mint the same tag id with different metadata,
+    #: and interning must never substitute one's tags for the other's.
+    _intern: "weakref.WeakValueDictionary[frozenset, Label]" = \
+        weakref.WeakValueDictionary()
+
+    def __new__(cls, tags: Iterable[Tag] = ()) -> "Label":
         tag_set = frozenset(tags)
         for t in tag_set:
             if not isinstance(t, Tag):
                 raise TypeError(f"labels hold Tags, got {type(t).__name__}")
+        key = frozenset((t.tag_id, t.purpose, t.kind, t.owner)
+                        for t in tag_set)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self._tags = tag_set
         self._hash = hash(tag_set)
+        cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        # Re-enter the intern table on unpickle/copy.
+        return (Label, (tuple(self._tags),))
 
     # -- set protocol -------------------------------------------------
 
@@ -50,6 +93,8 @@ class Label:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, Label):
             return self._tags == other._tags
         if isinstance(other, (frozenset, set)):
@@ -59,24 +104,38 @@ class Label:
     # -- lattice operations -------------------------------------------
 
     def __or__(self, other: "Label | AbstractSet[Tag]") -> "Label":
+        if self is other:
+            return self
         return Label(self._tags | _tags_of(other))
 
     def __and__(self, other: "Label | AbstractSet[Tag]") -> "Label":
+        if self is other:
+            return self
         return Label(self._tags & _tags_of(other))
 
     def __sub__(self, other: "Label | AbstractSet[Tag]") -> "Label":
+        if self is other:
+            return Label.EMPTY
         return Label(self._tags - _tags_of(other))
 
     def __le__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        if self is other:
+            return True
         return self._tags <= _tags_of(other)
 
     def __lt__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        if self is other:
+            return False
         return self._tags < _tags_of(other)
 
     def __ge__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        if self is other:
+            return True
         return self._tags >= _tags_of(other)
 
     def __gt__(self, other: "Label | AbstractSet[Tag]") -> bool:
+        if self is other:
+            return False
         return self._tags > _tags_of(other)
 
     def join(self, other: "Label") -> "Label":

@@ -124,6 +124,11 @@ class TagRegistry:
 
     # -- persistence -------------------------------------------------------
 
+    def snapshot(self) -> dict:
+        """:class:`~repro.core.snapshot.Snapshotable` — alias of
+        :meth:`export_state` (restore with :meth:`import_state`)."""
+        return self.export_state()
+
     def export_state(self) -> dict:
         """A JSON-able snapshot of every minted tag and the counter."""
         return {

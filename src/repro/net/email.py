@@ -21,7 +21,7 @@ from typing import Optional
 
 from ..kernel import Kernel
 from ..kernel import audit as A
-from ..labels import Label, exportable_tags
+from ..labels import Label
 from .gateway import AuthorityFn, ExportViolation
 
 
@@ -74,7 +74,8 @@ class EmailGateway:
         box = self.mailbox(to_address)
         authority = self.authority_for(box.owner) if box.owner else \
             self.authority_for(None)
-        residue = exportable_tags(content_label, authority)
+        residue = self.kernel.flow_cache.exportable_residue(
+            content_label, authority, category="net.export")
         if not residue.is_empty():
             self.refused += 1
             self.kernel.audit.record(

@@ -28,7 +28,7 @@ from typing import Callable, Optional
 
 from ..kernel import Kernel
 from ..kernel import audit as A
-from ..labels import CapabilitySet, Label, SecrecyViolation, exportable_tags
+from ..labels import CapabilitySet, Label, SecrecyViolation
 from .http import HttpRequest, HttpResponse, contains_javascript, strip_javascript
 from .session import SESSION_COOKIE, Session, SessionManager
 
@@ -119,7 +119,8 @@ class Gateway:
         declassifier may open specific tags to everyone.
         """
         authority = self.authority_for(recipient)
-        residue = exportable_tags(content_label, authority)
+        residue = self.kernel.flow_cache.exportable_residue(
+            content_label, authority, category="net.export")
         if not residue.is_empty():
             self.exports_denied += 1
             self.kernel.audit.record(

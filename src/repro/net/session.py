@@ -16,11 +16,13 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from ..errors import W5Error
+
 #: The cookie name W5 sessions travel under.
 SESSION_COOKIE = "w5_session"
 
 
-class AuthError(Exception):
+class AuthError(W5Error):
     """Bad credentials or an unusable session token."""
 
 

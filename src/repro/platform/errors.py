@@ -1,21 +1,23 @@
-"""Platform-level errors."""
+"""Platform-level errors, rooted in the unified :mod:`repro.errors` tree."""
 
 from __future__ import annotations
 
+from ..errors import FlowDenied, NotFound, W5Error
 
-class PlatformError(Exception):
+
+class PlatformError(W5Error):
     """Base class for meta-application failures."""
 
 
-class NoSuchUser(PlatformError):
+class NoSuchUser(PlatformError, NotFound):
     """The named account does not exist."""
 
 
-class NoSuchApp(PlatformError):
+class NoSuchApp(PlatformError, NotFound):
     """The named application/module is not registered."""
 
 
-class NotAuthorized(PlatformError):
+class NotAuthorized(PlatformError, FlowDenied):
     """The acting user lacks the right to perform a platform action."""
 
 

@@ -25,9 +25,10 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Iterable
 
-from ..db import restore_store, snapshot_store
+from ..core.snapshot import Snapshotable
+from ..db import restore_store
 from ..declassify import BUILTINS
-from ..fs import restore_fs, snapshot_fs
+from ..fs import restore_fs
 from ..kernel import Kernel
 from ..labels import CapabilitySet, Label, TagRegistry
 from .accounts import UserAccount
@@ -87,9 +88,15 @@ def snapshot_provider(provider: Provider) -> dict[str, Any]:
             "writers": sorted(g.writers),
         })
 
+    # The storage subsystems and the tag registry all implement
+    # Snapshotable; the provider's composite snapshot is their
+    # snapshots plus the platform-level state.
+    registry: Snapshotable = provider.kernel.tags
+    fs: Snapshotable = provider.fs
+    db: Snapshotable = provider.db
     return {
         "name": provider.name,
-        "registry": provider.kernel.tags.export_state(),
+        "registry": registry.snapshot(),
         "provider_write_tag_id": provider._provider_write.tag_id,
         "accounts": accounts,
         "groups": groups,
@@ -99,8 +106,8 @@ def snapshot_provider(provider: Provider) -> dict[str, Any]:
         "adoptions": list(provider.adoptions),
         "usage_edges": list(provider.usage_edges),
         "declass_clock": provider.declass.now,
-        "fs": snapshot_fs(provider.fs),
-        "db": snapshot_store(provider.db),
+        "fs": fs.snapshot(),
+        "db": db.snapshot(),
     }
 
 
@@ -118,6 +125,9 @@ def restore_provider(state: dict[str, Any],
     # Replace the freshly-minted registry with the durable one and
     # repair the provider's own bootstrap references.
     provider.kernel.tags = TagRegistry.import_state(state["registry"])
+    # Tag identity was just rewired underneath the kernel: drop every
+    # cached flow verdict, pure memos included.
+    provider.kernel.flow_cache.invalidate_all(reason="registry-restore")
     pw_tag = provider.kernel.tags.lookup(state["provider_write_tag_id"])
     provider._provider_write = pw_tag
     svc = provider._account_service

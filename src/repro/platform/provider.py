@@ -236,6 +236,13 @@ class Provider:
             raise NoSuchApp(ref)
         self.account(username).module_preferences[slot] = ref
 
+    def snapshot(self) -> dict[str, Any]:
+        """:class:`~repro.core.snapshot.Snapshotable` — serialize the
+        whole deployment (restore with
+        :func:`repro.platform.restore_provider`)."""
+        from .persist import snapshot_provider
+        return snapshot_provider(self)
+
     def grant_declassifier(self, username: str, declassifier: Declassifier
                            ) -> None:
         """Entrust a declassifier with the user's data tag.
@@ -254,6 +261,33 @@ class Provider:
         except KeyError:
             raise NoSuchApp(f"declassifier {name!r}") from None
         self.grant_declassifier(username, cls(config))
+
+    def update_declassifier_config(self, username: str, name: str,
+                                   **changes: Any) -> int:
+        """Amend the policy config of the user's granted declassifier(s)
+        named ``name`` (e.g. grow a friends-only list).
+
+        Policy edits are user decisions, so they go through the
+        platform — never by mutating ``grant.declassifier.config``
+        directly.  Every updated grant is audited.  Returns the number
+        of grants updated; raises
+        :class:`~repro.platform.errors.NoSuchApp` if the user has no
+        grant by that name.
+        """
+        account = self.account(username)
+        updated = 0
+        for grant in self.declass.grants_for(username):
+            if grant.tag == account.data_tag \
+                    and grant.declassifier.name == name:
+                grant.declassifier.update_config(**changes)
+                updated += 1
+        if not updated:
+            raise NoSuchApp(
+                f"{username} has no {name!r} declassifier grant")
+        self.kernel.audit.record(
+            A.DECLASSIFY, True, username,
+            f"updated {name!r} config ({', '.join(sorted(changes))})")
+        return updated
 
     def revoke_declassifier(self, username: str,
                             name: Optional[str] = None) -> int:

@@ -1,0 +1,106 @@
+"""The Snapshotable protocol and the public declassifier-config API."""
+
+import json
+
+import pytest
+
+from repro.core import Snapshotable, W5System
+from repro.db import restore_store
+from repro.fs import restore_fs
+from repro.kernel import Kernel
+from repro.labels import Label, TagRegistry
+from repro.platform import Provider, restore_provider
+from repro.platform.errors import NoSuchApp
+
+
+class TestSnapshotableProtocol:
+    def test_all_four_subsystems_conform(self):
+        provider = Provider(name="snap")
+        for part in (provider.kernel.tags, provider.fs, provider.db,
+                     provider):
+            assert isinstance(part, Snapshotable)
+            assert json.dumps(part.snapshot())  # JSON-able by contract
+
+    def test_registry_snapshot_round_trips(self):
+        reg = TagRegistry(namespace="snap")
+        t = reg.create(purpose="p", owner="alice")
+        reg2 = TagRegistry.import_state(reg.snapshot())
+        assert reg2.lookup(t.tag_id).owner == "alice"
+
+    def test_fs_snapshot_round_trips(self):
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root, purpose="secret")
+        from repro.fs import LabeledFileSystem
+        fs = LabeledFileSystem(kernel)
+        fs.create(root, "/secret.txt", "hush", slabel=Label([t]))
+        fs2 = restore_fs(kernel, fs.snapshot())
+        assert fs2.read(root, "/secret.txt") == "hush"
+
+    def test_store_snapshot_round_trips(self):
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        from repro.db import LabeledStore
+        db = LabeledStore(kernel)
+        db.create_table(root, "notes")
+        db.insert(root, "notes", {"text": "hi"})
+        db2 = restore_store(kernel, db.snapshot())
+        assert db2.select(root, "notes") == [{"text": "hi"}]
+
+    def test_provider_snapshot_composes_the_parts(self):
+        provider = Provider(name="snap")
+        state = provider.snapshot()
+        assert state["registry"] == provider.kernel.tags.snapshot()
+        assert state["fs"] == provider.fs.snapshot()
+        assert state["db"] == provider.db.snapshot()
+        restored, report = restore_provider(state)
+        assert report == {"unrestored_grants": [], "missing_apps": []}
+        assert restored.name == "snap"
+
+
+class TestUpdateDeclassifierConfig:
+    def _system_with(self, *users):
+        sys = W5System(name="cfg")
+        for u in users:
+            sys.add_user(u, apps=["photo-share", "social"])
+        return sys
+
+    def test_update_replaces_config_key(self):
+        sys = self._system_with("alice", "bob")
+        n = sys.provider.update_declassifier_config(
+            "alice", "friends-only", friends=["bob"])
+        assert n == 1
+        (grant,) = [g for g in sys.provider.declass.grants_for("alice")
+                    if g.declassifier.name == "friends-only"]
+        assert grant.declassifier.config["friends"] == frozenset({"bob"})
+
+    def test_update_freezes_containers_like_the_constructor(self):
+        sys = self._system_with("alice")
+        sys.provider.update_declassifier_config(
+            "alice", "friends-only", friends={"x", "y"})
+        (grant,) = [g for g in sys.provider.declass.grants_for("alice")
+                    if g.declassifier.name == "friends-only"]
+        assert isinstance(grant.declassifier.config["friends"], frozenset)
+
+    def test_update_unknown_grant_raises(self):
+        sys = self._system_with("alice")
+        with pytest.raises(NoSuchApp):
+            sys.provider.update_declassifier_config(
+                "alice", "no-such-declassifier", friends=[])
+
+    def test_befriend_flows_through_public_api(self):
+        """The W5System sugar must produce a working, audited policy
+        edit — the friend can now see the owner's data."""
+        sys = self._system_with("alice", "bob")
+        sys.befriend("alice", "bob")
+        client = sys.client("alice")
+        client.get("/app/photo-share/upload", filename="cat.jpg",
+                   data="MEOW")
+        resp = sys.client("bob").get("/app/photo-share/view",
+                                     owner="alice", filename="cat.jpg")
+        assert resp.status == 200
+        assert "MEOW" in str(resp.body)
+        # and the edit was audited as a declassification policy event
+        events = [e for e in sys.audit()
+                  if "updated 'friends-only' config" in e.detail]
+        assert len(events) >= 2  # symmetric: alice and bob

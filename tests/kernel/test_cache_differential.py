@@ -1,0 +1,201 @@
+"""Differential property test: the flow cache changes nothing.
+
+Two kernels — one with the default ``FlowCache``, one with a
+pass-through ``FlowCache(enabled=False)`` — are driven through the
+*same* randomly generated syscall history.  Every operation must agree:
+same success or same exception type with the same message, same final
+labels, same delivered payloads.  Hypothesis shrinks any divergence to
+a minimal witness.
+
+A separate regression class pins the invalidation contract: a verdict
+cached before a label-change syscall must never be served after it.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Kernel, KernelError, RECV, SEND
+from repro.labels import CapabilitySet, FlowCache, Label, LabelError, minus, plus
+
+
+def build_system(kernel):
+    """One tainted source + three mules with graded privilege."""
+    root = kernel.spawn_trusted("root")
+    t = kernel.create_tag(root, purpose="secret")
+    procs = [kernel.spawn_trusted("source", slabel=Label([t]))]
+    for i, caps in enumerate([CapabilitySet.EMPTY,
+                              CapabilitySet([plus(t)]),
+                              CapabilitySet([plus(t), minus(t)])]):
+        procs.append(kernel.spawn_trusted(f"mule{i}", caps=caps))
+    return t, procs
+
+
+def apply_op(kernel, t, procs, endpoints, op):
+    """Run one op; return a comparable outcome record."""
+    kind = op[0]
+    try:
+        if kind == "endpoint":
+            _, pi, taint, direction = op
+            p = procs[pi % len(procs)]
+            ep = kernel.create_endpoint(
+                p, slabel=Label([t]) if taint else Label.EMPTY,
+                direction=SEND if direction else RECV)
+            endpoints[p.pid].append(ep)
+            return ("endpoint", p.pid)
+        elif kind == "send":
+            _, pi, qi, ei, fi = op
+            p = procs[pi % len(procs)]
+            q = procs[qi % len(procs)]
+            if not endpoints[p.pid] or not endpoints[q.pid]:
+                return ("skip",)
+            ep = endpoints[p.pid][ei % len(endpoints[p.pid])]
+            fq = endpoints[q.pid][fi % len(endpoints[q.pid])]
+            msg = kernel.send(p, ep, fq, f"payload-{pi}-{qi}")
+            return ("sent", msg.recipient_pid)
+        elif kind == "recv":
+            _, pi = op
+            p = procs[pi % len(procs)]
+            msg = kernel.receive(p)
+            return ("recv", msg.payload)
+        elif kind == "raise":
+            _, pi = op
+            p = procs[pi % len(procs)]
+            closed = kernel.change_label(p, secrecy=p.slabel.add(t))
+            return ("raised", len(closed))
+        elif kind == "lower":
+            _, pi = op
+            p = procs[pi % len(procs)]
+            closed = kernel.change_label(p, secrecy=p.slabel.remove(t))
+            return ("lowered", len(closed))
+        elif kind == "drop":
+            _, pi = op
+            p = procs[pi % len(procs)]
+            kernel.drop_caps(p, [minus(t)])
+            return ("dropped",)
+        return ("noop",)
+    except (LabelError, KernelError) as e:
+        # endpoint/message ids come from module-global counters the two
+        # kernels share, so mask them: only the *shape* must agree
+        return ("error", type(e).__name__, re.sub(r"#?\d+", "#", str(e)))
+
+
+def ops():
+    endpoint = st.tuples(st.just("endpoint"), st.integers(0, 3),
+                         st.booleans(), st.booleans())
+    send = st.tuples(st.just("send"), st.integers(0, 3), st.integers(0, 3),
+                     st.integers(0, 5), st.integers(0, 5))
+    recv = st.tuples(st.just("recv"), st.integers(0, 3))
+    raise_ = st.tuples(st.just("raise"), st.integers(0, 3))
+    lower = st.tuples(st.just("lower"), st.integers(0, 3))
+    drop = st.tuples(st.just("drop"), st.integers(0, 3))
+    return st.lists(st.one_of(endpoint, send, recv, raise_, lower, drop),
+                    max_size=50)
+
+
+class TestCachedKernelIsEquivalent:
+    @settings(max_examples=100, deadline=None)
+    @given(ops())
+    def test_identical_histories_identical_outcomes(self, seed_ops):
+        cached = Kernel(namespace="diff-c")
+        uncached = Kernel(namespace="diff-u", flow_cache=FlowCache(enabled=False))
+        assert cached.flow_cache.enabled
+        assert not uncached.flow_cache.enabled
+
+        tc, procs_c = build_system(cached)
+        tu, procs_u = build_system(uncached)
+        eps_c = {p.pid: [] for p in procs_c}
+        eps_u = {p.pid: [] for p in procs_u}
+
+        for op in seed_ops:
+            out_c = apply_op(cached, tc, procs_c, eps_c, op)
+            out_u = apply_op(uncached, tu, procs_u, eps_u, op)
+            assert out_c == out_u, f"divergence on {op}"
+
+        # final states agree too
+        for pc, pu in zip(procs_c, procs_u):
+            assert pc.slabel == pu.slabel
+            assert pc.ilabel == pu.ilabel
+            assert pc.caps == pu.caps
+            assert [m.payload for m in pc.mailbox] == \
+                [m.payload for m in pu.mailbox]
+            assert sorted(ep.closed for ep in pc.endpoints.values()) == \
+                sorted(ep.closed for ep in pu.endpoints.values())
+
+
+class TestInvalidationRegression:
+    """A verdict cached before a label-change syscall is never replayed."""
+
+    def test_raise_label_flips_cached_ipc_deny(self):
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root, purpose="secret")
+        src = kernel.spawn_trusted("src", slabel=Label([t]))
+        dst = kernel.spawn_trusted("dst", caps=CapabilitySet([plus(t)]))
+        out = kernel.create_endpoint(src, direction=SEND)
+        inbox = kernel.create_endpoint(dst, direction=RECV)
+
+        from repro.labels import SecrecyViolation
+        import pytest
+        with pytest.raises(SecrecyViolation):
+            kernel.send(src, out, inbox, "secret")
+        # dst raises its label: old endpoint is below reach now refused
+        # to exist? no — raising keeps Label([t]) within reach, and the
+        # endpoint stays legal only if within [S-D-, S+D+]; redeclare.
+        kernel.change_label(dst, secrecy=Label([t]))
+        inbox2 = kernel.create_endpoint(dst, direction=RECV)
+        kernel.send(src, out, inbox2, "secret")  # must NOT replay the deny
+        assert kernel.receive(dst).payload == "secret"
+
+    def test_storage_verdict_invalidated_on_label_change(self):
+        from repro.core import access
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root, purpose="secret")
+        reader = kernel.spawn_trusted("reader",
+                                      caps=CapabilitySet([plus(t)]))
+        obj_s, obj_i = Label([t]), Label.EMPTY
+
+        assert not access.readable(reader, obj_s, obj_i,
+                                   cache=kernel.flow_cache)
+        kernel.change_label(reader, secrecy=Label([t]))
+        assert access.readable(reader, obj_s, obj_i,
+                               cache=kernel.flow_cache)
+        stats = kernel.flow_cache.stats()
+        assert stats["invalidations"].get("label-change", 0) >= 1
+
+    def test_drop_caps_invalidates_write_verdict(self):
+        from repro.core import access
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root, purpose="secret")
+        writer = kernel.spawn_trusted("writer", slabel=Label([t]),
+                                      caps=CapabilitySet([minus(t)]))
+        obj_s, obj_i = Label.EMPTY, Label.EMPTY
+
+        # t- lets the tainted writer write down into a public object
+        assert access.writable(writer, obj_s, obj_i,
+                               cache=kernel.flow_cache)
+        kernel.drop_caps(writer, [minus(t)])
+        assert not access.writable(writer, obj_s, obj_i,
+                                   cache=kernel.flow_cache)
+        assert kernel.flow_cache.stats()["invalidations"].get(
+            "drop-caps", 0) >= 1
+
+    def test_create_tag_invalidates(self):
+        from repro.core import access
+        kernel = Kernel()
+        root = kernel.spawn_trusted("root")
+        t = kernel.create_tag(root, purpose="secret")
+        p = kernel.spawn_trusted("p")
+        assert not access.readable(p, Label([t]), Label.EMPTY,
+                                   cache=kernel.flow_cache)
+        # minting a tag grants ownership: p can now read its own tag's
+        # data via owned-tag extension — but the verdict above was for
+        # t, which p still cannot read; mint then grant scenario:
+        u = kernel.create_tag(p, purpose="mine")
+        assert access.readable(p, Label([u]), Label.EMPTY,
+                               cache=kernel.flow_cache)
+        assert kernel.flow_cache.stats()["invalidations"].get(
+            "create-tag", 0) >= 1
