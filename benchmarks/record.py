@@ -1,10 +1,15 @@
 """Record the perf trajectory: quick benchmark runs to JSON.
 
 Writes ``BENCH_M1.json`` (label-operation microbenchmarks, cached and
-uncached) and ``BENCH_M2.json`` (end-to-end request path) so CI can
+uncached), ``BENCH_M2.json`` (end-to-end request path) and
+``BENCH_M8.json`` (request-plane scaling vs. user count) so CI can
 archive one number series per commit — the repo's before/after record
-for the fast-path label engine lives in these files and in
-EXPERIMENTS.md.
+for the fast-path label engine and the O(1) request plane lives in
+these files and in EXPERIMENTS.md.
+
+``BENCH_M8`` doubles as a regression guard: the run **fails** (exit
+code 1) if per-request latency at 1,000 users exceeds 3x the 10-user
+latency with the fast request plane on.
 
 Usage::
 
@@ -101,6 +106,47 @@ def bench_m2(repeat: int) -> dict:
     }
 
 
+#: The M8 regression bound: 1,000-user latency vs. 10-user latency.
+M8_MAX_RATIO = 3.0
+
+
+def bench_m8(repeat: int) -> dict:
+    """Per-request latency vs. deployment size, fast plane on and off.
+
+    The interesting number is the growth ratio: flat (~1x) with the
+    capability index + authority cache + pool, linear without.
+    """
+    from m8_scaling import run_tier
+
+    results: dict[str, dict] = {}
+    for n_users in (10, 100, 1_000, 5_000):
+        tier = run_tier(n_users, fast=True, n=40, repeat=repeat)
+        results[f"fast_{n_users}"] = {
+            "latency_us": tier["latency_us"],
+            "throughput_rps": tier["throughput_rps"],
+            "launch_cap_hits": tier["launch_caps"]["hits"],
+            "authority_hits": tier["authority"]["hits"],
+            "audit_dropped": tier["audit_dropped"],
+        }
+    for n_users in (10, 100, 1_000):
+        tier = run_tier(n_users, fast=False, n=20, repeat=repeat)
+        results[f"slow_{n_users}"] = {
+            "latency_us": tier["latency_us"],
+            "throughput_rps": tier["throughput_rps"],
+        }
+    ratio = (results["fast_1000"]["latency_us"]
+             / results["fast_10"]["latency_us"])
+    results["scaling"] = {
+        "fast_1000_vs_10_ratio": round(ratio, 3),
+        "slow_1000_vs_10_ratio": round(
+            results["slow_1000"]["latency_us"]
+            / results["slow_10"]["latency_us"], 3),
+        "max_ratio": M8_MAX_RATIO,
+        "regression": ratio > M8_MAX_RATIO,
+    }
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=".", type=Path,
@@ -115,14 +161,20 @@ def main(argv=None) -> int:
         "implementation": platform.python_implementation(),
         "schema": 1,
     }
-    for name, fn in (("M1", bench_m1), ("M2", bench_m2)):
+    failed = False
+    for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
         print(json.dumps(payload["results"], indent=2))
-    return 0
+        if name == "M8" and payload["results"]["scaling"]["regression"]:
+            ratio = payload["results"]["scaling"]["fast_1000_vs_10_ratio"]
+            print(f"M8 REGRESSION: 1,000-user latency is {ratio}x the "
+                  f"10-user latency (bound: {M8_MAX_RATIO}x)")
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from ..kernel.audit import AuditEvent, AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..labels.cache import FlowCache
+    from ..platform.provider import Provider
 
 
 class _LatencyStat:
@@ -63,6 +64,7 @@ class Metrics:
         self._by_subject: Counter[str] = Counter()
         self._denials_by_subject: Counter[str] = Counter()
         self._flow_cache: Optional["FlowCache"] = None
+        self._provider: Optional["Provider"] = None
         self._latency: dict[str, _LatencyStat] = {}
         # fold in anything already logged, then follow the stream
         for event in audit:
@@ -132,6 +134,28 @@ class Metrics:
         if self._flow_cache is None:
             return 0.0
         return self._flow_cache.hit_rate()
+
+    # -- request-plane observation ----------------------------------------
+
+    def attach_request_plane(self, provider: "Provider") -> "Metrics":
+        """Start observing a provider's request-plane caches: the
+        launch-capability index, the export-authority memo, and the
+        process pool.  Returns self for chaining, mirroring
+        :meth:`attach_flow_cache`."""
+        self._provider = provider
+        return self
+
+    def request_plane_snapshot(self) -> dict[str, Any]:
+        """Hit/miss/invalidation counters for every request-plane
+        cache (empty dict if no provider is attached)."""
+        if self._provider is None:
+            return {}
+        return {
+            "launch_caps": self._provider.capindex.stats(),
+            "authority": self._provider.declass.authority_stats(),
+            "pool": self._provider.kernel.pool.stats(),
+            "audit_dropped": self._provider.kernel.audit.dropped,
+        }
 
     def flow_latency(self, category: Optional[str] = None) -> dict[str, Any]:
         """Aggregated flow-check latency.

@@ -29,11 +29,17 @@ class W5System:
                  quota_overrides: Optional[Mapping[str, Mapping[str, float]]]
                  = None,
                  with_adversaries: bool = False,
-                 js_policy: str = "block") -> None:
+                 js_policy: str = "block",
+                 fast_request_plane: bool = True,
+                 recycle_processes: bool = True,
+                 audit_max_events: Optional[int] = None) -> None:
         self.resources = ResourceManager(default_quotas=quotas,
                                          overrides=quota_overrides)
         self.provider = Provider(name=name, resources=self.resources,
-                                 js_policy=js_policy)
+                                 js_policy=js_policy,
+                                 fast_request_plane=fast_request_plane,
+                                 recycle_processes=recycle_processes,
+                                 audit_max_events=audit_max_events)
         install_standard_apps(self.provider)
         if with_adversaries:
             install_adversarial_apps(self.provider)
@@ -72,13 +78,27 @@ class W5System:
         """Symmetric friendship: app edges + declassifier lists."""
         for x, y in ((a, b), (b, a)):
             self._clients[x].get("/app/social/befriend", friend=y)
-            for grant in self.provider.declass.grants_for(x):
-                if grant.declassifier.name == "friends-only":
-                    friends = grant.declassifier.config.get(
-                        "friends", frozenset())
-                    self.provider.update_declassifier_config(
-                        x, "friends-only", friends=set(friends) | {y})
-                    break
+            self._grow_friends_policy(x, y)
+
+    def unfriend(self, a: str, b: str) -> None:
+        """Sever the declassifier-side friendship both ways (policy
+        revocation — fresh exports stop immediately)."""
+        for x, y in ((a, b), (b, a)):
+            grant = self.provider.declass.grant_for(x, "friends-only")
+            if grant is None:
+                continue
+            friends = grant.declassifier.config.get("friends", frozenset())
+            if y in friends:
+                self.provider.update_declassifier_config(
+                    x, "friends-only", friends=set(friends) - {y})
+
+    def _grow_friends_policy(self, x: str, y: str) -> None:
+        grant = self.provider.declass.grant_for(x, "friends-only")
+        if grant is not None:
+            friends = grant.declassifier.config.get("friends", frozenset())
+            if y not in friends:
+                self.provider.update_declassifier_config(
+                    x, "friends-only", friends=set(friends) | {y})
 
     # ------------------------------------------------------------------
     # worlds
@@ -97,6 +117,9 @@ class W5System:
             client = self._clients[user]
             for friend in world.friend_list(user):
                 client.get("/app/social/befriend", friend=friend)
+                # usually a no-op (add_user granted the full list), but
+                # worlds edited after construction converge here
+                self._grow_friends_policy(user, friend)
             for photo in world.photos.get(user, []):
                 client.get("/app/photo-share/upload",
                            filename=photo["filename"],

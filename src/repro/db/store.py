@@ -48,11 +48,25 @@ class Row:
     slabel: Label
     ilabel: Label
     version: int = 1
+    #: Cached "all values are immutable scalars" verdict; None = not
+    #: yet computed, recomputed lazily after every update.
+    _flat: Optional[bool] = field(default=None, repr=False, compare=False)
+
+    #: Strictly immutable leaf types only — a tuple/frozenset may nest
+    #: a mutable object, so containers always take the deepcopy path.
+    _FLAT_TYPES = (type(None), bool, int, float, complex, str, bytes)
 
     def snapshot(self) -> dict[str, Any]:
-        """A defensive *deep* copy handed to callers: rows are
-        store-owned, and a shared nested list would let a reader
-        mutate storage past the write checks."""
+        """A defensive copy handed to callers: rows are store-owned,
+        and a shared nested list would let a reader mutate storage past
+        the write checks.  Rows of immutable scalars — the common case
+        — take a shallow ``dict`` copy (the values cannot be mutated
+        through it); anything nested still gets the full deepcopy."""
+        if self._flat is None:
+            self._flat = all(
+                type(v) in self._FLAT_TYPES for v in self.values.values())
+        if self._flat:
+            return dict(self.values)
         return copy.deepcopy(self.values)
 
 
@@ -221,6 +235,7 @@ class LabeledStore:
                 raise
             table.index_remove(row)
             row.values.update(copy.deepcopy(changes))
+            row._flat = None  # re-derive the fast-copy verdict lazily
             row.version += 1
             table.index_add(row)
             updated += 1

@@ -54,6 +54,15 @@ class Declassifier:
     name: str = "abstract"
     #: One-line description shown in the provider's policy web forms.
     description: str = ""
+    #: True iff ``decide`` is a pure function of (owner, viewer) and
+    #: this object's config — i.e. it ignores ``ctx.now``, ``ctx.kind``,
+    #: ``ctx.attributes`` and all external state.  Cacheable decisions
+    #: may be memoized by the service's authority cache and invalidated
+    #: only on policy-change events; time- or attribute-dependent
+    #: declassifiers MUST set this False to opt out (they are then
+    #: re-evaluated on every request, preserving ``ReleaseContext.now``
+    #: semantics).
+    cacheable: bool = True
 
     def __init__(self, config: Optional[dict[str, Any]] = None) -> None:
         # Snapshot the policy: container values are frozen so later

@@ -80,6 +80,8 @@ class TimeEmbargo(Declassifier):
 
     name = "time-embargo"
     description = "Public after a configured time, owner-only before."
+    #: Reads the platform clock: never cached by the authority oracle.
+    cacheable = False
 
     def decide(self, ctx: ReleaseContext) -> bool:
         if ctx.viewer == ctx.owner:
@@ -98,6 +100,8 @@ class ViewerPredicate(Declassifier):
 
     name = "viewer-predicate"
     description = "Custom user-supplied release predicate."
+    #: An arbitrary callable may consult anything: never cached.
+    cacheable = False
 
     def decide(self, ctx: ReleaseContext) -> bool:
         if ctx.viewer == ctx.owner:

@@ -31,6 +31,7 @@ class AllOf(Declassifier):
         if not children:
             raise ValueError("AllOf needs at least one child policy")
         self.children = tuple(children)
+        self.cacheable = all(c.cacheable for c in self.children)
 
     def decide(self, ctx: ReleaseContext) -> bool:
         return all(child.decide(ctx) for child in self.children)
@@ -60,6 +61,7 @@ class AnyOf(Declassifier):
         if not children:
             raise ValueError("AnyOf needs at least one child policy")
         self.children = tuple(children)
+        self.cacheable = all(c.cacheable for c in self.children)
 
     def decide(self, ctx: ReleaseContext) -> bool:
         return any(child.decide(ctx) for child in self.children)
@@ -86,6 +88,7 @@ class Not(Declassifier):
     def __init__(self, child: Declassifier) -> None:
         super().__init__({})
         self.child = child
+        self.cacheable = child.cacheable
 
     def decide(self, ctx: ReleaseContext) -> bool:
         if ctx.viewer == ctx.owner:

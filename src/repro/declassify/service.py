@@ -38,11 +38,55 @@ class Grant:
 class DeclassificationService:
     """Registry of grants + the export-authority oracle."""
 
-    def __init__(self, kernel: Kernel) -> None:
+    def __init__(self, kernel: Kernel,
+                 cache_authority: bool = False,
+                 max_cache_entries: int = 4096) -> None:
         self.kernel = kernel
         self._grants: list[Grant] = []
-        #: Simulated platform clock, advanced by tests/benches.
+        #: Grant indexes — same contents as ``_grants``, keyed for the
+        #: two hot lookups (per-owner policy edits, per-tag release
+        #: checks).  Within a key, insertion order is preserved, so the
+        #: indexed paths visit grants in exactly the order the legacy
+        #: full scan would.
+        self._by_owner: dict[str, list[Grant]] = {}
+        self._by_tag: dict[Tag, list[Grant]] = {}
+        #: Grants whose declassifier opted out of caching — always
+        #: re-evaluated; kept separate so the hot path never scans the
+        #: full grant list.
+        self._uncacheable: list[Grant] = []
+        #: Simulated platform clock, advanced by tests/benches.  No
+        #: authority invalidation needed on advance: time-dependent
+        #: declassifiers are ``cacheable = False`` and re-evaluated on
+        #: every call.
         self.now: float = 0.0
+        #: Memoized per-viewer export authority (the cacheable part).
+        self.cache_authority = cache_authority
+        self._max_cache_entries = max_cache_entries
+        self._authority_memo: dict[Any, CapabilitySet] = {}
+        #: Bumped by every authority-changing event; readable by tests.
+        self.authority_epoch = 0
+        self._stats = {"hits": 0, "misses": 0, "invalidations": 0,
+                       "bypasses": 0}
+
+    # -- authority-cache plumbing ---------------------------------------
+
+    def invalidate_authority(self, reason: str = "") -> None:
+        """Drop all memoized export authority.
+
+        Called on every event that can change what some viewer may see:
+        grant, revoke, declassifier config update (friendship edits,
+        group roster changes route through those).
+        """
+        self.authority_epoch += 1
+        if self._authority_memo:
+            self._authority_memo.clear()
+            self._stats["invalidations"] += 1
+
+    def authority_stats(self) -> dict[str, int]:
+        stats = dict(self._stats)
+        stats["entries"] = len(self._authority_memo)
+        stats["epoch"] = self.authority_epoch
+        return stats
 
     # -- policy management (driven by the provider's web forms) ---------
 
@@ -56,6 +100,11 @@ class DeclassificationService:
         """
         g = Grant(owner=owner, tag=tag, declassifier=declassifier)
         self._grants.append(g)
+        self._by_owner.setdefault(owner, []).append(g)
+        self._by_tag.setdefault(tag, []).append(g)
+        if not declassifier.cacheable:
+            self._uncacheable.append(g)
+        self.invalidate_authority("grant")
         self.kernel.audit.record(
             A.DECLASSIFY, True, owner,
             f"granted {declassifier.name} authority over tag {tag.tag_id}")
@@ -72,22 +121,48 @@ class DeclassificationService:
                          or g.declassifier.name == declassifier_name))]
         removed = before - len(self._grants)
         if removed:
+            self._reindex()
+            self.invalidate_authority("revoke")
             self.kernel.audit.record(
                 A.DECLASSIFY, True, owner,
                 f"revoked {removed} grant(s) on tag {tag.tag_id}")
         return removed
 
+    def _reindex(self) -> None:
+        self._by_owner = {}
+        self._by_tag = {}
+        self._uncacheable = []
+        for g in self._grants:
+            self._by_owner.setdefault(g.owner, []).append(g)
+            self._by_tag.setdefault(g.tag, []).append(g)
+            if not g.declassifier.cacheable:
+                self._uncacheable.append(g)
+
     def grants_for(self, owner: str) -> list[Grant]:
-        return [g for g in self._grants if g.owner == owner]
+        return list(self._by_owner.get(owner, ()))
+
+    def grant_for(self, owner: str,
+                  declassifier_name: str) -> Optional[Grant]:
+        """The owner's first grant using the named declassifier, if any.
+
+        O(owner's grants) instead of O(all grants) — the lookup the
+        provider's policy-edit forms (befriend/unfriend) hit per click.
+        """
+        for g in self._by_owner.get(owner, ()):
+            if g.declassifier.name == declassifier_name:
+                return g
+        return None
 
     # -- the oracle ------------------------------------------------------
 
     def may_release(self, tag: Tag, viewer: Optional[str],
                     kind: str = "", **attributes: Any) -> bool:
-        """True iff some grant on ``tag`` approves ``viewer``."""
-        for g in self._grants:
-            if g.tag != tag:
-                continue
+        """True iff some grant on ``tag`` approves ``viewer``.
+
+        Served from the per-tag index; the legacy full scan silently
+        skipped non-matching tags, so the audit trail is identical.
+        """
+        for g in self._by_tag.get(tag, ()):
             ctx = ReleaseContext(owner=g.owner, viewer=viewer, kind=kind,
                                  now=self.now, attributes=dict(attributes))
             if g.declassifier.decide(ctx):
@@ -110,9 +185,52 @@ class DeclassificationService:
         exportable to herself — the boilerplate policy); on top of
         those, every granted tag whose declassifier approves ``viewer``
         contributes its ``t-``.
+
+        With ``cache_authority`` on, the decisions of *cacheable*
+        declassifiers (pure functions of viewer + config) are memoized
+        per (viewer, own_tags) and invalidated whenever any grant or
+        config changes; non-cacheable grants (time embargoes, custom
+        predicates) are re-evaluated on every call and merged in, so
+        ``ReleaseContext.now`` semantics are untouched.  Calls with a
+        ``kind`` or attributes bypass the cache entirely — any
+        declassifier may read those.
         """
+        own_tags = tuple(own_tags)
+        cacheable_ok = (self.cache_authority and kind == ""
+                        and not attributes)
+        if not cacheable_ok:
+            if self.cache_authority:
+                self._stats["bypasses"] += 1
+            return self._compute_authority(self._grants, viewer, own_tags,
+                                           kind, attributes)
+
+        key = (viewer, frozenset(own_tags))
+        cached = self._authority_memo.get(key)
+        uncacheable = self._uncacheable
+        if cached is None:
+            self._stats["misses"] += 1
+            cacheable = [g for g in self._grants if g.declassifier.cacheable]
+            cached = self._compute_authority(cacheable, viewer, own_tags,
+                                             kind, attributes)
+            if len(self._authority_memo) >= self._max_cache_entries:
+                self._authority_memo.clear()
+            self._authority_memo[key] = cached
+        else:
+            self._stats["hits"] += 1
+        if not uncacheable:
+            return cached
+        extra = [minus(g.tag) for g in uncacheable
+                 if g.declassifier.decide(ReleaseContext(
+                     owner=g.owner, viewer=viewer, kind=kind, now=self.now,
+                     attributes=dict(attributes)))]
+        return cached | extra if extra else cached
+
+    def _compute_authority(self, grants: Iterable[Grant],
+                           viewer: Optional[str], own_tags: Iterable[Tag],
+                           kind: str,
+                           attributes: dict[str, Any]) -> CapabilitySet:
         caps = [minus(t) for t in own_tags]
-        for g in self._grants:
+        for g in grants:
             ctx = ReleaseContext(owner=g.owner, viewer=viewer, kind=kind,
                                  now=self.now, attributes=dict(attributes))
             if g.declassifier.decide(ctx):

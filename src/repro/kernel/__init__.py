@@ -5,6 +5,7 @@ from .errors import (DeadProcess, EndpointMisuse, KernelError, MailboxEmpty,
                      NoSuchEndpoint, NoSuchProcess, ResourceExhausted)
 from .ipc import Message
 from .kernel import Kernel, ResourceHook
+from .pool import ProcessPool
 from .process import BOTH, RECV, SEND, Endpoint, Process
 from .syscalls import W5Syscalls
 
@@ -12,6 +13,6 @@ __all__ = [
     "AuditEvent", "AuditLog",
     "DeadProcess", "EndpointMisuse", "KernelError", "MailboxEmpty",
     "NoSuchEndpoint", "NoSuchProcess", "ResourceExhausted",
-    "Message", "Kernel", "ResourceHook",
+    "Message", "Kernel", "ProcessPool", "ResourceHook",
     "BOTH", "RECV", "SEND", "Endpoint", "Process", "W5Syscalls",
 ]

@@ -12,8 +12,9 @@ provider-private and never flow back to applications.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, Union
 
 #: Event categories, used for filtering.
 SPAWN = "spawn"
@@ -49,22 +50,43 @@ class AuditEvent:
 
 
 class AuditLog:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        self._events: list[AuditEvent] = []
+    ``max_events`` turns the log into a bounded ring: once the limit is
+    reached the oldest events are discarded and counted in
+    :attr:`dropped`.  Counters derived through :meth:`subscribe` (e.g.
+    :class:`~repro.core.metrics.Metrics`) see every event regardless —
+    only the *retained* history is bounded, which is what keeps long
+    benchmark runs (the M8 scaling loads) from accumulating unbounded
+    memory.  ``capacity`` is the older spelling of the same knob.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 max_events: Optional[int] = None) -> None:
+        self._capacity = max_events if max_events is not None else capacity
+        # a deque ring evicts in O(1); the unbounded log stays a list
+        self._events: Union[list[AuditEvent], deque[AuditEvent]] = (
+            deque(maxlen=self._capacity) if self._capacity is not None
+            else [])
         self._seq = 0
-        self._capacity = capacity
+        #: Events discarded by the ring bound (0 while unbounded).
+        self.dropped = 0
         self._subscribers: list[Callable[[AuditEvent], None]] = []
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """The ring bound (None = unbounded)."""
+        return self._capacity
 
     def record(self, category: str, allowed: bool, subject: str,
                detail: str, **extra: Any) -> AuditEvent:
         """Append an event and notify subscribers."""
         self._seq += 1
         event = AuditEvent(self._seq, category, allowed, subject, detail, extra)
+        if self._capacity is not None \
+                and len(self._events) == self._capacity:
+            self.dropped += 1  # the append below evicts the oldest
         self._events.append(event)
-        if self._capacity is not None and len(self._events) > self._capacity:
-            del self._events[: len(self._events) - self._capacity]
         for fn in self._subscribers:
             fn(event)
         return event
@@ -74,6 +96,11 @@ class AuditLog:
         self._subscribers.append(fn)
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including any the ring discarded."""
+        return self._seq
 
     def __len__(self) -> int:
         return len(self._events)

@@ -62,6 +62,12 @@ class ResourceHook:
     def on_exit(self, process: Process) -> None:
         """Release accounting state for an exited process."""
 
+    def on_recycle(self, process: Process) -> None:
+        """Reset per-activation budgets for a process returning to the
+        pool (see :mod:`repro.kernel.pool`).  Defaults to the exit
+        path, which is correct for unlimited hooks."""
+        self.on_exit(process)
+
 
 class Kernel:
     """Process table + reference monitor + audit log.
@@ -78,15 +84,21 @@ class Kernel:
     def __init__(self, namespace: str = "w5",
                  resources: Optional[ResourceHook] = None,
                  floating_labels: bool = False,
-                 flow_cache: Optional[FlowCache] = None) -> None:
+                 flow_cache: Optional[FlowCache] = None,
+                 recycle: bool = False,
+                 audit_max_events: Optional[int] = None) -> None:
         self.tags = TagRegistry(namespace=namespace)
-        self.audit = AuditLog()
+        self.audit = AuditLog(max_events=audit_max_events)
         self.resources = resources or ResourceHook()
         self.floating_labels = floating_labels
         #: Memoized flow decisions (see repro.labels.cache).  Pass
         #: ``FlowCache(enabled=False)`` for a pass-through kernel; the
         #: differential tests compare the two on identical histories.
         self.flow_cache = flow_cache if flow_cache is not None else FlowCache()
+        #: App-process recycling (see repro.kernel.pool).  Disabled by
+        #: default at the kernel level; the provider opts in.
+        from .pool import ProcessPool
+        self.pool = ProcessPool(self, enabled=recycle)
         self._pids = itertools.count(1)
         self._procs: dict[int, Process] = {}
         #: endpoint_id -> (pid, Endpoint), a global routing table

@@ -118,6 +118,16 @@ class Gateway:
         they hold no authority of their own, but an owner's *public*
         declassifier may open specific tags to everyone.
         """
+        if content_label.is_empty():
+            # Unlabeled content exits under any authority — skip the
+            # oracle entirely (the dominant case for static/provider
+            # routes).  The audit record is identical to the general
+            # allow path, so nothing downstream can tell.
+            self.exports_allowed += 1
+            self.kernel.audit.record(
+                A.EXPORT, True, "gateway",
+                f"allow export to {recipient or 'anonymous'}")
+            return
         authority = self.authority_for(recipient)
         residue = self.kernel.flow_cache.exportable_residue(
             content_label, authority, category="net.export")

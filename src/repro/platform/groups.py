@@ -96,6 +96,8 @@ class GroupService:
         group.policy = GroupPolicy({"members": sorted(group.members)})
         self.provider.declass.grant(owner, data_tag, group.policy)
         self._groups[name] = group
+        # a new group's tags may reach any app its members enabled
+        self.provider.capindex.invalidate_all("group-create")
         return group
 
     def get(self, name: str) -> GroupSpace:
@@ -133,8 +135,17 @@ class GroupService:
         self._refresh_policy(group)
 
     def _refresh_policy(self, group: GroupSpace) -> None:
-        """Keep the declassifier roster equal to the membership."""
-        group.policy.config["members"] = frozenset(group.members)
+        """Keep the declassifier roster equal to the membership.
+
+        Routed through ``update_config`` (the supported policy-edit
+        path) and followed by explicit invalidation: a roster change
+        moves both export authority (who the Group policy releases to)
+        and launch capabilities (which launches taint with the group's
+        tags).
+        """
+        group.policy.update_config(members=frozenset(group.members))
+        self.provider.declass.invalidate_authority("group-roster")
+        self.provider.capindex.invalidate_all("group-roster")
 
     # -- capability wiring (called by the launcher) -----------------------
 

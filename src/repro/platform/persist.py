@@ -197,6 +197,9 @@ def restore_provider(state: dict[str, Any],
             provider.declass.grant(group.owner, group.data_tag,
                                    group.policy)
         provider.groups._groups[group.name] = group
+    # accounts and groups were installed behind the index's back
+    provider.capindex.invalidate_all("restore")
+    provider.declass.invalidate_authority("restore")
 
     for name in state.get("endorsements", []):
         if name in provider.apps:

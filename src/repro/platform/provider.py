@@ -62,13 +62,24 @@ class Provider:
     def __init__(self, name: str = "w5",
                  resources: Optional[ResourceHook] = None,
                  js_policy: str = "block",
-                 rate_limit: Optional[int] = None) -> None:
+                 rate_limit: Optional[int] = None,
+                 fast_request_plane: bool = True,
+                 recycle_processes: bool = True,
+                 audit_max_events: Optional[int] = None) -> None:
         self.name = name
-        self.kernel = Kernel(namespace=name, resources=resources)
+        #: ``fast_request_plane`` switches the O(1) request plane: the
+        #: per-(app, viewer) launch-capability index and the memoized
+        #: export-authority oracle.  Off, every request recomputes both
+        #: from scratch (the M8 benchmark compares the two).
+        self.fast_request_plane = fast_request_plane
+        self.kernel = Kernel(namespace=name, resources=resources,
+                             recycle=recycle_processes,
+                             audit_max_events=audit_max_events)
         self.fs = LabeledFileSystem(self.kernel)
         self.db = LabeledStore(self.kernel)
         self.sessions = SessionManager()
-        self.declass = DeclassificationService(self.kernel)
+        self.declass = DeclassificationService(
+            self.kernel, cache_authority=fast_request_plane)
         self.apps = Registry()
         self.modules = self.apps  # one namespace; kinds distinguish
         #: (app, module) dynamic usage edges for the §3.2 code search.
@@ -105,6 +116,8 @@ class Provider:
         self.editors = EditorBoard()
         from .groups import GroupService
         self.groups = GroupService(self)
+        from .capindex import LaunchCapIndex
+        self.capindex = LaunchCapIndex(self, enabled=fast_request_plane)
 
     # ------------------------------------------------------------------
     # accounts (provider web forms)
@@ -204,6 +217,8 @@ class Provider:
                                           username)
         self.sessions.remove_user(username)
         del self._accounts[username]
+        # every app the user had enabled loses a read cap
+        self.capindex.invalidate_all("account-delete")
         self.kernel.audit.record(A.EXIT, True, "provider",
                                  f"account deleted: {username}")
         return erased
@@ -224,11 +239,13 @@ class Provider:
         if allow_write:
             account.writable_apps.add(app_name)
         self.adoptions.append((username, app_name))
+        self.capindex.invalidate_app(app_name)
 
     def disable_app(self, username: str, app_name: str) -> None:
         account = self.account(username)
         account.enabled_apps.discard(app_name)
         account.writable_apps.discard(app_name)
+        self.capindex.invalidate_app(app_name)
 
     def prefer_module(self, username: str, slot: str, ref: str) -> None:
         """Record the user's choice of a competing module (§2)."""
@@ -284,6 +301,7 @@ class Provider:
         if not updated:
             raise NoSuchApp(
                 f"{username} has no {name!r} declassifier grant")
+        self.declass.invalidate_authority("config-update")
         self.kernel.audit.record(
             A.DECLASSIFY, True, username,
             f"updated {name!r} config ({', '.join(sorted(changes))})")
@@ -465,7 +483,18 @@ class Provider:
           delegated write privilege thus acts only when its delegator
           (or a fellow group writer) is at the wheel; another user
           cannot steer your delegate into your data.
+
+        Served from :class:`~repro.platform.capindex.LaunchCapIndex`,
+        which memoizes the finished set per (app, viewer) and falls
+        back to :meth:`_scan_launch_caps` on a miss.
         """
+        return self.capindex.lookup(app, viewer)
+
+    def _scan_launch_caps(self, app: AppModule,
+                          viewer: Optional[str] = None) -> CapabilitySet:
+        """The legacy full scan: every account, every group.  The
+        index's miss path — kept as the single source of truth for
+        what the capabilities *are*."""
         caps = []
         for account in self._accounts.values():
             if app.name in account.enabled_apps:
@@ -501,7 +530,7 @@ class Provider:
                         f"integrity policy: {app.name} has unendorsed "
                         f"components {missing} (viewer {viewer})")
                     return error(403, "application not endorsed")
-        process = self.kernel.spawn_trusted(
+        process = self.kernel.pool.checkout(
             f"app:{app.name}", caps=self.launch_caps(app, viewer),
             owner_user=viewer)
         self.kernel.resources.charge(process, "requests", 1)
@@ -528,7 +557,9 @@ class Provider:
             return error(500, "application error")
         finally:
             taint = process.slabel
-            self.kernel.exit(process)
+            # Back to the pool if untainted (labels/caps unchanged);
+            # otherwise this is a plain kernel exit.
+            self.kernel.pool.release(process)
         if isinstance(result, HttpResponse):
             result.content_label = result.content_label | taint
             result.set_cookies.update(ctx.set_cookies)

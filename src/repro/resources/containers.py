@@ -59,6 +59,9 @@ class ResourceManager(ResourceHook):
         self.overrides = {k: dict(v) for k, v in (overrides or {}).items()}
         self._usage: dict[int, Usage] = {}
         self._names: dict[int, str] = {}
+        #: Usage folded in from recycled activations, keyed by name
+        #: (recycling resets the live counters; history is kept here).
+        self._retired: dict[str, dict[str, float]] = {}
         #: Total denied charges, per kind (benchmarks read this).
         self.denials: dict[str, int] = {}
 
@@ -92,14 +95,33 @@ class ResourceManager(ResourceHook):
         # a simulator.  Subclasses pooling real resources would release.
         return
 
+    def on_recycle(self, process: Process) -> None:
+        """Reset the process's live budget for its next activation.
+
+        Quotas are per-activation (one request = one fresh budget, the
+        same arithmetic an unpooled kernel gets from fresh processes);
+        the spent usage is folded into the per-name history so
+        :meth:`total` reports identically with and without recycling.
+        """
+        usage = self._usage.pop(process.pid, None)
+        if usage is not None:
+            name = self._names.get(process.pid, process.name)
+            retired = self._retired.setdefault(name, {})
+            for kind, amount in usage.counts.items():
+                retired[kind] = retired.get(kind, 0.0) + amount
+
     # -- reporting --------------------------------------------------------
 
     def usage_of(self, process: Process) -> Usage:
         return self._usage.get(process.pid, Usage())
 
     def total(self, kind: str, name_prefix: str = "") -> float:
-        return sum(u.get(kind) for pid, u in self._usage.items()
+        live = sum(u.get(kind) for pid, u in self._usage.items()
                    if self._names.get(pid, "").startswith(name_prefix))
+        retired = sum(counts.get(kind, 0.0)
+                      for name, counts in self._retired.items()
+                      if name.startswith(name_prefix))
+        return live + retired
 
     def denial_count(self, kind: Optional[str] = None) -> int:
         if kind is None:

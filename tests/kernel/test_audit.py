@@ -59,6 +59,34 @@ class TestAuditLog:
         assert len(log) == 3
         assert [e.detail for e in log] == ["7", "8", "9"]
 
+    def test_max_events_ring_counts_drops(self):
+        log = AuditLog(max_events=3)
+        assert log.max_events == 3
+        for i in range(10):
+            log.record("send", True, "a", str(i))
+        assert len(log) == 3
+        assert log.dropped == 7
+        assert log.total_recorded == 10
+        assert [e.detail for e in log] == ["7", "8", "9"]
+
+    def test_unbounded_log_never_drops(self):
+        log = AuditLog()
+        for i in range(100):
+            log.record("send", True, "a", str(i))
+        assert len(log) == 100
+        assert log.dropped == 0
+
+    def test_ring_keeps_counters_and_subscribers_whole(self):
+        log = AuditLog(max_events=2)
+        seen = []
+        log.subscribe(seen.append)
+        for i in range(5):
+            log.record("send", i % 2 == 0, "a", str(i))
+        # subscribers saw every event even though the buffer trimmed
+        assert len(seen) == 5
+        # count() reflects only the retained window, by design
+        assert log.count(category="send") == 2
+
     def test_subscriber_notified(self):
         log = AuditLog()
         seen = []
