@@ -1,15 +1,19 @@
 """Record the perf trajectory: quick benchmark runs to JSON.
 
 Writes ``BENCH_M1.json`` (label-operation microbenchmarks, cached and
-uncached), ``BENCH_M2.json`` (end-to-end request path) and
-``BENCH_M8.json`` (request-plane scaling vs. user count) so CI can
+uncached), ``BENCH_M2.json`` (end-to-end request path),
+``BENCH_M8.json`` (request-plane scaling vs. user count) and
+``BENCH_M9.json`` (data-plane scaling vs. distinct labels) so CI can
 archive one number series per commit — the repo's before/after record
-for the fast-path label engine and the O(1) request plane lives in
-these files and in EXPERIMENTS.md.
+for the fast-path label engine, the O(1) request plane, and the
+label-partitioned storage engine lives in these files and in
+EXPERIMENTS.md.
 
-``BENCH_M8`` doubles as a regression guard: the run **fails** (exit
-code 1) if per-request latency at 1,000 users exceeds 3x the 10-user
-latency with the fast request plane on.
+``BENCH_M8`` and ``BENCH_M9`` double as regression guards: the run
+**fails** (exit code 1) if per-request latency at 1,000 users exceeds
+3x the 10-user latency with the fast request plane on, or if the
+partitioned select beats the naive engine by less than 3x on a
+10k-row / 128-label table.
 
 Usage::
 
@@ -147,6 +151,47 @@ def bench_m8(repeat: int) -> dict:
     return results
 
 
+#: The M9 regression bound: naive vs partitioned select at 128 labels.
+M9_MIN_SPEEDUP = 3.0
+
+
+def bench_m9(repeat: int) -> dict:
+    """Label-filtered query cost vs. distinct labels, both engines.
+
+    The interesting number is the select speedup at high label
+    diversity: the partitioned engine resolves visibility per
+    partition, so a 128-label table costs ~1/128th of the naive
+    per-row scan for a single-contract viewer.
+    """
+    from m9_partitions import run_tier
+
+    results: dict[str, dict] = {}
+    for n_labels in (2, 16, 128):
+        part = run_tier(10_000, n_labels, partitioned=True, n=10,
+                        repeat=repeat)
+        naive = run_tier(10_000, n_labels, partitioned=False, n=4,
+                         repeat=repeat)
+        results[f"labels_{n_labels}"] = {
+            "partitioned_select_us": part["select_us"],
+            "naive_select_us": naive["select_us"],
+            "select_speedup": round(
+                naive["select_us"] / part["select_us"], 2),
+            "partitioned_update_us": part["update_us"],
+            "naive_update_us": naive["update_us"],
+            "partitioned_walk_us": part["walk_us"],
+            "naive_walk_us": naive["walk_us"],
+            "partitions_skipped": part["db_stats"]["partitions_skipped"],
+            "subtrees_pruned": part["fs_stats"]["subtrees_pruned"],
+        }
+    speedup = results["labels_128"]["select_speedup"]
+    results["scaling"] = {
+        "select_speedup_at_128": speedup,
+        "min_speedup": M9_MIN_SPEEDUP,
+        "regression": speedup < M9_MIN_SPEEDUP,
+    }
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=".", type=Path,
@@ -162,7 +207,8 @@ def main(argv=None) -> int:
         "schema": 1,
     }
     failed = False
-    for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8)):
+    for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8),
+                     ("M9", bench_m9)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -173,6 +219,12 @@ def main(argv=None) -> int:
             ratio = payload["results"]["scaling"]["fast_1000_vs_10_ratio"]
             print(f"M8 REGRESSION: 1,000-user latency is {ratio}x the "
                   f"10-user latency (bound: {M8_MAX_RATIO}x)")
+            failed = True
+        if name == "M9" and payload["results"]["scaling"]["regression"]:
+            speedup = payload["results"]["scaling"]["select_speedup_at_128"]
+            print(f"M9 REGRESSION: partitioned select only {speedup}x "
+                  f"the naive engine at 128 labels "
+                  f"(bound: {M9_MIN_SPEEDUP}x)")
             failed = True
     return 1 if failed else 0
 

@@ -54,6 +54,40 @@ def writable(process: Process, slabel: Label, ilabel: Label,
                      process.caps)
 
 
+def readable_pairs(process: Process,
+                   pairs: "list[tuple[Label, Label]]",
+                   cache: Optional[FlowCache] = None,
+                   category: str = "read"
+                   ) -> dict[tuple[Label, Label], bool]:
+    """Batch form of :func:`readable`: one verdict per distinct
+    ``(slabel, ilabel)`` pair.
+
+    The partitioned storage engine resolves visibility once per
+    *partition* through this helper, so a query's label cost scales
+    with distinct label pairs rather than rows.  With a cache the whole
+    batch rides one epoch-guarded subject entry
+    (:meth:`~repro.labels.FlowCache.readable_many`).
+    """
+    if cache is not None:
+        return cache.readable_many(process, pairs, category=category)
+    return {key: can_read(key[0], key[1], process.slabel, process.ilabel,
+                          process.caps)
+            for key in pairs}
+
+
+def writable_pairs(process: Process,
+                   pairs: "list[tuple[Label, Label]]",
+                   cache: Optional[FlowCache] = None,
+                   category: str = "write"
+                   ) -> dict[tuple[Label, Label], bool]:
+    """Batch form of :func:`writable` (see :func:`readable_pairs`)."""
+    if cache is not None:
+        return cache.writable_many(process, pairs, category=category)
+    return {key: can_write(key[0], key[1], process.slabel, process.ilabel,
+                           process.caps)
+            for key in pairs}
+
+
 def check_read(process: Process, slabel: Label, ilabel: Label,
                what: str, cache: Optional[FlowCache] = None,
                category: str = "read") -> None:

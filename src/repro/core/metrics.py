@@ -65,6 +65,7 @@ class Metrics:
         self._denials_by_subject: Counter[str] = Counter()
         self._flow_cache: Optional["FlowCache"] = None
         self._provider: Optional["Provider"] = None
+        self._data_provider: Optional["Provider"] = None
         self._latency: dict[str, _LatencyStat] = {}
         # fold in anything already logged, then follow the stream
         for event in audit:
@@ -156,6 +157,24 @@ class Metrics:
             "pool": self._provider.kernel.pool.stats(),
             "audit_dropped": self._provider.kernel.audit.dropped,
         }
+
+    # -- data-plane observation --------------------------------------------
+
+    def attach_data_plane(self, provider: "Provider") -> "Metrics":
+        """Start observing a provider's data-plane engines: the
+        partitioned store's partition hit/skip counters and the
+        filesystem's walk-pruning counters.  Returns self for chaining,
+        mirroring :meth:`attach_request_plane`."""
+        self._data_provider = provider
+        return self
+
+    def data_plane_snapshot(self) -> dict[str, Any]:
+        """Partition/pruning counters for the attached provider's
+        store and filesystem (empty dict if none attached)."""
+        if self._data_provider is None:
+            return {}
+        return {"db": self._data_provider.db.stats(),
+                "fs": self._data_provider.fs.stats()}
 
     def flow_latency(self, category: Optional[str] = None) -> dict[str, Any]:
         """Aggregated flow-check latency.

@@ -32,6 +32,7 @@ class W5System:
                  js_policy: str = "block",
                  fast_request_plane: bool = True,
                  recycle_processes: bool = True,
+                 partitioned_store: bool = True,
                  audit_max_events: Optional[int] = None) -> None:
         self.resources = ResourceManager(default_quotas=quotas,
                                          overrides=quota_overrides)
@@ -39,6 +40,7 @@ class W5System:
                                  js_policy=js_policy,
                                  fast_request_plane=fast_request_plane,
                                  recycle_processes=recycle_processes,
+                                 partitioned_store=partitioned_store,
                                  audit_max_events=audit_max_events)
         install_standard_apps(self.provider)
         if with_adversaries:

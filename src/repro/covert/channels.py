@@ -119,7 +119,9 @@ class StorageChannel:
 
 
 def timing_probe(invisible_rows: int, visible_rows: int = 10,
-                 pad_scan_to: "int | None" = None) -> dict[str, float]:
+                 pad_scan_to: "int | None" = None,
+                 partitioned: bool = True,
+                 invisible_labels: int = 1) -> dict[str, float]:
     """Estimate the residual timing channel of filtered queries.
 
     Builds a table with ``visible_rows`` public rows and
@@ -131,21 +133,30 @@ def timing_probe(invisible_rows: int, visible_rows: int = 10,
     rows for keys the adversary cannot collide with) and
     ``pad_scan_to`` (constant-cost full scans regardless of invisible
     data — the complete fix, paid for in wasted work).
+
+    ``partitioned`` selects the storage engine (both must show the
+    same costs — the C10 regression for the partitioned data plane);
+    ``invisible_labels`` spreads the secret rows over that many
+    distinct tags, so the probe can also show the costs are
+    independent of how many invisible *partitions* exist.
     """
     from ..resources import ResourceManager
     rm = ResourceManager()
     kernel = Kernel(resources=rm)
-    store = LabeledStore(kernel)
+    store = LabeledStore(kernel, partitioned=partitioned)
     provider = kernel.spawn_trusted("provider")
-    tag = kernel.create_tag(provider, purpose="victim")
-    tainted = kernel.spawn_trusted("tainted", slabel=Label([tag]))
+    tags = [kernel.create_tag(provider, purpose=f"victim{j}")
+            for j in range(max(invisible_labels, 1))]
+    tainted = [kernel.spawn_trusted(f"tainted{j}", slabel=Label([tag]))
+               for j, tag in enumerate(tags)]
     clean = kernel.spawn_trusted("clean")
     store.create_table(provider, "t", indexes=["k"],
                        pad_scan_to=pad_scan_to)
     for i in range(visible_rows):
         store.insert(provider, "t", {"k": "public", "i": i})
     for i in range(invisible_rows):
-        store.insert(tainted, "t", {"k": "hidden", "i": i})
+        store.insert(tainted[i % len(tainted)], "t",
+                     {"k": "hidden", "i": i})
 
     before = rm.usage_of(clean).get("db_rows_scanned")
     store.select(clean, "t", predicate=lambda r: True)  # full scan

@@ -38,12 +38,14 @@ def snapshot_store(store: LabeledStore) -> dict[str, Any]:
             "next_row_id": max_row_id + 1}
 
 
-def restore_store(kernel: Kernel, snapshot: dict[str, Any]
-                  ) -> LabeledStore:
+def restore_store(kernel: Kernel, snapshot: dict[str, Any],
+                  partitioned: bool = True) -> LabeledStore:
     """Rebuild a store inside ``kernel`` (restore the tag registry
-    first; see :mod:`repro.fs.persist`)."""
+    first; see :mod:`repro.fs.persist`).  ``index_add`` rebuilds the
+    label partitions alongside the hash indexes, so a restored store
+    is partition-consistent regardless of the engine that wrote it."""
     import itertools
-    store = LabeledStore(kernel)
+    store = LabeledStore(kernel, partitioned=partitioned)
     store._row_ids = itertools.count(snapshot.get("next_row_id", 1))
     for td in snapshot["tables"]:
         table = Table(name=td["name"],

@@ -21,12 +21,33 @@ The query language is deliberately tiny — equality matches plus an
 optional predicate — because a full SQL engine adds nothing to the
 security argument.  Equality lookups use hash indexes declared at
 table-creation time.
+
+Label partitions
+----------------
+
+A W5 table with 100k rows typically holds only tens of *distinct*
+``(slabel, ilabel)`` pairs — one per user/app sharing contract, the
+structure Flume's label algebra and HiStar's category model predict.
+:class:`Table` therefore physically groups rows into **partitions**
+keyed by that pair, and the default engine
+(``LabeledStore(kernel, partitioned=True)``) resolves visibility *once
+per partition* against the caller's epoch-guarded
+:class:`~repro.labels.FlowCache` verdict: invisible partitions are
+skipped wholesale, the ``db_rows_scanned`` charge is batched into one
+call per partition, and only rows that survive the where/predicate
+filter are snapshotted.  Query label cost scales with distinct labels,
+not rows (experiment M9), while every observable — results, audit
+stream, resource-charge totals, ``pad_scan_to`` padding — is
+byte-identical to the naive per-row engine, which stays available as
+``partitioned=False`` (the benchmark baseline and the differential-test
+oracle in ``tests/db/test_partition_differential.py``).
 """
 
 from __future__ import annotations
 
 import copy
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -37,6 +58,9 @@ from ..labels import IntegrityViolation, Label, SecrecyViolation
 from .errors import NoSuchRow, NoSuchTable, SchemaError, TableExists
 
 Predicate = Callable[[dict[str, Any]], bool]
+
+#: A partition key: the interned (slabel, ilabel) pair of its rows.
+PartitionKey = "tuple[Label, Label]"
 
 
 @dataclass
@@ -56,6 +80,9 @@ class Row:
     #: a mutable object, so containers always take the deepcopy path.
     _FLAT_TYPES = (type(None), bool, int, float, complex, str, bytes)
 
+    def partition_key(self) -> tuple[Label, Label]:
+        return (self.slabel, self.ilabel)
+
     def snapshot(self) -> dict[str, Any]:
         """A defensive copy handed to callers: rows are store-owned,
         and a shared nested list would let a reader mutate storage past
@@ -74,6 +101,13 @@ class Row:
 class Table:
     """A named collection of rows plus its hash indexes.
 
+    Rows are physically grouped into label **partitions** (one per
+    distinct ``(slabel, ilabel)`` pair), and the hash indexes are
+    partition-aware: ``column → value → partition → row ids``.  Both
+    structures are maintained by :meth:`index_add`/:meth:`index_remove`
+    so every caller that kept the flat index consistent keeps the
+    partitions consistent too.
+
     ``pad_scan_to`` closes the residual timing channel of full scans
     (experiment C10b): when set, every unindexed query is charged as
     if it touched at least that many rows, so query cost no longer
@@ -86,37 +120,67 @@ class Table:
     indexed_columns: tuple[str, ...] = ()
     pad_scan_to: Optional[int] = None
     rows: dict[int, Row] = field(default_factory=dict)
-    # column -> value -> set of row ids
-    indexes: dict[str, dict[Any, set[int]]] = field(default_factory=dict)
+    # (slabel, ilabel) -> row id -> row (the physical label grouping)
+    partitions: dict[tuple[Label, Label], dict[int, Row]] = field(
+        default_factory=dict)
+    # column -> value -> partition key -> set of row ids
+    indexes: dict[str, dict[Any, dict[tuple[Label, Label], set[int]]]] = \
+        field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for col in self.indexed_columns:
             self.indexes.setdefault(col, {})
 
-    # -- index maintenance (store-internal) ----------------------------
+    # -- index + partition maintenance (store-internal) ----------------
 
     def index_add(self, row: Row) -> None:
+        pkey = row.partition_key()
+        self.partitions.setdefault(pkey, {})[row.row_id] = row
         for col, idx in self.indexes.items():
             if col in row.values:
-                idx.setdefault(row.values[col], set()).add(row.row_id)
+                idx.setdefault(row.values[col], {}) \
+                   .setdefault(pkey, set()).add(row.row_id)
 
     def index_remove(self, row: Row) -> None:
+        pkey = row.partition_key()
+        part = self.partitions.get(pkey)
+        if part is not None:
+            part.pop(row.row_id, None)
+            if not part:
+                del self.partitions[pkey]
         for col, idx in self.indexes.items():
             if col in row.values:
                 bucket = idx.get(row.values[col])
                 if bucket:
-                    bucket.discard(row.row_id)
+                    ids = bucket.get(pkey)
+                    if ids:
+                        ids.discard(row.row_id)
+                        if not ids:
+                            del bucket[pkey]
                     if not bucket:
                         del idx[row.values[col]]
 
 
 class LabeledStore:
-    """A multi-table store enforcing per-row labels on every operation."""
+    """A multi-table store enforcing per-row labels on every operation.
 
-    def __init__(self, kernel: Kernel) -> None:
+    ``partitioned`` selects the engine: ``True`` (default) resolves
+    visibility once per label partition; ``False`` is the naive per-row
+    oracle with identical observable behaviour.
+    """
+
+    def __init__(self, kernel: Kernel, partitioned: bool = True) -> None:
         self.kernel = kernel
+        self.partitioned = partitioned
         self._tables: dict[str, Table] = {}
         self._row_ids = itertools.count(1)
+        #: Partition-scan observability (read via :meth:`stats`).
+        self._stats = {"partitions_visible": 0, "partitions_skipped": 0,
+                       "rows_skipped": 0, "batched_charges": 0}
+
+    def stats(self) -> dict[str, Any]:
+        """Partition hit/skip counters for metrics and benchmarks."""
+        return {"partitioned": self.partitioned, **self._stats}
 
     def snapshot(self) -> dict[str, Any]:
         """:class:`~repro.core.snapshot.Snapshotable` — serialize every
@@ -215,30 +279,66 @@ class LabeledStore:
         if changes is None:
             raise SchemaError("update requires changes")
         table = self.table(table_name)
-        updated = 0
-        for row in self._candidate_rows(process, table, where):
-            if not access.readable(process, row.slabel, row.ilabel,
-                                   cache=self.kernel.flow_cache,
-                                   category="db.read"):
-                continue
-            if not _matches(row, where, predicate):
-                continue
-            try:
-                access.check_write(process, row.slabel, row.ilabel,
-                                   f"{table_name}#{row.row_id}",
-                                   cache=self.kernel.flow_cache,
-                                   category="db.write")
-            except (SecrecyViolation, IntegrityViolation):
-                self.kernel.audit.record(
-                    A.DB_QUERY, False, process.name,
-                    f"update {table_name}#{row.row_id} refused")
-                raise
-            table.index_remove(row)
-            row.values.update(copy.deepcopy(changes))
-            row._flat = None  # re-derive the fast-copy verdict lazily
+        # All-scalar change sets share one hoisted copy; nested values
+        # still get a per-row deepcopy so rows never alias each other.
+        flat_changes = all(type(v) in Row._FLAT_TYPES
+                           for v in changes.values())
+        hoisted = dict(changes) if flat_changes else None
+        # Labels never change under update, so partition membership is
+        # stable; the index round-trip is only needed when an indexed
+        # column's value may move buckets.
+        touches_index = any(col in table.indexes for col in changes)
+
+        def apply(row: Row) -> None:
+            if touches_index:
+                table.index_remove(row)
+            if flat_changes:
+                row.values.update(hoisted)
+                if row._flat is not True:
+                    row._flat = None  # re-derive lazily
+            else:
+                row.values.update(copy.deepcopy(changes))
+                row._flat = False  # a container was just written
             row.version += 1
-            table.index_add(row)
-            updated += 1
+            if touches_index:
+                table.index_add(row)
+
+        updated = 0
+        if self.partitioned:
+            write_verdicts: dict[tuple[Label, Label], bool] = {}
+            for row in self._matching_rows_partitioned(
+                    process, table, where, predicate):
+                pkey = row.partition_key()
+                allowed = write_verdicts.get(pkey)
+                if allowed is None:
+                    allowed = access.writable(
+                        process, row.slabel, row.ilabel,
+                        cache=self.kernel.flow_cache, category="db.write")
+                    write_verdicts[pkey] = allowed
+                if not allowed:
+                    self._refuse_write(process, row, table_name, "update")
+                apply(row)
+                updated += 1
+        else:
+            for row in self._candidate_rows(process, table, where):
+                if not access.readable(process, row.slabel, row.ilabel,
+                                       cache=self.kernel.flow_cache,
+                                       category="db.read"):
+                    continue
+                if not _matches(row, where, predicate):
+                    continue
+                try:
+                    access.check_write(process, row.slabel, row.ilabel,
+                                       f"{table_name}#{row.row_id}",
+                                       cache=self.kernel.flow_cache,
+                                       category="db.write")
+                except (SecrecyViolation, IntegrityViolation):
+                    self.kernel.audit.record(
+                        A.DB_QUERY, False, process.name,
+                        f"update {table_name}#{row.row_id} refused")
+                    raise
+                apply(row)
+                updated += 1
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"update {table_name} ({updated} rows)")
         return updated
@@ -249,30 +349,62 @@ class LabeledStore:
         """Delete every visible and writable matching row (count returned)."""
         table = self.table(table_name)
         doomed = []
-        for row in self._candidate_rows(process, table, where):
-            if not access.readable(process, row.slabel, row.ilabel,
-                                   cache=self.kernel.flow_cache,
-                                   category="db.read"):
-                continue
-            if not _matches(row, where, predicate):
-                continue
-            try:
-                access.check_write(process, row.slabel, row.ilabel,
-                                   f"{table_name}#{row.row_id}",
-                                   cache=self.kernel.flow_cache,
-                                   category="db.write")
-            except (SecrecyViolation, IntegrityViolation):
-                self.kernel.audit.record(
-                    A.DB_QUERY, False, process.name,
-                    f"delete {table_name}#{row.row_id} refused")
-                raise
-            doomed.append(row)
+        if self.partitioned:
+            write_verdicts: dict[tuple[Label, Label], bool] = {}
+            for row in self._matching_rows_partitioned(
+                    process, table, where, predicate):
+                pkey = row.partition_key()
+                allowed = write_verdicts.get(pkey)
+                if allowed is None:
+                    allowed = access.writable(
+                        process, row.slabel, row.ilabel,
+                        cache=self.kernel.flow_cache, category="db.write")
+                    write_verdicts[pkey] = allowed
+                if not allowed:
+                    self._refuse_write(process, row, table_name, "delete")
+                doomed.append(row)
+        else:
+            for row in self._candidate_rows(process, table, where):
+                if not access.readable(process, row.slabel, row.ilabel,
+                                       cache=self.kernel.flow_cache,
+                                       category="db.read"):
+                    continue
+                if not _matches(row, where, predicate):
+                    continue
+                try:
+                    access.check_write(process, row.slabel, row.ilabel,
+                                       f"{table_name}#{row.row_id}",
+                                       cache=self.kernel.flow_cache,
+                                       category="db.write")
+                except (SecrecyViolation, IntegrityViolation):
+                    self.kernel.audit.record(
+                        A.DB_QUERY, False, process.name,
+                        f"delete {table_name}#{row.row_id} refused")
+                    raise
+                doomed.append(row)
         for row in doomed:
             table.index_remove(row)
             del table.rows[row.row_id]
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"delete {table_name} ({len(doomed)} rows)")
         return len(doomed)
+
+    def _refuse_write(self, process: Process, row: Row, table_name: str,
+                      verb: str) -> None:
+        """Re-derive the precise write violation for ``row`` (the
+        partition verdict said no), audit it, and raise — diagnostics
+        byte-identical to the naive per-row engine's."""
+        what = f"{table_name}#{row.row_id}"
+        try:
+            access.check_write(process, row.slabel, row.ilabel, what,
+                               cache=self.kernel.flow_cache,
+                               category="db.write")
+        except (SecrecyViolation, IntegrityViolation):
+            self.kernel.audit.record(A.DB_QUERY, False, process.name,
+                                     f"{verb} {what} refused")
+            raise
+        raise AssertionError(
+            f"partition verdict and decision procedure disagree on {what}")
 
     # ------------------------------------------------------------------
     # reads
@@ -289,27 +421,15 @@ class LabeledStore:
         """
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
-        out: list[dict[str, Any]] = []
-        candidates = self._candidate_rows(process, table, where)
-        scanned = 0
-        for row in candidates:
-            scanned += 1
-            self.kernel.resources.charge(process, "db_rows_scanned", 1)
-            if not access.readable(process, row.slabel, row.ilabel,
-                                   cache=self.kernel.flow_cache,
-                                   category="db.read"):
-                continue
-            if not _matches(row, where, predicate):
-                continue
-            out.append(row.snapshot())
-            if limit is not None and len(out) >= limit:
-                break
-        if table.pad_scan_to is not None and scanned < table.pad_scan_to \
-                and not self._used_index(table, where):
-            # constant-cost scans: pay for the rows not present so the
-            # query's cost is independent of invisible data (C10b)
-            self.kernel.resources.charge(process, "db_rows_scanned",
-                                         table.pad_scan_to - scanned)
+        if self.partitioned:
+            matches, scanned = self._scan_partitioned(
+                process, table, where, predicate, limit)
+            out = [row.snapshot() for row in matches]
+        else:
+            matches, scanned = self._scan_naive(
+                process, table, where, predicate, limit)
+            out = [row.snapshot() for row in matches]
+        self._pad_scan(process, table, where, scanned)
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"select {table_name} ({len(out)} rows)")
         return out
@@ -338,9 +458,25 @@ class LabeledStore:
     def count(self, process: Process, table_name: str,
               where: Optional[dict[str, Any]] = None,
               predicate: Optional[Predicate] = None) -> int:
-        """Label-filtered count (same visibility rule as select)."""
-        return len(self.select(process, table_name, where=where,
-                               predicate=predicate))
+        """Label-filtered count (same visibility rule as select).
+
+        Shares the scan core with :meth:`select` but never snapshots a
+        row — counting costs no copies.  Charges and audit stream are
+        identical to the equivalent ``select`` (it audits as one, the
+        historical record shape).
+        """
+        table = self.table(table_name)
+        self.kernel.resources.charge(process, "db_queries", 1)
+        if self.partitioned:
+            matches, scanned = self._scan_partitioned(
+                process, table, where, predicate, None)
+        else:
+            matches, scanned = self._scan_naive(
+                process, table, where, predicate, None)
+        self._pad_scan(process, table, where, scanned)
+        self.kernel.audit.record(A.DB_QUERY, True, process.name,
+                                 f"select {table_name} ({len(matches)} rows)")
+        return len(matches)
 
     def get(self, process: Process, table_name: str, row_id: int) -> dict[str, Any]:
         """Fetch one visible row by id; invisible ids read as missing."""
@@ -357,16 +493,164 @@ class LabeledStore:
     # internals
     # ------------------------------------------------------------------
 
-    def _candidate_rows(self, process: Process, table: Table,
-                        where: Optional[dict[str, Any]]) -> list[Row]:
-        """Narrow by the best available index, else scan."""
+    def _scan_naive(self, process: Process, table: Table,
+                    where: Optional[dict[str, Any]],
+                    predicate: Optional[Predicate],
+                    limit: Optional[int]) -> tuple[list[Row], int]:
+        """The per-row oracle: one charge, one verdict per candidate."""
+        out: list[Row] = []
+        scanned = 0
+        for row in self._candidate_rows(process, table, where):
+            scanned += 1
+            self.kernel.resources.charge(process, "db_rows_scanned", 1)
+            if not access.readable(process, row.slabel, row.ilabel,
+                                   cache=self.kernel.flow_cache,
+                                   category="db.read"):
+                continue
+            if not _matches(row, where, predicate):
+                continue
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+        return out, scanned
+
+    def _scan_partitioned(self, process: Process, table: Table,
+                          where: Optional[dict[str, Any]],
+                          predicate: Optional[Predicate],
+                          limit: Optional[int]) -> tuple[list[Row], int]:
+        """One visibility verdict and one batched charge per partition.
+
+        Returns exactly the rows (in row-id order, honoring ``limit``)
+        and the scanned-row total the naive engine would produce; the
+        ``db_rows_scanned`` charges land in one call per partition, and
+        with a ``limit`` each partition is charged only up to the
+        naive engine's stopping point (a bisect, not a walk).
+        """
+        parts = self._partition_candidates(table, where)
+        verdicts = access.readable_pairs(process, list(parts),
+                                         cache=self.kernel.flow_cache,
+                                         category="db.read")
+        stats = self._stats
+        matches: list[Row] = []
+        for pkey, ids in parts.items():
+            if not verdicts[pkey]:
+                stats["partitions_skipped"] += 1
+                stats["rows_skipped"] += len(ids)
+                continue
+            stats["partitions_visible"] += 1
+            rows = table.rows
+            for i in ids:
+                row = rows.get(i)
+                if row is not None and _matches(row, where, predicate):
+                    matches.append(row)
+        matches.sort(key=lambda r: r.row_id)
+        charge = self.kernel.resources.charge
+        if limit is not None and matches:
+            # The naive loop breaks after appending its limit-th match
+            # (with limit < 1 it still appends one row first), so rows
+            # past that match are never charged.
+            cap = max(limit, 1)
+            if len(matches) >= cap:
+                matches = matches[:cap]
+                cutoff = matches[-1].row_id
+                scanned = 0
+                for ids in parts.values():
+                    n = bisect_right(ids, cutoff)
+                    if n:
+                        charge(process, "db_rows_scanned", n)
+                        stats["batched_charges"] += 1
+                    scanned += n
+                return matches, scanned
+        scanned = 0
+        for ids in parts.values():
+            if ids:
+                charge(process, "db_rows_scanned", len(ids))
+                stats["batched_charges"] += 1
+            scanned += len(ids)
+        return matches, scanned
+
+    def _matching_rows_partitioned(self, process: Process, table: Table,
+                                   where: Optional[dict[str, Any]],
+                                   predicate: Optional[Predicate]
+                                   ) -> list[Row]:
+        """Visible matching rows in row-id order, one read verdict per
+        partition (the update/delete front half — no scan charges, the
+        historical write-path behaviour)."""
+        parts = self._partition_candidates(table, where)
+        verdicts = access.readable_pairs(process, list(parts),
+                                         cache=self.kernel.flow_cache,
+                                         category="db.read")
+        stats = self._stats
+        matches: list[Row] = []
+        for pkey, ids in parts.items():
+            if not verdicts[pkey]:
+                stats["partitions_skipped"] += 1
+                stats["rows_skipped"] += len(ids)
+                continue
+            stats["partitions_visible"] += 1
+            rows = table.rows
+            for i in ids:
+                row = rows.get(i)
+                if row is not None and _matches(row, where, predicate):
+                    matches.append(row)
+        matches.sort(key=lambda r: r.row_id)
+        return matches
+
+    def _pad_scan(self, process: Process, table: Table,
+                  where: Optional[dict[str, Any]], scanned: int) -> None:
+        if table.pad_scan_to is not None and scanned < table.pad_scan_to \
+                and not self._used_index(table, where):
+            # constant-cost scans: pay for the rows not present so the
+            # query's cost is independent of invisible data (C10b)
+            self.kernel.resources.charge(process, "db_rows_scanned",
+                                         table.pad_scan_to - scanned)
+
+    @staticmethod
+    def _best_index(table: Table, where: Optional[dict[str, Any]]
+                    ) -> Optional[tuple[str, Any]]:
+        """The indexed where-column with the smallest bucket (fewest
+        candidate rows), or None when no where-column is indexed."""
+        best: Optional[tuple[int, str, Any]] = None
         if where:
             for col, value in where.items():
                 if col in table.indexes:
-                    ids = table.indexes[col].get(value, set())
-                    return [table.rows[i] for i in sorted(ids)
-                            if i in table.rows]
+                    bucket = table.indexes[col].get(value)
+                    size = sum(len(ids) for ids in bucket.values()) \
+                        if bucket else 0
+                    if best is None or size < best[0]:
+                        best = (size, col, value)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _candidate_rows(self, process: Process, table: Table,
+                        where: Optional[dict[str, Any]]) -> list[Row]:
+        """Narrow by the smallest available index bucket, else scan."""
+        choice = self._best_index(table, where)
+        if choice is not None:
+            col, value = choice
+            bucket = table.indexes[col].get(value)
+            ids: set[int] = set()
+            if bucket:
+                for part_ids in bucket.values():
+                    ids |= part_ids
+            return [table.rows[i] for i in sorted(ids)
+                    if i in table.rows]
         return [table.rows[i] for i in sorted(table.rows)]
+
+    def _partition_candidates(self, table: Table,
+                              where: Optional[dict[str, Any]]
+                              ) -> dict[tuple[Label, Label], list[int]]:
+        """Candidate row ids per partition (sorted), narrowed by the
+        smallest index bucket when one applies."""
+        choice = self._best_index(table, where)
+        if choice is not None:
+            col, value = choice
+            bucket = table.indexes[col].get(value) or {}
+            return {pkey: sorted(ids)
+                    for pkey, ids in bucket.items() if ids}
+        return {pkey: sorted(rows)
+                for pkey, rows in table.partitions.items() if rows}
 
     @staticmethod
     def _used_index(table: Table, where: Optional[dict[str, Any]]) -> bool:

@@ -49,8 +49,8 @@ def _snapshot_node(node: Inode, namespace: str) -> dict[str, Any]:
     return common
 
 
-def restore_fs(kernel: Kernel, snapshot: dict[str, Any]
-               ) -> LabeledFileSystem:
+def restore_fs(kernel: Kernel, snapshot: dict[str, Any],
+               grouped_walk: bool = True) -> LabeledFileSystem:
     """Rebuild a filesystem from a snapshot inside ``kernel``.
 
     ``kernel.tags`` must already hold the snapshot's tags (restore the
@@ -58,7 +58,7 @@ def restore_fs(kernel: Kernel, snapshot: dict[str, Any]
     a different namespace are mapped through foreign import, exactly
     like federation transfers.
     """
-    fs = LabeledFileSystem(kernel)
+    fs = LabeledFileSystem(kernel, grouped_walk=grouped_walk)
     root_data = snapshot["root"]
     fs.root = _restore_node(root_data, kernel.tags)
     return fs

@@ -351,6 +351,63 @@ class FlowCache:
         return value
 
     # ------------------------------------------------------------------
+    # batched subject verdicts (the partition-scan fast path)
+    # ------------------------------------------------------------------
+
+    def readable_many(self, subject: Subject,
+                      pairs: "list[tuple[Label, Label]]",
+                      category: str = "read"
+                      ) -> dict[tuple[Label, Label], bool]:
+        """Resolve read verdicts for many (slabel, ilabel) pairs at once.
+
+        Semantically identical to calling :meth:`readable` per pair,
+        but the subject entry (and its epoch guard) is fetched once for
+        the whole batch — this is what the label-partitioned storage
+        engine calls with one pair per *partition*, so a scan's label
+        cost is O(distinct labels), not O(rows).
+        """
+        if self.observer is not None:
+            return self._observed(category, lambda: self._many(
+                subject, pairs, category, write=False))
+        return self._many(subject, pairs, category, write=False)
+
+    def writable_many(self, subject: Subject,
+                      pairs: "list[tuple[Label, Label]]",
+                      category: str = "write"
+                      ) -> dict[tuple[Label, Label], bool]:
+        """Batched :meth:`writable` (same contract as
+        :meth:`readable_many`)."""
+        if self.observer is not None:
+            return self._observed(category, lambda: self._many(
+                subject, pairs, category, write=True))
+        return self._many(subject, pairs, category, write=True)
+
+    def _many(self, subject: Subject, pairs, category: str,
+              write: bool) -> dict[tuple[Label, Label], bool]:
+        decide = flow.can_write if write else flow.can_read
+        if not self.enabled:
+            return {key: decide(key[0], key[1], subject.slabel,
+                                subject.ilabel, subject.caps)
+                    for key in pairs}
+        entry = self._subject_entry(subject)
+        table = entry.write if write else entry.read
+        out: dict[tuple[Label, Label], bool] = {}
+        for key in pairs:
+            cached = table.get(key)
+            if cached is None:
+                self._miss(category)
+                cached = decide(key[0], key[1], subject.slabel,
+                                subject.ilabel, subject.caps)
+                if len(table) >= self.max_entries:
+                    table.clear()
+                    self._evictions += 1
+                table[key] = cached
+            else:
+                self._hit(category)
+            out[key] = cached
+        return out
+
+    # ------------------------------------------------------------------
     # invalidation (fired by kernel label-change syscalls)
     # ------------------------------------------------------------------
 

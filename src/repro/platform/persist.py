@@ -134,9 +134,12 @@ def restore_provider(state: dict[str, Any],
     svc.caps = CapabilitySet.owning(pw_tag)
     svc.ilabel = Label([pw_tag])
 
-    # Storage comes back verbatim (including /users and home dirs).
-    provider.fs = restore_fs(provider.kernel, state["fs"])
-    provider.db = restore_store(provider.kernel, state["db"])
+    # Storage comes back verbatim (including /users and home dirs),
+    # on the same engine the fresh provider was configured with.
+    provider.fs = restore_fs(provider.kernel, state["fs"],
+                             grouped_walk=provider.partitioned_store)
+    provider.db = restore_store(provider.kernel, state["db"],
+                                partitioned=provider.partitioned_store)
 
     # Code reinstall.
     for module in app_catalog:

@@ -65,6 +65,7 @@ class Provider:
                  rate_limit: Optional[int] = None,
                  fast_request_plane: bool = True,
                  recycle_processes: bool = True,
+                 partitioned_store: bool = True,
                  audit_max_events: Optional[int] = None) -> None:
         self.name = name
         #: ``fast_request_plane`` switches the O(1) request plane: the
@@ -72,11 +73,19 @@ class Provider:
         #: export-authority oracle.  Off, every request recomputes both
         #: from scratch (the M8 benchmark compares the two).
         self.fast_request_plane = fast_request_plane
+        #: ``partitioned_store`` switches the label-partitioned data
+        #: plane: db queries resolve visibility once per distinct
+        #: ``(slabel, ilabel)`` partition and ``fs.walk`` prunes
+        #: unreadable subtrees with one verdict per child label pair.
+        #: Off, both fall back to the naive per-row / per-node engines
+        #: (the M9 benchmark baseline and differential-test oracle).
+        self.partitioned_store = partitioned_store
         self.kernel = Kernel(namespace=name, resources=resources,
                              recycle=recycle_processes,
                              audit_max_events=audit_max_events)
-        self.fs = LabeledFileSystem(self.kernel)
-        self.db = LabeledStore(self.kernel)
+        self.fs = LabeledFileSystem(self.kernel,
+                                    grouped_walk=partitioned_store)
+        self.db = LabeledStore(self.kernel, partitioned=partitioned_store)
         self.sessions = SessionManager()
         self.declass = DeclassificationService(
             self.kernel, cache_authority=fast_request_plane)

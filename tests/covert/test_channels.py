@@ -94,3 +94,36 @@ class TestTimingProbe:
     def test_padding_does_not_tax_indexed_queries(self):
         report = timing_probe(invisible_rows=50, pad_scan_to=500)
         assert report["indexed_rows_touched"] == 10
+
+
+class TestPartitionedEngineRegression:
+    """C10 must hold on the label-partitioned engine exactly as it does
+    on the naive one: skipping invisible partitions wholesale may not
+    change what a timing adversary can observe."""
+
+    def test_both_engines_report_identical_costs(self):
+        for kwargs in ({"invisible_rows": 50},
+                       {"invisible_rows": 0},
+                       {"invisible_rows": 50, "pad_scan_to": 500},
+                       {"invisible_rows": 50, "invisible_labels": 8}):
+            fast = timing_probe(partitioned=True, **kwargs)
+            naive = timing_probe(partitioned=False, **kwargs)
+            assert fast == naive, f"engines diverge for {kwargs}"
+
+    def test_padded_cost_independent_of_invisible_partitions(self):
+        """The padded full-scan charge may not vary with how many
+        invisible partitions exist or how full they are."""
+        costs = {
+            timing_probe(invisible_rows=rows, invisible_labels=labels,
+                         pad_scan_to=500,
+                         partitioned=True)["full_scan_rows_touched"]
+            for rows, labels in ((0, 1), (50, 1), (50, 8), (128, 16))}
+        assert costs == {500.0}
+
+    def test_unpadded_partition_skip_still_charges_invisible_rows(self):
+        """Without padding the partitioned engine *still* charges for
+        rows in skipped partitions — the scan-cost observable matches
+        the naive engine rather than leaking partition visibility."""
+        report = timing_probe(invisible_rows=50, invisible_labels=4,
+                              partitioned=True)
+        assert report["full_scan_rows_touched"] == 60
