@@ -2,18 +2,21 @@
 
 Writes ``BENCH_M1.json`` (label-operation microbenchmarks, cached and
 uncached), ``BENCH_M2.json`` (end-to-end request path),
-``BENCH_M8.json`` (request-plane scaling vs. user count) and
-``BENCH_M9.json`` (data-plane scaling vs. distinct labels) so CI can
-archive one number series per commit — the repo's before/after record
-for the fast-path label engine, the O(1) request plane, and the
-label-partitioned storage engine lives in these files and in
-EXPERIMENTS.md.
+``BENCH_M8.json`` (request-plane scaling vs. user count),
+``BENCH_M9.json`` (data-plane scaling vs. distinct labels) and
+``BENCH_M10.json`` (incremental durability vs. full snapshots) so CI
+can archive one number series per commit — the repo's before/after
+record for the fast-path label engine, the O(1) request plane, the
+label-partitioned storage engine, and the write-ahead journal lives
+in these files and in EXPERIMENTS.md.
 
-``BENCH_M8`` and ``BENCH_M9`` double as regression guards: the run
-**fails** (exit code 1) if per-request latency at 1,000 users exceeds
-3x the 10-user latency with the fast request plane on, or if the
-partitioned select beats the naive engine by less than 3x on a
-10k-row / 128-label table.
+``BENCH_M8``, ``BENCH_M9`` and ``BENCH_M10`` double as regression
+guards: the run **fails** (exit code 1) if per-request latency at
+1,000 users exceeds 3x the 10-user latency with the fast request
+plane on, if the partitioned select beats the naive engine by less
+than 3x on a 10k-row / 128-label table, or if the incremental
+snapshot beats the full snapshot by less than 3x at 1,000 users with
+1% dirty state.
 
 Usage::
 
@@ -192,6 +195,42 @@ def bench_m9(repeat: int) -> dict:
     return results
 
 
+#: The M10 regression bound: full vs incremental snapshot at 1k users.
+M10_MIN_SPEEDUP = 3.0
+
+
+def bench_m10(repeat: int) -> dict:
+    """Durability cost: incremental vs. full snapshots, journal
+    overhead, and recovery-by-replay timing.
+
+    The interesting number is the snapshot speedup at 1,000 users with
+    1% dirty state: the journal makes the snapshot O(dirty), so the
+    full/incremental gap widens linearly with deployment size.
+    """
+    from m10_journal import mutation_overhead, run_tier
+
+    results: dict[str, dict] = {}
+    for n_users in (100, 1_000):
+        tier = run_tier(n_users, dirty_frac=0.01, repeat=repeat)
+        results[f"users_{n_users}"] = {
+            "full_ms": tier["full_ms"],
+            "incremental_ms": tier["incremental_ms"],
+            "snapshot_speedup": tier["snapshot_speedup"],
+            "full_bytes": tier["full_bytes"],
+            "delta_bytes": tier["delta_bytes"],
+            "recover_ms": tier["recover_ms"],
+            "records_replayed": tier["records_replayed"],
+        }
+    results["overhead"] = mutation_overhead(repeat=repeat)
+    speedup = results["users_1000"]["snapshot_speedup"]
+    results["scaling"] = {
+        "snapshot_speedup_at_1000": speedup,
+        "min_speedup": M10_MIN_SPEEDUP,
+        "regression": speedup < M10_MIN_SPEEDUP,
+    }
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=".", type=Path,
@@ -208,7 +247,7 @@ def main(argv=None) -> int:
     }
     failed = False
     for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8),
-                     ("M9", bench_m9)):
+                     ("M9", bench_m9), ("M10", bench_m10)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -225,6 +264,13 @@ def main(argv=None) -> int:
             print(f"M9 REGRESSION: partitioned select only {speedup}x "
                   f"the naive engine at 128 labels "
                   f"(bound: {M9_MIN_SPEEDUP}x)")
+            failed = True
+        if name == "M10" and payload["results"]["scaling"]["regression"]:
+            speedup = payload["results"]["scaling"][
+                "snapshot_speedup_at_1000"]
+            print(f"M10 REGRESSION: incremental snapshot only {speedup}x "
+                  f"faster than full at 1,000 users / 1% dirty "
+                  f"(bound: {M10_MIN_SPEEDUP}x)")
             failed = True
     return 1 if failed else 0
 

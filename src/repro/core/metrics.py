@@ -66,6 +66,7 @@ class Metrics:
         self._flow_cache: Optional["FlowCache"] = None
         self._provider: Optional["Provider"] = None
         self._data_provider: Optional["Provider"] = None
+        self._persistence_provider: Optional["Provider"] = None
         self._latency: dict[str, _LatencyStat] = {}
         # fold in anything already logged, then follow the stream
         for event in audit:
@@ -175,6 +176,25 @@ class Metrics:
             return {}
         return {"db": self._data_provider.db.stats(),
                 "fs": self._data_provider.fs.stats()}
+
+    # -- durability observation --------------------------------------------
+
+    def attach_persistence(self, provider: "Provider") -> "Metrics":
+        """Start observing a provider's durability plane: journal
+        appends and bytes, compactions, replayed records, torn-tail
+        truncations.  Returns self for chaining, mirroring
+        :meth:`attach_request_plane` / :meth:`attach_data_plane`."""
+        self._persistence_provider = provider
+        return self
+
+    def persistence_snapshot(self) -> dict[str, Any]:
+        """The attached provider's journal/compaction/replay counters
+        (empty dict if none attached; ``incremental_persistence: False``
+        when the provider runs the naive full-snapshot baseline)."""
+        provider = getattr(self, "_persistence_provider", None)
+        if provider is None:
+            return {}
+        return provider.persistence_stats()
 
     def flow_latency(self, category: Optional[str] = None) -> dict[str, Any]:
         """Aggregated flow-check latency.

@@ -33,6 +33,8 @@ class W5System:
                  fast_request_plane: bool = True,
                  recycle_processes: bool = True,
                  partitioned_store: bool = True,
+                 incremental_persistence: bool = True,
+                 journal_compact_bytes: int = 1 << 20,
                  audit_max_events: Optional[int] = None) -> None:
         self.resources = ResourceManager(default_quotas=quotas,
                                          overrides=quota_overrides)
@@ -41,6 +43,9 @@ class W5System:
                                  fast_request_plane=fast_request_plane,
                                  recycle_processes=recycle_processes,
                                  partitioned_store=partitioned_store,
+                                 incremental_persistence=
+                                 incremental_persistence,
+                                 journal_compact_bytes=journal_compact_bytes,
                                  audit_max_events=audit_max_events)
         install_standard_apps(self.provider)
         if with_adversaries:

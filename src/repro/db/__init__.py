@@ -1,11 +1,13 @@
 """Labeled tuple store: W5's covert-channel-free database substrate."""
 
 from .errors import DbError, NoSuchRow, NoSuchTable, SchemaError, TableExists
-from .persist import restore_store, snapshot_store
+from .persist import (merge_store_delta, restore_store,
+                      snapshot_store, snapshot_store_delta)
 from .store import DbView, LabeledStore, Row, Table
 
 __all__ = [
     "DbError", "NoSuchRow", "NoSuchTable", "SchemaError", "TableExists",
-    "restore_store", "snapshot_store",
+    "merge_store_delta", "restore_store", "snapshot_store",
+    "snapshot_store_delta",
     "DbView", "LabeledStore", "Row", "Table",
 ]

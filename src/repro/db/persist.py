@@ -13,6 +13,16 @@ from ..labels import label_from_dict, label_to_dict
 from .store import LabeledStore, Row, Table
 
 
+def _row_dict(row: Row, namespace: str) -> dict[str, Any]:
+    return {
+        "row_id": row.row_id,
+        "values": dict(row.values),
+        "slabel": label_to_dict(row.slabel, namespace),
+        "ilabel": label_to_dict(row.ilabel, namespace),
+        "version": row.version,
+    }
+
+
 def snapshot_store(store: LabeledStore) -> dict[str, Any]:
     """Serialize every table, row, and label."""
     namespace = store.kernel.tags.namespace
@@ -23,18 +33,84 @@ def snapshot_store(store: LabeledStore) -> dict[str, Any]:
         rows = []
         for row in sorted(table.rows.values(), key=lambda r: r.row_id):
             max_row_id = max(max_row_id, row.row_id)
-            rows.append({
-                "row_id": row.row_id,
-                "values": dict(row.values),
-                "slabel": label_to_dict(row.slabel, namespace),
-                "ilabel": label_to_dict(row.ilabel, namespace),
-                "version": row.version,
-            })
+            rows.append(_row_dict(row, namespace))
         tables.append({"name": table.name,
                        "indexes": list(table.indexed_columns),
                        "pad_scan_to": table.pad_scan_to,
                        "rows": rows})
     return {"namespace": namespace, "tables": tables,
+            "next_row_id": max_row_id + 1}
+
+
+# ----------------------------------------------------------------------
+# O(dirty) deltas (the incremental-durability path, PR 4)
+# ----------------------------------------------------------------------
+
+def snapshot_store_delta(store: LabeledStore) -> dict[str, Any]:
+    """Serialize only rows/tables touched since the last checkpoint.
+
+    Cumulative against the base: :func:`merge_store_delta` of
+    (base, latest delta) equals a full :func:`snapshot_store`.
+    """
+    namespace = store.kernel.tags.namespace
+    state = store.dirty_state()
+    created = []
+    for name in sorted(state.get("created_tables", ())):
+        table = store._tables.get(name)
+        if table is None:  # created, then dropped again
+            continue
+        created.append({"name": name,
+                        "indexes": list(table.indexed_columns),
+                        "pad_scan_to": table.pad_scan_to})
+    tables: dict[str, dict[str, Any]] = {}
+    for name, ids in state.get("dirty_rows", {}).items():
+        table = store._tables.get(name)
+        if table is None:
+            continue
+        entry = tables.setdefault(name, {"rows": [], "removed": []})
+        entry["rows"] = [_row_dict(table.rows[i], namespace)
+                         for i in sorted(ids) if i in table.rows]
+    for name, ids in state.get("removed_rows", {}).items():
+        if name not in store._tables:
+            continue
+        entry = tables.setdefault(name, {"rows": [], "removed": []})
+        entry["removed"] = sorted(ids)
+    return {"namespace": namespace,
+            "created_tables": created,
+            "dropped_tables": sorted(state.get("dropped_tables", ())),
+            "tables": {n: tables[n] for n in sorted(tables)}}
+
+
+def merge_store_delta(base: dict[str, Any],
+                      delta: dict[str, Any]) -> dict[str, Any]:
+    """Fold a delta into a base snapshot → a full-equivalent snapshot.
+
+    ``next_row_id`` is recomputed over the merged rows, matching the
+    ``max live row id + 1`` a fresh :func:`snapshot_store` reports.
+    """
+    import copy
+    tables = {td["name"]: copy.deepcopy(td) for td in base["tables"]}
+    for name in delta.get("dropped_tables", ()):
+        tables.pop(name, None)
+    for td in delta.get("created_tables", ()):
+        tables[td["name"]] = {"name": td["name"],
+                              "indexes": list(td["indexes"]),
+                              "pad_scan_to": td["pad_scan_to"],
+                              "rows": []}
+    for name, entry in delta.get("tables", {}).items():
+        table = tables.get(name)
+        if table is None:
+            continue
+        rows = {r["row_id"]: r for r in table["rows"]}
+        for rid in entry.get("removed", ()):
+            rows.pop(rid, None)
+        for r in entry.get("rows", ()):
+            rows[r["row_id"]] = copy.deepcopy(r)
+        table["rows"] = [rows[i] for i in sorted(rows)]
+    max_row_id = max((r["row_id"] for td in tables.values()
+                      for r in td["rows"]), default=0)
+    return {"namespace": base["namespace"],
+            "tables": [tables[n] for n in sorted(tables)],
             "next_row_id": max_row_id + 1}
 
 

@@ -177,6 +177,46 @@ class LabeledStore:
         #: Partition-scan observability (read via :meth:`stats`).
         self._stats = {"partitions_visible": 0, "partitions_skipped": 0,
                        "rows_skipped": 0, "batched_charges": 0}
+        #: Durability hook: ``(op, data)`` per mutation (journal).
+        self.on_mutate: Optional[Callable[[str, dict], None]] = None
+        #: O(dirty) snapshot bookkeeping since the last full checkpoint:
+        #: per-table inserted/updated row ids and removed row ids, plus
+        #: catalog-level created/dropped table names.
+        self._dirty_rows: dict[str, set[int]] = {}
+        self._removed_rows: dict[str, set[int]] = {}
+        self._created_tables: set[str] = set()
+        self._dropped_tables: set[str] = set()
+
+    # -- durability bookkeeping ----------------------------------------
+
+    def mark_clean(self) -> None:
+        """Forget dirty state (a full snapshot was just taken)."""
+        self._dirty_rows.clear()
+        self._removed_rows.clear()
+        self._created_tables.clear()
+        self._dropped_tables.clear()
+
+    def dirty_state(self) -> dict[str, Any]:
+        return {
+            "dirty_rows": {t: set(ids)
+                           for t, ids in self._dirty_rows.items() if ids},
+            "removed_rows": {t: set(ids)
+                             for t, ids in self._removed_rows.items() if ids},
+            "created_tables": set(self._created_tables),
+            "dropped_tables": set(self._dropped_tables),
+        }
+
+    def _note_row(self, table_name: str, row_id: int) -> None:
+        self._dirty_rows.setdefault(table_name, set()).add(row_id)
+        removed = self._removed_rows.get(table_name)
+        if removed:
+            removed.discard(row_id)
+
+    def _note_removed(self, table_name: str, row_id: int) -> None:
+        self._removed_rows.setdefault(table_name, set()).add(row_id)
+        dirty = self._dirty_rows.get(table_name)
+        if dirty:
+            dirty.discard(row_id)
 
     def stats(self) -> dict[str, Any]:
         """Partition hit/skip counters for metrics and benchmarks."""
@@ -204,6 +244,12 @@ class LabeledStore:
         table = Table(name=name, indexed_columns=tuple(indexes),
                       pad_scan_to=pad_scan_to)
         self._tables[name] = table
+        self._created_tables.add(name)
+        self._dropped_tables.discard(name)
+        if self.on_mutate is not None:
+            self.on_mutate("db.create_table", {
+                "name": name, "indexes": list(table.indexed_columns),
+                "pad_scan_to": pad_scan_to})
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"create table {name}")
         return table
@@ -226,6 +272,12 @@ class LabeledStore:
                                cache=self.kernel.flow_cache,
                                category="db.write")
         del self._tables[name]
+        self._dropped_tables.add(name)
+        self._created_tables.discard(name)
+        self._dirty_rows.pop(name, None)
+        self._removed_rows.pop(name, None)
+        if self.on_mutate is not None:
+            self.on_mutate("db.drop_table", {"name": name})
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"drop table {name}")
 
@@ -261,6 +313,13 @@ class LabeledStore:
         self.kernel.resources.charge(process, "db_rows", 1)
         table.rows[row.row_id] = row
         table.index_add(row)
+        self._note_row(table_name, row.row_id)
+        if self.on_mutate is not None:
+            self.on_mutate("db.insert", {
+                "table": table_name, "row_id": row.row_id,
+                "values": row.values,
+                "slabel": sorted(t.tag_id for t in row.slabel),
+                "ilabel": sorted(t.tag_id for t in row.ilabel)})
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"insert {table_name}#{row.row_id}")
         return row.row_id
@@ -289,6 +348,8 @@ class LabeledStore:
         # column's value may move buckets.
         touches_index = any(col in table.indexes for col in changes)
 
+        touched: list[int] = []
+
         def apply(row: Row) -> None:
             if touches_index:
                 table.index_remove(row)
@@ -302,6 +363,8 @@ class LabeledStore:
             row.version += 1
             if touches_index:
                 table.index_add(row)
+            self._note_row(table_name, row.row_id)
+            touched.append(row.row_id)
 
         updated = 0
         if self.partitioned:
@@ -339,6 +402,10 @@ class LabeledStore:
                     raise
                 apply(row)
                 updated += 1
+        if touched and self.on_mutate is not None:
+            self.on_mutate("db.update", {
+                "table": table_name, "rows": sorted(touched),
+                "changes": changes})
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"update {table_name} ({updated} rows)")
         return updated
@@ -385,9 +452,100 @@ class LabeledStore:
         for row in doomed:
             table.index_remove(row)
             del table.rows[row.row_id]
+            self._note_removed(table_name, row.row_id)
+        if doomed and self.on_mutate is not None:
+            self.on_mutate("db.delete", {
+                "table": table_name,
+                "rows": sorted(r.row_id for r in doomed)})
         self.kernel.audit.record(A.DB_QUERY, True, process.name,
                                  f"delete {table_name} ({len(doomed)} rows)")
         return len(doomed)
+
+    def purge_rows(self, table_name: str, row_ids: Iterable[int]) -> int:
+        """Provider cold-path removal: drop rows by id with *no* label
+        checks, charges, or audit (account deletion reaches past the
+        departed user's labels by design).  Journaled so recovery
+        reproduces the purge.
+        """
+        table = self.table(table_name)
+        purged = []
+        for rid in row_ids:
+            row = table.rows.get(rid)
+            if row is None:
+                continue
+            table.index_remove(row)
+            del table.rows[rid]
+            self._note_removed(table_name, rid)
+            purged.append(rid)
+        if purged and self.on_mutate is not None:
+            self.on_mutate("db.purge", {
+                "table": table_name, "rows": sorted(purged)})
+        return len(purged)
+
+    # -- replay installers (journal recovery only) ---------------------
+
+    def install_table(self, name: str, indexes: Iterable[str] = (),
+                      pad_scan_to: Optional[int] = None) -> Table:
+        """Re-create a table during replay (no charges, no checks)."""
+        table = Table(name=name, indexed_columns=tuple(indexes),
+                      pad_scan_to=pad_scan_to)
+        self._tables[name] = table
+        self._created_tables.add(name)
+        self._dropped_tables.discard(name)
+        return table
+
+    def install_row(self, table_name: str, row_id: int,
+                    values: dict[str, Any], slabel: Label,
+                    ilabel: Label) -> Row:
+        """Re-insert a row with a *known* id during replay; keeps the
+        id counter ahead of every installed id."""
+        table = self.table(table_name)
+        row = Row(row_id=row_id, values=values, slabel=slabel,
+                  ilabel=ilabel)
+        table.rows[row_id] = row
+        table.index_add(row)
+        self._note_row(table_name, row_id)
+        nxt = next(self._row_ids)
+        self._row_ids = itertools.count(max(nxt, row_id + 1))
+        return row
+
+    def apply_changes(self, table_name: str, row_ids: Iterable[int],
+                      changes: dict[str, Any]) -> None:
+        """Replay one journaled update: same physical effect as
+        :meth:`update` on exactly those rows."""
+        table = self.table(table_name)
+        touches_index = any(col in table.indexes for col in changes)
+        for rid in row_ids:
+            row = table.rows.get(rid)
+            if row is None:
+                continue
+            if touches_index:
+                table.index_remove(row)
+            row.values.update(copy.deepcopy(changes))
+            row._flat = None
+            row.version += 1
+            if touches_index:
+                table.index_add(row)
+            self._note_row(table_name, rid)
+
+    def remove_rows(self, table_name: str, row_ids: Iterable[int]) -> None:
+        """Replay one journaled delete/purge (no checks, no journal)."""
+        table = self.table(table_name)
+        for rid in row_ids:
+            row = table.rows.get(rid)
+            if row is None:
+                continue
+            table.index_remove(row)
+            del table.rows[rid]
+            self._note_removed(table_name, rid)
+
+    def drop_table_raw(self, name: str) -> None:
+        """Replay one journaled drop (no checks, no journal)."""
+        self._tables.pop(name, None)
+        self._dropped_tables.add(name)
+        self._created_tables.discard(name)
+        self._dirty_rows.pop(name, None)
+        self._removed_rows.pop(name, None)
 
     def _refuse_write(self, process: Process, row: Row, table_name: str,
                       verb: str) -> None:

@@ -13,8 +13,9 @@ negative one is an audited refusal, so experiments can count both.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..kernel import Kernel
 from ..kernel import audit as A
@@ -57,8 +58,14 @@ class DeclassificationService:
         #: Simulated platform clock, advanced by tests/benches.  No
         #: authority invalidation needed on advance: time-dependent
         #: declassifiers are ``cacheable = False`` and re-evaluated on
-        #: every call.
-        self.now: float = 0.0
+        #: every call.  (Exposed as the :attr:`now` property so clock
+        #: advances are journaled — the embargo state is durable.)
+        self._now: float = 0.0
+        #: Durability hook: ``(op, data)`` per policy mutation (journal).
+        self.on_mutate: Optional[Callable[[str, dict], None]] = None
+        #: Owners whose grant set changed since the last full checkpoint
+        #: (incremental snapshots re-serialize only these).
+        self._dirty_owners: set[str] = set()
         #: Memoized per-viewer export authority (the cacheable part).
         self.cache_authority = cache_authority
         self._max_cache_entries = max_cache_entries
@@ -67,6 +74,57 @@ class DeclassificationService:
         self.authority_epoch = 0
         self._stats = {"hits": 0, "misses": 0, "invalidations": 0,
                        "bypasses": 0}
+
+    # -- durability plumbing --------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self._now = value
+        if self.on_mutate is not None:
+            self.on_mutate("clock.set", {"now": value})
+
+    def mark_clean(self) -> None:
+        """Forget dirty state (a full snapshot was just taken)."""
+        self._dirty_owners.clear()
+
+    def dirty_owners(self) -> set[str]:
+        return set(self._dirty_owners)
+
+    @staticmethod
+    def grant_record(grant: "Grant") -> Optional[dict[str, Any]]:
+        """The durable form of ``grant`` — exactly what
+        ``snapshot_provider`` persists — or ``None`` when the grant is
+        not durable (non-builtin declassifier or non-JSON config)."""
+        from .builtin import BUILTINS
+        config = {k: (sorted(v) if isinstance(v, frozenset) else v)
+                  for k, v in grant.declassifier.config.items()}
+        record = {"owner": grant.owner, "tag_id": grant.tag.tag_id,
+                  "declassifier": grant.declassifier.name, "config": config}
+        try:
+            json.dumps(record)
+        except TypeError:
+            return None
+        if grant.declassifier.name not in BUILTINS:
+            return None
+        return record
+
+    def note_config_update(self, owner: str, tag: Tag, name: str,
+                           changes: dict[str, Any]) -> None:
+        """Journal a policy-config edit (the callers —
+        ``Provider.update_declassifier_config`` and the group roster
+        refresh — have already applied it via ``update_config``)."""
+        self._dirty_owners.add(owner)
+        if self.on_mutate is not None:
+            serial = {k: (sorted(v) if isinstance(v, (frozenset, set))
+                          else v)
+                      for k, v in changes.items()}
+            self.on_mutate("grant.config", {
+                "owner": owner, "tag_id": tag.tag_id, "name": name,
+                "changes": serial})
 
     # -- authority-cache plumbing ---------------------------------------
 
@@ -104,6 +162,14 @@ class DeclassificationService:
         self._by_tag.setdefault(tag, []).append(g)
         if not declassifier.cacheable:
             self._uncacheable.append(g)
+        self._dirty_owners.add(owner)
+        if self.on_mutate is not None:
+            record = self.grant_record(g)
+            if record is not None:
+                self.on_mutate("grant.add", record)
+            else:
+                self.on_mutate("grant.skip", {
+                    "owner": owner, "declassifier": declassifier.name})
         self.invalidate_authority("grant")
         self.kernel.audit.record(
             A.DECLASSIFY, True, owner,
@@ -122,6 +188,11 @@ class DeclassificationService:
         removed = before - len(self._grants)
         if removed:
             self._reindex()
+            self._dirty_owners.add(owner)
+            if self.on_mutate is not None:
+                self.on_mutate("grant.revoke", {
+                    "owner": owner, "tag_id": tag.tag_id,
+                    "name": declassifier_name})
             self.invalidate_authority("revoke")
             self.kernel.audit.record(
                 A.DECLASSIFY, True, owner,

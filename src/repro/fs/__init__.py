@@ -4,10 +4,11 @@ from .errors import (FsError, IsADirectory, NoSuchPath, NotADirectory,
                      PathExists)
 from .filesystem import (Directory, File, FsView, Inode, LabeledFileSystem,
                          split_path)
-from .persist import restore_fs, snapshot_fs
+from .persist import (merge_fs_delta, restore_fs, snapshot_fs,
+                      snapshot_fs_delta)
 
 __all__ = [
     "FsError", "IsADirectory", "NoSuchPath", "NotADirectory", "PathExists",
     "Directory", "File", "FsView", "Inode", "LabeledFileSystem", "split_path",
-    "restore_fs", "snapshot_fs",
+    "merge_fs_delta", "restore_fs", "snapshot_fs", "snapshot_fs_delta",
 ]

@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..core import access
 from ..kernel import Kernel, Process
@@ -138,6 +138,39 @@ class LabeledFileSystem:
         self.root = Directory(name="/", slabel=Label.EMPTY,
                               ilabel=Label.EMPTY, created_by="provider")
         self._stats = {"subtrees_pruned": 0, "label_batches": 0}
+        #: Durability hook: ``(op, data)`` per mutation (journal).
+        self.on_mutate: Optional[Callable[[str, dict], None]] = None
+        #: O(dirty) snapshot bookkeeping: canonical paths created or
+        #: rewritten (resp. removed) since the last full checkpoint.
+        self._dirty_paths: set[str] = set()
+        self._deleted_paths: set[str] = set()
+
+    @staticmethod
+    def canonical(path: str) -> str:
+        """One spelling per path, for dirty-set membership."""
+        return "/" + "/".join(split_path(path))
+
+    def mark_clean(self) -> None:
+        """Forget dirty state (a full snapshot was just taken)."""
+        self._dirty_paths.clear()
+        self._deleted_paths.clear()
+
+    def dirty_state(self) -> tuple[set[str], set[str]]:
+        return set(self._dirty_paths), set(self._deleted_paths)
+
+    def _note_upsert(self, path: str) -> None:
+        canon = self.canonical(path)
+        self._dirty_paths.add(canon)
+        self._deleted_paths.discard(canon)
+
+    def _note_delete(self, path: str) -> None:
+        canon = self.canonical(path)
+        self._dirty_paths.discard(canon)
+        self._deleted_paths.add(canon)
+        # children of a deleted dir can no longer be upserted
+        prefix = canon + "/"
+        self._dirty_paths = {p for p in self._dirty_paths
+                             if not p.startswith(prefix)}
 
     def stats(self) -> dict[str, Any]:
         """Walk-pruning counters for metrics and benchmarks."""
@@ -236,6 +269,13 @@ class LabeledFileSystem:
                       created_by=process.name)
         self._validate_new_labels(process, d, path)
         parent.entries[leaf] = d
+        self._note_upsert(path)
+        if self.on_mutate is not None:
+            self.on_mutate("fs.mkdir", {
+                "path": self.canonical(path),
+                "slabel": sorted(t.tag_id for t in d.slabel),
+                "ilabel": sorted(t.tag_id for t in d.ilabel),
+                "created_by": d.created_by})
         self.kernel.audit.record(A.FILE_WRITE, True, process.name,
                                  f"mkdir {path}")
         return d
@@ -261,6 +301,13 @@ class LabeledFileSystem:
         self._validate_new_labels(process, f, path)
         self.kernel.resources.charge(process, "disk", f.size())
         parent.entries[leaf] = f
+        self._note_upsert(path)
+        if self.on_mutate is not None:
+            self.on_mutate("fs.create", {
+                "path": self.canonical(path),
+                "slabel": sorted(t.tag_id for t in f.slabel),
+                "ilabel": sorted(t.tag_id for t in f.ilabel),
+                "created_by": f.created_by, "data": f.data})
         self.kernel.audit.record(A.FILE_WRITE, True, process.name,
                                  f"create {path}")
         return f
@@ -301,6 +348,10 @@ class LabeledFileSystem:
                     data=data).size() - node.size()))
         node.data = copy.deepcopy(data)
         node.version += 1
+        self._note_upsert(path)
+        if self.on_mutate is not None:
+            self.on_mutate("fs.write", {
+                "path": self.canonical(path), "data": node.data})
         self.kernel.audit.record(A.FILE_WRITE, True, process.name,
                                  f"write {path}")
         return node
@@ -318,6 +369,9 @@ class LabeledFileSystem:
         if node.is_dir() and getattr(node, "entries", None):
             raise FsError(f"directory {path} not empty")
         del parent.entries[leaf]
+        self._note_delete(path)
+        if self.on_mutate is not None:
+            self.on_mutate("fs.delete", {"path": self.canonical(path)})
         self.kernel.audit.record(A.FILE_WRITE, True, process.name,
                                  f"delete {path}")
 

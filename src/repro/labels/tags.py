@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from .errors import TagError
 
@@ -65,6 +65,10 @@ class TagRegistry:
         self._tags: dict[int, Tag] = {}
         # (foreign namespace, foreign id) -> local tag
         self._foreign: dict[tuple[str, int], Tag] = {}
+        #: Durability hook: called ``(op, data)`` for every mint so the
+        #: provider's journal can replay tag creation (ids included —
+        #: replay must reproduce the exact id space).
+        self.on_mutate: Optional[Callable[[str, dict], None]] = None
 
     def create(self, purpose: str = "", kind: str = SECRECY,
                owner: Optional[str] = None) -> Tag:
@@ -77,6 +81,10 @@ class TagRegistry:
             raise TagError(f"unknown tag kind {kind!r}")
         tag = Tag(next(self._counter), purpose=purpose, kind=kind, owner=owner)
         self._tags[tag.tag_id] = tag
+        if self.on_mutate is not None:
+            self.on_mutate("tag.create", {
+                "tag_id": tag.tag_id, "purpose": tag.purpose,
+                "kind": tag.kind, "owner": tag.owner})
         return tag
 
     def lookup(self, tag_id: int) -> Tag:
@@ -113,6 +121,10 @@ class TagRegistry:
             purpose=purpose or f"import:{foreign_namespace}:{foreign_id}",
             kind=kind, owner=owner)
         self._foreign[key] = local
+        if self.on_mutate is not None:
+            self.on_mutate("tag.foreign", {
+                "namespace": foreign_namespace, "foreign_id": foreign_id,
+                "local_id": local.tag_id})
         return local
 
     def foreign_origin(self, tag: Tag) -> Optional[tuple[str, int]]:
@@ -143,6 +155,49 @@ class TagRegistry:
                 {"namespace": ns, "foreign_id": fid, "local_id": t.tag_id}
                 for (ns, fid), t in sorted(self._foreign.items())],
         }
+
+    def export_delta(self, since_id: int) -> dict:
+        """Tags (and foreign mappings) minted at or after ``since_id``.
+
+        Tags are immutable and ids are monotone, so "dirty" for a
+        registry is exactly "id ≥ the next_id recorded in the base
+        snapshot" — no per-tag bookkeeping needed.
+        """
+        return {
+            "namespace": self.namespace,
+            "next_id": max(self._tags, default=0) + 1,
+            "tags": [
+                {"tag_id": t.tag_id, "purpose": t.purpose, "kind": t.kind,
+                 "owner": t.owner}
+                for t in sorted(self._tags.values(), key=lambda t: t.tag_id)
+                if t.tag_id >= since_id],
+            "foreign": [
+                {"namespace": ns, "foreign_id": fid, "local_id": t.tag_id}
+                for (ns, fid), t in sorted(self._foreign.items())
+                if t.tag_id >= since_id],
+        }
+
+    def install(self, tag_id: int, purpose: str, kind: str,
+                owner: Optional[str]) -> Tag:
+        """Replay-path installer: re-create a tag with a *known* id.
+
+        Used only by journal replay, which must reproduce the id space
+        of the crashed provider exactly; keeps the counter ahead of
+        every installed id.  Idempotent for identical metadata.
+        """
+        existing = self._tags.get(tag_id)
+        if existing is not None:
+            return existing
+        tag = Tag(tag_id, purpose=purpose, kind=kind, owner=owner)
+        self._tags[tag_id] = tag
+        next_id = max(self._tags) + 1
+        self._counter = itertools.count(next_id)
+        return tag
+
+    def install_foreign(self, namespace: str, foreign_id: int,
+                        local_id: int) -> None:
+        """Replay-path companion to :meth:`install` for foreign maps."""
+        self._foreign[(namespace, foreign_id)] = self._tags[local_id]
 
     @classmethod
     def import_state(cls, state: dict) -> "TagRegistry":

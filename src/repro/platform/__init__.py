@@ -6,9 +6,11 @@ from .debug import CrashReport, DebugService
 from .endorsement import EndorsementService
 from .errors import (AppCrashed, NoSuchApp, NoSuchUser, NotAuthorized,
                      PlatformError)
+from .durability import DurabilityManager, recover_provider
 from .groups import GroupService, GroupSpace
 from .inspect import Explanation, PolicyInspector
-from .persist import restore_provider, set_password, snapshot_provider
+from .persist import (merge_delta, restore_provider, set_password,
+                      snapshot_provider)
 from .provider import Provider
 from .registry import APP, DECLASSIFIER, MODULE, AppModule, Registry
 
@@ -18,9 +20,10 @@ __all__ = [
     "CrashReport", "DebugService", "EndorsementService",
     "AppCrashed", "NoSuchApp", "NoSuchUser", "NotAuthorized",
     "PlatformError",
+    "DurabilityManager", "recover_provider",
     "GroupService", "GroupSpace",
     "Explanation", "PolicyInspector",
-    "restore_provider", "set_password", "snapshot_provider",
+    "merge_delta", "restore_provider", "set_password", "snapshot_provider",
     "Provider",
     "APP", "DECLASSIFIER", "MODULE", "AppModule", "Registry",
 ]

@@ -1,0 +1,558 @@
+"""Incremental durability: the journal manager and crash replay.
+
+The naive operator path re-serializes *every* account, grant, file and
+row on every snapshot (EXPERIMENTS.md §M7) — O(total state) per deploy,
+which the ROADMAP's production-scale north star forbids.  This module
+makes durability O(dirty):
+
+* :class:`DurabilityManager` wires one ``on_mutate`` hook into every
+  durable subsystem (tag registry, filesystem, store, declassification
+  service, endorsement ledger) and exposes :meth:`record` for the
+  platform-level mutations the provider performs itself (account
+  lifecycle, enablements, group rosters, ledgers).  Each mutation
+  becomes one checksummed :class:`~repro.core.journal.Journal` record.
+* :meth:`emit_snapshot` returns an O(dirty) **delta** against the last
+  full checkpoint — only dirty accounts/owners/groups/paths/rows are
+  re-serialized — escalating to a fresh full snapshot (compaction)
+  once the journal outgrows its threshold.  Deltas are *cumulative*
+  since the checkpoint, so an operator needs to retain exactly two
+  artifacts: the base and the latest delta
+  (:func:`repro.platform.persist.merge_delta` folds them together,
+  byte-identical to a full snapshot).
+* :func:`recover_provider` is the crash path: restore the base, replay
+  the journal's verified prefix (a torn tail is truncated, never
+  guessed at), and prove nothing drifted — the differential tests
+  interleave random mutations with crashes at every journal byte
+  offset and compare against a full restore.
+
+Replay runs at cold-storage trust (like ``restore_provider``): records
+describe mutations the reference monitor *already approved* before the
+crash, so appliers write state directly and never re-run label checks.
+Journaling is suspended throughout replay — replaying must not journal.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from ..core.journal import Journal, JournalRecord, decode_payload
+from ..labels import Label
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .provider import Provider
+    from .registry import AppModule
+
+
+class DurabilityManager:
+    """Owns the journal, the dirty-state epoch, and the base snapshot."""
+
+    def __init__(self, provider: "Provider",
+                 compact_threshold: int = 1 << 20) -> None:
+        self.provider = provider
+        self.journal = Journal(compact_threshold=compact_threshold)
+        self._suspend_depth = 0
+        #: The last full snapshot; every delta and every journal record
+        #: is relative to this.
+        self.base: Optional[dict[str, Any]] = None
+        #: Positions of the append-only structures at checkpoint time
+        #: (registry ids are monotone; adoption/usage ledgers only grow).
+        self._base_marks = {"registry_next_id": 1, "adoptions": 0,
+                            "usage": 0}
+        self._stats = {"compactions": 0, "full_snapshots": 0,
+                       "incremental_snapshots": 0, "replay_records": 0,
+                       "torn_truncations": 0}
+        self.wire()
+        # The initial checkpoint: a fresh provider's bootstrap state
+        # (its write tag, /users, /groups) is the first base, so the
+        # journal covers every mutation of the provider's lifetime.
+        self.checkpoint()
+
+    # -- hook wiring ---------------------------------------------------
+
+    def wire(self) -> None:
+        """(Re)attach the mutation hooks.  Called again after a restore
+        replaces the registry/fs/db objects underneath the provider."""
+        p = self.provider
+        p.kernel.tags.on_mutate = self.record
+        p.fs.on_mutate = self.record
+        p.db.on_mutate = self.record
+        p.declass.on_mutate = self.record
+        p.endorsements.on_mutate = self.record
+
+    def record(self, op: str, data: dict[str, Any]) -> None:
+        if self._suspend_depth:
+            return
+        self.journal.append(op, data)
+
+    @contextmanager
+    def suspended(self):
+        """Journaling off (restore/replay: state installation is not a
+        new mutation)."""
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1
+
+    # -- snapshots -----------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Take a full snapshot, make it the new base, reset the
+        journal, and mark every subsystem clean."""
+        from .persist import snapshot_provider
+        p = self.provider
+        with self.suspended():
+            full = snapshot_provider(p, incremental=False)
+        self.base = full
+        self.journal.reset()
+        self._base_marks = {
+            "registry_next_id": full["registry"]["next_id"],
+            "adoptions": len(p.adoptions),
+            "usage": len(p.usage_edges),
+        }
+        p.fs.mark_clean()
+        p.db.mark_clean()
+        p.declass.mark_clean()
+        p.endorsements.mark_clean()
+        p.groups.mark_clean()
+        p.mark_accounts_clean()
+        self._stats["full_snapshots"] += 1
+        return full
+
+    def emit_snapshot(self) -> dict[str, Any]:
+        """The operator's snapshot call: an O(dirty) delta, or a fresh
+        full snapshot when there is no base yet or the journal crossed
+        its compaction threshold."""
+        if self.base is None:
+            return self.checkpoint()
+        if self.journal.needs_compaction():
+            self._stats["compactions"] += 1
+            return self.checkpoint()
+        self._stats["incremental_snapshots"] += 1
+        return self.delta_snapshot()
+
+    def delta_snapshot(self) -> dict[str, Any]:
+        """Serialize only what changed since the last checkpoint."""
+        from ..db.persist import snapshot_store_delta
+        from ..fs.persist import snapshot_fs_delta
+        from . import persist as P
+        p = self.provider
+        marks = self._base_marks
+
+        grants_by_owner: dict[str, list[dict[str, Any]]] = {}
+        skipped_by_owner: dict[str, list[dict[str, Any]]] = {}
+        for owner in sorted(p.declass.dirty_owners()):
+            kept: list[dict[str, Any]] = []
+            skipped: list[dict[str, Any]] = []
+            for g in p.declass.grants_for(owner):
+                record = p.declass.grant_record(g)
+                if record is None:
+                    skipped.append({"owner": g.owner,
+                                    "declassifier": g.declassifier.name})
+                else:
+                    kept.append(record)
+            grants_by_owner[owner] = P.sort_grants(kept)
+            skipped_by_owner[owner] = P.sort_skipped(skipped)
+
+        delta: dict[str, Any] = {
+            "kind": "delta",
+            "name": p.name,
+            "provider_write_tag_id": p._provider_write.tag_id,
+            "journal_seq": self.journal.seq,
+            "registry": p.kernel.tags.export_delta(
+                marks["registry_next_id"]),
+            "accounts": [P.account_dict(p.account(u))
+                         for u in sorted(p._dirty_accounts)
+                         if u in p._accounts],
+            "removed_accounts": sorted(p._removed_accounts),
+            "groups": [P.group_dict(p.groups.get(n))
+                       for n in sorted(p.groups.dirty_groups())
+                       if n in p.groups._groups],
+            "grants_by_owner": grants_by_owner,
+            "skipped_by_owner": skipped_by_owner,
+            "adoptions_tail": [list(x) for x in
+                               p.adoptions[marks["adoptions"]:]],
+            "usage_tail": [list(x) for x in
+                           p.usage_edges[marks["usage"]:]],
+            "declass_clock": p.declass.now,
+            "fs": snapshot_fs_delta(p.fs),
+            "db": snapshot_store_delta(p.db),
+        }
+        if p.endorsements.dirty:
+            delta["endorsements"] = sorted(p.endorsements.endorsed)
+        return delta
+
+    def stats(self) -> dict[str, Any]:
+        return {**self.journal.stats(), **self._stats}
+
+
+# ----------------------------------------------------------------------
+# crash recovery: base + replay
+# ----------------------------------------------------------------------
+
+def recover_provider(base_state: dict[str, Any], journal_raw: bytes,
+                     app_catalog: Iterable["AppModule"] = (),
+                     resources=None
+                     ) -> tuple["Provider", dict[str, Any]]:
+    """Rebuild a provider from its last full snapshot plus the journal.
+
+    The journal image may be torn (crash mid-append): its verified
+    prefix is replayed, the damaged tail is dropped, and the report
+    says how much and why.  The recovered provider is byte-identical
+    (snapshot-wise) to ``restore_provider`` of a snapshot taken right
+    after the last complete journal record — the differential tests in
+    ``tests/platform/test_journal_replay.py`` hold this at every
+    possible crash offset.
+    """
+    from .persist import restore_provider
+    provider, report = restore_provider(base_state, app_catalog,
+                                        resources)
+    records, jreport = Journal.recover(journal_raw)
+    manager = provider._durability
+    unknown_ops = 0
+    if manager is not None:
+        with manager.suspended():
+            unknown_ops = _replay(provider, records)
+        manager._stats["replay_records"] += len(records)
+        if jreport.truncated_bytes:
+            manager._stats["torn_truncations"] += 1
+    else:
+        unknown_ops = _replay(provider, records)
+    _finalize_replay(provider)
+    if manager is not None:
+        manager.wire()
+        manager.checkpoint()
+    report.update({
+        "records_replayed": jreport.records,
+        "truncated_bytes": jreport.truncated_bytes,
+        "truncation_reason": jreport.truncation_reason,
+        "opaque_records": jreport.opaque_records,
+        "unknown_ops": unknown_ops,
+    })
+    return provider, report
+
+
+def _finalize_replay(provider: "Provider") -> None:
+    """Replay wrote state behind every cache's back; align the world."""
+    import itertools
+    top = max((max(t.rows, default=0)
+               for t in provider.db._tables.values()), default=0)
+    # Same allocator position a full restore of the post-crash snapshot
+    # would compute (next_row_id = max live row id + 1), so the two
+    # recovery paths assign identical ids to post-recovery inserts.
+    provider.db._row_ids = itertools.count(top + 1)
+    provider.kernel.flow_cache.invalidate_all(reason="journal-replay")
+    provider.capindex.invalidate_all("journal-replay")
+    provider.declass.invalidate_authority("journal-replay")
+
+
+# -- the op dispatch table ---------------------------------------------
+
+def _label(provider: "Provider", tag_ids: Iterable[int]) -> Label:
+    lookup = provider.kernel.tags.lookup
+    return Label([lookup(i) for i in tag_ids])
+
+
+def _fs_parent(provider: "Provider", path: str):
+    from ..fs.filesystem import split_path
+    parts = split_path(path)
+    node = provider.fs.root
+    for part in parts[:-1]:
+        node = node.entries[part]
+    return node, parts[-1]
+
+
+def _r_tag_create(p: "Provider", d: dict) -> None:
+    p.kernel.tags.install(d["tag_id"], d["purpose"], d["kind"], d["owner"])
+
+
+def _r_tag_foreign(p: "Provider", d: dict) -> None:
+    p.kernel.tags.install_foreign(d["namespace"], d["foreign_id"],
+                                  d["local_id"])
+
+
+def _r_fs_mkdir(p: "Provider", d: dict) -> None:
+    from ..fs.filesystem import Directory
+    parent, leaf = _fs_parent(p, d["path"])
+    parent.entries[leaf] = Directory(
+        name=leaf, slabel=_label(p, d["slabel"]),
+        ilabel=_label(p, d["ilabel"]), created_by=d["created_by"])
+    p.fs._note_upsert(d["path"])
+
+
+def _r_fs_create(p: "Provider", d: dict) -> None:
+    from ..fs.filesystem import File
+    parent, leaf = _fs_parent(p, d["path"])
+    parent.entries[leaf] = File(
+        name=leaf, slabel=_label(p, d["slabel"]),
+        ilabel=_label(p, d["ilabel"]), created_by=d["created_by"],
+        data=decode_payload(d["data"]))
+    p.fs._note_upsert(d["path"])
+
+
+def _r_fs_write(p: "Provider", d: dict) -> None:
+    parent, leaf = _fs_parent(p, d["path"])
+    node = parent.entries[leaf]
+    node.data = decode_payload(d["data"])
+    node.version += 1
+    p.fs._note_upsert(d["path"])
+
+
+def _r_fs_delete(p: "Provider", d: dict) -> None:
+    parent, leaf = _fs_parent(p, d["path"])
+    parent.entries.pop(leaf, None)
+    p.fs._note_delete(d["path"])
+
+
+def _r_db_create_table(p: "Provider", d: dict) -> None:
+    p.db.install_table(d["name"], indexes=d["indexes"],
+                       pad_scan_to=d["pad_scan_to"])
+
+
+def _r_db_drop_table(p: "Provider", d: dict) -> None:
+    p.db.drop_table_raw(d["name"])
+
+
+def _r_db_insert(p: "Provider", d: dict) -> None:
+    p.db.install_row(d["table"], d["row_id"],
+                     decode_payload(d["values"]),
+                     _label(p, d["slabel"]), _label(p, d["ilabel"]))
+
+
+def _r_db_update(p: "Provider", d: dict) -> None:
+    p.db.apply_changes(d["table"], d["rows"], decode_payload(d["changes"]))
+
+
+def _r_db_remove(p: "Provider", d: dict) -> None:
+    p.db.remove_rows(d["table"], d["rows"])
+
+
+def _r_account_signup(p: "Provider", d: dict) -> None:
+    from .accounts import UserAccount
+    account = UserAccount(
+        username=d["username"],
+        data_tag=p.kernel.tags.lookup(d["data_tag_id"]),
+        write_tag=p.kernel.tags.lookup(d["write_tag_id"]),
+        email_address=d["email"])
+    p._accounts[account.username] = account
+    p.email.register_address(account.email_address,
+                             owner=account.username)
+    p._note_account(account.username)
+
+
+def _r_account_delete(p: "Provider", d: dict) -> None:
+    account = p._accounts.pop(d["username"], None)
+    if account is not None:
+        # a full restore of the post-crash snapshot has no mailbox for
+        # the departed user; match it
+        p.email._boxes.pop(account.email_address, None)
+    p._dirty_accounts.discard(d["username"])
+    p._removed_accounts.add(d["username"])
+
+
+def _r_account_profile(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.profile.update(decode_payload(d["fields"]))
+        p._note_account(d["username"])
+
+
+def _r_account_enable(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.enabled_apps.add(d["app"])
+        if d["write"]:
+            account.writable_apps.add(d["app"])
+        p.adoptions.append((d["username"], d["app"]))
+        p._note_account(d["username"])
+
+
+def _r_account_disable(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.enabled_apps.discard(d["app"])
+        account.writable_apps.discard(d["app"])
+        p._note_account(d["username"])
+
+
+def _r_account_prefer(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.module_preferences[d["slot"]] = d["ref"]
+        p._note_account(d["username"])
+
+
+def _r_account_integrity(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.require_endorsed = d["require_endorsed"]
+        p._note_account(d["username"])
+
+
+def _r_account_pin(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.audited_versions[d["app"]] = d["version"]
+        p._note_account(d["username"])
+
+
+def _r_account_unpin(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.audited_versions.pop(d["app"], None)
+        p._note_account(d["username"])
+
+
+def _r_account_js(p: "Provider", d: dict) -> None:
+    account = p._accounts.get(d["username"])
+    if account is not None:
+        account.js_policy = d["policy"]
+        p._note_account(d["username"])
+
+
+def _r_grant_add(p: "Provider", d: dict) -> None:
+    from ..declassify import BUILTINS
+    cls = BUILTINS[d["declassifier"]]
+    tag = p.kernel.tags.lookup(d["tag_id"])
+    p.declass.grant(d["owner"], tag, cls(d["config"]))
+
+
+def _r_grant_skip(p: "Provider", d: dict) -> None:
+    # A non-durable grant (non-builtin / non-JSON config): it could not
+    # be replayed even from a full snapshot; the recovery report's
+    # unrestored_grants covers the base's, and this marker keeps the
+    # journal honest about the gap.
+    pass
+
+
+def _r_grant_revoke(p: "Provider", d: dict) -> None:
+    tag = p.kernel.tags.lookup(d["tag_id"])
+    p.declass.revoke(d["owner"], tag, declassifier_name=d["name"])
+
+
+def _r_grant_config(p: "Provider", d: dict) -> None:
+    changes = decode_payload(d["changes"])
+    for g in p.declass.grants_for(d["owner"]):
+        if g.tag.tag_id == d["tag_id"] \
+                and g.declassifier.name == d["name"]:
+            g.declassifier.update_config(**changes)
+    p.declass._dirty_owners.add(d["owner"])
+
+
+def _r_group_create(p: "Provider", d: dict) -> None:
+    from .groups import GroupSpace
+    group = GroupSpace(
+        name=d["name"], owner=d["owner"],
+        data_tag=p.kernel.tags.lookup(d["data_tag_id"]),
+        write_tag=p.kernel.tags.lookup(d["write_tag_id"]),
+        members={d["owner"]}, writers={d["owner"]})
+    # bind to the roster-following grant replayed just before this
+    # record (same rebinding restore_provider performs)
+    for grant in p.declass.grants_for(group.owner):
+        if grant.tag == group.data_tag \
+                and grant.declassifier.name == "group":
+            group.policy = grant.declassifier
+            break
+    else:
+        from ..declassify import Group as GroupPolicy
+        group.policy = GroupPolicy({"members": sorted(group.members)})
+        p.declass.grant(group.owner, group.data_tag, group.policy)
+    p.groups._groups[group.name] = group
+    p.groups._dirty_groups.add(group.name)
+
+
+def _r_group_member_add(p: "Provider", d: dict) -> None:
+    group = p.groups._groups.get(d["name"])
+    if group is not None:
+        group.members.add(d["username"])
+        if d["writer"]:
+            group.writers.add(d["username"])
+        p.groups._dirty_groups.add(d["name"])
+        # the roster-following config lands via the grant.config record
+        # journaled right after this one
+
+
+def _r_group_member_remove(p: "Provider", d: dict) -> None:
+    group = p.groups._groups.get(d["name"])
+    if group is not None:
+        group.members.discard(d["username"])
+        group.writers.discard(d["username"])
+        p.groups._dirty_groups.add(d["name"])
+
+
+def _r_endorse_add(p: "Provider", d: dict) -> None:
+    # same filter as restore_provider: endorsements only bind to
+    # reinstalled code
+    if d["module"] in p.apps:
+        p.endorsements.endorse(d["module"], endorser=d["endorser"])
+
+
+def _r_endorse_retract(p: "Provider", d: dict) -> None:
+    p.endorsements.retract(d["module"])
+
+
+def _r_ledger_usage(p: "Provider", d: dict) -> None:
+    p.usage_edges.append((d["app"], d["module"]))
+
+
+def _r_clock_set(p: "Provider", d: dict) -> None:
+    p.declass._now = d["now"]
+
+
+def _r_opaque(p: "Provider", d: dict) -> None:
+    # the mutation's payload could not be journaled; its effect lives
+    # only in full snapshots (Journal.recover already counted it)
+    pass
+
+
+_REPLAY: dict[str, Callable[["Provider", dict], None]] = {
+    "tag.create": _r_tag_create,
+    "tag.foreign": _r_tag_foreign,
+    "fs.mkdir": _r_fs_mkdir,
+    "fs.create": _r_fs_create,
+    "fs.write": _r_fs_write,
+    "fs.delete": _r_fs_delete,
+    "db.create_table": _r_db_create_table,
+    "db.drop_table": _r_db_drop_table,
+    "db.insert": _r_db_insert,
+    "db.update": _r_db_update,
+    "db.delete": _r_db_remove,
+    "db.purge": _r_db_remove,
+    "account.signup": _r_account_signup,
+    "account.delete": _r_account_delete,
+    "account.profile": _r_account_profile,
+    "account.enable": _r_account_enable,
+    "account.disable": _r_account_disable,
+    "account.prefer": _r_account_prefer,
+    "account.integrity": _r_account_integrity,
+    "account.pin": _r_account_pin,
+    "account.unpin": _r_account_unpin,
+    "account.js": _r_account_js,
+    "grant.add": _r_grant_add,
+    "grant.skip": _r_grant_skip,
+    "grant.revoke": _r_grant_revoke,
+    "grant.config": _r_grant_config,
+    "group.create": _r_group_create,
+    "group.member.add": _r_group_member_add,
+    "group.member.remove": _r_group_member_remove,
+    "endorse.add": _r_endorse_add,
+    "endorse.retract": _r_endorse_retract,
+    "ledger.usage": _r_ledger_usage,
+    "clock.set": _r_clock_set,
+    "journal.opaque": _r_opaque,
+}
+
+
+def _replay(provider: "Provider", records: Iterable[JournalRecord]) -> int:
+    """Apply verified journal records in order; returns how many had
+    an op this build does not know (skipped, counted — never fatal:
+    an old journal must not brick a newer provider)."""
+    unknown = 0
+    for record in records:
+        applier = _REPLAY.get(record.op)
+        if applier is None:
+            unknown += 1
+            continue
+        applier(provider, record.data)
+    return unknown

@@ -16,7 +16,7 @@ before any developer code executes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Optional
 
 from .registry import AppModule, Registry
 
@@ -28,13 +28,27 @@ class EndorsementService:
     endorsed: set[str] = field(default_factory=set)
     #: (module, endorser) history for provenance display.
     history: list[tuple[str, str]] = field(default_factory=list)
+    #: Durability hook: ``(op, data)`` per ledger change (journal).
+    on_mutate: Optional[Callable[[str, dict], None]] = None
+    #: True once the ledger changed since the last full checkpoint.
+    dirty: bool = field(default=False, compare=False)
+
+    def mark_clean(self) -> None:
+        self.dirty = False
 
     def endorse(self, module_name: str, endorser: str = "provider") -> None:
         self.endorsed.add(module_name)
         self.history.append((module_name, endorser))
+        self.dirty = True
+        if self.on_mutate is not None:
+            self.on_mutate("endorse.add", {"module": module_name,
+                                           "endorser": endorser})
 
     def retract(self, module_name: str) -> None:
         self.endorsed.discard(module_name)
+        self.dirty = True
+        if self.on_mutate is not None:
+            self.on_mutate("endorse.retract", {"module": module_name})
 
     def is_endorsed(self, module_name: str) -> bool:
         return module_name in self.endorsed

@@ -59,6 +59,10 @@ class GroupService:
     def __init__(self, provider: "Provider") -> None:
         self.provider = provider
         self._groups: dict[str, GroupSpace] = {}
+        #: Group names whose roster/identity changed since the last
+        #: full checkpoint (groups are never deleted — see
+        #: ``Provider.delete_account`` — so there is no removed-set).
+        self._dirty_groups: set[str] = set()
         # ensure the shared root exists
         from ..fs import FsView
         svc = FsView(provider.fs, provider._account_service)
@@ -96,9 +100,21 @@ class GroupService:
         group.policy = GroupPolicy({"members": sorted(group.members)})
         self.provider.declass.grant(owner, data_tag, group.policy)
         self._groups[name] = group
+        self._dirty_groups.add(name)
+        self.provider._record("group.create", {
+            "name": name, "owner": owner,
+            "data_tag_id": data_tag.tag_id,
+            "write_tag_id": write_tag.tag_id})
         # a new group's tags may reach any app its members enabled
         self.provider.capindex.invalidate_all("group-create")
         return group
+
+    def mark_clean(self) -> None:
+        """Forget dirty state (a full snapshot was just taken)."""
+        self._dirty_groups.clear()
+
+    def dirty_groups(self) -> set[str]:
+        return set(self._dirty_groups)
 
     def get(self, name: str) -> GroupSpace:
         try:
@@ -122,6 +138,9 @@ class GroupService:
         group.members.add(username)
         if writer:
             group.writers.add(username)
+        self._dirty_groups.add(name)
+        self.provider._record("group.member.add", {
+            "name": name, "username": username, "writer": writer})
         self._refresh_policy(group)
 
     def remove_member(self, actor: str, name: str, username: str) -> None:
@@ -132,6 +151,9 @@ class GroupService:
             raise PlatformError("the owner cannot leave their own group")
         group.members.discard(username)
         group.writers.discard(username)
+        self._dirty_groups.add(name)
+        self.provider._record("group.member.remove", {
+            "name": name, "username": username})
         self._refresh_policy(group)
 
     def _refresh_policy(self, group: GroupSpace) -> None:
@@ -144,6 +166,9 @@ class GroupService:
         tags).
         """
         group.policy.update_config(members=frozenset(group.members))
+        self.provider.declass.note_config_update(
+            group.owner, group.data_tag, "group",
+            {"members": frozenset(group.members)})
         self.provider.declass.invalidate_authority("group-roster")
         self.provider.capindex.invalidate_all("group-roster")
 

@@ -22,7 +22,9 @@ What is durable and what is not mirrors a real deployment:
 
 from __future__ import annotations
 
+import copy
 import json
+from contextlib import nullcontext
 from typing import Any, Callable, Iterable
 
 from ..core.snapshot import Snapshotable
@@ -37,56 +39,83 @@ from .provider import Provider
 from .registry import AppModule
 
 
-def snapshot_provider(provider: Provider) -> dict[str, Any]:
+def account_dict(a: UserAccount) -> dict[str, Any]:
+    """The durable form of one account.  Every mapping is key-sorted so
+    identical logical states serialize to identical bytes regardless of
+    the mutation order that produced them."""
+    return {
+        "username": a.username,
+        "data_tag_id": a.data_tag.tag_id,
+        "write_tag_id": a.write_tag.tag_id,
+        "enabled_apps": sorted(a.enabled_apps),
+        "writable_apps": sorted(a.writable_apps),
+        "module_preferences": dict(sorted(a.module_preferences.items())),
+        "profile": dict(sorted(a.profile.items())),
+        "require_endorsed": a.require_endorsed,
+        "email_address": a.email_address,
+        "js_policy": a.js_policy,
+        "audited_versions": dict(sorted(a.audited_versions.items())),
+    }
+
+
+def group_dict(g) -> dict[str, Any]:
+    return {
+        "name": g.name,
+        "owner": g.owner,
+        "data_tag_id": g.data_tag.tag_id,
+        "write_tag_id": g.write_tag.tag_id,
+        "members": sorted(g.members),
+        "writers": sorted(g.writers),
+    }
+
+
+def _grant_key(record: dict[str, Any]) -> tuple:
+    return (record["owner"], record["tag_id"], record["declassifier"],
+            json.dumps(record["config"], sort_keys=True))
+
+
+def sort_grants(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Deterministic grant order: grant-list bytes depend only on the
+    set of grants, not on the insertion/revocation history (and the
+    incremental delta-merge path can regroup per owner and still land
+    on the same order as a full snapshot)."""
+    return sorted(records, key=_grant_key)
+
+
+def sort_skipped(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    return sorted(records,
+                  key=lambda r: (r["owner"], r["declassifier"]))
+
+
+def snapshot_provider(provider: Provider,
+                      incremental: bool = False) -> dict[str, Any]:
     """Serialize everything durable.  JSON-compatible by construction
-    (verified by a round-trip in the tests)."""
-    accounts = []
-    for username in provider.usernames():
-        a = provider.account(username)
-        accounts.append({
-            "username": a.username,
-            "data_tag_id": a.data_tag.tag_id,
-            "write_tag_id": a.write_tag.tag_id,
-            "enabled_apps": sorted(a.enabled_apps),
-            "writable_apps": sorted(a.writable_apps),
-            "module_preferences": dict(a.module_preferences),
-            "profile": dict(a.profile),
-            "require_endorsed": a.require_endorsed,
-            "email_address": a.email_address,
-            "js_policy": a.js_policy,
-            "audited_versions": dict(a.audited_versions),
-        })
+    (verified by a round-trip in the tests).
+
+    With ``incremental=True`` (and the provider's durability manager
+    enabled) this returns an O(dirty) **delta** against the last full
+    checkpoint — or a fresh full snapshot when the journal crossed its
+    compaction threshold.  Feed the pair through :func:`merge_delta` to
+    recover the full form; a provider without a manager falls back to
+    a full snapshot.
+    """
+    if incremental and provider._durability is not None:
+        return provider._durability.emit_snapshot()
+    accounts = [account_dict(provider.account(u))
+                for u in provider.usernames()]
 
     grants = []
     skipped_grants = []
     for g in provider.declass._grants:
-        config = {k: (sorted(v) if isinstance(v, frozenset) else v)
-                  for k, v in g.declassifier.config.items()}
-        record = {"owner": g.owner, "tag_id": g.tag.tag_id,
-                  "declassifier": g.declassifier.name, "config": config}
-        try:
-            json.dumps(record)
-        except TypeError:
+        record = provider.declass.grant_record(g)
+        if record is None:
             skipped_grants.append({"owner": g.owner,
                                    "declassifier": g.declassifier.name})
-            continue
-        if g.declassifier.name not in BUILTINS:
-            skipped_grants.append({"owner": g.owner,
-                                   "declassifier": g.declassifier.name})
-            continue
-        grants.append(record)
+        else:
+            grants.append(record)
 
-    groups = []
-    for name in sorted(provider.groups._groups):
-        g = provider.groups.get(name)
-        groups.append({
-            "name": g.name,
-            "owner": g.owner,
-            "data_tag_id": g.data_tag.tag_id,
-            "write_tag_id": g.write_tag.tag_id,
-            "members": sorted(g.members),
-            "writers": sorted(g.writers),
-        })
+    groups = [group_dict(provider.groups.get(name))
+              for name in sorted(provider.groups._groups)]
 
     # The storage subsystems and the tag registry all implement
     # Snapshotable; the provider's composite snapshot is their
@@ -100,14 +129,90 @@ def snapshot_provider(provider: Provider) -> dict[str, Any]:
         "provider_write_tag_id": provider._provider_write.tag_id,
         "accounts": accounts,
         "groups": groups,
-        "grants": grants,
-        "skipped_grants": skipped_grants,
+        "grants": sort_grants(grants),
+        "skipped_grants": sort_skipped(skipped_grants),
         "endorsements": sorted(provider.endorsements.endorsed),
         "adoptions": list(provider.adoptions),
         "usage_edges": list(provider.usage_edges),
         "declass_clock": provider.declass.now,
         "fs": fs.snapshot(),
         "db": db.snapshot(),
+    }
+
+
+def merge_delta(base: dict[str, Any],
+                delta: dict[str, Any]) -> dict[str, Any]:
+    """Fold an incremental delta into its base full snapshot.
+
+    Deltas are cumulative since the base checkpoint, so the operator
+    retains exactly two artifacts (base + latest delta); the result is
+    canonically byte-identical to the full snapshot the provider would
+    have emitted at the same moment.  Passing a full snapshot as
+    ``delta`` (the compaction case) returns it unchanged.
+    """
+    if delta.get("kind") != "delta":
+        return copy.deepcopy(delta)
+    from ..db.persist import merge_store_delta
+    from ..fs.persist import merge_fs_delta
+    base = copy.deepcopy(base)
+
+    accounts = {a["username"]: a for a in base["accounts"]}
+    for username in delta.get("removed_accounts", ()):
+        accounts.pop(username, None)
+    for a in delta.get("accounts", ()):
+        accounts[a["username"]] = a
+
+    groups = {g["name"]: g for g in base["groups"]}
+    for g in delta.get("groups", ()):
+        groups[g["name"]] = g
+
+    grants_by_owner: dict[str, list[dict[str, Any]]] = {}
+    for r in base["grants"]:
+        grants_by_owner.setdefault(r["owner"], []).append(r)
+    skipped_by_owner: dict[str, list[dict[str, Any]]] = {}
+    for r in base.get("skipped_grants", ()):
+        skipped_by_owner.setdefault(r["owner"], []).append(r)
+    # A dirty owner's slice is replaced wholesale (the delta lists the
+    # owner's *entire* current grant set, possibly empty after revokes).
+    for owner, rs in delta.get("grants_by_owner", {}).items():
+        grants_by_owner[owner] = list(rs)
+    for owner, rs in delta.get("skipped_by_owner", {}).items():
+        skipped_by_owner[owner] = list(rs)
+
+    registry = _merge_registry(base["registry"], delta["registry"])
+    return {
+        "name": delta["name"],
+        "registry": registry,
+        "provider_write_tag_id": delta["provider_write_tag_id"],
+        "accounts": [accounts[u] for u in sorted(accounts)],
+        "groups": [groups[n] for n in sorted(groups)],
+        "grants": sort_grants(
+            [r for rs in grants_by_owner.values() for r in rs]),
+        "skipped_grants": sort_skipped(
+            [r for rs in skipped_by_owner.values() for r in rs]),
+        "endorsements": (list(delta["endorsements"])
+                         if "endorsements" in delta
+                         else list(base["endorsements"])),
+        "adoptions": ([list(x) for x in base["adoptions"]]
+                      + [list(x) for x in delta.get("adoptions_tail", ())]),
+        "usage_edges": ([list(x) for x in base["usage_edges"]]
+                        + [list(x) for x in delta.get("usage_tail", ())]),
+        "declass_clock": delta["declass_clock"],
+        "fs": merge_fs_delta(base["fs"], delta["fs"]),
+        "db": merge_store_delta(base["db"], delta["db"]),
+    }
+
+
+def _merge_registry(base: dict[str, Any],
+                    delta: dict[str, Any]) -> dict[str, Any]:
+    # tag ids are monotone, so base and delta tag lists are disjoint
+    return {
+        "namespace": delta["namespace"],
+        "next_id": delta["next_id"],
+        "tags": sorted(base["tags"] + delta["tags"],
+                       key=lambda t: t["tag_id"]),
+        "foreign": sorted(base["foreign"] + delta["foreign"],
+                          key=lambda f: (f["namespace"], f["foreign_id"])),
     }
 
 
@@ -121,7 +226,24 @@ def restore_provider(state: dict[str, Any],
     restored and enabled apps missing from the reinstalled catalog.
     """
     provider = Provider(name=state["name"], resources=resources)
+    # Installing cold-storage state is not a new mutation: journaling
+    # stays off until the post-restore checkpoint re-bases the journal.
+    manager = provider._durability
+    guard = manager.suspended() if manager is not None else nullcontext()
+    with guard:
+        provider, report = _restore_into(provider, state, app_catalog)
+    if manager is not None:
+        # restore replaced the registry/fs/db objects wholesale; point
+        # the hooks at the new ones, then make the restored state the
+        # journal's base.
+        manager.wire()
+        manager.checkpoint()
+    return provider, report
 
+
+def _restore_into(provider: Provider, state: dict[str, Any],
+                  app_catalog: Iterable[AppModule]
+                  ) -> tuple[Provider, dict[str, Any]]:
     # Replace the freshly-minted registry with the durable one and
     # repair the provider's own bootstrap references.
     provider.kernel.tags = TagRegistry.import_state(state["registry"])

@@ -66,8 +66,20 @@ class Provider:
                  fast_request_plane: bool = True,
                  recycle_processes: bool = True,
                  partitioned_store: bool = True,
-                 audit_max_events: Optional[int] = None) -> None:
+                 audit_max_events: Optional[int] = None,
+                 incremental_persistence: bool = True,
+                 journal_compact_bytes: int = 1 << 20) -> None:
         self.name = name
+        #: ``incremental_persistence`` switches the durability journal:
+        #: every durable mutation is appended to a checksummed log and
+        #: ``snapshot_provider(..., incremental=True)`` emits O(dirty)
+        #: deltas against the last full checkpoint, compacting when the
+        #: journal outgrows ``journal_compact_bytes``.  Off, snapshots
+        #: are always the naive full re-serialization (the M10
+        #: benchmark baseline), and crash recovery can only roll back
+        #: to the last full snapshot.
+        self.incremental_persistence = incremental_persistence
+        self.journal_compact_bytes = journal_compact_bytes
         #: ``fast_request_plane`` switches the O(1) request plane: the
         #: per-(app, viewer) launch-capability index and the memoized
         #: export-authority oracle.  Off, every request recomputes both
@@ -97,6 +109,9 @@ class Provider:
         self.adoptions: list[tuple[str, str]] = []
 
         self._accounts: dict[str, UserAccount] = {}
+        #: O(dirty) snapshot bookkeeping since the last full checkpoint.
+        self._dirty_accounts: set[str] = set()
+        self._removed_accounts: set[str] = set()
 
         # The provider's own trusted agents.
         self._account_service: Process = self.kernel.spawn_trusted(
@@ -127,6 +142,47 @@ class Provider:
         self.groups = GroupService(self)
         from .capindex import LaunchCapIndex
         self.capindex = LaunchCapIndex(self, enabled=fast_request_plane)
+        #: The durability manager (journal + dirty tracking + replay).
+        #: Created last so the provider's own bootstrap (tags, /users,
+        #: /groups) lands in the initial base checkpoint, not the
+        #: journal.
+        self._durability = None
+        if incremental_persistence:
+            from .durability import DurabilityManager
+            self._durability = DurabilityManager(
+                self, compact_threshold=journal_compact_bytes)
+
+    # ------------------------------------------------------------------
+    # durability plumbing
+    # ------------------------------------------------------------------
+
+    def _record(self, op: str, data: dict[str, Any]) -> None:
+        """Journal one platform-level durable mutation (no-op when
+        ``incremental_persistence`` is off or replay is running)."""
+        if self._durability is not None:
+            self._durability.record(op, data)
+
+    def _note_account(self, username: str) -> None:
+        self._dirty_accounts.add(username)
+        self._removed_accounts.discard(username)
+
+    def mark_accounts_clean(self) -> None:
+        self._dirty_accounts.clear()
+        self._removed_accounts.clear()
+
+    def snapshot_incremental(self) -> dict[str, Any]:
+        """An O(dirty) delta snapshot (or a fresh full snapshot when
+        compaction triggers); see
+        :func:`repro.platform.persist.snapshot_provider`."""
+        from .persist import snapshot_provider
+        return snapshot_provider(self, incremental=True)
+
+    def persistence_stats(self) -> dict[str, Any]:
+        """Journal/compaction counters (empty when the journal is off)."""
+        if self._durability is None:
+            return {"incremental_persistence": False}
+        return {"incremental_persistence": True,
+                **self._durability.stats()}
 
     # ------------------------------------------------------------------
     # accounts (provider web forms)
@@ -149,6 +205,11 @@ class Provider:
                               email_address=f"{username}@{self.name}")
         self._accounts[username] = account
         self.email.register_address(account.email_address, owner=username)
+        self._note_account(username)
+        self._record("account.signup", {
+            "username": username, "data_tag_id": data_tag.tag_id,
+            "write_tag_id": write_tag.tag_id,
+            "email": account.email_address})
         svc_fs = FsView(self.fs, self._account_service)
         svc_fs.mkdir(account.home, slabel=Label([data_tag]),
                      ilabel=Label([write_tag]))
@@ -168,6 +229,9 @@ class Provider:
     def set_profile(self, username: str, **fields: str) -> None:
         """Provider-form profile editing (typed once, §1)."""
         self.account(username).profile.update(fields)
+        self._note_account(username)
+        self._record("account.profile", {"username": username,
+                                         "fields": dict(fields)})
 
     def delete_account(self, username: str) -> dict[str, int]:
         """The right to leave: erase a user's data and policies.
@@ -207,15 +271,13 @@ class Provider:
                 # check passes too
                 svc_fs = FsView(self.fs, self._account_service)
                 svc_fs.delete(account.home)
-            # rows labeled exactly with the user's tag
+            # rows labeled exactly with the user's tag, purged through
+            # the store's (journaled) cold-storage path
             for table_name in self.db.tables():
                 table = self.db.table(table_name)
                 doomed = [row.row_id for row in table.rows.values()
                           if row.slabel == Label([account.data_tag])]
-                for row_id in doomed:
-                    row = table.rows.pop(row_id)
-                    table.index_remove(row)
-                    erased["rows"] += 1
+                erased["rows"] += self.db.purge_rows(table_name, doomed)
         finally:
             self.kernel.exit(agent)
         erased["grants"] = self.declass.revoke(username, account.data_tag)
@@ -226,6 +288,9 @@ class Provider:
                                           username)
         self.sessions.remove_user(username)
         del self._accounts[username]
+        self._dirty_accounts.discard(username)
+        self._removed_accounts.add(username)
+        self._record("account.delete", {"username": username})
         # every app the user had enabled loses a read cap
         self.capindex.invalidate_all("account-delete")
         self.kernel.audit.record(A.EXIT, True, "provider",
@@ -248,12 +313,19 @@ class Provider:
         if allow_write:
             account.writable_apps.add(app_name)
         self.adoptions.append((username, app_name))
+        self._note_account(username)
+        self._record("account.enable", {"username": username,
+                                        "app": app_name,
+                                        "write": allow_write})
         self.capindex.invalidate_app(app_name)
 
     def disable_app(self, username: str, app_name: str) -> None:
         account = self.account(username)
         account.enabled_apps.discard(app_name)
         account.writable_apps.discard(app_name)
+        self._note_account(username)
+        self._record("account.disable", {"username": username,
+                                         "app": app_name})
         self.capindex.invalidate_app(app_name)
 
     def prefer_module(self, username: str, slot: str, ref: str) -> None:
@@ -261,6 +333,9 @@ class Provider:
         if ref not in self.apps:
             raise NoSuchApp(ref)
         self.account(username).module_preferences[slot] = ref
+        self._note_account(username)
+        self._record("account.prefer", {"username": username,
+                                        "slot": slot, "ref": ref})
 
     def snapshot(self) -> dict[str, Any]:
         """:class:`~repro.core.snapshot.Snapshotable` — serialize the
@@ -310,6 +385,8 @@ class Provider:
         if not updated:
             raise NoSuchApp(
                 f"{username} has no {name!r} declassifier grant")
+        self.declass.note_config_update(username, account.data_tag,
+                                        name, changes)
         self.declass.invalidate_authority("config-update")
         self.kernel.audit.record(
             A.DECLASSIFY, True, username,
@@ -327,6 +404,19 @@ class Provider:
         """§3.1 integrity protection: launch apps for this user only
         when all components are endorsed."""
         self.account(username).require_endorsed = require_endorsed
+        self._note_account(username)
+        self._record("account.integrity",
+                     {"username": username,
+                      "require_endorsed": require_endorsed})
+
+    def set_js_policy(self, username: str, policy: str) -> None:
+        """Per-user JavaScript posture at the perimeter (§3.5)."""
+        if policy not in ("", "block", "allow"):
+            raise PlatformError(f"unknown js policy {policy!r}")
+        self.account(username).js_policy = policy
+        self._note_account(username)
+        self._record("account.js", {"username": username,
+                                    "policy": policy})
 
     def endorse_module(self, module_name: str,
                        endorser: str = "provider") -> None:
@@ -350,9 +440,15 @@ class Provider:
             raise NotAuthorized(
                 f"{app_name} is closed-source; there is nothing to audit")
         self.account(username).audited_versions[app_name] = version
+        self._note_account(username)
+        self._record("account.pin", {"username": username,
+                                     "app": app_name, "version": version})
 
     def unpin_audited(self, username: str, app_name: str) -> None:
         self.account(username).audited_versions.pop(app_name, None)
+        self._note_account(username)
+        self._record("account.unpin", {"username": username,
+                                       "app": app_name})
 
     # ------------------------------------------------------------------
     # developer uploads
@@ -367,6 +463,8 @@ class Provider:
 
     def record_usage(self, app_name: str, module_name: str) -> None:
         self.usage_edges.append((app_name, module_name))
+        self._record("ledger.usage", {"app": app_name,
+                                      "module": module_name})
 
     # ------------------------------------------------------------------
     # code search (§3.2)
@@ -682,9 +780,7 @@ class Provider:
                        self.account(viewer).require_endorsed})
         if action == "javascript":
             policy = request.param("policy", "")
-            if policy not in ("", "block", "allow"):
-                raise PlatformError(f"unknown js policy {policy!r}")
-            self.account(viewer).js_policy = policy
+            self.set_js_policy(viewer, policy)
             return ok({"js_policy": policy or "inherit"})
         if action == "audience":
             # "who can currently receive MY data?" — each user may ask

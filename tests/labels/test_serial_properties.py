@@ -1,0 +1,114 @@
+"""Property tests for ``repro.labels.serial`` (PR 4 satellite).
+
+The wire form must be *lossless through JSON* and land back on the
+**same interned object**: labels intern, so a round-tripped label is
+not merely equal — it is pointer-identical to the original, which is
+what keeps the flow cache's identity-keyed memos valid across
+persistence boundaries.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labels import (CapabilitySet, Label, TagRegistry,
+                          capset_from_dict, capset_to_dict,
+                          label_from_dict, label_to_dict, minus, plus)
+
+#: One shared registry per test run; tags minted on demand by index.
+_REG = TagRegistry(namespace="prop")
+_TAGS = [_REG.create(purpose=f"t{i}", owner=f"u{i % 7}")
+         for i in range(32)]
+
+tag_indexes = st.lists(st.integers(min_value=0, max_value=31),
+                       max_size=12)
+
+
+def through_json(data):
+    """The full persistence hop: dict → JSON text → dict."""
+    return json.loads(json.dumps(data))
+
+
+class TestLabelRoundTrip:
+    @given(tag_indexes)
+    @settings(max_examples=200, deadline=None)
+    def test_label_roundtrip_is_interned_identity(self, indexes):
+        label = Label([_TAGS[i] for i in indexes])
+        data = through_json(label_to_dict(label, _REG.namespace))
+        back = label_from_dict(data, _REG)
+        assert back == label
+        assert back is label  # interning survives the wire
+
+    def test_empty_label(self):
+        data = through_json(label_to_dict(Label.EMPTY, _REG.namespace))
+        assert data["tags"] == []
+        back = label_from_dict(data, _REG)
+        assert back is Label.EMPTY
+
+    @given(tag_indexes)
+    @settings(max_examples=100, deadline=None)
+    def test_serialized_tags_sorted_and_deduped(self, indexes):
+        label = Label([_TAGS[i] for i in indexes])
+        ids = [t["tag_id"] for t in
+               label_to_dict(label, _REG.namespace)["tags"]]
+        assert ids == sorted(set(ids))
+
+    @given(tag_indexes, tag_indexes)
+    @settings(max_examples=100, deadline=None)
+    def test_equal_labels_equal_bytes(self, a, b):
+        """Serialization is a function of the tag *set* alone."""
+        la = Label([_TAGS[i] for i in a])
+        lb = Label([_TAGS[i] for i in b])
+        ja = json.dumps(label_to_dict(la, _REG.namespace))
+        jb = json.dumps(label_to_dict(lb, _REG.namespace))
+        assert (la == lb) == (ja == jb)
+
+
+class TestCapabilitySetRoundTrip:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=31),
+                              st.sampled_from(["+", "-"])),
+                    max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_capset_roundtrip(self, pairs):
+        caps = CapabilitySet(
+            [plus(_TAGS[i]) if s == "+" else minus(_TAGS[i])
+             for i, s in pairs])
+        data = through_json(capset_to_dict(caps, _REG.namespace))
+        back = capset_from_dict(data, _REG)
+        assert back == caps
+        # semantic equivalence, not just equality of the container
+        for i, s in pairs:
+            cap = plus(_TAGS[i]) if s == "+" else minus(_TAGS[i])
+            assert cap in back
+
+    def test_empty_capset(self):
+        data = through_json(capset_to_dict(CapabilitySet(),
+                                           _REG.namespace))
+        assert data["caps"] == []
+        assert capset_from_dict(data, _REG) == CapabilitySet()
+
+    def test_duplicate_caps_collapse(self):
+        """t+ granted twice is one capability on the wire and back."""
+        t = _TAGS[0]
+        caps = CapabilitySet([plus(t), plus(t), minus(t)])
+        data = capset_to_dict(caps, _REG.namespace)
+        assert len(data["caps"]) == 2  # {t+, t-}
+        back = capset_from_dict(through_json(data), _REG)
+        assert back == caps
+        assert plus(t) in back and minus(t) in back
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=31),
+                              st.sampled_from(["+", "-"])),
+                    max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_dual_privilege_round_trips(self, pairs):
+        """Owning both signs of a tag (t+ *and* t-) survives the wire
+        — losing either half would silently change what a process may
+        declassify."""
+        owned = [i for i, s in pairs if s == "+"]
+        caps = CapabilitySet([c for i in owned
+                              for c in (plus(_TAGS[i]), minus(_TAGS[i]))])
+        back = capset_from_dict(
+            through_json(capset_to_dict(caps, _REG.namespace)), _REG)
+        assert back == caps

@@ -1,0 +1,86 @@
+"""Deterministic snapshots (PR 4 satellite): identical logical states
+must produce identical raw JSON bytes — no ``sort_keys`` crutch — so
+snapshot artifacts diff/dedupe cleanly and the delta-merge path can
+regroup grants per owner and still land on the full snapshot's bytes.
+"""
+
+import json
+
+from repro.apps import install_standard_apps
+from repro.platform import Provider, snapshot_provider
+
+
+def build(order: str) -> Provider:
+    """Two histories converging on one logical state.  Tag allocation
+    order is held fixed (same signup order); only the *policy* mutation
+    order varies."""
+    p = Provider(name="prod")
+    install_standard_apps(p)
+    p.signup("bob", "pw")
+    p.signup("amy", "pw")
+    if order == "forward":
+        p.grant_builtin_declassifier("bob", "friends-only",
+                                     {"friends": ["amy"]})
+        p.grant_builtin_declassifier("amy", "public", {})
+        p.prefer_module("bob", "cropper", "crop-smart")
+        p.prefer_module("bob", "editor", "blog")
+        p.set_profile("bob", music="jazz", bio="hi")
+        p.pin_audited("bob", "blog", "1.0")
+        p.pin_audited("bob", "social", "1.0")
+    else:
+        p.grant_builtin_declassifier("amy", "public", {})
+        p.grant_builtin_declassifier("bob", "friends-only",
+                                     {"friends": ["amy"]})
+        p.prefer_module("bob", "editor", "blog")
+        p.prefer_module("bob", "cropper", "crop-smart")
+        p.set_profile("bob", bio="hi")
+        p.set_profile("bob", music="jazz")
+        p.pin_audited("bob", "social", "1.0")
+        p.pin_audited("bob", "blog", "1.0")
+    return p
+
+
+class TestByteDeterminism:
+    def test_order_independent_bytes(self):
+        a = json.dumps(snapshot_provider(build("forward")))
+        b = json.dumps(snapshot_provider(build("reverse")))
+        assert a == b
+
+    def test_grants_are_sorted(self):
+        state = snapshot_provider(build("forward"))
+        keys = [(g["owner"], g["tag_id"], g["declassifier"])
+                for g in state["grants"]]
+        assert keys == sorted(keys)
+
+    def test_module_preferences_key_sorted(self):
+        state = snapshot_provider(build("reverse"))
+        bob = next(a for a in state["accounts"]
+                   if a["username"] == "bob")
+        assert list(bob["module_preferences"]) == \
+            sorted(bob["module_preferences"])
+        assert list(bob["audited_versions"]) == \
+            sorted(bob["audited_versions"])
+
+    def test_skipped_grants_are_sorted(self):
+        from repro.declassify import ViewerPredicate
+        p = build("forward")
+        p.grant_declassifier(
+            "bob", ViewerPredicate({"predicate": lambda o, v, a: True}))
+        p.grant_declassifier(
+            "amy", ViewerPredicate({"predicate": lambda o, v, a: True}))
+        skipped = snapshot_provider(p)["skipped_grants"]
+        assert skipped == sorted(
+            skipped, key=lambda r: (r["owner"], r["declassifier"]))
+
+    def test_revoke_and_regrant_is_byte_stable(self):
+        """Insertion history (revoke + regrant churn) must not leak
+        into the serialized grant order."""
+        a = build("forward")
+        b = build("forward")
+        grant = b.declass.grant_for("bob", "friends-only")
+        b.declass.revoke("bob", grant.tag,
+                         declassifier_name="friends-only")
+        b.grant_builtin_declassifier("bob", "friends-only",
+                                     {"friends": ["amy"]})
+        assert json.dumps(snapshot_provider(a)) == \
+            json.dumps(snapshot_provider(b))
