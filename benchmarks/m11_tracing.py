@@ -1,0 +1,131 @@
+"""M11 shared harness: request-tracing overhead on the M8 mix.
+
+Tracing only earns its place if the *disabled* path costs nothing and
+the *enabled* path costs little.  This harness reuses the M8
+deployment and request mix (a fully labeled blog read: authenticate →
+pool checkout → labeled row read → export-authority check → egress)
+and measures three configurations:
+
+* ``baseline`` — ``tracing=False``, the null tracer wired in: every
+  instrumentation site is either guarded by one ``tracer.enabled`` /
+  ``tracer._fold`` attribute load or enters the shared
+  allocation-free null span.  Two independent builds of this
+  configuration bound the noise floor;
+* ``traced`` — ``tracing=True``: a root span, exact request-latency
+  histograms, audit correlation and the flight recorder on every
+  request, plus the fully annotated span tree on 1-in-16 sampled
+  traces.
+
+Used by both ``test_bench_m11_tracing.py`` (assertions + table) and
+``record.py`` (BENCH_M11.json + the regression guard), so the two
+always measure the same thing.
+
+Plain imports only: ``record.py`` runs as a script, so this module
+must work without the package context (hence the dual import of the
+M8 harness).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # package context (pytest)
+    from .m8_scaling import build_deployment, measure_request_seconds
+except ImportError:  # script context (record.py)
+    from m8_scaling import build_deployment, measure_request_seconds
+
+#: Enabled-tracing budget on the M8 mix (ratio vs. disabled).
+#: Measured cost is a fixed ~7us per traced request — Trace + root
+#: span + exact request histogram + recorder offer + audit stamping,
+#: plus the fully annotated tree amortized over its 1-in-16 sampling —
+#: which lands at 1.06-1.17x on the ~70us M8 read depending on
+#: process code/layout luck (the same code varies several percent
+#: between interpreter launches).  1.20 leaves headroom for that
+#: variance while still catching real regressions: un-sampling the
+#: detail tier, for example, measures 1.3x+.
+M11_MAX_ENABLED_OVERHEAD = 1.20
+#: Disabled-tracing budget: two identical tracing=False builds must
+#: reproduce each other's floor.  Identical *code* already shows a
+#: 1.00-1.05x floor spread between builds on the dev container (dict /
+#: heap layout luck), so the budget sits just above that; the ablated
+#: cost of the instrumentation sites themselves is ~0.1us per request
+#: (~0.2%), and a disabled path that started doing real per-request
+#: work would land at 1.10x+.
+M11_MAX_DISABLED_NOISE = 1.06
+
+
+def run_overhead(n_users: int = 100, n: int = 150,
+                 reps: int = 20) -> dict[str, Any]:
+    """The M11 headline: enabled and disabled cost on the M8 mix.
+
+    The container this runs in drifts by 10%+ over seconds (noisy
+    neighbors, frequency steps), which dwarfs the effect being
+    measured.  So both deployments are built up front and measurement
+    alternates between them in ~10ms slices (one ``n``-request loop
+    each), ``reps`` times; each mode's latency is the *minimum* slice
+    — its no-interruption floor — and drift lands on both modes alike
+    instead of masquerading as tracing overhead.
+
+    Two deployments are built *per mode*, in alternating order
+    (off, on, on, off): heap layout degrades slightly as a process
+    allocates, so always building the traced deployment second showed
+    up as a systematic ~3% penalty against it.  Each mode's floor is
+    the minimum over both of its builds.
+
+    ``disabled_noise_ratio`` compares the floors of the two
+    independently built ``tracing=False`` deployments (slower / faster,
+    so always >= 1): with tracing disabled the builds are
+    interchangeable, so their floors must agree.  Floor-vs-floor is
+    deliberate — any *single* build's slice-to-slice spread mixes in
+    machine drift, which this protocol is designed to cancel, not to
+    measure.  ``enabled_ratio`` is the traced floor over the disabled
+    floor (each the min across its mode's builds).
+    """
+    w5_off, drv_off = build_deployment(n_users, fast=True, tracing=False)
+    w5_on, drv_on = build_deployment(n_users, fast=True, tracing=True)
+    w5_on2, drv_on2 = build_deployment(n_users, fast=True, tracing=True)
+    w5_off2, drv_off2 = build_deployment(n_users, fast=True,
+                                         tracing=False)
+    off_drivers = (drv_off, drv_off2)
+    on_drivers = (drv_on, drv_on2)
+    # discarded warmups: first loops over fresh deployments pay
+    # allocator growth and cold caches
+    for drv in off_drivers + on_drivers:
+        measure_request_seconds(drv, n=n, repeat=2)
+    off_by_build: tuple[list[float], list[float]] = ([], [])
+    on: list[float] = []
+    for _ in range(reps):
+        for slices, drv in zip(off_by_build, off_drivers):
+            slices.append(measure_request_seconds(drv, n=n, repeat=1))
+        for drv in on_drivers:
+            on.append(measure_request_seconds(drv, n=n, repeat=1))
+    floor_a = min(off_by_build[0])
+    floor_b = min(off_by_build[1])
+    noise = max(floor_a, floor_b) / min(floor_a, floor_b)
+    off = sorted(off_by_build[0] + off_by_build[1])
+    on.sort()
+
+    provider = w5_on.provider
+    baseline: dict[str, Any] = {
+        "users": n_users, "tracing": False,
+        "latency_us": round(off[0] * 1e6, 2),
+        "best_slices_us": [round(s * 1e6, 2) for s in off[:4]],
+        "throughput_rps": round(1.0 / off[0], 1),
+    }
+    traced: dict[str, Any] = {
+        "users": n_users, "tracing": True,
+        "latency_us": round(on[0] * 1e6, 2),
+        "best_slices_us": [round(s * 1e6, 2) for s in on[:4]],
+        "throughput_rps": round(1.0 / on[0], 1),
+        "tracer": provider.tracer.stats(),
+        "recorder": provider.recorder.stats(),
+        "span_names": sorted(provider.tracer.latencies()),
+    }
+    return {
+        "baseline": baseline,
+        "traced": traced,
+        "disabled_noise_ratio": round(noise, 4),
+        "enabled_ratio": round(on[0] / off[0], 4),
+        "max_disabled_noise": M11_MAX_DISABLED_NOISE,
+        "max_enabled_overhead": M11_MAX_ENABLED_OVERHEAD,
+    }

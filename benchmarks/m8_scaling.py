@@ -23,16 +23,19 @@ from typing import Any
 from repro import W5System
 
 
-def build_deployment(n_users: int, fast: bool) -> tuple[W5System, Any]:
+def build_deployment(n_users: int, fast: bool,
+                     tracing: bool = False) -> tuple[W5System, Any]:
     """A deployment with ``n_users`` accounts and one driving client.
 
     Accounts beyond the driver are created through the provider's
     form methods directly (not HTTP) so setup stays proportional to N
-    while the *measured* path is the full pipeline.
+    while the *measured* path is the full pipeline.  ``tracing`` turns
+    on the M11 span tracer (the M11 overhead bench reuses this exact
+    deployment and request mix).
     """
     w5 = W5System(name=f"m8-{'fast' if fast else 'slow'}-{n_users}",
                   fast_request_plane=fast, recycle_processes=fast,
-                  audit_max_events=20_000)
+                  audit_max_events=20_000, tracing=tracing)
     driver = w5.add_user("user0", apps=("blog",))
     provider = w5.provider
     for i in range(1, n_users):

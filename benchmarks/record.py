@@ -195,6 +195,37 @@ def bench_m9(repeat: int) -> dict:
     return results
 
 
+#: The M11 regression bound: traced vs disabled on the M8 mix.
+M11_MAX_OVERHEAD = 1.20
+
+
+def bench_m11(repeat: int) -> dict:
+    """Request-tracing cost: traced vs. disabled on the M8 mix.
+
+    The interesting number is the enabled ratio: the always-on tier
+    (root span, exact request histograms, audit correlation, flight
+    recorder) plus the 1-in-16-sampled detail tree costs a fixed ~7us
+    per request, so the ratio rides on how fast the underlying request
+    already is.
+    """
+    from m11_tracing import run_overhead
+
+    del repeat  # the interleaved-slice protocol fixes its own reps
+    overhead = run_overhead(n_users=100)
+    ratio = overhead["enabled_ratio"]
+    return {
+        "baseline": overhead["baseline"],
+        "traced": overhead["traced"],
+        "disabled_noise_ratio": overhead["disabled_noise_ratio"],
+        "enabled_ratio": ratio,
+        "scaling": {
+            "enabled_ratio": ratio,
+            "max_overhead": M11_MAX_OVERHEAD,
+            "regression": ratio > M11_MAX_OVERHEAD,
+        },
+    }
+
+
 #: The M10 regression bound: full vs incremental snapshot at 1k users.
 M10_MIN_SPEEDUP = 3.0
 
@@ -247,7 +278,8 @@ def main(argv=None) -> int:
     }
     failed = False
     for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8),
-                     ("M9", bench_m9), ("M10", bench_m10)):
+                     ("M9", bench_m9), ("M10", bench_m10),
+                     ("M11", bench_m11)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -271,6 +303,11 @@ def main(argv=None) -> int:
             print(f"M10 REGRESSION: incremental snapshot only {speedup}x "
                   f"faster than full at 1,000 users / 1% dirty "
                   f"(bound: {M10_MIN_SPEEDUP}x)")
+            failed = True
+        if name == "M11" and payload["results"]["scaling"]["regression"]:
+            ratio = payload["results"]["scaling"]["enabled_ratio"]
+            print(f"M11 REGRESSION: enabled tracing costs {ratio}x on "
+                  f"the M8 mix (bound: {M11_MAX_OVERHEAD}x)")
             failed = True
     return 1 if failed else 0
 

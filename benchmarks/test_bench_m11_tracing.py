@@ -1,0 +1,75 @@
+"""M11 — request tracing: span trees at near-zero disabled cost.
+
+The observability claim, as assertions on the M8 request mix:
+
+* **disabled** tracing is free: two independently built
+  ``tracing=False`` deployments reproduce each other's latency floor
+  (within the 3% budget) — every instrumentation site is one
+  ``enabled`` attribute load or an allocation-free null span;
+* **enabled** tracing is modest: a root span, exact request
+  histograms, audit correlation, and the flight recorder on every
+  request, the fully annotated tree on sampled ones;
+* the traced run actually covers the stack: gateway, kernel, app,
+  data-plane, and egress span names all appear, every started trace
+  finishes, and the recorder keeps the slow tail.
+"""
+
+import pytest
+
+from .conftest import print_table
+from .m11_tracing import (M11_MAX_DISABLED_NOISE,
+                          M11_MAX_ENABLED_OVERHEAD, run_overhead)
+
+N_USERS = 100
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    result = run_overhead(n_users=N_USERS)
+    print_table(
+        f"M11 tracing overhead ({N_USERS}-user M8 mix)",
+        ["mode", "latency µs", "throughput rps", "ratio"],
+        [["disabled (floor)", result["baseline"]["latency_us"],
+          result["baseline"]["throughput_rps"], "1.0x"],
+         ["disabled (other build's floor)", "", "",
+          f"{result['disabled_noise_ratio']}x"],
+         ["traced (floor)", result["traced"]["latency_us"],
+          result["traced"]["throughput_rps"],
+          f"{result['enabled_ratio']}x"]])
+    return result
+
+
+def test_bench_m11_disabled_is_within_noise(overhead):
+    noise = overhead["disabled_noise_ratio"]
+    assert noise < M11_MAX_DISABLED_NOISE, (
+        f"two tracing=False builds' latency floors differ by {noise}x "
+        f"(budget {M11_MAX_DISABLED_NOISE}x): the disabled path is "
+        f"not disappearing into build-to-build noise")
+
+
+def test_bench_m11_enabled_overhead_is_modest(overhead):
+    ratio = overhead["enabled_ratio"]
+    assert ratio < M11_MAX_ENABLED_OVERHEAD, (
+        f"tracing costs {ratio}x on the M8 mix "
+        f"(budget {M11_MAX_ENABLED_OVERHEAD}x)")
+
+
+def test_bench_m11_traced_run_covers_the_stack(overhead):
+    names = set(overhead["traced"]["span_names"])
+    for expected in ("gateway.admission", "gateway.egress",
+                     "kernel.checkout", "app.run", "db.select"):
+        assert expected in names, f"no {expected} span in traced run"
+    stats = overhead["traced"]["tracer"]
+    assert stats["traces_started"] == stats["traces_finished"]
+    assert stats["spans_dropped"] == 0
+    recorder = overhead["traced"]["recorder"]
+    assert recorder["kept_slow"] > 0
+    assert recorder["offered"] == stats["traces_finished"]
+
+
+def test_bench_m11_traced_request_latency(benchmark):
+    """pytest-benchmark point: one traced labeled read."""
+    from .m8_scaling import build_deployment
+    _, driver = build_deployment(N_USERS, fast=True, tracing=True)
+    resp = benchmark(driver.get, "/app/blog/read", title="t0")
+    assert resp.ok

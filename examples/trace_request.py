@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""End-to-end request tracing: span trees for every layer of W5.
+
+Builds a traced provider, drives a handful of requests (including one
+denied export), then shows what the observability stack keeps:
+
+1. the text span tree of a full labeled read — gateway admission,
+   kernel pool checkout, app execution, db scan, export check, egress;
+2. the denied request's error trace, correlated with the audit log by
+   trace id (the W5 accountability story: "why was my export
+   refused?" answered with the exact span that denied it);
+3. per-span-name latency percentiles (p50/p95/p99);
+4. a Chrome trace-event JSON artifact — load it in Perfetto or
+   chrome://tracing to see the request timelines.
+
+Run: ``python examples/trace_request.py [out.json]``
+(writes the Chrome trace to ``out.json``, default
+``trace_request.json``; CI uploads this artifact on every push)
+"""
+
+import json
+import sys
+
+from repro import W5System
+from repro.obs import chrome_trace, render_text, trace_to_dict, \
+    validate_chrome_trace
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "trace_request.json"
+
+    w5 = W5System(tracing=True)
+    # demo setting: carry detail spans (gateway.admission,
+    # kernel.checkout) on every trace, not just the 1-in-16 sampled
+    # ones, so the printed trees show the full taxonomy
+    w5.provider.tracer.fold_every = 1
+    bob = w5.add_user("bob", apps=["blog", "photo-share"],
+                      friends=["amy"])
+    amy = w5.add_user("amy", apps=["blog", "photo-share"],
+                      friends=["bob"])
+    eve = w5.add_user("eve", apps=["photo-share"])
+
+    print("== driving requests ==")
+    bob.get("/app/blog/post", title="t0", body="hello world")
+    bob.get("/app/photo-share/upload", filename="beach.jpg",
+            data="<jpeg: bob at the beach>")
+    amy.get("/app/photo-share/view", owner="bob", filename="beach.jpg")
+    r = eve.get("/app/photo-share/view", owner="bob",
+                filename="beach.jpg")
+    assert r.status == 403, "eve is not bob's friend"
+
+    recorder = w5.provider.recorder
+
+    print("\n== span tree: amy's allowed photo view ==")
+    allowed = next(t for t in recorder.traces()
+                   if "view" in t.name and not t.error)
+    print(render_text(trace_to_dict(allowed)))
+
+    print("\n== span tree: eve's denied view (the error trace) ==")
+    denied = next(t for t in recorder.errors() if "view" in t.name)
+    print(render_text(trace_to_dict(denied)))
+
+    print("\n== audit events correlated with the denied trace ==")
+    for event in w5.audit():
+        if event.extra.get("trace_id") == denied.trace_id:
+            print(f"   span {event.extra['span_id']:>2}  {event!r}")
+
+    print("\n== span latency percentiles ==")
+    for name, st in w5.provider.tracer.latencies().items():
+        print(f"   {name:<24} n={st['count']:<3} "
+              f"p50={st['p50_us']:8.1f}us  p95={st['p95_us']:8.1f}us  "
+              f"p99={st['p99_us']:8.1f}us")
+
+    doc = chrome_trace([trace_to_dict(t) for t in recorder.traces()])
+    assert validate_chrome_trace(doc) is None
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    print(f"\n== wrote {len(doc['traceEvents'])} Chrome trace events "
+          f"to {out_path} ==")
+    print("   (open in https://ui.perfetto.dev or chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,36 @@
-"""``python -m repro.analysis <benchmark.json>`` — render the report."""
+"""``python -m repro.analysis`` — render reports.
+
+Two forms::
+
+    python -m repro.analysis <benchmark.json>        # timing tables
+    python -m repro.analysis trace <report.json>     # span trees
+
+The first renders pytest-benchmark JSON into the EXPERIMENTS.md
+tables; the second renders a saved ``Provider.trace_report()`` dump
+(see :mod:`repro.analysis.tracecmd`).
+"""
 
 import sys
 
 from .report import render_report
+from .tracecmd import run as run_trace
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
-        print("usage: python -m repro.analysis <benchmark.json>",
+    argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
+    if len(argv) != 1 or argv[0].startswith("-"):
+        print("usage: python -m repro.analysis <benchmark.json>\n"
+              "       python -m repro.analysis trace <report.json> "
+              "[--chrome OUT]",
               file=sys.stderr)
-        print("(produce the input with: pytest benchmarks/ "
-              "--benchmark-only --benchmark-json=benchmark.json)",
+        print("(produce the benchmark input with: pytest benchmarks/ "
+              "--benchmark-only --benchmark-json=benchmark.json; the "
+              "trace input by json.dump-ing Provider.trace_report())",
               file=sys.stderr)
         return 2
-    print(render_report(sys.argv[1]))
+    print(render_report(argv[0]))
     return 0
 
 

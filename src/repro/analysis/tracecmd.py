@@ -1,0 +1,116 @@
+"""The ``trace`` subcommand: render a provider trace report.
+
+``Provider.trace_report()`` (or ``W5System.trace_report()``) dumps
+tracer stats, per-span-name latency histograms, and the flight
+recorder's kept traces as one JSON-serializable dict.  This module
+turns a saved copy of that dict into the operator view::
+
+    python -m repro.analysis trace report.json
+    python -m repro.analysis trace report.json --chrome out.json
+
+The first form prints a latency table plus the text span trees of the
+slowest and errored requests; ``--chrome`` additionally writes the
+kept traces as Chrome trace-event JSON (validated before writing), the
+artifact CI uploads and Perfetto loads.
+
+Dependency-light on purpose (stdlib json + the repro.obs exporters),
+mirroring :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..obs import chrome_trace, render_text, validate_chrome_trace
+
+
+def latency_table(latencies: dict[str, dict[str, float]]) -> str:
+    """Per-span-name latency stats, markdown-formatted, slowest first."""
+    lines = ["| span | count | mean | p50 | p95 | p99 | max |",
+             "|---|---|---|---|---|---|---|"]
+    by_weight = sorted(latencies.items(),
+                       key=lambda kv: -kv[1].get("total_s", 0.0))
+    for name, st in by_weight:
+        lines.append(
+            f"| `{name}` | {st['count']} | {st['mean_us']:.1f}µs "
+            f"| {st['p50_us']:.1f}µs | {st['p95_us']:.1f}µs "
+            f"| {st['p99_us']:.1f}µs | {st['max_us']:.1f}µs |")
+    return "\n".join(lines)
+
+
+def render_trace_report(report: dict[str, Any],
+                        max_trees: int = 5) -> str:
+    """The full operator view of one trace report."""
+    if not report.get("tracing"):
+        return ("tracing was disabled for this run "
+                "(build the provider with tracing=True)")
+    out = ["# Request trace report", ""]
+    stats = report.get("stats", {})
+    rec = report.get("recorder", {})
+    rec_stats = rec.get("stats", {})
+    out.append(f"- traces: {stats.get('traces_finished', 0)} finished "
+               f"/ {stats.get('traces_started', 0)} started, "
+               f"{stats.get('spans_dropped', 0)} spans dropped")
+    out.append(f"- recorder: {rec_stats.get('kept_slow', 0)} slow + "
+               f"{rec_stats.get('kept_errors', 0)} error traces kept "
+               f"of {rec_stats.get('offered', 0)} offered")
+    latencies = report.get("latencies", {})
+    if latencies:
+        out += ["", "## Span latency", "", latency_table(latencies)]
+    errors = rec.get("errors", [])
+    if errors:
+        out += ["", "## Errored / denied requests", ""]
+        for trace in errors[:max_trees]:
+            out += ["```", render_text(trace), "```", ""]
+    slowest = rec.get("slowest", [])
+    if slowest:
+        out += ["", "## Slowest requests", ""]
+        for trace in slowest[:max_trees]:
+            out += ["```", render_text(trace), "```", ""]
+    return "\n".join(out)
+
+
+def kept_traces(report: dict[str, Any]) -> list[dict[str, Any]]:
+    """All kept traces from a report, slow first, deduped by id."""
+    rec = report.get("recorder", {})
+    seen: set[str] = set()
+    out = []
+    for trace in rec.get("slowest", []) + rec.get("errors", []):
+        if trace["trace_id"] not in seen:
+            seen.add(trace["trace_id"])
+            out.append(trace)
+    return out
+
+
+def run(argv: list[str]) -> int:
+    """Entry point for ``python -m repro.analysis trace ...``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis trace",
+        description="Render a saved Provider.trace_report() JSON dump.")
+    parser.add_argument("report", help="trace report JSON file")
+    parser.add_argument("--chrome", metavar="OUT",
+                        help="also write kept traces as Chrome "
+                             "trace-event JSON to OUT")
+    parser.add_argument("--max-trees", type=int, default=5,
+                        help="span trees to print per section")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+    print(render_trace_report(report, max_trees=args.max_trees))
+
+    if args.chrome:
+        doc = chrome_trace(kept_traces(report))
+        error = validate_chrome_trace(doc)
+        if error is not None:
+            print(f"refusing to write invalid Chrome trace: {error}")
+            return 1
+        with open(args.chrome, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"\nwrote Chrome trace ({len(doc['traceEvents'])} events) "
+              f"to {args.chrome} — load it in Perfetto or "
+              f"chrome://tracing")
+    return 0

@@ -10,6 +10,14 @@ It can also observe the kernel's flow cache
 along in :meth:`cache_snapshot`, and per-category flow-check latency is
 aggregated in :meth:`flow_latency` — this is how EXPERIMENTS.md's
 before/after numbers for the fast-path label engine are collected.
+Latency aggregation uses :class:`~repro.obs.LatencyHistogram`, so
+every category reports p50/p95/p99 estimates alongside the original
+count/mean/min/max keys.
+
+Observable *planes* (request plane, data plane, persistence, the
+gateway edge) attach through one internal registry — ``attach_foo``
+registers the object under a key and ``foo_snapshot`` reads it back,
+so adding a plane is two one-liners, not a new field + None-dance.
 
 Purely observational: it never influences a decision, so it sits
 outside the trusted base.
@@ -21,39 +29,12 @@ from collections import Counter
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..kernel.audit import AuditEvent, AuditLog
+from ..obs import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..labels.cache import FlowCache
+    from ..net.gateway import Gateway
     from ..platform.provider import Provider
-
-
-class _LatencyStat:
-    """Streaming count/total/min/max for one flow-check category."""
-
-    __slots__ = ("count", "total", "min", "max")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def add(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "count": self.count,
-            "total_s": self.total,
-            "mean_us": (self.total / self.count * 1e6) if self.count else 0.0,
-            "min_us": (self.min * 1e6) if self.count else 0.0,
-            "max_us": self.max * 1e6,
-        }
 
 
 class Metrics:
@@ -63,15 +44,20 @@ class Metrics:
         self._by_category: Counter[tuple[str, bool]] = Counter()
         self._by_subject: Counter[str] = Counter()
         self._denials_by_subject: Counter[str] = Counter()
-        self._flow_cache: Optional["FlowCache"] = None
-        self._provider: Optional["Provider"] = None
-        self._data_provider: Optional["Provider"] = None
-        self._persistence_provider: Optional["Provider"] = None
-        self._latency: dict[str, _LatencyStat] = {}
+        #: Attached observables, keyed by plane name ("flow_cache",
+        #: "request", "data", "persistence", "gateway", ...).
+        self._planes: dict[str, Any] = {}
+        self._latency: dict[str, LatencyHistogram] = {}
         # fold in anything already logged, then follow the stream
         for event in audit:
             self._ingest(event)
         audit.subscribe(self._ingest)
+
+    def _attach(self, plane: str, obj: Any) -> "Metrics":
+        """Register an observable under ``plane``; returns self so
+        every ``attach_*`` chains."""
+        self._planes[plane] = obj
+        return self
 
     def _ingest(self, event: AuditEvent) -> None:
         self._by_category[(event.category, event.allowed)] += 1
@@ -115,27 +101,28 @@ class Metrics:
         fs.write, db.read, db.write, net.export, ...).  Returns self
         for chaining: ``Metrics(k.audit).attach_flow_cache(k.flow_cache)``.
         """
-        self._flow_cache = cache
         cache.observer = self._observe_latency
-        return self
+        return self._attach("flow_cache", cache)
 
     def _observe_latency(self, category: str, seconds: float) -> None:
         stat = self._latency.get(category)
         if stat is None:
-            stat = self._latency[category] = _LatencyStat()
+            stat = self._latency[category] = LatencyHistogram()
         stat.add(seconds)
 
     def cache_snapshot(self) -> dict[str, Any]:
         """The attached flow cache's hit/miss/invalidation counters
         (empty dict if no cache is attached)."""
-        if self._flow_cache is None:
+        cache = self._planes.get("flow_cache")
+        if cache is None:
             return {}
-        return self._flow_cache.stats()
+        return cache.stats()
 
     def cache_hit_rate(self) -> float:
-        if self._flow_cache is None:
+        cache = self._planes.get("flow_cache")
+        if cache is None:
             return 0.0
-        return self._flow_cache.hit_rate()
+        return cache.hit_rate()
 
     # -- request-plane observation ----------------------------------------
 
@@ -144,19 +131,19 @@ class Metrics:
         launch-capability index, the export-authority memo, and the
         process pool.  Returns self for chaining, mirroring
         :meth:`attach_flow_cache`."""
-        self._provider = provider
-        return self
+        return self._attach("request", provider)
 
     def request_plane_snapshot(self) -> dict[str, Any]:
         """Hit/miss/invalidation counters for every request-plane
         cache (empty dict if no provider is attached)."""
-        if self._provider is None:
+        provider = self._planes.get("request")
+        if provider is None:
             return {}
         return {
-            "launch_caps": self._provider.capindex.stats(),
-            "authority": self._provider.declass.authority_stats(),
-            "pool": self._provider.kernel.pool.stats(),
-            "audit_dropped": self._provider.kernel.audit.dropped,
+            "launch_caps": provider.capindex.stats(),
+            "authority": provider.declass.authority_stats(),
+            "pool": provider.kernel.pool.stats(),
+            "audit_dropped": provider.kernel.audit.dropped,
         }
 
     # -- data-plane observation --------------------------------------------
@@ -166,16 +153,15 @@ class Metrics:
         partitioned store's partition hit/skip counters and the
         filesystem's walk-pruning counters.  Returns self for chaining,
         mirroring :meth:`attach_request_plane`."""
-        self._data_provider = provider
-        return self
+        return self._attach("data", provider)
 
     def data_plane_snapshot(self) -> dict[str, Any]:
         """Partition/pruning counters for the attached provider's
         store and filesystem (empty dict if none attached)."""
-        if self._data_provider is None:
+        provider = self._planes.get("data")
+        if provider is None:
             return {}
-        return {"db": self._data_provider.db.stats(),
-                "fs": self._data_provider.fs.stats()}
+        return {"db": provider.db.stats(), "fs": provider.fs.stats()}
 
     # -- durability observation --------------------------------------------
 
@@ -184,23 +170,44 @@ class Metrics:
         appends and bytes, compactions, replayed records, torn-tail
         truncations.  Returns self for chaining, mirroring
         :meth:`attach_request_plane` / :meth:`attach_data_plane`."""
-        self._persistence_provider = provider
-        return self
+        return self._attach("persistence", provider)
 
     def persistence_snapshot(self) -> dict[str, Any]:
         """The attached provider's journal/compaction/replay counters
         (empty dict if none attached; ``incremental_persistence: False``
         when the provider runs the naive full-snapshot baseline)."""
-        provider = getattr(self, "_persistence_provider", None)
+        provider = self._planes.get("persistence")
         if provider is None:
             return {}
         return provider.persistence_stats()
+
+    # -- gateway-edge observation ------------------------------------------
+
+    def attach_gateway(self, gateway: "Gateway") -> "Metrics":
+        """Start observing the perimeter's edge counters: exports
+        allowed/denied and rate-limited rejections.  Returns self for
+        chaining, like every other ``attach_*``."""
+        return self._attach("gateway", gateway)
+
+    def gateway_snapshot(self) -> dict[str, Any]:
+        """The attached gateway's edge counters (empty dict if none
+        attached)."""
+        gateway = self._planes.get("gateway")
+        if gateway is None:
+            return {}
+        return {
+            "exports_allowed": gateway.exports_allowed,
+            "exports_denied": gateway.exports_denied,
+            "rate_limited": gateway.rate_limited,
+        }
 
     def flow_latency(self, category: Optional[str] = None) -> dict[str, Any]:
         """Aggregated flow-check latency.
 
         With ``category`` the stats for that category alone; without,
-        a mapping of every observed category to its stats.
+        a mapping of every observed category to its stats.  Each stats
+        dict carries the historical keys (count, total_s, mean_us,
+        min_us, max_us) plus histogram-estimated p50_us/p95_us/p99_us.
         """
         if category is not None:
             stat = self._latency.get(category)

@@ -35,7 +35,8 @@ class W5System:
                  partitioned_store: bool = True,
                  incremental_persistence: bool = True,
                  journal_compact_bytes: int = 1 << 20,
-                 audit_max_events: Optional[int] = None) -> None:
+                 audit_max_events: Optional[int] = None,
+                 tracing: bool = False) -> None:
         self.resources = ResourceManager(default_quotas=quotas,
                                          overrides=quota_overrides)
         self.provider = Provider(name=name, resources=self.resources,
@@ -46,7 +47,8 @@ class W5System:
                                  incremental_persistence=
                                  incremental_persistence,
                                  journal_compact_bytes=journal_compact_bytes,
-                                 audit_max_events=audit_max_events)
+                                 audit_max_events=audit_max_events,
+                                 tracing=tracing)
         install_standard_apps(self.provider)
         if with_adversaries:
             install_adversarial_apps(self.provider)
@@ -149,6 +151,11 @@ class W5System:
 
     def audit(self):
         return self.provider.kernel.audit
+
+    def trace_report(self):
+        """The provider's tracing dump (see ``Provider.trace_report``);
+        ``{"tracing": False}`` unless built with ``tracing=True``."""
+        return self.provider.trace_report()
 
     def code_search(self, k: int = 5) -> list[str]:
         """Rank registered modules by CodeRank over declared imports

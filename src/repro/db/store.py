@@ -293,6 +293,12 @@ class LabeledStore:
         Like file creation, the chosen labels are checked as a write:
         a tainted process cannot insert into a less-tainted row.
         """
+        with self.kernel.tracer.detail("db.insert", table=table_name):
+            return self._insert(process, table_name, values, slabel, ilabel)
+
+    def _insert(self, process: Process, table_name: str,
+                values: dict[str, Any], slabel: Optional[Label],
+                ilabel: Optional[Label]) -> int:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         if not isinstance(values, dict):
@@ -335,6 +341,14 @@ class LabeledStore:
         raise — failing to update data you can see is an honest error,
         not a covert channel.  Returns the number of rows updated.
         """
+        with self.kernel.tracer.detail("db.update", table=table_name):
+            return self._update(process, table_name, where, predicate,
+                                changes)
+
+    def _update(self, process: Process, table_name: str,
+                where: Optional[dict[str, Any]],
+                predicate: Optional[Predicate],
+                changes: Optional[dict[str, Any]]) -> int:
         if changes is None:
             raise SchemaError("update requires changes")
         table = self.table(table_name)
@@ -414,6 +428,12 @@ class LabeledStore:
                where: Optional[dict[str, Any]] = None,
                predicate: Optional[Predicate] = None) -> int:
         """Delete every visible and writable matching row (count returned)."""
+        with self.kernel.tracer.detail("db.delete", table=table_name):
+            return self._delete(process, table_name, where, predicate)
+
+    def _delete(self, process: Process, table_name: str,
+                where: Optional[dict[str, Any]],
+                predicate: Optional[Predicate]) -> int:
         table = self.table(table_name)
         doomed = []
         if self.partitioned:
@@ -577,6 +597,14 @@ class LabeledStore:
         The result is *identical* to what it would be if invisible rows
         did not exist — the covert-channel-free semantics.
         """
+        with self.kernel.tracer.detail("db.select", table=table_name):
+            return self._select(process, table_name, where, predicate,
+                                limit)
+
+    def _select(self, process: Process, table_name: str,
+                where: Optional[dict[str, Any]],
+                predicate: Optional[Predicate],
+                limit: Optional[int]) -> list[dict[str, Any]]:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         if self.partitioned:
@@ -623,6 +651,12 @@ class LabeledStore:
         identical to the equivalent ``select`` (it audits as one, the
         historical record shape).
         """
+        with self.kernel.tracer.detail("db.count", table=table_name):
+            return self._count(process, table_name, where, predicate)
+
+    def _count(self, process: Process, table_name: str,
+               where: Optional[dict[str, Any]],
+               predicate: Optional[Predicate]) -> int:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         if self.partitioned:
@@ -638,6 +672,11 @@ class LabeledStore:
 
     def get(self, process: Process, table_name: str, row_id: int) -> dict[str, Any]:
         """Fetch one visible row by id; invisible ids read as missing."""
+        with self.kernel.tracer.detail("db.get", table=table_name):
+            return self._get(process, table_name, row_id)
+
+    def _get(self, process: Process, table_name: str,
+             row_id: int) -> dict[str, Any]:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         row = table.rows.get(row_id)

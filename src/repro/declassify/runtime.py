@@ -73,6 +73,13 @@ class KernelDeclassifier:
         — a declassifier must never hold secrets it has declined to
         release.
         """
+        with self.kernel.tracer.span(
+                "declass.pump", policy=self.policy.name,
+                viewer=viewer or "anonymous"):
+            return self._pump(viewer, destination, kind, attributes)
+
+    def _pump(self, viewer: Optional[str], destination: Endpoint,
+              kind: str, attributes: dict[str, Any]) -> Any:
         msg = self.kernel.receive(self.process, endpoint=self.inbox)
         ctx = ReleaseContext(owner=self.owner, viewer=viewer, kind=kind,
                              now=self._now(), attributes=dict(attributes))

@@ -266,6 +266,11 @@ class DeclassificationService:
         ``kind`` or attributes bypass the cache entirely — any
         declassifier may read those.
         """
+        return self._authority_for(viewer, own_tags, kind, attributes)
+
+    def _authority_for(self, viewer: Optional[str],
+                       own_tags: Iterable[Tag], kind: str,
+                       attributes: dict[str, Any]) -> CapabilitySet:
         own_tags = tuple(own_tags)
         cacheable_ok = (self.cache_authority and kind == ""
                         and not attributes)
@@ -300,10 +305,20 @@ class DeclassificationService:
                            viewer: Optional[str], own_tags: Iterable[Tag],
                            kind: str,
                            attributes: dict[str, Any]) -> CapabilitySet:
-        caps = [minus(t) for t in own_tags]
-        for g in grants:
-            ctx = ReleaseContext(owner=g.owner, viewer=viewer, kind=kind,
-                                 now=self.now, attributes=dict(attributes))
-            if g.declassifier.decide(ctx):
-                caps.append(minus(g.tag))
-        return CapabilitySet(caps)
+        # the declassifier evaluation loop is the expensive part of the
+        # oracle, so the span lives here: memoized authority hits (the
+        # steady-state request path) cost no span at all, while every
+        # real evaluation — cold cache, bypass, invalidation — shows up
+        # in the trace as declass.authority
+        grants = tuple(grants)
+        with self.kernel.tracer.span("declass.authority",
+                                     viewer=viewer or "anonymous",
+                                     grants=len(grants)):
+            caps = [minus(t) for t in own_tags]
+            for g in grants:
+                ctx = ReleaseContext(owner=g.owner, viewer=viewer,
+                                     kind=kind, now=self.now,
+                                     attributes=dict(attributes))
+                if g.declassifier.decide(ctx):
+                    caps.append(minus(g.tag))
+            return CapabilitySet(caps)

@@ -258,6 +258,12 @@ class LabeledFileSystem:
         Creating an entry writes to the parent directory, so the parent
         must be writable by the process.
         """
+        with self.kernel.tracer.detail("fs.mkdir", path=path):
+            return self._mkdir(process, path, slabel, ilabel)
+
+    def _mkdir(self, process: Process, path: str,
+               slabel: Optional[Label],
+               ilabel: Optional[Label]) -> Directory:
         parent, leaf = self._parent_and_leaf(process, path)
         self._check_read(process, parent, path)
         self._check_write(process, parent, path)
@@ -289,6 +295,12 @@ class LabeledFileSystem:
         writing secrets into a less-secret file at birth); the chosen
         integrity label must be within what the creator can vouch for.
         """
+        with self.kernel.tracer.detail("fs.create", path=path):
+            return self._create(process, path, data, slabel, ilabel)
+
+    def _create(self, process: Process, path: str, data: Any,
+                slabel: Optional[Label],
+                ilabel: Optional[Label]) -> File:
         parent, leaf = self._parent_and_leaf(process, path)
         self._check_read(process, parent, path)
         self._check_write(process, parent, path)
@@ -326,6 +338,10 @@ class LabeledFileSystem:
         a stored list and the vandalism would stick even though its
         ``write`` was refused).
         """
+        with self.kernel.tracer.detail("fs.read", path=path):
+            return self._read(process, path)
+
+    def _read(self, process: Process, path: str) -> Any:
         node = self._resolve(process, path)
         if node.is_dir():
             raise IsADirectory(path)
@@ -338,6 +354,10 @@ class LabeledFileSystem:
 
     def write(self, process: Process, path: str, data: Any) -> File:
         """Overwrite a file's payload after the write checks."""
+        with self.kernel.tracer.detail("fs.write", path=path):
+            return self._write(process, path, data)
+
+    def _write(self, process: Process, path: str, data: Any) -> File:
         node = self._resolve(process, path)
         if node.is_dir():
             raise IsADirectory(path)
@@ -358,6 +378,10 @@ class LabeledFileSystem:
 
     def delete(self, process: Process, path: str) -> None:
         """Remove a file or empty directory (a write to object+parent)."""
+        with self.kernel.tracer.detail("fs.delete", path=path):
+            self._delete(process, path)
+
+    def _delete(self, process: Process, path: str) -> None:
         parent, leaf = self._parent_and_leaf(process, path)
         self._check_read(process, parent, path)
         self._check_write(process, parent, path)
@@ -377,6 +401,10 @@ class LabeledFileSystem:
 
     def listdir(self, process: Process, path: str = "/") -> list[str]:
         """Entry names of a directory (a read of the directory)."""
+        with self.kernel.tracer.detail("fs.listdir", path=path):
+            return self._listdir(process, path)
+
+    def _listdir(self, process: Process, path: str = "/") -> list[str]:
         node = self.root if path in ("", "/") else self._resolve(process, path)
         if not node.is_dir():
             raise NotADirectory(path)

@@ -59,10 +59,29 @@ class AuditLog:
     only the *retained* history is bounded, which is what keeps long
     benchmark runs (the M8 scaling loads) from accumulating unbounded
     memory.  ``capacity`` is the older spelling of the same knob.
+
+    ``category_index`` (default on) maintains one deque per category so
+    :meth:`events(category=...)` walks only that category's events
+    instead of re-scanning the whole ring — the trace correlator and
+    Metrics-heavy tests issue the same filtered query hundreds of
+    times.  Eviction order is global-FIFO, so the ring's evicted event
+    is always the leftmost entry of its category deque: maintenance is
+    O(1) per record and the indexed answer is behavior-identical to the
+    scan (``tests/kernel/test_audit_index.py`` pins the equivalence).
+
+    ``trace_source``, when set (the provider installs its ``Tracer``
+    in tracing mode), is any object exposing a ``current`` span
+    attribute (``.trace.trace_id`` / ``.span_id``); every record
+    stamps the active ``trace_id``/``span_id`` into
+    ``AuditEvent.extra`` — the correlation hook that ties audit lines
+    to request span trees (see :mod:`repro.obs`).  An attribute read
+    instead of a callback keeps the stamp to two loads on the hot
+    path.
     """
 
     def __init__(self, capacity: Optional[int] = None,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 category_index: bool = True) -> None:
         self._capacity = max_events if max_events is not None else capacity
         # a deque ring evicts in O(1); the unbounded log stays a list
         self._events: Union[list[AuditEvent], deque[AuditEvent]] = (
@@ -72,6 +91,12 @@ class AuditLog:
         #: Events discarded by the ring bound (0 while unbounded).
         self.dropped = 0
         self._subscribers: list[Callable[[AuditEvent], None]] = []
+        self._index: Optional[dict[str, deque[AuditEvent]]] = (
+            {} if category_index else None)
+        #: Optional tracer-like object whose ``current`` attribute is
+        #: the active span (or None); stamped into every event's
+        #: ``extra`` while a traced request is active.
+        self.trace_source: Optional[Any] = None
 
     @property
     def max_events(self) -> Optional[int]:
@@ -81,12 +106,31 @@ class AuditLog:
     def record(self, category: str, allowed: bool, subject: str,
                detail: str, **extra: Any) -> AuditEvent:
         """Append an event and notify subscribers."""
+        ts = self.trace_source
+        if ts is not None:
+            cur = ts.current
+            if cur is not None:
+                extra["trace_id"] = cur.trace.trace_id
+                extra["span_id"] = cur.span_id
         self._seq += 1
         event = AuditEvent(self._seq, category, allowed, subject, detail, extra)
+        index = self._index
         if self._capacity is not None \
                 and len(self._events) == self._capacity:
             self.dropped += 1  # the append below evicts the oldest
+            if index is not None:
+                # global FIFO eviction: the victim is the leftmost
+                # event of its category's deque
+                victim = self._events[0]
+                dq = index.get(victim.category)
+                if dq:
+                    dq.popleft()
         self._events.append(event)
+        if index is not None:
+            dq = index.get(category)
+            if dq is None:
+                dq = index[category] = deque()
+            dq.append(event)
         for fn in self._subscribers:
             fn(event)
         return event
@@ -112,8 +156,13 @@ class AuditLog:
                subject: Optional[str] = None,
                allowed: Optional[bool] = None) -> list[AuditEvent]:
         """Events matching every given filter."""
+        if category is not None and self._index is not None:
+            source: Any = self._index.get(category, ())
+            category = None  # already satisfied by the index
+        else:
+            source = self._events
         out = []
-        for e in self._events:
+        for e in source:
             if category is not None and e.category != category:
                 continue
             if subject is not None and e.subject != subject:
@@ -137,3 +186,5 @@ class AuditLog:
     def clear(self) -> None:
         """Drop all events (test convenience; providers would archive)."""
         self._events.clear()
+        if self._index is not None:
+            self._index.clear()

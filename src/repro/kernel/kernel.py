@@ -40,6 +40,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from ..labels import (Capability, CapabilitySet, FlowCache, Label,
                       SecrecyViolation, Tag, TagRegistry)
+from ..obs import NULL_TRACER
 from . import audit as A
 from .audit import AuditLog
 from .errors import (DeadProcess, EndpointMisuse, MailboxEmpty, NoSuchEndpoint,
@@ -99,6 +100,12 @@ class Kernel:
         #: default at the kernel level; the provider opts in.
         from .pool import ProcessPool
         self.pool = ProcessPool(self, enabled=recycle)
+        #: Request tracer (see repro.obs).  The shared NULL_TRACER by
+        #: default: `tracer.enabled` is the one-attribute-load guard
+        #: hot paths use, and `tracer.span(...)` returns a no-op span,
+        #: so instrumentation sites never need None checks.  The
+        #: provider installs a live Tracer when tracing is on.
+        self.tracer = NULL_TRACER
         self._pids = itertools.count(1)
         self._procs: dict[int, Process] = {}
         #: endpoint_id -> (pid, Endpoint), a global routing table
@@ -117,6 +124,16 @@ class Kernel:
         Only provider code calls this (login service, gateway,
         launcher); developer code must go through :meth:`spawn`.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("kernel.spawn", process=name, trusted=True):
+                return self._spawn_trusted(name, slabel, ilabel, caps,
+                                           owner_user)
+        return self._spawn_trusted(name, slabel, ilabel, caps, owner_user)
+
+    def _spawn_trusted(self, name: str, slabel: Label, ilabel: Label,
+                       caps: CapabilitySet,
+                       owner_user: Optional[str]) -> Process:
         proc = Process(next(self._pids), name, slabel, ilabel, caps,
                        owner_user=owner_user)
         self._procs[proc.pid] = proc
@@ -136,6 +153,18 @@ class Kernel:
         must be a subset of the parent's capabilities, and handing the
         child its initial state must be a legal flow from the parent.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("kernel.spawn", process=name,
+                             parent=parent.name):
+                return self._spawn(parent, name, slabel, ilabel, grant,
+                                   owner_user)
+        return self._spawn(parent, name, slabel, ilabel, grant, owner_user)
+
+    def _spawn(self, parent: Process, name: str,
+               slabel: Optional[Label], ilabel: Optional[Label],
+               grant: CapabilitySet,
+               owner_user: Optional[str]) -> Process:
         self._require_alive(parent)
         self.resources.charge(parent, "processes", 1)
         child_s = parent.slabel if slabel is None else slabel
@@ -310,6 +339,16 @@ class Kernel:
         ``S_from ⊆ S_to`` and ``I_to ⊆ I_from``.  Delegated
         capabilities must be a subset of the sender's.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("kernel.send", sender=sender.name,
+                             topic=topic):
+                return self._send(sender, from_ep, to_ep, payload, grant,
+                                  topic)
+        return self._send(sender, from_ep, to_ep, payload, grant, topic)
+
+    def _send(self, sender: Process, from_ep: Endpoint, to_ep: Endpoint,
+              payload: Any, grant: CapabilitySet, topic: str) -> Message:
         self._require_alive(sender)
         self.resources.charge(sender, "messages", 1)
         if from_ep.owner_pid != sender.pid:
@@ -382,6 +421,14 @@ class Kernel:
         ``endpoint``/``topic`` filter the mailbox.  Raises
         :class:`MailboxEmpty` if nothing matches.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("kernel.receive", process=process.name):
+                return self._receive(process, endpoint, topic)
+        return self._receive(process, endpoint, topic)
+
+    def _receive(self, process: Process, endpoint: Optional[Endpoint],
+                 topic: Optional[str]) -> Message:
         self._require_alive(process)
         self.resources.charge(process, "syscalls", 1)
         for i, msg in enumerate(process.mailbox):

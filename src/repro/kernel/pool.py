@@ -83,6 +83,22 @@ class ProcessPool:
         (metrics, the differential tests) count launches identically
         with and without the pool.
         """
+        tracer = self.kernel.tracer
+        # _fold gates detail sampling; checking it here (instead of
+        # unconditionally calling tracer.detail) keeps the unsampled
+        # steady state free of the kwargs/annotate setup below
+        if tracer._fold:
+            before = self.reuses
+            with tracer.detail("kernel.checkout", process=name) as sp:
+                proc = self._checkout(name, slabel, ilabel, caps,
+                                      owner_user)
+                sp.annotate(reused=self.reuses > before, pid=proc.pid)
+                return proc
+        return self._checkout(name, slabel, ilabel, caps, owner_user)
+
+    def _checkout(self, name: str, slabel: Label, ilabel: Label,
+                  caps: CapabilitySet,
+                  owner_user: Optional[str]) -> Process:
         key = (name, slabel, ilabel, caps)
         if self.enabled:
             bucket = self._idle.get(key)
@@ -96,8 +112,11 @@ class ProcessPool:
                     pid=proc.pid)
                 return proc
         self.fresh_spawns += 1
-        proc = self.kernel.spawn_trusted(name, slabel, ilabel, caps,
-                                         owner_user=owner_user)
+        # the implementation, not the public wrapper: checkout's own
+        # span already times the launch, so a nested kernel.spawn span
+        # would only double-count it
+        proc = self.kernel._spawn_trusted(name, slabel, ilabel, caps,
+                                          owner_user)
         self._launch_keys[proc.pid] = key
         return proc
 

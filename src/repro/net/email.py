@@ -71,9 +71,13 @@ class EmailGateway:
              content_label: Label) -> Email:
         """Deliver mail iff the content may be exported to the
         address's owner.  Raises :class:`ExportViolation` otherwise."""
+        with self.kernel.tracer.span("gateway.email", to=to_address):
+            return self._send(to_address, subject, body, content_label)
+
+    def _send(self, to_address: str, subject: str, body: object,
+              content_label: Label) -> Email:
         box = self.mailbox(to_address)
-        authority = self.authority_for(box.owner) if box.owner else \
-            self.authority_for(None)
+        authority = self.authority_for(box.owner)
         residue = self.kernel.flow_cache.exportable_residue(
             content_label, authority, category="net.export")
         if not residue.is_empty():

@@ -41,8 +41,12 @@ class ExportViolation(SecrecyViolation):
 
 
 #: Signature of the authority oracle the platform plugs in:
-#: username -> the CapabilitySet of export privileges held for them.
-AuthorityFn = Callable[[str], CapabilitySet]
+#: username (or None for anonymous recipients) -> the CapabilitySet of
+#: export privileges held for them.  Anonymous recipients are real
+#: callers of this oracle — public declassifiers can open tags to
+#: everyone — so the argument is Optional, matching what
+#: :meth:`Gateway.export_check` actually passes.
+AuthorityFn = Callable[[Optional[str]], CapabilitySet]
 
 
 class Gateway:
@@ -81,7 +85,12 @@ class Gateway:
 
     def admit(self, principal: Optional[str]) -> bool:
         """Count a request against its principal's window; False means
-        the caller should answer 429 without doing any work."""
+        the caller should answer 429 without doing any work.
+
+        No span of its own: the provider's ``gateway.admission`` span
+        covers authenticate + admit in one timed unit (two extra spans
+        here were pure overhead on the hot path).
+        """
         if self.rate_limit is None:
             return True
         self._tick += 1
@@ -102,7 +111,11 @@ class Gateway:
     # ------------------------------------------------------------------
 
     def authenticate(self, request: HttpRequest) -> Optional[Session]:
-        """Resolve the session cookie; None means anonymous."""
+        """Resolve the session cookie; None means anonymous.
+
+        Timed by the provider's ``gateway.admission`` span, together
+        with :meth:`admit`.
+        """
         return self.sessions.resolve(request.cookies.get(SESSION_COOKIE))
 
     # ------------------------------------------------------------------
@@ -117,6 +130,10 @@ class Gateway:
         Anonymous recipients (``None``) are asked of the oracle too:
         they hold no authority of their own, but an owner's *public*
         declassifier may open specific tags to everyone.
+
+        Timed by the caller's ``gateway.egress`` span on detail-sampled
+        traces (the nested ``declass.authority`` span still shows the
+        oracle's share there).
         """
         if content_label.is_empty():
             # Unlabeled content exits under any authority — skip the
@@ -155,22 +172,32 @@ class Gateway:
         audit log for the provider.  ``js_policy`` overrides the
         gateway default per request (W5 lets users choose their own
         client-side posture, §3.5).
+
+        The ``gateway.egress`` span is detail-tier: it appears on
+        sampled traces.  A refusal is never invisible on the others —
+        the 403 status the provider stamps on the root span marks the
+        trace as an error (so the flight recorder keeps it), and the
+        DENY audit record carries the trace id either way.
         """
-        try:
-            self.export_check(response.content_label, recipient)
-        except ExportViolation:
-            return HttpResponse(status=403,
-                                body={"error": "not authorized"},
+        with self.kernel.tracer.detail(
+                "gateway.egress", recipient=recipient or "anonymous") as sp:
+            try:
+                self.export_check(response.content_label, recipient)
+            except ExportViolation:
+                sp.fail("ExportViolation")
+                sp.annotate(denied=True)
+                return HttpResponse(status=403,
+                                    body={"error": "not authorized"},
+                                    content_label=Label.EMPTY)
+            effective_js = js_policy if js_policy in (JS_BLOCK, JS_ALLOW) \
+                else self.js_policy
+            body = response.body
+            if effective_js == JS_BLOCK and isinstance(body, str) \
+                    and contains_javascript(body):
+                body = strip_javascript(body)
+                self.kernel.audit.record(A.EXPORT, True, "gateway",
+                                         "stripped javascript at perimeter")
+            return HttpResponse(status=response.status, body=body,
+                                headers=dict(response.headers),
+                                set_cookies=dict(response.set_cookies),
                                 content_label=Label.EMPTY)
-        effective_js = js_policy if js_policy in (JS_BLOCK, JS_ALLOW) \
-            else self.js_policy
-        body = response.body
-        if effective_js == JS_BLOCK and isinstance(body, str) \
-                and contains_javascript(body):
-            body = strip_javascript(body)
-            self.kernel.audit.record(A.EXPORT, True, "gateway",
-                                     "stripped javascript at perimeter")
-        return HttpResponse(status=response.status, body=body,
-                            headers=dict(response.headers),
-                            set_cookies=dict(response.set_cookies),
-                            content_label=Label.EMPTY)

@@ -1,0 +1,21 @@
+"""Observability: request tracing, latency histograms, flight recorder.
+
+The instrument panel for the W5 stack.  ``Provider(tracing=True)``
+turns it on; with it off, the shared :data:`NULL_TRACER` keeps every
+instrumentation site allocation-free.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .export import (chrome_trace, render_text, trace_to_dict,
+                     validate_chrome_trace)
+from .histogram import LatencyHistogram
+from .recorder import FlightRecorder
+from .trace import (MAX_SPANS_PER_TRACE, NULL_TRACER, NullTracer, Span,
+                    Trace, Tracer)
+
+__all__ = [
+    "LatencyHistogram", "FlightRecorder",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "Trace",
+    "MAX_SPANS_PER_TRACE",
+    "trace_to_dict", "render_text", "chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,142 @@
+"""Trace exporters: dict form, text tree, Chrome trace-event JSON.
+
+Three consumers, one intermediate form.  :func:`trace_to_dict`
+flattens a live :class:`~repro.obs.trace.Trace` into plain dicts with
+all times in **microseconds relative to the root span's start** —
+serializable, diffable in tests, and the input both renderers accept:
+
+* :func:`render_text` — an indented tree for terminals (the
+  ``repro.analysis trace`` report and the example script);
+* :func:`chrome_trace` — the Chrome trace-event format (JSON object
+  with a ``traceEvents`` array of ``"ph": "X"`` complete events),
+  loadable in Perfetto or ``chrome://tracing``.  Each trace gets its
+  own ``tid`` so concurrent request timelines stack as separate
+  tracks; a metadata event names the track after the request.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .trace import Span, Trace
+
+
+def _span_to_dict(span: Span, root_start: float) -> dict[str, Any]:
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "start_us": round((span.start - root_start) * 1e6, 1),
+        "duration_us": round((span.duration or 0.0) * 1e6, 1),
+        "status": span.status,
+        "attrs": dict(span.attrs),
+        "children": [_span_to_dict(c, root_start) for c in span.children],
+    }
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """Serializable span tree; offsets are µs from the root start."""
+    root = trace.root
+    return {
+        "trace_id": trace.trace_id,
+        "name": trace.name,
+        "duration_us": round(trace.duration * 1e6, 1),
+        "error": trace.error,
+        "n_spans": trace.n_spans,
+        "truncated": trace.truncated,
+        "root": _span_to_dict(root, root.start) if root else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# text tree
+# ----------------------------------------------------------------------
+
+def _render_span(span: dict[str, Any], depth: int,
+                 lines: list[str]) -> None:
+    attrs = " ".join(f"{k}={v}" for k, v in span["attrs"].items())
+    flag = " !" if span["status"] == "error" else ""
+    lines.append(
+        f"{'  ' * depth}{span['name']:<{max(1, 28 - 2 * depth)}} "
+        f"{span['duration_us']:>9.1f}us  +{span['start_us']:.1f}us"
+        f"{flag}{'  [' + attrs + ']' if attrs else ''}")
+    for child in span["children"]:
+        _render_span(child, depth + 1, lines)
+
+
+def render_text(trace: dict[str, Any]) -> str:
+    """Indented span tree for one :func:`trace_to_dict` result."""
+    header = (f"trace {trace['trace_id']}  {trace['name']}  "
+              f"{trace['duration_us']:.1f}us  spans={trace['n_spans']}"
+              f"{'  ERROR' if trace['error'] else ''}"
+              f"{'  truncated=' + str(trace['truncated']) if trace['truncated'] else ''}")
+    lines = [header]
+    if trace["root"] is not None:
+        _render_span(trace["root"], 0, lines)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+def _chrome_events(span: dict[str, Any], tid: int,
+                   events: list[dict[str, Any]]) -> None:
+    args = dict(span["attrs"])
+    if span["status"] != "ok":
+        args["status"] = span["status"]
+    events.append({
+        "name": span["name"],
+        "ph": "X",
+        "ts": span["start_us"],
+        "dur": span["duration_us"],
+        "pid": 1,
+        "tid": tid,
+        "cat": span["name"].split(".", 1)[0],
+        "args": args,
+    })
+    for child in span["children"]:
+        _chrome_events(child, tid, events)
+
+
+def chrome_trace(traces: Iterable[dict[str, Any]],
+                 process_name: str = "w5-provider") -> dict[str, Any]:
+    """Chrome trace-event JSON for one or more dict-form traces.
+
+    Returns the object format (``{"traceEvents": [...]}``) so viewers
+    that require it and viewers that take the bare array both load it.
+    """
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": process_name},
+    }]
+    for tid, trace in enumerate(traces, start=1):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": f"{trace['name']} ({trace['trace_id']})"},
+        })
+        if trace["root"] is not None:
+            _chrome_events(trace["root"], tid, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> Optional[str]:
+    """Cheap structural validation; returns an error string or None.
+
+    Used by the export test and the analysis CLI to guarantee the
+    artifact CI uploads actually loads in a trace viewer.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return "missing traceEvents"
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            return f"event {i} not an object"
+        if "ph" not in ev or "name" not in ev or "pid" not in ev:
+            return f"event {i} missing ph/name/pid"
+        if ev["ph"] == "X":
+            if not isinstance(ev.get("ts"), (int, float)):
+                return f"event {i} has non-numeric ts"
+            if not isinstance(ev.get("dur"), (int, float)):
+                return f"event {i} has non-numeric dur"
+            if ev["dur"] < 0:
+                return f"event {i} has negative dur"
+    return None

@@ -1,0 +1,112 @@
+"""Flight recorder: keep the traces worth looking at, drop the rest.
+
+Recording every trace at production volume is a non-starter (memory
+grows with traffic), but the traces an operator actually wants are a
+tiny, well-defined subset: the **slowest N** requests (tail-latency
+forensics) and **every errored/denied** request (accountability — the
+W5 user asking "why was my export refused?" gets the full span tree,
+not just an audit line).  The recorder keeps exactly those, in
+constant memory:
+
+* slowest-N: a min-heap keyed by duration.  When full, a new trace
+  only displaces the current *fastest* kept trace if it is slower —
+  one ``heappushpop``, O(log N).
+* errors: a bounded ``deque`` — the most recent ``keep_errors``
+  error traces, oldest evicted first.
+
+A trace that is both slow and errored lives in both structures;
+:meth:`traces` dedups by trace id when reading.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from .export import trace_to_dict
+from .trace import Trace
+
+
+class FlightRecorder:
+    """Bounded retention of the slowest and the failed traces."""
+
+    def __init__(self, keep_slowest: int = 16,
+                 keep_errors: int = 32) -> None:
+        self.keep_slowest = keep_slowest
+        self.keep_errors = keep_errors
+        # (duration, seq, trace): seq breaks duration ties so heapq
+        # never falls back to comparing Trace objects.
+        self._slow: list[tuple[float, int, Trace]] = []
+        self._errors: deque[Trace] = deque(maxlen=keep_errors)
+        self._seq = 0
+        self.offered = 0
+        self.kept_slow_evictions = 0
+
+    # ------------------------------------------------------------------
+    # ingest (Tracer.sink)
+    # ------------------------------------------------------------------
+
+    def offer(self, trace: Trace) -> None:
+        """Consider a finished trace for retention."""
+        self.offered += 1
+        self._seq += 1
+        if trace.error:
+            self._errors.append(trace)
+        slow = self._slow
+        if len(slow) < self.keep_slowest:
+            heapq.heappush(slow, (trace.duration, self._seq, trace))
+        elif slow and trace.duration > slow[0][0]:
+            heapq.heappushpop(slow, (trace.duration, self._seq, trace))
+            self.kept_slow_evictions += 1
+        # steady state (heap full, trace not slower) touches nothing
+        # but the counters: offer() runs on every traced request
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def slowest(self) -> list[Trace]:
+        """Kept slow traces, slowest first."""
+        return [t for _, _, t in sorted(self._slow, reverse=True)]
+
+    def errors(self) -> list[Trace]:
+        """Kept error traces, most recent first."""
+        return list(reversed(self._errors))
+
+    def traces(self) -> list[Trace]:
+        """Everything kept, deduped (slowest first, then errors)."""
+        seen: set[str] = set()
+        out: list[Trace] = []
+        for trace in self.slowest() + self.errors():
+            if trace.trace_id not in seen:
+                seen.add(trace.trace_id)
+                out.append(trace)
+        return out
+
+    def find(self, trace_id: str) -> Optional[Trace]:
+        for trace in self.traces():
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "offered": self.offered,
+            "kept_slow": len(self._slow),
+            "kept_errors": len(self._errors),
+            "slow_evictions": self.kept_slow_evictions,
+        }
+
+    def dump(self) -> dict[str, Any]:
+        """Serializable form: feed to ``repro.analysis trace`` or the
+        Chrome exporter."""
+        return {
+            "slowest": [trace_to_dict(t) for t in self.slowest()],
+            "errors": [trace_to_dict(t) for t in self.errors()],
+            "stats": self.stats(),
+        }
+
+    def clear(self) -> None:
+        self._slow.clear()
+        self._errors.clear()

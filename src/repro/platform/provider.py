@@ -30,6 +30,7 @@ from ..labels import CapabilitySet, Label, LabelError, plus
 from ..net import (Gateway, HttpRequest, HttpResponse, SESSION_COOKIE,
                    SessionManager, AuthError, error, ok)
 from ..net.email import EmailGateway
+from ..obs import FlightRecorder, NULL_TRACER, Tracer
 from .accounts import UserAccount
 from .context import AppContext
 from .debug import DebugService
@@ -68,8 +69,23 @@ class Provider:
                  partitioned_store: bool = True,
                  audit_max_events: Optional[int] = None,
                  incremental_persistence: bool = True,
-                 journal_compact_bytes: int = 1 << 20) -> None:
+                 journal_compact_bytes: int = 1 << 20,
+                 tracing: bool = False) -> None:
         self.name = name
+        #: ``tracing`` switches end-to-end request tracing (repro.obs):
+        #: every handle_request builds a span tree through gateway,
+        #: kernel, app, db/fs, declassifier and egress; per-span-name
+        #: latency histograms accumulate; and the flight recorder keeps
+        #: the slowest and every errored trace.  Off (the default), the
+        #: shared NULL_TRACER makes all instrumentation sites no-ops.
+        self.tracing = tracing
+        if tracing:
+            self.tracer: Any = Tracer()
+            self.recorder: Optional[FlightRecorder] = FlightRecorder()
+            self.tracer.sink = self.recorder.offer
+        else:
+            self.tracer = NULL_TRACER
+            self.recorder = None
         #: ``incremental_persistence`` switches the durability journal:
         #: every durable mutation is appended to a checksummed log and
         #: ``snapshot_provider(..., incremental=True)`` emits O(dirty)
@@ -95,6 +111,12 @@ class Provider:
         self.kernel = Kernel(namespace=name, resources=resources,
                              recycle=recycle_processes,
                              audit_max_events=audit_max_events)
+        self.kernel.tracer = self.tracer
+        if tracing:
+            # every audit event recorded inside a traced request
+            # carries the active trace/span id in its extra dict (the
+            # log reads tracer.current directly — no callback)
+            self.kernel.audit.trace_source = self.tracer
         self.fs = LabeledFileSystem(self.kernel,
                                     grouped_walk=partitioned_store)
         self.db = LabeledStore(self.kernel, partitioned=partitioned_store)
@@ -183,6 +205,22 @@ class Provider:
             return {"incremental_persistence": False}
         return {"incremental_persistence": True,
                 **self._durability.stats()}
+
+    # ------------------------------------------------------------------
+    # tracing (repro.obs)
+    # ------------------------------------------------------------------
+
+    def trace_report(self) -> dict[str, Any]:
+        """Everything the tracer collected, in serializable form:
+        tracer counters, per-span-name latency histograms, and the
+        flight recorder's kept traces.  The input format of
+        ``python -m repro.analysis trace``."""
+        if not self.tracer.enabled or self.recorder is None:
+            return {"tracing": False}
+        return {"tracing": True,
+                "stats": self.tracer.stats(),
+                "latencies": self.tracer.latencies(),
+                "recorder": self.recorder.dump()}
 
     # ------------------------------------------------------------------
     # accounts (provider web forms)
@@ -621,6 +659,12 @@ class Provider:
         wrongly expose users' data" (§3.5), so the traceback goes to
         the audit log, not the wire.
         """
+        with self.kernel.tracer.detail("app.run", app=app_ref,
+                                       viewer=viewer or "anonymous"):
+            return self._run_app(app_ref, request, viewer)
+
+    def _run_app(self, app_ref: str, request: HttpRequest,
+                 viewer: Optional[str]) -> HttpResponse:
         app = self.apps.get(app_ref)
         if viewer is not None and viewer in self._accounts:
             account = self._accounts[viewer]
@@ -680,12 +724,44 @@ class Provider:
     # ------------------------------------------------------------------
 
     def handle_request(self, request: HttpRequest) -> HttpResponse:
-        """The full pipeline; everything the outside world ever calls."""
-        session = self.gateway.authenticate(request)
-        viewer = session.username if session else None
-        if not self.gateway.admit(viewer):
-            return HttpResponse(status=429,
-                                body={"error": "slow down"})
+        """The full pipeline; everything the outside world ever calls.
+
+        With tracing on, this is where the root span opens: the whole
+        pipeline (and every kernel/db/fs/gateway operation it causes)
+        nests under one ``{method} {path}`` trace, and the response
+        status is stamped on the root so denied/erroring requests land
+        in the flight recorder.
+        """
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return self._handle_request(request)
+        # the root span's name already carries method and path; not
+        # duplicating them as attrs saves a 2-entry dict per request
+        with tracer.request(f"{request.method} {request.path}"):
+            response = self._handle_request(request)
+            tracer.annotate(status=response.status)
+            return response
+
+    def _handle_request(self, request: HttpRequest) -> HttpResponse:
+        # one detail span for the whole ingress decision (cookie
+        # resolution + rate-limit window), shown on sampled traces.
+        # _fold is checked here so the unsampled steady state skips
+        # even the detail-span ceremony (kwargs + null-span enter).
+        if self.kernel.tracer._fold:
+            with self.kernel.tracer.detail("gateway.admission") as sp:
+                session = self.gateway.authenticate(request)
+                viewer = session.username if session else None
+                sp.annotate(user=viewer or "<anonymous>")
+                if not self.gateway.admit(viewer):
+                    sp.annotate(admitted=False)
+                    return HttpResponse(status=429,
+                                        body={"error": "slow down"})
+        else:
+            session = self.gateway.authenticate(request)
+            viewer = session.username if session else None
+            if not self.gateway.admit(viewer):
+                return HttpResponse(status=429,
+                                    body={"error": "slow down"})
         parts = request.path_parts()
         try:
             internal = self._route(request, viewer, parts)

@@ -1,0 +1,118 @@
+"""The per-category audit index is behavior-identical to the scan.
+
+The index exists purely for speed: ``events(category=...)`` must
+return exactly what a full scan of the retained ring would, under
+every eviction pattern.  These tests run an indexed and an unindexed
+log side by side through randomized event streams and pin equality.
+"""
+
+import random
+
+import pytest
+
+from repro.kernel.audit import AuditLog
+
+CATEGORIES = ["spawn", "send", "file_read", "db_query", "export"]
+SUBJECTS = ["app:blog", "app:social", "gateway", "provider"]
+
+
+def _drive(logs, n, seed, *, ring=False):
+    """Feed the same random stream to every log in ``logs``."""
+    rng = random.Random(seed)
+    for i in range(n):
+        cat = rng.choice(CATEGORIES)
+        subj = rng.choice(SUBJECTS)
+        allowed = rng.random() < 0.8
+        for log in logs:
+            log.record(cat, allowed, subj, f"event {i}")
+
+
+def _assert_identical(indexed, scanned):
+    for cat in CATEGORIES + ["never_recorded"]:
+        assert indexed.events(category=cat) == scanned.events(category=cat)
+        for allowed in (None, True, False):
+            for subj in SUBJECTS + [None]:
+                assert (indexed.events(category=cat, subject=subj,
+                                       allowed=allowed)
+                        == scanned.events(category=cat, subject=subj,
+                                          allowed=allowed))
+
+
+class TestIndexEquivalence:
+    def test_unbounded_log(self):
+        indexed = AuditLog()
+        scanned = AuditLog(category_index=False)
+        _drive([indexed, scanned], 300, seed=1)
+        _assert_identical(indexed, scanned)
+
+    @pytest.mark.parametrize("capacity", [1, 7, 50])
+    def test_ring_eviction(self, capacity):
+        """Global-FIFO eviction keeps the index exact at any bound."""
+        indexed = AuditLog(max_events=capacity)
+        scanned = AuditLog(max_events=capacity, category_index=False)
+        _drive([indexed, scanned], 300, seed=2)
+        assert indexed.dropped == scanned.dropped == 300 - capacity
+        _assert_identical(indexed, scanned)
+
+    def test_skewed_stream_single_hot_category(self):
+        """One category dominating the ring evicts mostly from itself."""
+        indexed = AuditLog(max_events=10)
+        scanned = AuditLog(max_events=10, category_index=False)
+        for i in range(100):
+            cat = "send" if i % 10 else "export"
+            for log in (indexed, scanned):
+                log.record(cat, True, "app:blog", f"e{i}")
+        _assert_identical(indexed, scanned)
+
+    def test_clear_resets_index(self):
+        log = AuditLog(max_events=5)
+        _drive([log], 20, seed=3)
+        log.clear()
+        assert log.events(category="send") == []
+        log.record("send", True, "app:blog", "after clear")
+        assert len(log.events(category="send")) == 1
+
+    def test_unfiltered_queries_unaffected(self):
+        indexed = AuditLog(max_events=20)
+        scanned = AuditLog(max_events=20, category_index=False)
+        _drive([indexed, scanned], 100, seed=4)
+        assert list(indexed) == list(scanned)
+        assert indexed.events() == scanned.events()
+        assert indexed.count() == scanned.count()
+
+
+class _StubTrace:
+    def __init__(self, trace_id):
+        self.trace_id = trace_id
+
+
+class _StubSpan:
+    def __init__(self, trace_id, span_id):
+        self.trace = _StubTrace(trace_id)
+        self.span_id = span_id
+
+
+class _StubTracer:
+    """The trace_source protocol: an object with a ``current`` span."""
+
+    def __init__(self, current=None):
+        self.current = current
+
+
+class TestTraceStamping:
+    def test_trace_source_stamps_extra(self):
+        log = AuditLog()
+        log.trace_source = _StubTracer(_StubSpan("deadbeef", 7))
+        e = log.record("export", True, "gateway", "ok")
+        assert e.extra["trace_id"] == "deadbeef"
+        assert e.extra["span_id"] == 7
+
+    def test_no_active_trace_leaves_extra_clean(self):
+        log = AuditLog()
+        log.trace_source = _StubTracer(None)
+        e = log.record("export", True, "gateway", "ok")
+        assert "trace_id" not in e.extra
+
+    def test_default_log_has_no_source(self):
+        e = AuditLog().record("spawn", True, "provider", "boot")
+        assert "trace_id" not in e.extra

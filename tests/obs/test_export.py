@@ -1,0 +1,116 @@
+"""Exporters: dict form, text tree, Chrome trace-event JSON."""
+
+import json
+
+from repro.obs import (Tracer, chrome_trace, render_text, trace_to_dict,
+                       validate_chrome_trace)
+
+
+class _Boom(Exception):
+    pass
+
+
+def _sample_trace(error=False):
+    t = Tracer()
+    with t.request("GET /app/blog/read", method="GET") as root:
+        with t.span("gateway.admit", principal="alice"):
+            pass
+        try:
+            with t.span("app.run", app="app:blog"):
+                with t.span("db.select", table="posts"):
+                    if error:
+                        raise _Boom()
+        except _Boom:
+            pass
+    return root.trace
+
+
+class TestTraceToDict:
+    def test_offsets_relative_to_root(self):
+        d = trace_to_dict(_sample_trace())
+        assert d["root"]["start_us"] == 0.0
+        admit, app = d["root"]["children"]
+        assert admit["name"] == "gateway.admit"
+        assert admit["start_us"] >= 0.0
+        assert app["children"][0]["name"] == "db.select"
+        # children start after (or with) their parent
+        assert app["children"][0]["start_us"] >= app["start_us"]
+
+    def test_metadata_fields(self):
+        d = trace_to_dict(_sample_trace())
+        assert d["n_spans"] == 4
+        assert d["truncated"] == 0
+        assert d["error"] is False
+        assert d["duration_us"] >= 0
+
+    def test_attrs_preserved(self):
+        d = trace_to_dict(_sample_trace())
+        assert d["root"]["attrs"] == {"method": "GET"}
+        assert d["root"]["children"][0]["attrs"] == {"principal": "alice"}
+
+    def test_json_serializable(self):
+        json.dumps(trace_to_dict(_sample_trace()))
+
+
+class TestRenderText:
+    def test_tree_shape(self):
+        text = render_text(trace_to_dict(_sample_trace()))
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "GET /app/blog/read" in lines[0]
+        assert "gateway.admit" in text
+        # db.select is nested two levels under the root
+        db_line = next(l for l in lines if "db.select" in l)
+        assert db_line.startswith("    ")
+
+    def test_error_flagged(self):
+        text = render_text(trace_to_dict(_sample_trace(error=True)))
+        assert "ERROR" in text.splitlines()[0]
+        assert " !" in next(l for l in text.splitlines()
+                            if "db.select" in l)
+
+
+class TestChromeTrace:
+    def test_valid_and_loadable(self):
+        doc = chrome_trace([trace_to_dict(_sample_trace())])
+        assert validate_chrome_trace(doc) is None
+        # round-trips through JSON (what CI uploads)
+        assert validate_chrome_trace(json.loads(json.dumps(doc))) is None
+
+    def test_event_structure(self):
+        doc = chrome_trace([trace_to_dict(_sample_trace())])
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["name"] for m in meta} == {"process_name", "thread_name"}
+        assert len(spans) == 4
+        assert all(e["pid"] == 1 for e in spans)
+        db = next(e for e in spans if e["name"] == "db.select")
+        assert db["cat"] == "db"
+        assert db["args"] == {"table": "posts"}
+
+    def test_multiple_traces_get_distinct_tids(self):
+        docs = [trace_to_dict(_sample_trace()) for _ in range(3)]
+        doc = chrome_trace(docs)
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids == {1, 2, 3}
+
+    def test_error_status_lands_in_args(self):
+        doc = chrome_trace([trace_to_dict(_sample_trace(error=True))])
+        db = next(e for e in doc["traceEvents"]
+                  if e.get("name") == "db.select")
+        assert db["args"]["status"] == "error"
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) is not None
+
+    def test_rejects_malformed_event(self):
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X"}]}) is not None
+
+    def test_rejects_negative_duration(self):
+        bad = {"traceEvents": [{"ph": "X", "name": "s", "pid": 1,
+                                "ts": 0, "dur": -1}]}
+        assert validate_chrome_trace(bad) is not None

@@ -1,0 +1,164 @@
+"""Histogram bucketing math: boundaries, percentiles, merge.
+
+The three properties the M11 latency view leans on:
+
+* bucketing is exact at power-of-two boundaries (off-by-one here
+  would shift every percentile estimate a full bucket);
+* percentile estimates track exact quantiles within the log2 bucket
+  error bound (a factor of 2) on known distributions, and are *exact*
+  for degenerate distributions (clamping to observed min/max);
+* merge is lossless: a merged histogram is indistinguishable from one
+  that saw the concatenated observations (hypothesis round-trip).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import LatencyHistogram
+from repro.obs.histogram import BUCKETS
+
+
+def _exact_quantile(values, q):
+    """The same rank definition the histogram interpolates toward."""
+    values = sorted(values)
+    if not values:
+        return 0.0
+    rank = q * (len(values) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    frac = rank - lo
+    return values[lo] * (1 - frac) + values[hi] * frac
+
+
+class TestBucketBoundaries:
+    def test_zero_and_one_ns_share_bucket_zero(self):
+        h = LatencyHistogram()
+        h.add(0.0)
+        h.add(1e-9)
+        assert h.buckets[0] == 2
+
+    @pytest.mark.parametrize("exp", [1, 4, 10, 20, 30])
+    def test_power_of_two_lands_in_its_own_bucket(self, exp):
+        # 2^exp ns is the *inclusive lower* boundary of bucket `exp`
+        h = LatencyHistogram()
+        h.add((1 << exp) / 1e9)
+        assert h.buckets[exp] == 1
+
+    @pytest.mark.parametrize("exp", [1, 4, 10, 20, 30])
+    def test_just_below_boundary_lands_one_bucket_down(self, exp):
+        h = LatencyHistogram()
+        h.add(((1 << exp) - 1) / 1e9)
+        assert h.buckets[exp - 1] == 1
+
+    def test_negative_clamps_to_zero(self):
+        h = LatencyHistogram()
+        h.add(-1.0)
+        assert h.buckets[0] == 1
+        assert h.min == 0.0
+
+    def test_huge_value_clamps_to_top_bucket(self):
+        h = LatencyHistogram()
+        h.add(1e30)
+        assert h.buckets[BUCKETS - 1] == 1
+
+    def test_exact_moments_match_latencystat_contract(self):
+        h = LatencyHistogram.from_values([1e-6, 3e-6, 2e-6])
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["total_s"] == pytest.approx(6e-6)
+        assert d["mean_us"] == pytest.approx(2.0)
+        assert d["min_us"] == pytest.approx(1.0)
+        assert d["max_us"] == pytest.approx(3.0)
+
+    def test_empty_histogram_reports_zeros(self):
+        d = LatencyHistogram().as_dict()
+        assert d == {"count": 0, "total_s": 0.0, "mean_us": 0.0,
+                     "min_us": 0.0, "max_us": 0.0, "p50_us": 0.0,
+                     "p95_us": 0.0, "p99_us": 0.0}
+
+
+class TestPercentiles:
+    def test_single_observation_is_exact_everywhere(self):
+        h = LatencyHistogram.from_values([42e-6])
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.percentile(q) == pytest.approx(42e-6)
+
+    def test_identical_observations_are_exact(self):
+        h = LatencyHistogram.from_values([7e-6] * 1000)
+        assert h.percentile(0.5) == pytest.approx(7e-6)
+        assert h.percentile(0.99) == pytest.approx(7e-6)
+
+    def test_extremes_are_exact_min_and_max(self):
+        values = [random.Random(1).uniform(1e-6, 1e-3)
+                  for _ in range(500)]
+        h = LatencyHistogram.from_values(values)
+        assert h.percentile(0.0) == min(values)
+        assert h.percentile(1.0) == max(values)
+
+    @pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+    def test_uniform_distribution_within_bucket_error(self, q):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-6, 1e-3) for _ in range(5000)]
+        h = LatencyHistogram.from_values(values)
+        exact = _exact_quantile(values, q)
+        est = h.percentile(q)
+        # log2 buckets: the estimate is within one bucket of truth,
+        # i.e. a factor of 2 either way
+        assert exact / 2 <= est <= exact * 2
+
+    @pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+    def test_lognormal_distribution_within_bucket_error(self, q):
+        rng = random.Random(11)
+        values = [rng.lognormvariate(math.log(50e-6), 1.0)
+                  for _ in range(5000)]
+        h = LatencyHistogram.from_values(values)
+        exact = _exact_quantile(values, q)
+        est = h.percentile(q)
+        assert exact / 2 <= est <= exact * 2
+
+    def test_percentiles_are_monotone(self):
+        rng = random.Random(3)
+        h = LatencyHistogram.from_values(
+            [rng.expovariate(1e4) for _ in range(2000)])
+        qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]
+        estimates = [h.percentile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+
+# Latencies from sub-ns to ~16 s, the realistic observable span.
+_latency = st.floats(min_value=0.0, max_value=16.0, allow_nan=False,
+                     allow_infinity=False)
+
+
+class TestMerge:
+    @given(a=st.lists(_latency, max_size=60),
+           b=st.lists(_latency, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = LatencyHistogram.from_values(a).merge(
+            LatencyHistogram.from_values(b))
+        direct = LatencyHistogram.from_values(a + b)
+        assert merged.buckets == direct.buckets
+        assert merged.count == direct.count
+        assert merged.total == pytest.approx(direct.total)
+        assert merged.max == direct.max
+        if a or b:
+            assert merged.min == direct.min
+        # identical state => identical percentile estimates
+        for q in (0.5, 0.95, 0.99):
+            assert merged.percentile(q) == direct.percentile(q)
+
+    def test_merge_into_empty(self):
+        h = LatencyHistogram().merge(LatencyHistogram.from_values([1e-6]))
+        assert h.count == 1
+        assert h.min == 1e-6
+
+    def test_merge_empty_is_identity(self):
+        h = LatencyHistogram.from_values([5e-6, 9e-6])
+        before = (list(h.buckets), h.count, h.total, h.min, h.max)
+        h.merge(LatencyHistogram())
+        assert (list(h.buckets), h.count, h.total, h.min, h.max) == before

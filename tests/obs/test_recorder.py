@@ -1,0 +1,114 @@
+"""Flight-recorder retention and eviction order."""
+
+from repro.obs import FlightRecorder, Tracer
+
+
+class _Boom(Exception):
+    pass
+
+
+def _finish_trace(tracer, name, duration, error=False):
+    """Drive one trace through the tracer with a synthetic duration."""
+    span = tracer.request(name)
+    try:
+        with span:
+            if error:
+                raise _Boom()
+    except _Boom:
+        pass
+    # overwrite the measured wall-clock with the synthetic duration so
+    # eviction order is deterministic
+    span.duration = duration
+    return span.trace
+
+
+def _recorded(keep_slowest=3, keep_errors=2):
+    tracer = Tracer()
+    rec = FlightRecorder(keep_slowest=keep_slowest,
+                         keep_errors=keep_errors)
+    return tracer, rec
+
+
+class TestSlowestRetention:
+    def test_keeps_at_most_n(self):
+        tracer, rec = _recorded(keep_slowest=3)
+        for i in range(10):
+            t = _finish_trace(tracer, f"r{i}", duration=i * 1e-3)
+            rec.offer(t)
+        assert len(rec.slowest()) == 3
+
+    def test_evicts_fastest_first(self):
+        tracer, rec = _recorded(keep_slowest=3)
+        durations = [5e-3, 1e-3, 9e-3, 3e-3, 7e-3]
+        for i, d in enumerate(durations):
+            rec.offer(_finish_trace(tracer, f"r{i}", duration=d))
+        kept = [t.duration for t in rec.slowest()]
+        assert kept == [9e-3, 7e-3, 5e-3]  # slowest first; 1ms, 3ms gone
+
+    def test_fast_trace_never_displaces_slow(self):
+        tracer, rec = _recorded(keep_slowest=2)
+        rec.offer(_finish_trace(tracer, "slow1", duration=8e-3))
+        rec.offer(_finish_trace(tracer, "slow2", duration=6e-3))
+        rec.offer(_finish_trace(tracer, "fast", duration=1e-6))
+        assert [t.name for t in rec.slowest()] == ["slow1", "slow2"]
+        assert rec.kept_slow_evictions == 0
+
+    def test_eviction_counter(self):
+        tracer, rec = _recorded(keep_slowest=2)
+        for i in range(5):
+            rec.offer(_finish_trace(tracer, f"r{i}", duration=(i + 1) * 1e-3))
+        assert rec.kept_slow_evictions == 3
+
+    def test_duration_ties_keep_insertion_order_stable(self):
+        tracer, rec = _recorded(keep_slowest=2)
+        for i in range(4):
+            rec.offer(_finish_trace(tracer, f"tie{i}", duration=2e-3))
+        # ties: later arrivals never displace earlier equals (> not >=)
+        assert sorted(t.name for t in rec.slowest()) == ["tie0", "tie1"]
+
+
+class TestErrorRetention:
+    def test_all_error_traces_kept_up_to_bound(self):
+        tracer, rec = _recorded(keep_errors=2)
+        for i in range(4):
+            rec.offer(_finish_trace(tracer, f"e{i}", duration=1e-6,
+                                    error=True))
+        kept = [t.name for t in rec.errors()]
+        assert kept == ["e3", "e2"]  # most recent first, oldest evicted
+
+    def test_error_and_slow_deduped_in_traces(self):
+        tracer, rec = _recorded(keep_slowest=3, keep_errors=3)
+        t = _finish_trace(tracer, "both", duration=9e-3, error=True)
+        rec.offer(t)
+        assert len(rec.traces()) == 1
+        assert rec.find(t.trace_id) is t
+
+    def test_http_error_status_counts_as_error(self):
+        tracer, rec = _recorded()
+        span = tracer.request("GET /x")
+        with span:
+            pass
+        span.attrs["status"] = 403
+        rec.offer(span.trace)
+        assert len(rec.errors()) == 1
+
+    def test_ok_trace_not_in_errors(self):
+        tracer, rec = _recorded()
+        rec.offer(_finish_trace(tracer, "ok", duration=1e-6))
+        assert rec.errors() == []
+
+
+class TestDump:
+    def test_dump_shape(self):
+        tracer, rec = _recorded()
+        rec.offer(_finish_trace(tracer, "r", duration=1e-3))
+        dump = rec.dump()
+        assert dump["stats"]["offered"] == 1
+        assert dump["slowest"][0]["name"] == "r"
+        assert dump["errors"] == []
+
+    def test_clear(self):
+        tracer, rec = _recorded()
+        rec.offer(_finish_trace(tracer, "r", duration=1e-3, error=True))
+        rec.clear()
+        assert rec.traces() == []

@@ -1,0 +1,218 @@
+"""Tracer mechanics: span trees, context, budget, the null path."""
+
+import pytest
+
+from repro.obs import (MAX_SPANS_PER_TRACE, NULL_TRACER, NullTracer,
+                       Tracer)
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpanTree:
+    def test_root_then_children_nest(self):
+        t = Tracer()
+        with t.request("GET /x") as root:
+            with t.span("gateway.admit"):
+                pass
+            with t.span("app.run") as app:
+                with t.span("db.select"):
+                    pass
+        assert [c.name for c in root.children] == ["gateway.admit",
+                                                   "app.run"]
+        assert [c.name for c in app.children] == ["db.select"]
+
+    def test_span_ids_are_sequential_per_trace(self):
+        t = Tracer()
+        with t.request("r") as root:
+            with t.span("a") as a:
+                with t.span("b") as b:
+                    pass
+        assert (root.span_id, a.span_id, b.span_id) == (1, 2, 3)
+        # a fresh trace restarts the sequence
+        with t.request("r2") as root2:
+            pass
+        assert root2.span_id == 1
+
+    def test_walk_is_depth_first(self):
+        t = Tracer()
+        with t.request("r") as root:
+            with t.span("a"):
+                with t.span("a1"):
+                    pass
+            with t.span("b"):
+                pass
+        names = [s.name for s in root.trace.walk()]
+        assert names == ["r", "a", "a1", "b"]
+
+    def test_durations_are_monotonic_and_nested(self):
+        t = Tracer()
+        with t.request("r") as root:
+            with t.span("inner") as inner:
+                pass
+        assert root.duration is not None and root.duration >= 0
+        assert inner.duration is not None
+        assert inner.duration <= root.duration
+
+    def test_exception_marks_error_and_reraises(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.request("r") as root:
+                with t.span("boom") as boom:
+                    raise ValueError("nope")
+        assert boom.status == "error"
+        assert boom.attrs["error"] == "ValueError"
+        assert root.status == "error"  # propagated through the root too
+        assert root.trace.error
+
+    def test_http_status_attr_marks_trace_error(self):
+        t = Tracer()
+        with t.request("r", status=500) as root:
+            pass
+        assert root.trace.error
+        t2 = Tracer()
+        with t2.request("r", status=200) as ok:
+            pass
+        assert not ok.trace.error
+
+
+class TestContext:
+    def test_current_ids_track_active_span(self):
+        t = Tracer()
+        assert t.current_ids() is None
+        with t.request("r") as root:
+            assert t.current_ids() == (root.trace.trace_id, 1)
+            with t.span("child"):
+                assert t.current_ids() == (root.trace.trace_id, 2)
+            assert t.current_ids() == (root.trace.trace_id, 1)
+        assert t.current_ids() is None
+
+    def test_annotate_hits_current_span(self):
+        t = Tracer()
+        with t.request("r") as root:
+            t.annotate(user="alice")
+            with t.span("c") as c:
+                t.annotate(rows=3)
+        assert root.attrs["user"] == "alice"
+        assert c.attrs["rows"] == 3
+
+    def test_annotate_outside_trace_is_noop(self):
+        Tracer().annotate(user="nobody")  # must not raise
+
+    def test_span_outside_trace_is_null(self):
+        t = Tracer()
+        assert t.span("orphan") is _NULL_SPAN
+
+    def test_nested_request_degrades_to_child_span(self):
+        t = Tracer()
+        with t.request("outer") as outer:
+            with t.request("inner") as inner:
+                assert inner.trace is outer.trace
+        assert inner in outer.children
+        assert t.stats()["traces_started"] == 1
+
+
+class TestFinalization:
+    def test_sink_called_once_per_root(self):
+        t = Tracer()
+        got = []
+        t.sink = got.append
+        with t.request("r") as root:
+            with t.span("c"):
+                pass
+        assert got == [root.trace]
+        assert t.stats()["traces_finished"] == 1
+
+    def test_latency_histograms_keyed_by_span_name(self):
+        t = Tracer(fold_every=1)  # fold every span of every trace
+        for _ in range(3):
+            with t.request("GET /x"):
+                with t.span("db.select"):
+                    pass
+        lat = t.latencies()
+        assert lat["db.select"]["count"] == 3
+        assert lat["GET /x"]["count"] == 3
+        assert "p95_us" in lat["db.select"]
+
+    def test_child_folding_is_sampled_roots_exact(self):
+        t = Tracer(fold_every=4)
+        for _ in range(8):
+            with t.request("GET /x"):
+                with t.span("db.select"):
+                    pass
+        lat = t.latencies()
+        # roots always fold; children only on traces 1 and 5
+        assert lat["GET /x"]["count"] == 8
+        assert lat["db.select"]["count"] == 2
+
+    def test_trace_ids_are_unique(self):
+        t = Tracer()
+        ids = set()
+        for _ in range(5):
+            with t.request("r") as root:
+                pass
+            ids.add(root.trace.trace_id)
+        assert len(ids) == 5
+
+
+class TestBudget:
+    def test_spans_beyond_budget_are_dropped_not_lost(self):
+        t = Tracer(max_spans=4)
+        with t.request("r") as root:
+            for _ in range(10):
+                with t.span("c"):
+                    pass
+        trace = root.trace
+        assert trace.n_spans == 4
+        assert trace.truncated == 7
+        assert t.spans_dropped == 7
+
+    def test_budget_overflow_returns_null_span(self):
+        t = Tracer(max_spans=1)
+        with t.request("r"):
+            assert t.span("over") is _NULL_SPAN
+
+    def test_default_budget_matches_module_constant(self):
+        assert Tracer().max_spans == MAX_SPANS_PER_TRACE
+
+
+class TestNullTracer:
+    def test_everything_is_inert(self):
+        n = NullTracer()
+        assert n.enabled is False
+        assert n.request("r") is _NULL_SPAN
+        assert n.span("s") is _NULL_SPAN
+        assert n.current_ids() is None
+        assert n.latencies() == {}
+        assert n.histogram("x") is None
+        n.annotate(a=1)  # no-op, no raise
+        with n.request("r") as s:
+            with n.span("c"):
+                pass
+        assert s is _NULL_SPAN
+
+    def test_shared_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("s"):
+                raise KeyError("real errors still propagate")
+
+
+class TestDetailSpans:
+    def test_detail_spans_only_on_sampled_traces(self):
+        t = Tracer(fold_every=2)  # traces 1, 3, 5... sample
+        kept = []
+        for _ in range(2):
+            with t.request("r") as root:
+                with t.detail("kernel.checkout"):
+                    pass
+            kept.append(root.trace)
+        assert [s.name for s in kept[0].walk()] == ["r", "kernel.checkout"]
+        assert [s.name for s in kept[1].walk()] == ["r"]
+
+    def test_detail_outside_trace_is_null(self):
+        assert Tracer().detail("d") is _NULL_SPAN
+
+    def test_null_tracer_detail_is_null(self):
+        assert NULL_TRACER.detail("d") is _NULL_SPAN
