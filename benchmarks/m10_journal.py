@@ -35,7 +35,8 @@ from typing import Any
 
 from repro.apps import STANDARD_CATALOG, install_standard_apps
 from repro.net import ExternalClient
-from repro.platform import Provider, recover_provider, snapshot_provider
+from repro.platform import (Provider, ProviderConfig, recover_provider,
+                            snapshot_provider)
 
 
 def _best_seconds(fn, *, n: int, repeat: int) -> float:
@@ -65,8 +66,9 @@ def build_provider(n_users: int, incremental: bool,
     """
     p = Provider(name=f"m10-{'incr' if incremental else 'naive'}"
                       f"-{n_users}",
-                 incremental_persistence=incremental,
-                 journal_compact_bytes=compact_bytes)
+                 config=ProviderConfig(
+                     incremental_persistence=incremental,
+                     journal_compact_bytes=compact_bytes))
     install_standard_apps(p)
     for i in range(n_users):
         u = f"user{i:05d}"

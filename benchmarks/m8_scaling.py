@@ -21,6 +21,7 @@ import time
 from typing import Any
 
 from repro import W5System
+from repro.platform import ProviderConfig
 
 
 def build_deployment(n_users: int, fast: bool,
@@ -34,7 +35,8 @@ def build_deployment(n_users: int, fast: bool,
     deployment and request mix).
     """
     w5 = W5System(name=f"m8-{'fast' if fast else 'slow'}-{n_users}",
-                  fast_request_plane=fast, recycle_processes=fast,
+                  config=ProviderConfig(fast_request_plane=fast,
+                                        recycle_processes=fast),
                   audit_max_events=20_000, tracing=tracing)
     driver = w5.add_user("user0", apps=("blog",))
     provider = w5.provider

@@ -3,20 +3,25 @@
 Writes ``BENCH_M1.json`` (label-operation microbenchmarks, cached and
 uncached), ``BENCH_M2.json`` (end-to-end request path),
 ``BENCH_M8.json`` (request-plane scaling vs. user count),
-``BENCH_M9.json`` (data-plane scaling vs. distinct labels) and
-``BENCH_M10.json`` (incremental durability vs. full snapshots) so CI
-can archive one number series per commit — the repo's before/after
+``BENCH_M9.json`` (data-plane scaling vs. distinct labels),
+``BENCH_M10.json`` (incremental durability vs. full snapshots),
+``BENCH_M11.json`` (request-tracing overhead) and ``BENCH_M12.json``
+(compiled request plans vs. the interpreted decision path) so CI can
+archive one number series per commit — the repo's before/after
 record for the fast-path label engine, the O(1) request plane, the
-label-partitioned storage engine, and the write-ahead journal lives
-in these files and in EXPERIMENTS.md.
+label-partitioned storage engine, the write-ahead journal, the span
+tracer and planned dispatch lives in these files and in
+EXPERIMENTS.md.
 
-``BENCH_M8``, ``BENCH_M9`` and ``BENCH_M10`` double as regression
-guards: the run **fails** (exit code 1) if per-request latency at
-1,000 users exceeds 3x the 10-user latency with the fast request
-plane on, if the partitioned select beats the naive engine by less
-than 3x on a 10k-row / 128-label table, or if the incremental
-snapshot beats the full snapshot by less than 3x at 1,000 users with
-1% dirty state.
+``BENCH_M8`` through ``BENCH_M12`` double as regression guards: the
+run **fails** (exit code 1) if per-request latency at 1,000 users
+exceeds 3x the 10-user latency with the fast request plane on, if
+the partitioned select beats the naive engine by less than 3x on a
+10k-row / 128-label table, if the incremental snapshot beats the
+full snapshot by less than 3x at 1,000 users with 1% dirty state, if
+enabled tracing costs more than 1.2x on the M8 mix, or if the
+compiled decision read exceeds its 10us budget or beats the
+interpretation it replaced by less than 3x.
 
 Usage::
 
@@ -226,6 +231,48 @@ def bench_m11(repeat: int) -> dict:
     }
 
 
+#: The M12 regression bound, on the cached-read path: the compiled
+#: decision read must be at least 3x cheaper than the per-request
+#: interpretation it replaced (the unplanned-minus-planned gap).
+M12_MIN_DECISION_SPEEDUP = 3.0
+
+
+def bench_m12(repeat: int) -> dict:
+    """Planned dispatch: compiled decision reads vs. interpretation.
+
+    The interesting number is the cached read — the compiled decision
+    path on a plan hit (lookup + pool key + partition verdicts +
+    egress verdict), ~1-3us against the ~15us of interpretation the
+    unplanned plane spends re-deriving the same answers per request.
+    The guard is on that ratio: if the cached read path bloats, the
+    speedup collapses long before the end-to-end numbers notice.
+    """
+    from m12_plans import M12_MAX_CACHED_READ_US, run_comparison
+
+    del repeat  # the interleaved-slice protocol fixes its own reps
+    comparison = run_comparison(n_users=100)
+    speedup = comparison["decision_speedup"]
+    return {
+        "unplanned": comparison["unplanned"],
+        "planned": comparison["planned"],
+        "cached_read_us": comparison["cached_read_us"],
+        "interpretation_removed_us":
+            comparison["interpretation_removed_us"],
+        "unplanned_noise_ratio": comparison["unplanned_noise_ratio"],
+        "planned_ratio": comparison["planned_ratio"],
+        "scaling": {
+            "cached_read_us": comparison["cached_read_us"],
+            "max_cached_read_us": M12_MAX_CACHED_READ_US,
+            "decision_speedup": speedup,
+            "min_decision_speedup": M12_MIN_DECISION_SPEEDUP,
+            "regression": (
+                speedup < M12_MIN_DECISION_SPEEDUP
+                or comparison["cached_read_us"]
+                > M12_MAX_CACHED_READ_US),
+        },
+    }
+
+
 #: The M10 regression bound: full vs incremental snapshot at 1k users.
 M10_MIN_SPEEDUP = 3.0
 
@@ -279,7 +326,7 @@ def main(argv=None) -> int:
     failed = False
     for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8),
                      ("M9", bench_m9), ("M10", bench_m10),
-                     ("M11", bench_m11)):
+                     ("M11", bench_m11), ("M12", bench_m12)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -308,6 +355,15 @@ def main(argv=None) -> int:
             ratio = payload["results"]["scaling"]["enabled_ratio"]
             print(f"M11 REGRESSION: enabled tracing costs {ratio}x on "
                   f"the M8 mix (bound: {M11_MAX_OVERHEAD}x)")
+            failed = True
+        if name == "M12" and payload["results"]["scaling"]["regression"]:
+            scaling = payload["results"]["scaling"]
+            print(f"M12 REGRESSION: cached decision read costs "
+                  f"{scaling['cached_read_us']}us "
+                  f"(bound: {scaling['max_cached_read_us']}us) at "
+                  f"{scaling['decision_speedup']}x the interpretation "
+                  f"it replaces "
+                  f"(bound: {M12_MIN_DECISION_SPEEDUP}x minimum)")
             failed = True
     return 1 if failed else 0
 

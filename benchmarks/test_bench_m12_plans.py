@@ -1,0 +1,83 @@
+"""M12 — compiled request plans: sub-10µs cached decision reads.
+
+The planned-dispatch claim, as assertions on the M8 request mix:
+
+* the **cached read** — the compiled decision path on a plan hit
+  (lookup + pool key + state-keyed partition verdicts + precomputed
+  egress verdict) — costs under 10µs per request; it is the whole
+  control plane the planned loop interprets per steady-state request;
+* **end to end**, planned dispatch beats the unplanned plane on the
+  identical byte-for-byte pipeline (floor over floor, M11 protocol),
+  because the ~15µs of per-request interpretation it removes is real;
+* two independently built **unplanned** deployments reproduce each
+  other's floor, so the comparison is not measuring build luck;
+* the plan cache actually runs hot: one compile, then hits.
+"""
+
+import pytest
+
+from .conftest import print_table
+from .m12_plans import (M12_MAX_CACHED_READ_US, M12_MAX_PLANNED_RATIO,
+                        M12_MAX_UNPLANNED_NOISE, build_deployment,
+                        run_comparison)
+
+N_USERS = 100
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    result = run_comparison(n_users=N_USERS)
+    print_table(
+        f"M12 planned dispatch ({N_USERS}-user M8 mix)",
+        ["mode", "latency µs", "throughput rps", "ratio"],
+        [["unplanned (floor)", result["unplanned"]["latency_us"],
+          result["unplanned"]["throughput_rps"], "1.0x"],
+         ["unplanned (other build's floor)", "", "",
+          f"{result['unplanned_noise_ratio']}x"],
+         ["planned (floor)", result["planned"]["latency_us"],
+          result["planned"]["throughput_rps"],
+          f"{result['planned_ratio']}x"],
+         ["planned (batched)", result["planned"]["batch_latency_us"],
+          "", ""],
+         ["cached decision read", result["cached_read_us"], "", ""]])
+    return result
+
+
+def test_bench_m12_cached_read_is_sub_10us(comparison):
+    cached = comparison["cached_read_us"]
+    assert cached < M12_MAX_CACHED_READ_US, (
+        f"the compiled decision path costs {cached}us per hit "
+        f"(budget {M12_MAX_CACHED_READ_US}us): plan reads are no "
+        f"longer constant-time lookups")
+
+
+def test_bench_m12_planned_dispatch_wins_end_to_end(comparison):
+    ratio = comparison["planned_ratio"]
+    assert ratio < M12_MAX_PLANNED_RATIO, (
+        f"planned dispatch runs at {ratio}x the unplanned plane "
+        f"(budget {M12_MAX_PLANNED_RATIO}x): plans no longer pay "
+        f"for themselves")
+
+
+def test_bench_m12_unplanned_builds_agree(comparison):
+    noise = comparison["unplanned_noise_ratio"]
+    assert noise < M12_MAX_UNPLANNED_NOISE, (
+        f"two unplanned builds' latency floors differ by {noise}x "
+        f"(budget {M12_MAX_UNPLANNED_NOISE}x): the comparison is "
+        f"drowning in build-to-build noise")
+
+
+def test_bench_m12_plan_cache_runs_hot(comparison):
+    stats = comparison["planned"]["plans"]
+    assert stats["enabled"]
+    assert stats["entries"] >= 1
+    assert stats["misses"] <= stats["entries"] + 2  # compiles, not churn
+    assert stats["hits"] > 100 * stats["misses"]
+    assert stats["invalidated"] == 0  # no policy mutations in this mix
+
+
+def test_bench_m12_planned_request_latency(benchmark):
+    """pytest-benchmark point: one planned labeled read."""
+    _, driver = build_deployment(N_USERS, plans=True)
+    resp = benchmark(driver.get, "/app/blog/read", title="t0")
+    assert resp.ok

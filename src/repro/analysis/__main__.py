@@ -1,17 +1,21 @@
 """``python -m repro.analysis`` — render reports.
 
-Two forms::
+Three forms::
 
     python -m repro.analysis <benchmark.json>        # timing tables
     python -m repro.analysis trace <report.json>     # span trees
+    python -m repro.analysis plan <explain.json>     # compiled plans
 
 The first renders pytest-benchmark JSON into the EXPERIMENTS.md
 tables; the second renders a saved ``Provider.trace_report()`` dump
-(see :mod:`repro.analysis.tracecmd`).
+(see :mod:`repro.analysis.tracecmd`); the third renders a saved
+``Provider.explain(app, viewer)`` dump — the compiled request plan
+(see :mod:`repro.analysis.plancmd`).
 """
 
 import sys
 
+from .plancmd import run as run_plan
 from .report import render_report
 from .tracecmd import run as run_trace
 
@@ -20,10 +24,13 @@ def main() -> int:
     argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
+    if argv and argv[0] == "plan":
+        return run_plan(argv[1:])
     if len(argv) != 1 or argv[0].startswith("-"):
         print("usage: python -m repro.analysis <benchmark.json>\n"
               "       python -m repro.analysis trace <report.json> "
-              "[--chrome OUT]",
+              "[--chrome OUT]\n"
+              "       python -m repro.analysis plan <explain.json>",
               file=sys.stderr)
         print("(produce the benchmark input with: pytest benchmarks/ "
               "--benchmark-only --benchmark-json=benchmark.json; the "

@@ -92,6 +92,23 @@ class Metrics:
             out[f"{category}.{'allow' if allowed else 'deny'}"] = n
         return out
 
+    # -- one-call attachment ----------------------------------------------
+
+    def attach(self, provider: "Provider") -> "Metrics":
+        """Attach every observable plane of ``provider`` in one call:
+        the kernel flow cache, the request plane (cap index, authority
+        memo, process pool, plan cache), the data plane, the durability
+        plane and the gateway edge.  The per-plane ``attach_*`` methods
+        remain for deployments observing planes selectively (or planes
+        from *different* providers), but one provider, fully observed,
+        is just ``Metrics(p.kernel.audit).attach(p)``."""
+        self.attach_flow_cache(provider.kernel.flow_cache)
+        self.attach_request_plane(provider)
+        self.attach_data_plane(provider)
+        self.attach_persistence(provider)
+        self.attach_gateway(provider.gateway)
+        return self
+
     # -- flow-cache observation -------------------------------------------
 
     def attach_flow_cache(self, cache: "FlowCache") -> "Metrics":
@@ -143,6 +160,7 @@ class Metrics:
             "launch_caps": provider.capindex.stats(),
             "authority": provider.declass.authority_stats(),
             "pool": provider.kernel.pool.stats(),
+            "plans": provider.plans.stats(),
             "audit_dropped": provider.kernel.audit.dropped,
         }
 

@@ -15,14 +15,20 @@ from typing import Any, Iterable, Mapping, Optional
 from ..apps import install_adversarial_apps, install_standard_apps
 from ..declassify import Declassifier
 from ..net import ExternalClient
-from ..platform import Provider
+from ..platform import Provider, ProviderConfig
+from ..platform.config import _UNSET, resolve_config
 from ..resources import ResourceManager
 from ..search import DependencyGraph, coderank, top_k
 from ..workloads import SocialWorld
 
 
 class W5System:
-    """A ready-to-use W5 deployment (single provider)."""
+    """A ready-to-use W5 deployment (single provider).
+
+    Performance/durability switches arrive as one
+    :class:`~repro.platform.config.ProviderConfig` (``config=``); the
+    individual keyword flags still work but are deprecated.
+    """
 
     def __init__(self, name: str = "w5",
                  quotas: Optional[Mapping[str, float]] = None,
@@ -30,23 +36,27 @@ class W5System:
                  = None,
                  with_adversaries: bool = False,
                  js_policy: str = "block",
-                 fast_request_plane: bool = True,
-                 recycle_processes: bool = True,
-                 partitioned_store: bool = True,
-                 incremental_persistence: bool = True,
-                 journal_compact_bytes: int = 1 << 20,
+                 fast_request_plane: Any = _UNSET,
+                 recycle_processes: Any = _UNSET,
+                 partitioned_store: Any = _UNSET,
+                 incremental_persistence: Any = _UNSET,
+                 journal_compact_bytes: Any = _UNSET,
                  audit_max_events: Optional[int] = None,
-                 tracing: bool = False) -> None:
+                 tracing: bool = False,
+                 config: Optional[ProviderConfig] = None,
+                 request_plans: Any = _UNSET) -> None:
+        config = resolve_config(config, dict(
+            fast_request_plane=fast_request_plane,
+            recycle_processes=recycle_processes,
+            partitioned_store=partitioned_store,
+            incremental_persistence=incremental_persistence,
+            journal_compact_bytes=journal_compact_bytes,
+            request_plans=request_plans), owner="W5System")
         self.resources = ResourceManager(default_quotas=quotas,
                                          overrides=quota_overrides)
         self.provider = Provider(name=name, resources=self.resources,
                                  js_policy=js_policy,
-                                 fast_request_plane=fast_request_plane,
-                                 recycle_processes=recycle_processes,
-                                 partitioned_store=partitioned_store,
-                                 incremental_persistence=
-                                 incremental_persistence,
-                                 journal_compact_bytes=journal_compact_bytes,
+                                 config=config,
                                  audit_max_events=audit_max_events,
                                  tracing=tracing)
         install_standard_apps(self.provider)

@@ -126,6 +126,13 @@ class Table:
     # column -> value -> partition key -> set of row ids
     indexes: dict[str, dict[Any, dict[tuple[Label, Label], set[int]]]] = \
         field(default_factory=dict)
+    #: Memoized sorted candidate-id lists per (index choice) — the
+    #: partitioned scan needs ids in row-id order every query, and
+    #: re-sorting an unchanged bucket per request is pure overhead.
+    #: Any membership change clears it (labels are immutable, so
+    #: updates that move no index bucket leave candidates intact).
+    _cand_cache: dict = field(default_factory=dict, repr=False,
+                              compare=False)
 
     def __post_init__(self) -> None:
         for col in self.indexed_columns:
@@ -134,6 +141,8 @@ class Table:
     # -- index + partition maintenance (store-internal) ----------------
 
     def index_add(self, row: Row) -> None:
+        if self._cand_cache:
+            self._cand_cache.clear()
         pkey = row.partition_key()
         self.partitions.setdefault(pkey, {})[row.row_id] = row
         for col, idx in self.indexes.items():
@@ -142,6 +151,8 @@ class Table:
                    .setdefault(pkey, set()).add(row.row_id)
 
     def index_remove(self, row: Row) -> None:
+        if self._cand_cache:
+            self._cand_cache.clear()
         pkey = row.partition_key()
         part = self.partitions.get(pkey)
         if part is not None:
@@ -333,7 +344,8 @@ class LabeledStore:
     def update(self, process: Process, table_name: str,
                where: Optional[dict[str, Any]] = None,
                predicate: Optional[Predicate] = None,
-               changes: Optional[dict[str, Any]] = None) -> int:
+               changes: Optional[dict[str, Any]] = None,
+               plan: Optional[Any] = None) -> int:
         """Update every *visible and writable* matching row.
 
         Rows the caller cannot read are silently skipped (they are not
@@ -343,12 +355,13 @@ class LabeledStore:
         """
         with self.kernel.tracer.detail("db.update", table=table_name):
             return self._update(process, table_name, where, predicate,
-                                changes)
+                                changes, plan)
 
     def _update(self, process: Process, table_name: str,
                 where: Optional[dict[str, Any]],
                 predicate: Optional[Predicate],
-                changes: Optional[dict[str, Any]]) -> int:
+                changes: Optional[dict[str, Any]],
+                plan: Optional[Any] = None) -> int:
         if changes is None:
             raise SchemaError("update requires changes")
         table = self.table(table_name)
@@ -384,7 +397,7 @@ class LabeledStore:
         if self.partitioned:
             write_verdicts: dict[tuple[Label, Label], bool] = {}
             for row in self._matching_rows_partitioned(
-                    process, table, where, predicate):
+                    process, table, where, predicate, plan):
                 pkey = row.partition_key()
                 allowed = write_verdicts.get(pkey)
                 if allowed is None:
@@ -426,20 +439,22 @@ class LabeledStore:
 
     def delete(self, process: Process, table_name: str,
                where: Optional[dict[str, Any]] = None,
-               predicate: Optional[Predicate] = None) -> int:
+               predicate: Optional[Predicate] = None,
+               plan: Optional[Any] = None) -> int:
         """Delete every visible and writable matching row (count returned)."""
         with self.kernel.tracer.detail("db.delete", table=table_name):
-            return self._delete(process, table_name, where, predicate)
+            return self._delete(process, table_name, where, predicate, plan)
 
     def _delete(self, process: Process, table_name: str,
                 where: Optional[dict[str, Any]],
-                predicate: Optional[Predicate]) -> int:
+                predicate: Optional[Predicate],
+                plan: Optional[Any] = None) -> int:
         table = self.table(table_name)
         doomed = []
         if self.partitioned:
             write_verdicts: dict[tuple[Label, Label], bool] = {}
             for row in self._matching_rows_partitioned(
-                    process, table, where, predicate):
+                    process, table, where, predicate, plan):
                 pkey = row.partition_key()
                 allowed = write_verdicts.get(pkey)
                 if allowed is None:
@@ -591,25 +606,31 @@ class LabeledStore:
     def select(self, process: Process, table_name: str,
                where: Optional[dict[str, Any]] = None,
                predicate: Optional[Predicate] = None,
-               limit: Optional[int] = None) -> list[dict[str, Any]]:
+               limit: Optional[int] = None,
+               plan: Optional[Any] = None) -> list[dict[str, Any]]:
         """Label-filtered query: returns copies of visible matching rows.
 
         The result is *identical* to what it would be if invisible rows
-        did not exist — the covert-channel-free semantics.
+        did not exist — the covert-channel-free semantics.  ``plan`` is
+        an optional :class:`~repro.platform.plans.RequestPlan` whose
+        value-keyed verdict table answers partition visibility without
+        the pid-keyed flow cache (M12); it never changes which rows are
+        visible, only where the verdict is remembered.
         """
         with self.kernel.tracer.detail("db.select", table=table_name):
             return self._select(process, table_name, where, predicate,
-                                limit)
+                                limit, plan)
 
     def _select(self, process: Process, table_name: str,
                 where: Optional[dict[str, Any]],
                 predicate: Optional[Predicate],
-                limit: Optional[int]) -> list[dict[str, Any]]:
+                limit: Optional[int],
+                plan: Optional[Any] = None) -> list[dict[str, Any]]:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         if self.partitioned:
             matches, scanned = self._scan_partitioned(
-                process, table, where, predicate, limit)
+                process, table, where, predicate, limit, plan)
             out = [row.snapshot() for row in matches]
         else:
             matches, scanned = self._scan_naive(
@@ -643,7 +664,8 @@ class LabeledStore:
 
     def count(self, process: Process, table_name: str,
               where: Optional[dict[str, Any]] = None,
-              predicate: Optional[Predicate] = None) -> int:
+              predicate: Optional[Predicate] = None,
+              plan: Optional[Any] = None) -> int:
         """Label-filtered count (same visibility rule as select).
 
         Shares the scan core with :meth:`select` but never snapshots a
@@ -652,16 +674,17 @@ class LabeledStore:
         historical record shape).
         """
         with self.kernel.tracer.detail("db.count", table=table_name):
-            return self._count(process, table_name, where, predicate)
+            return self._count(process, table_name, where, predicate, plan)
 
     def _count(self, process: Process, table_name: str,
                where: Optional[dict[str, Any]],
-               predicate: Optional[Predicate]) -> int:
+               predicate: Optional[Predicate],
+               plan: Optional[Any] = None) -> int:
         table = self.table(table_name)
         self.kernel.resources.charge(process, "db_queries", 1)
         if self.partitioned:
             matches, scanned = self._scan_partitioned(
-                process, table, where, predicate, None)
+                process, table, where, predicate, None, plan)
         else:
             matches, scanned = self._scan_naive(
                 process, table, where, predicate, None)
@@ -714,7 +737,9 @@ class LabeledStore:
     def _scan_partitioned(self, process: Process, table: Table,
                           where: Optional[dict[str, Any]],
                           predicate: Optional[Predicate],
-                          limit: Optional[int]) -> tuple[list[Row], int]:
+                          limit: Optional[int],
+                          plan: Optional[Any] = None
+                          ) -> tuple[list[Row], int]:
         """One visibility verdict and one batched charge per partition.
 
         Returns exactly the rows (in row-id order, honoring ``limit``)
@@ -724,9 +749,14 @@ class LabeledStore:
         naive engine's stopping point (a bisect, not a walk).
         """
         parts = self._partition_candidates(table, where)
-        verdicts = access.readable_pairs(process, list(parts),
-                                         cache=self.kernel.flow_cache,
-                                         category="db.read")
+        if plan is not None:
+            # Plan verdicts are keyed by the process's *label state*, so
+            # the fresh process a tainted request spawned still hits.
+            verdicts = plan.read_verdicts(process, parts)
+        else:
+            verdicts = access.readable_pairs(process, list(parts),
+                                             cache=self.kernel.flow_cache,
+                                             category="db.read")
         stats = self._stats
         matches: list[Row] = []
         for pkey, ids in parts.items():
@@ -768,15 +798,19 @@ class LabeledStore:
 
     def _matching_rows_partitioned(self, process: Process, table: Table,
                                    where: Optional[dict[str, Any]],
-                                   predicate: Optional[Predicate]
+                                   predicate: Optional[Predicate],
+                                   plan: Optional[Any] = None
                                    ) -> list[Row]:
         """Visible matching rows in row-id order, one read verdict per
         partition (the update/delete front half — no scan charges, the
         historical write-path behaviour)."""
         parts = self._partition_candidates(table, where)
-        verdicts = access.readable_pairs(process, list(parts),
-                                         cache=self.kernel.flow_cache,
-                                         category="db.read")
+        if plan is not None:
+            verdicts = plan.read_verdicts(process, parts)
+        else:
+            verdicts = access.readable_pairs(process, list(parts),
+                                             cache=self.kernel.flow_cache,
+                                             category="db.read")
         stats = self._stats
         matches: list[Row] = []
         for pkey, ids in parts.items():
@@ -839,15 +873,23 @@ class LabeledStore:
                               where: Optional[dict[str, Any]]
                               ) -> dict[tuple[Label, Label], list[int]]:
         """Candidate row ids per partition (sorted), narrowed by the
-        smallest index bucket when one applies."""
+        smallest index bucket when one applies.  Memoized on the table
+        until any row is added or removed — callers never mutate the
+        returned mapping."""
         choice = self._best_index(table, where)
+        cached = table._cand_cache.get(choice)
+        if cached is not None:
+            return cached
         if choice is not None:
             col, value = choice
             bucket = table.indexes[col].get(value) or {}
-            return {pkey: sorted(ids)
-                    for pkey, ids in bucket.items() if ids}
-        return {pkey: sorted(rows)
-                for pkey, rows in table.partitions.items() if rows}
+            parts = {pkey: sorted(ids)
+                     for pkey, ids in bucket.items() if ids}
+        else:
+            parts = {pkey: sorted(rows)
+                     for pkey, rows in table.partitions.items() if rows}
+        table._cand_cache[choice] = parts
+        return parts
 
     @staticmethod
     def _used_index(table: Table, where: Optional[dict[str, Any]]) -> bool:
@@ -866,11 +908,19 @@ def _matches(row: Row, where: Optional[dict[str, Any]],
 
 
 class DbView:
-    """A store handle bound to one process (mirrors :class:`FsView`)."""
+    """A store handle bound to one process (mirrors :class:`FsView`).
 
-    def __init__(self, store: LabeledStore, process: Process) -> None:
+    ``plan`` optionally binds a compiled
+    :class:`~repro.platform.plans.RequestPlan` (M12) so label-filtered
+    reads answer partition visibility from the plan's value-keyed
+    verdict table instead of the pid-keyed flow cache.
+    """
+
+    def __init__(self, store: LabeledStore, process: Process,
+                 plan: Optional[Any] = None) -> None:
         self._store = store
         self._process = process
+        self._plan = plan
 
     def create_table(self, name: str, indexes: Iterable[str] = ()) -> Table:
         return self._store.create_table(self._process, name, indexes=indexes)
@@ -879,16 +929,20 @@ class DbView:
         return self._store.insert(self._process, table, values, **kw)
 
     def select(self, table: str, **kw: Any) -> list[dict[str, Any]]:
-        return self._store.select(self._process, table, **kw)
+        return self._store.select(self._process, table, plan=self._plan,
+                                  **kw)
 
     def update(self, table: str, **kw: Any) -> int:
-        return self._store.update(self._process, table, **kw)
+        return self._store.update(self._process, table, plan=self._plan,
+                                  **kw)
 
     def delete(self, table: str, **kw: Any) -> int:
-        return self._store.delete(self._process, table, **kw)
+        return self._store.delete(self._process, table, plan=self._plan,
+                                  **kw)
 
     def count(self, table: str, **kw: Any) -> int:
-        return self._store.count(self._process, table, **kw)
+        return self._store.count(self._process, table, plan=self._plan,
+                                 **kw)
 
     def get(self, table: str, row_id: int) -> dict[str, Any]:
         return self._store.get(self._process, table, row_id)

@@ -13,7 +13,6 @@ provider-private and never flow back to applications.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, Union
 
 #: Event categories, used for filtering.
@@ -33,16 +32,40 @@ DECLASSIFY = "declassify"
 RESOURCE = "resource"
 
 
-@dataclass(frozen=True, slots=True)
 class AuditEvent:
-    """One security decision."""
+    """One security decision.
 
-    seq: int
-    category: str
-    allowed: bool
-    subject: str          # acting process name (or "gateway", "provider")
-    detail: str
-    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+    A hand-rolled ``__slots__`` class rather than a dataclass: events
+    are constructed several times per request, and skipping the
+    generated ``__init__`` indirection is measurable on the hot path.
+    Equality ignores ``extra`` (diagnostic payload, not identity), the
+    same semantics the earlier frozen-dataclass spelling had.
+    """
+
+    __slots__ = ("seq", "category", "allowed", "subject", "detail", "extra")
+
+    def __init__(self, seq: int, category: str, allowed: bool,
+                 subject: str, detail: str,
+                 extra: Optional[dict[str, Any]] = None) -> None:
+        self.seq = seq
+        self.category = category
+        self.allowed = allowed
+        self.subject = subject          # acting process name (or "gateway")
+        self.detail = detail
+        self.extra = {} if extra is None else extra
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AuditEvent):
+            return NotImplemented
+        return (self.seq == other.seq
+                and self.category == other.category
+                and self.allowed == other.allowed
+                and self.subject == other.subject
+                and self.detail == other.detail)
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.category, self.allowed,
+                     self.subject, self.detail))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         verdict = "ALLOW" if self.allowed else "DENY"
@@ -114,25 +137,26 @@ class AuditLog:
                 extra["span_id"] = cur.span_id
         self._seq += 1
         event = AuditEvent(self._seq, category, allowed, subject, detail, extra)
+        events = self._events
         index = self._index
-        if self._capacity is not None \
-                and len(self._events) == self._capacity:
+        if self._capacity is not None and len(events) == self._capacity:
             self.dropped += 1  # the append below evicts the oldest
             if index is not None:
                 # global FIFO eviction: the victim is the leftmost
                 # event of its category's deque
-                victim = self._events[0]
+                victim = events[0]
                 dq = index.get(victim.category)
                 if dq:
                     dq.popleft()
-        self._events.append(event)
+        events.append(event)
         if index is not None:
             dq = index.get(category)
             if dq is None:
                 dq = index[category] = deque()
             dq.append(event)
-        for fn in self._subscribers:
-            fn(event)
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(event)
         return event
 
     def subscribe(self, fn: Callable[[AuditEvent], None]) -> None:

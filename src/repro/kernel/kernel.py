@@ -467,5 +467,18 @@ class Kernel:
 
     def syscalls_for(self, process: Process) -> "W5Syscalls":
         """The confined API handed to application code."""
+        cls = _w5_syscalls_cls()
+        return cls(self, process)
+
+
+_W5_SYSCALLS_CLS = None
+
+
+def _w5_syscalls_cls():
+    # Imported lazily (circular import with .syscalls) but resolved
+    # only once; syscalls_for runs on every request.
+    global _W5_SYSCALLS_CLS
+    if _W5_SYSCALLS_CLS is None:
         from .syscalls import W5Syscalls
-        return W5Syscalls(self, process)
+        _W5_SYSCALLS_CLS = W5Syscalls
+    return _W5_SYSCALLS_CLS

@@ -96,10 +96,32 @@ class ProcessPool:
                 return proc
         return self._checkout(name, slabel, ilabel, caps, owner_user)
 
+    def checkout_planned(self, key: tuple,
+                         owner_user: Optional[str] = None) -> Process:
+        """:meth:`checkout` taking the finished launch key directly.
+
+        Request plans (M12) precompute ``(name, slabel, ilabel, caps)``
+        once per (app, viewer) pair; this entrypoint skips rebuilding
+        the tuple per request.  Audit and tracing are identical to
+        :meth:`checkout` on the same state.
+        """
+        tracer = self.kernel.tracer
+        if tracer._fold:
+            before = self.reuses
+            with tracer.detail("kernel.checkout", process=key[0]) as sp:
+                proc = self._checkout_key(key, owner_user)
+                sp.annotate(reused=self.reuses > before, pid=proc.pid)
+                return proc
+        return self._checkout_key(key, owner_user)
+
     def _checkout(self, name: str, slabel: Label, ilabel: Label,
                   caps: CapabilitySet,
                   owner_user: Optional[str]) -> Process:
-        key = (name, slabel, ilabel, caps)
+        return self._checkout_key((name, slabel, ilabel, caps), owner_user)
+
+    def _checkout_key(self, key: tuple,
+                      owner_user: Optional[str]) -> Process:
+        name, slabel, ilabel, caps = key
         if self.enabled:
             bucket = self._idle.get(key)
             if bucket:

@@ -46,7 +46,7 @@ class Label:
     to" partial order for secrecy (and its reverse for integrity).
     """
 
-    __slots__ = ("_tags", "_hash", "__weakref__")
+    __slots__ = ("_tags", "_hash", "_repr", "__weakref__")
 
     #: The bottom of the lattice, shared to keep the common case cheap.
     EMPTY: "Label"
@@ -71,6 +71,7 @@ class Label:
         self = super().__new__(cls)
         self._tags = tag_set
         self._hash = hash(tag_set)
+        self._repr = None
         cls._intern[key] = self
         return self
 
@@ -106,6 +107,13 @@ class Label:
     def __or__(self, other: "Label | AbstractSet[Tag]") -> "Label":
         if self is other:
             return self
+        # Joining with bottom is the overwhelmingly common case on the
+        # request path (untainted response labels); skip the re-intern.
+        if isinstance(other, Label):
+            if not other._tags:
+                return self
+            if not self._tags:
+                return other
         return Label(self._tags | _tags_of(other))
 
     def __and__(self, other: "Label | AbstractSet[Tag]") -> "Label":
@@ -163,11 +171,19 @@ class Label:
     def is_empty(self) -> bool:
         return not self._tags
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        if not self._tags:
-            return "Label{}"
-        inner = ",".join(sorted(f"{t.tag_id}:{t.purpose}" for t in self._tags))
-        return f"Label{{{inner}}}"
+    def __repr__(self) -> str:
+        # Cached per interned instance: the kernel formats every label
+        # change's repr into its audit detail, i.e. twice per request.
+        r = self._repr
+        if r is None:
+            if not self._tags:
+                r = "Label{}"
+            else:
+                inner = ",".join(
+                    sorted(f"{t.tag_id}:{t.purpose}" for t in self._tags))
+                r = f"Label{{{inner}}}"
+            self._repr = r
+        return r
 
 
 def _tags_of(value: "Label | AbstractSet[Tag]") -> frozenset[Tag]:

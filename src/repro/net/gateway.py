@@ -189,15 +189,76 @@ class Gateway:
                 return HttpResponse(status=403,
                                     body={"error": "not authorized"},
                                     content_label=Label.EMPTY)
-            effective_js = js_policy if js_policy in (JS_BLOCK, JS_ALLOW) \
-                else self.js_policy
-            body = response.body
-            if effective_js == JS_BLOCK and isinstance(body, str) \
-                    and contains_javascript(body):
-                body = strip_javascript(body)
-                self.kernel.audit.record(A.EXPORT, True, "gateway",
-                                         "stripped javascript at perimeter")
-            return HttpResponse(status=response.status, body=body,
-                                headers=dict(response.headers),
-                                set_cookies=dict(response.set_cookies),
-                                content_label=Label.EMPTY)
+            return self._deliver(response, js_policy)
+
+    # ------------------------------------------------------------------
+    # planned egress (M12)
+    # ------------------------------------------------------------------
+
+    def export_check_planned(self, content_label: Label,
+                             recipient: Optional[str],
+                             authority: CapabilitySet,
+                             allow_detail: str) -> None:
+        """:meth:`export_check` with the recipient's authority (and the
+        allow-audit detail string) precomputed by a request plan.
+
+        Counters, audit records and the raised :class:`ExportViolation`
+        are identical to the live check; only the oracle call is
+        skipped.  The caller is responsible for having re-validated the
+        plan's authority epoch before handing the authority in.
+        """
+        if content_label.is_empty():
+            self.exports_allowed += 1
+            self.kernel.audit.record(A.EXPORT, True, "gateway", allow_detail)
+            return
+        residue = self.kernel.flow_cache.exportable_residue(
+            content_label, authority, category="net.export")
+        if not residue.is_empty():
+            self.exports_denied += 1
+            self.kernel.audit.record(
+                A.EXPORT, False, "gateway",
+                f"deny export to {recipient or 'anonymous'}: residual tags "
+                f"{sorted(t.tag_id for t in residue)}")
+            raise ExportViolation(
+                f"response for {recipient or 'anonymous'} carries secrecy "
+                f"tags {sorted(t.tag_id for t in residue)} outside their "
+                f"export authority")
+        self.exports_allowed += 1
+        self.kernel.audit.record(A.EXPORT, True, "gateway", allow_detail)
+
+    def egress_planned(self, response: HttpResponse,
+                       recipient: Optional[str],
+                       js_policy: Optional[str],
+                       authority: CapabilitySet,
+                       allow_detail: str) -> HttpResponse:
+        """:meth:`egress` driven by a request plan's precomputed export
+        authority.  Observable-identical to the live path."""
+        with self.kernel.tracer.detail(
+                "gateway.egress", recipient=recipient or "anonymous") as sp:
+            try:
+                self.export_check_planned(response.content_label, recipient,
+                                          authority, allow_detail)
+            except ExportViolation:
+                sp.fail("ExportViolation")
+                sp.annotate(denied=True)
+                return HttpResponse(status=403,
+                                    body={"error": "not authorized"},
+                                    content_label=Label.EMPTY)
+            return self._deliver(response, js_policy)
+
+    def _deliver(self, response: HttpResponse,
+                 js_policy: Optional[str]) -> HttpResponse:
+        """Post-export sanitization shared by both egress variants:
+        apply the JS policy and re-stamp the response unlabeled."""
+        effective_js = js_policy if js_policy in (JS_BLOCK, JS_ALLOW) \
+            else self.js_policy
+        body = response.body
+        if effective_js == JS_BLOCK and isinstance(body, str) \
+                and contains_javascript(body):
+            body = strip_javascript(body)
+            self.kernel.audit.record(A.EXPORT, True, "gateway",
+                                     "stripped javascript at perimeter")
+        return HttpResponse(status=response.status, body=body,
+                            headers=dict(response.headers),
+                            set_cookies=dict(response.set_cookies),
+                            content_label=Label.EMPTY)

@@ -37,7 +37,15 @@ class HttpRequest:
         return self.params.get(name, default)
 
     def path_parts(self) -> list[str]:
-        return [p for p in self.path.split("/") if p]
+        # Split once per request object: the gateway, router and planned
+        # dispatch all re-ask.  The memo is keyed on the path string so a
+        # mutated request (tests do this) never sees a stale split.
+        cached = getattr(self, "_parts_cache", None)
+        if cached is not None and cached[0] == self.path:
+            return cached[1]
+        parts = [p for p in self.path.split("/") if p]
+        self._parts_cache = (self.path, parts)
+        return parts
 
 
 @dataclass

@@ -1,6 +1,7 @@
 """The W5 meta-application: provider, accounts, registries, app launch."""
 
 from .accounts import UserAccount
+from .config import ProviderConfig, W5DeprecationWarning
 from .context import AppContext, AppHandler
 from .debug import CrashReport, DebugService
 from .endorsement import EndorsementService
@@ -11,11 +12,14 @@ from .groups import GroupService, GroupSpace
 from .inspect import Explanation, PolicyInspector
 from .persist import (merge_delta, restore_provider, set_password,
                       snapshot_provider)
+from .plans import PlanCache, RequestPlan
 from .provider import Provider
 from .registry import APP, DECLASSIFIER, MODULE, AppModule, Registry
 
 __all__ = [
     "UserAccount",
+    "ProviderConfig", "W5DeprecationWarning",
+    "PlanCache", "RequestPlan",
     "AppContext", "AppHandler",
     "CrashReport", "DebugService", "EndorsementService",
     "AppCrashed", "NoSuchApp", "NoSuchUser", "NotAuthorized",

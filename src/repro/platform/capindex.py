@@ -45,6 +45,11 @@ class LaunchCapIndex:
         self._max_entries = max_entries
         self._memo: dict[tuple[str, Optional[str]], CapabilitySet] = {}
         self._stats = {"hits": 0, "misses": 0, "invalidations": 0}
+        #: Monotonic generation, bumped on *every* invalidation event
+        #: (even when the memo held nothing for it).  Derived caches —
+        #: the :mod:`repro.platform.plans` PlanCache — stamp the epoch
+        #: at build time and treat any bump as "recompile".
+        self.epoch = 0
 
     def lookup(self, app: "AppModule",
                viewer: Optional[str]) -> CapabilitySet:
@@ -66,6 +71,7 @@ class LaunchCapIndex:
 
     def invalidate_app(self, app_name: str) -> None:
         """Drop every viewer's entry for one app (enable/disable)."""
+        self.epoch += 1
         doomed = [k for k in self._memo if k[0] == app_name]
         for k in doomed:
             del self._memo[k]
@@ -73,6 +79,7 @@ class LaunchCapIndex:
             self._stats["invalidations"] += 1
 
     def invalidate_all(self, reason: str = "") -> None:
+        self.epoch += 1
         if self._memo:
             self._memo.clear()
             self._stats["invalidations"] += 1
@@ -80,4 +87,5 @@ class LaunchCapIndex:
     def stats(self) -> dict[str, int]:
         stats = dict(self._stats)
         stats["entries"] = len(self._memo)
+        stats["epoch"] = self.epoch
         return stats

@@ -1,0 +1,135 @@
+"""Provider configuration: one frozen record instead of flag sprawl.
+
+The Provider constructor accumulated five independent performance
+switches over the M8–M11 milestones (``fast_request_plane``,
+``recycle_processes``, ``partitioned_store``,
+``incremental_persistence``, ``journal_compact_bytes``) plus the new
+M12 ``request_plans`` switch.  Each is still meaningful on its own —
+the differential suites toggle them individually — but callers should
+not have to recite six keywords to say "fast" or "naive".
+
+:class:`ProviderConfig` packages them as a frozen dataclass with three
+named presets:
+
+* :meth:`ProviderConfig.fast` — every acceleration on, including
+  compiled request plans (M12).  What a production deployment runs.
+* :meth:`ProviderConfig.naive` — everything off: the paper's semantics
+  executed the slow, obviously-correct way.  The differential baseline.
+* :meth:`ProviderConfig.durable` — the fast plane plus incremental
+  persistence tuned for journaled restarts.
+
+The *default* ``ProviderConfig()`` mirrors the Provider's historical
+keyword defaults (fast plane on, plans off), so ``Provider()`` built
+with no arguments behaves exactly as it did before this API existed.
+
+The old Provider/W5System keywords still work but emit
+:class:`W5DeprecationWarning`; a dedicated CI job runs the suite with
+that warning promoted to an error so internal callers stay migrated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any
+
+
+class W5DeprecationWarning(DeprecationWarning):
+    """Deprecation warnings raised by this package's own APIs.
+
+    A subclass so CI can run ``-W error::repro.platform.config.W5DeprecationWarning``
+    without promoting unrelated third-party deprecations.
+    """
+
+
+@dataclass(frozen=True)
+class ProviderConfig:
+    """Every Provider performance/durability switch in one record."""
+
+    #: Memoized request plane (M8): LaunchCapIndex + authority memo.
+    fast_request_plane: bool = True
+    #: Process pool recycling (M8): reuse exited app processes.
+    recycle_processes: bool = True
+    #: Label-partitioned store (M9): group rows by label pair.
+    partitioned_store: bool = True
+    #: Write-ahead journal + O(dirty) snapshots (M10).
+    incremental_persistence: bool = True
+    #: Journal size (bytes) that triggers compaction into a snapshot.
+    journal_compact_bytes: int = 1 << 20
+    #: Compiled per-(app, viewer) request plans (M12).  Off by default:
+    #: plans bypass the individual memo layers, so deployments (and
+    #: tests) that introspect those layers' hit/miss counters opt in.
+    request_plans: bool = False
+
+    # -- presets --------------------------------------------------------
+
+    @classmethod
+    def fast(cls, **overrides: Any) -> "ProviderConfig":
+        """All accelerations on, including compiled request plans."""
+        return cls(request_plans=True, **overrides)
+
+    @classmethod
+    def naive(cls, **overrides: Any) -> "ProviderConfig":
+        """Everything off — the differential baseline plane."""
+        base = dict(fast_request_plane=False, recycle_processes=False,
+                    partitioned_store=False, incremental_persistence=False,
+                    request_plans=False)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def durable(cls, **overrides: Any) -> "ProviderConfig":
+        """The fast plane with incremental persistence pinned on.
+
+        Today this matches the defaults (plans stay opt-in); the preset
+        exists so restart-heavy deployments state their intent and keep
+        journaling even if a future default changes.
+        """
+        base = dict(incremental_persistence=True)
+        base.update(overrides)
+        return cls(**base)
+
+    def replace(self, **changes: Any) -> "ProviderConfig":
+        """A copy with ``changes`` applied (configs are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict view (used by ``Provider.explain`` and tests)."""
+        return dataclasses.asdict(self)
+
+
+#: Sentinel distinguishing "caller omitted the deprecated keyword" from
+#: every real value (including None and False).
+_UNSET: Any = object()
+
+#: The deprecated Provider/W5System keywords and the config field each
+#: maps onto.  Order matters only for warning text stability.
+LEGACY_FLAGS = ("fast_request_plane", "recycle_processes",
+                "partitioned_store", "incremental_persistence",
+                "journal_compact_bytes", "request_plans")
+
+
+def resolve_config(config: "ProviderConfig | None",
+                   legacy: dict[str, Any],
+                   owner: str = "Provider") -> ProviderConfig:
+    """Merge deprecated keyword arguments into a ProviderConfig.
+
+    ``legacy`` maps flag name → value-or-``_UNSET``.  Any flag actually
+    supplied emits a :class:`W5DeprecationWarning` and overrides the
+    corresponding config field.  Passing both a config *and* a legacy
+    override is allowed (the override wins) so migrations can proceed
+    one call site at a time.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if supplied:
+        names = ", ".join(sorted(supplied))
+        warnings.warn(
+            f"{owner}({names}=...) keyword(s) are deprecated; pass "
+            f"config=ProviderConfig(...) instead (see ProviderConfig "
+            f"presets .fast()/.naive()/.durable())",
+            W5DeprecationWarning, stacklevel=3)
+    base = config if config is not None else ProviderConfig()
+    if supplied:
+        base = dataclasses.replace(base, **supplied)
+    return base

@@ -193,7 +193,7 @@ class DurabilityManager:
 
 def recover_provider(base_state: dict[str, Any], journal_raw: bytes,
                      app_catalog: Iterable["AppModule"] = (),
-                     resources=None
+                     resources=None, config=None
                      ) -> tuple["Provider", dict[str, Any]]:
     """Rebuild a provider from its last full snapshot plus the journal.
 
@@ -207,7 +207,7 @@ def recover_provider(base_state: dict[str, Any], journal_raw: bytes,
     """
     from .persist import restore_provider
     provider, report = restore_provider(base_state, app_catalog,
-                                        resources)
+                                        resources, config=config)
     records, jreport = Journal.recover(journal_raw)
     manager = provider._durability
     unknown_ops = 0

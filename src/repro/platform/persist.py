@@ -34,6 +34,7 @@ from ..fs import restore_fs
 from ..kernel import Kernel
 from ..labels import CapabilitySet, Label, TagRegistry
 from .accounts import UserAccount
+from .config import ProviderConfig
 from .errors import PlatformError
 from .provider import Provider
 from .registry import AppModule
@@ -218,14 +219,19 @@ def _merge_registry(base: dict[str, Any],
 
 def restore_provider(state: dict[str, Any],
                      app_catalog: Iterable[AppModule] = (),
-                     resources=None) -> tuple[Provider, dict[str, Any]]:
+                     resources=None,
+                     config: "ProviderConfig | None" = None
+                     ) -> tuple[Provider, dict[str, Any]]:
     """Rebuild a provider from a snapshot.
 
-    ``app_catalog`` is the code the operator reinstalls.  Returns the
+    ``app_catalog`` is the code the operator reinstalls.  ``config``
+    selects the rebuilt provider's :class:`ProviderConfig` (defaults
+    apply when omitted, exactly as ``Provider()`` would).  Returns the
     provider plus a report: declassifier grants that could not be
     restored and enabled apps missing from the reinstalled catalog.
     """
-    provider = Provider(name=state["name"], resources=resources)
+    provider = Provider(name=state["name"], resources=resources,
+                        config=config)
     # Installing cold-storage state is not a new mutation: journaling
     # stays off until the post-restore checkpoint re-bases the journal.
     manager = provider._durability

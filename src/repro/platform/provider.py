@@ -32,11 +32,13 @@ from ..net import (Gateway, HttpRequest, HttpResponse, SESSION_COOKIE,
 from ..net.email import EmailGateway
 from ..obs import FlightRecorder, NULL_TRACER, Tracer
 from .accounts import UserAccount
+from .config import ProviderConfig, _UNSET, resolve_config
 from .context import AppContext
 from .debug import DebugService
 from .endorsement import EndorsementService
 from .errors import (AppCrashed, NoSuchApp, NoSuchUser, NotAuthorized,
                      PlatformError)
+from .plans import PlanCache, RequestPlan
 from .registry import APP, AppModule, Registry
 
 
@@ -64,14 +66,33 @@ class Provider:
                  resources: Optional[ResourceHook] = None,
                  js_policy: str = "block",
                  rate_limit: Optional[int] = None,
-                 fast_request_plane: bool = True,
-                 recycle_processes: bool = True,
-                 partitioned_store: bool = True,
+                 fast_request_plane: Any = _UNSET,
+                 recycle_processes: Any = _UNSET,
+                 partitioned_store: Any = _UNSET,
                  audit_max_events: Optional[int] = None,
-                 incremental_persistence: bool = True,
-                 journal_compact_bytes: int = 1 << 20,
-                 tracing: bool = False) -> None:
+                 incremental_persistence: Any = _UNSET,
+                 journal_compact_bytes: Any = _UNSET,
+                 tracing: bool = False,
+                 config: Optional[ProviderConfig] = None,
+                 request_plans: Any = _UNSET) -> None:
         self.name = name
+        #: The resolved :class:`ProviderConfig`.  The individual flag
+        #: keywords are deprecated aliases that emit
+        #: :class:`~repro.platform.config.W5DeprecationWarning` and
+        #: override the matching config field.
+        config = resolve_config(config, dict(
+            fast_request_plane=fast_request_plane,
+            recycle_processes=recycle_processes,
+            partitioned_store=partitioned_store,
+            incremental_persistence=incremental_persistence,
+            journal_compact_bytes=journal_compact_bytes,
+            request_plans=request_plans), owner="Provider")
+        self.config = config
+        fast_request_plane = config.fast_request_plane
+        recycle_processes = config.recycle_processes
+        partitioned_store = config.partitioned_store
+        incremental_persistence = config.incremental_persistence
+        journal_compact_bytes = config.journal_compact_bytes
         #: ``tracing`` switches end-to-end request tracing (repro.obs):
         #: every handle_request builds a span tree through gateway,
         #: kernel, app, db/fs, declassifier and egress; per-span-name
@@ -164,6 +185,11 @@ class Provider:
         self.groups = GroupService(self)
         from .capindex import LaunchCapIndex
         self.capindex = LaunchCapIndex(self, enabled=fast_request_plane)
+        #: Compiled per-(app, viewer) request plans (M12).  The cache
+        #: exists regardless of the switch — ``explain()`` can compile
+        #: a plan for inspection either way — but dispatch consults it
+        #: only when ``config.request_plans`` is on.
+        self.plans = PlanCache(self, enabled=config.request_plans)
         #: The durability manager (journal + dirty tracking + replay).
         #: Created last so the provider's own bootstrap (tags, /users,
         #: /groups) lands in the initial base checkpoint, not the
@@ -756,13 +782,26 @@ class Provider:
                     sp.annotate(admitted=False)
                     return HttpResponse(status=429,
                                         body={"error": "slow down"})
+            parts = request.path_parts()
+            if self.plans.enabled and len(parts) >= 2 and parts[0] == "app":
+                return self._handle_planned(request, viewer, parts,
+                                            admitted=True)
         else:
             session = self.gateway.authenticate(request)
             viewer = session.username if session else None
+            parts = request.path_parts()
+            if self.plans.enabled and len(parts) >= 2 and parts[0] == "app":
+                # planned dispatch runs (or statically skips) admission
+                # itself; everything else is observable-identical
+                return self._handle_planned(request, viewer, parts)
             if not self.gateway.admit(viewer):
                 return HttpResponse(status=429,
                                     body={"error": "slow down"})
-        parts = request.path_parts()
+        return self._finish_request(request, viewer, parts)
+
+    def _finish_request(self, request: HttpRequest, viewer: Optional[str],
+                        parts: list[str]) -> HttpResponse:
+        """Route + egress for an admitted request (the generic plane)."""
         try:
             internal = self._route(request, viewer, parts)
         except (NoSuchApp, NoSuchUser):
@@ -785,6 +824,197 @@ class Provider:
         if viewer is not None and viewer in self._accounts:
             js_policy = self._accounts[viewer].js_policy or None
         return self.gateway.egress(internal, viewer, js_policy=js_policy)
+
+    # ------------------------------------------------------------------
+    # the compiled plane (M12): plan lookup + planned dispatch
+    # ------------------------------------------------------------------
+
+    def _lookup_plan(self, app_ref: str,
+                     viewer: Optional[str]) -> Optional[RequestPlan]:
+        """Plan-cache lookup, with a ``plan.lookup`` detail span (and
+        hit/miss annotation) on sampled traces."""
+        plans = self.plans
+        tracer = self.kernel.tracer
+        if tracer._fold:
+            before = plans._stats["hits"]
+            with tracer.detail("plan.lookup", app=app_ref) as sp:
+                plan = plans.lookup(app_ref, viewer)
+                sp.annotate(hit=plans._stats["hits"] > before,
+                            planned=plan is not None)
+                return plan
+        return plans.lookup(app_ref, viewer)
+
+    def _handle_planned(self, request: HttpRequest, viewer: Optional[str],
+                        parts: list[str], admitted: bool = False,
+                        plan: Optional[RequestPlan] = None) -> HttpResponse:
+        """The planned front door for ``/app/...`` requests.
+
+        Observable-identical to :meth:`_finish_request` on the same
+        input: the same audit events, charges and responses, with the
+        pure recomputation (app resolution, launch caps, pool key,
+        authority) read from the compiled plan instead.  ``plan`` may
+        be passed pre-validated by :meth:`handle_batch`; account policy
+        that never bumps an epoch (integrity requirement, audited pins)
+        is re-checked live either way.
+        """
+        if not admitted and self.gateway.rate_limit is not None:
+            # with a rate limit configured admission has observables
+            # (window counts, 429s, audit) and must run exactly as the
+            # generic plane does; without one, admit() is a constant
+            # True with no side effects — the plan's static verdict.
+            if not self.gateway.admit(viewer):
+                return HttpResponse(status=429, body={"error": "slow down"})
+        if plan is not None:
+            account = plan.account
+            if account is not None and (account.require_endorsed
+                                        or account.audited_versions):
+                plan = None  # stale hint; re-resolve (and bypass) below
+        try:
+            if plan is None:
+                plan = self._lookup_plan(parts[1], viewer)
+            if plan is None:
+                internal = self._route(request, viewer, parts)
+            else:
+                with self.kernel.tracer.detail(
+                        "app.run", app=parts[1],
+                        viewer=viewer or "anonymous"):
+                    internal = self._run_planned(plan, request, viewer)
+        except (NoSuchApp, NoSuchUser):
+            internal = error(404, "not found")
+        except NotAuthorized:
+            internal = error(403, "forbidden")
+        except (PlatformError, AuthError) as exc:
+            internal = error(400, str(exc))
+        except (ValueError, TypeError, KeyError):
+            internal = error(400, "bad request")
+        except Exception as exc:  # noqa: BLE001 - the front door is total
+            self.kernel.audit.record(
+                A.EXIT, False, "provider",
+                f"route crashed with {type(exc).__name__}")
+            internal = error(500, "internal error")
+        js_policy = None
+        if viewer is not None:
+            account = plan.account if plan is not None \
+                else self._accounts.get(viewer)
+            if account is not None:
+                js_policy = account.js_policy or None
+        if plan is not None and plan.authority is not None \
+                and plan.auth_epoch == self.declass.authority_epoch:
+            return self.gateway.egress_planned(
+                internal, viewer, js_policy, plan.authority,
+                plan.allow_detail)
+        return self.gateway.egress(internal, viewer, js_policy=js_policy)
+
+    def _run_planned(self, plan: RequestPlan, request: HttpRequest,
+                     viewer: Optional[str]) -> HttpResponse:
+        """:meth:`_run_app` with the pure prefix read from the plan.
+
+        Process lifecycle, charges and every audit record are the
+        ordinary kernel paths — a plan only skips recomputing what it
+        already proved (resolution, caps, pool key, partition
+        verdicts via the DbView binding).
+        """
+        process = self.kernel.pool.checkout_planned(plan.pool_key, viewer)
+        self.kernel.resources.charge(process, "requests", 1)
+        app = plan.app
+        ctx = AppContext(self, app,
+                         sys=self.kernel.syscalls_for(process),
+                         fs=FsView(self.fs, process),
+                         db=DbView(self.db, process, plan=plan),
+                         request=request, viewer=viewer)
+        try:
+            result = app.handler(ctx)
+        except LabelError:
+            self.kernel.audit.record(
+                A.EXPORT, False, plan.process_name,
+                "killed by label violation")
+            return error(403, "forbidden")
+        except Exception as exc:
+            self.debug.record_crash(app, exc)
+            self.kernel.audit.record(
+                A.EXIT, False, plan.process_name,
+                f"crashed with {type(exc).__name__}")
+            return error(500, "application error")
+        finally:
+            taint = process.slabel
+            self.kernel.pool.release(process)
+        if isinstance(result, HttpResponse):
+            result.content_label = result.content_label | taint
+            result.set_cookies.update(ctx.set_cookies)
+            return result
+        return HttpResponse(status=200, body=result,
+                            set_cookies=dict(ctx.set_cookies),
+                            content_label=taint)
+
+    def handle_batch(self, requests: list[HttpRequest]
+                     ) -> list[HttpResponse]:
+        """Handle N requests with one plan lookup per distinct
+        (app, viewer) pair — the M12 batch entrypoint.
+
+        Responses come back in request order and are byte-identical to
+        N separate :meth:`handle_request` calls.  Plan validity is
+        re-stamped per request (three integer compares), so a request
+        that edits policy mid-batch retires the shared plan for the
+        requests behind it.  With plans disabled or tracing enabled
+        the batch degrades to the ordinary per-request pipeline.
+        """
+        plans = self.plans
+        if not plans.enabled or self.kernel.tracer.enabled:
+            return [self.handle_request(r) for r in requests]
+        responses = []
+        shared: dict[tuple[str, Optional[str]], RequestPlan] = {}
+        for request in requests:
+            session = self.gateway.authenticate(request)
+            viewer = session.username if session else None
+            parts = request.path_parts()
+            if len(parts) >= 2 and parts[0] == "app":
+                key = (parts[1], viewer)
+                plan = shared.get(key)
+                if plan is not None and not plan.is_current(self):
+                    del shared[key]
+                    plan = None
+                if plan is None and key not in shared:
+                    try:
+                        plan = plans.lookup(parts[1], viewer)
+                    except Exception:
+                        # resolution errors re-raise identically on the
+                        # per-request path below
+                        plan = None
+                    if plan is not None:
+                        shared[key] = plan
+                responses.append(self._handle_planned(
+                    request, viewer, parts, plan=plan))
+            else:
+                if not self.gateway.admit(viewer):
+                    responses.append(HttpResponse(
+                        status=429, body={"error": "slow down"}))
+                    continue
+                responses.append(
+                    self._finish_request(request, viewer, parts))
+        return responses
+
+    def explain(self, app_ref: str,
+                viewer: Optional[str] = None) -> dict[str, Any]:
+        """The compiled :class:`RequestPlan` for (app, viewer), as a
+        serializable dict — caps, labels, partition verdicts, egress
+        verdict, epoch stamps.  Works whether or not planned dispatch
+        is enabled (the plan is compiled on demand), so the fast path
+        is inspectable rather than opaque.  Rendered by
+        ``python -m repro.analysis plan``.
+        """
+        plan = self.plans.lookup(app_ref, viewer)
+        if plan is None:
+            return {"provider": self.name, "app": app_ref,
+                    "viewer": viewer, "planned": False,
+                    "reason": "account policy (integrity requirement or "
+                              "audited version pin) forces the generic "
+                              "path for this viewer"}
+        description = plan.describe()
+        description["provider"] = self.name
+        description["planned"] = True
+        description["dispatch_enabled"] = self.plans.enabled
+        description["config"] = self.config.describe()
+        return description
 
     def _route(self, request: HttpRequest, viewer: Optional[str],
                parts: list[str]) -> HttpResponse:

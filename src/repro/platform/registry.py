@@ -74,6 +74,11 @@ class Registry:
 
     def __init__(self) -> None:
         self._entries: dict[str, list[AppModule]] = {}
+        #: Monotonic upload generation: every successful register (and
+        #: therefore fork) bumps it.  Caches that memoize the result of
+        #: :meth:`get` — request plans pin a resolved module — compare
+        #: this to detect that ``name`` may resolve differently now.
+        self.epoch = 0
 
     # -- uploads ---------------------------------------------------------
 
@@ -89,6 +94,7 @@ class Registry:
             raise PlatformError(
                 f"{module.name} version {module.version} already published")
         self._entries.setdefault(module.name, []).append(module)
+        self.epoch += 1
         return module
 
     def fork(self, original_name: str, new_developer: str,

@@ -68,27 +68,32 @@ class ResourceManager(ResourceHook):
     # -- quota resolution ---------------------------------------------
 
     def quota_for(self, process: Process, kind: str) -> float:
-        best: Optional[Mapping[str, float]] = None
-        best_len = -1
-        for prefix, table in self.overrides.items():
-            if process.name.startswith(prefix) and len(prefix) > best_len:
-                best, best_len = table, len(prefix)
-        if best is not None and kind in best:
-            return best[kind]
+        if self.overrides:
+            best: Optional[Mapping[str, float]] = None
+            best_len = -1
+            for prefix, table in self.overrides.items():
+                if process.name.startswith(prefix) and len(prefix) > best_len:
+                    best, best_len = table, len(prefix)
+            if best is not None and kind in best:
+                return best[kind]
         return self.default_quotas.get(kind, float("inf"))
 
     # -- ResourceHook interface -----------------------------------------
 
     def charge(self, process: Process, kind: str, amount: float) -> None:
-        usage = self._usage.setdefault(process.pid, Usage())
-        self._names[process.pid] = process.name
-        new_total = usage.get(kind) + amount
+        pid = process.pid
+        usage = self._usage.get(pid)
+        if usage is None:
+            usage = self._usage[pid] = Usage()
+            self._names[pid] = process.name
+        counts = usage.counts
+        new_total = counts.get(kind, 0.0) + amount
         if new_total > self.quota_for(process, kind):
             self.denials[kind] = self.denials.get(kind, 0) + 1
             raise ResourceExhausted(
                 f"{process.name}: {kind} quota "
                 f"({self.quota_for(process, kind):g}) exhausted")
-        usage.add(kind, amount)
+        counts[kind] = new_total
 
     def on_exit(self, process: Process) -> None:
         # Usage history is retained for reporting; nothing to free in

@@ -7,6 +7,7 @@ import copy
 import pytest
 
 from repro.db import LabeledStore, restore_store
+from repro.platform import ProviderConfig
 from repro.db.store import Row
 from repro.kernel import Kernel
 from repro.labels import CapabilitySet, Label, minus
@@ -220,7 +221,8 @@ class TestMetricsObservation:
 
     def test_engine_flags_thread_through_system(self):
         from repro import W5System
-        w5 = W5System(name="m9-naive", partitioned_store=False)
+        w5 = W5System(name="m9-naive",
+                      config=ProviderConfig(partitioned_store=False))
         assert w5.provider.db.partitioned is False
         assert w5.provider.fs.grouped_walk is False
 

@@ -21,6 +21,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import W5System
+from repro.platform import ProviderConfig
 from repro.kernel import Kernel
 from repro.labels import CapabilitySet, Label, plus
 
@@ -30,7 +31,7 @@ APPS = ("blog", "photo-share", "social")
 
 def build_deployment(recycle: bool) -> W5System:
     w5 = W5System(name=f"pool-{'on' if recycle else 'off'}",
-                  recycle_processes=recycle)
+                  config=ProviderConfig(recycle_processes=recycle))
     for user in USERS:
         w5.add_user(user, apps=APPS)
     w5.befriend("alice", "bob")

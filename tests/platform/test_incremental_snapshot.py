@@ -8,7 +8,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.apps import STANDARD_CATALOG, install_standard_apps
-from repro.platform import (Provider, merge_delta, restore_provider,
+from repro.platform import (Provider, ProviderConfig, merge_delta,
+                            restore_provider,
                             snapshot_provider)
 
 from .test_journal_replay import (MUTATIONS, TIMELINE, canon,
@@ -104,7 +105,8 @@ class TestDeltaIsODirty:
 
 class TestCompaction:
     def test_threshold_triggers_full_snapshot(self):
-        p = Provider(name="tiny", journal_compact_bytes=256)
+        p = Provider(name="tiny",
+                     config=ProviderConfig(journal_compact_bytes=256))
         install_standard_apps(p)
         p.signup("bob", "pw")  # blows well past 256 journal bytes
         assert p._durability.journal.needs_compaction()
@@ -129,7 +131,8 @@ class TestCompaction:
 
 class TestNaiveBaseline:
     def test_flag_off_means_no_journal(self):
-        p = Provider(name="naive", incremental_persistence=False)
+        p = Provider(name="naive",
+                     config=ProviderConfig(incremental_persistence=False))
         install_standard_apps(p)
         p.signup("bob", "pw")
         assert p._durability is None
@@ -141,8 +144,8 @@ class TestNaiveBaseline:
 
     def test_both_modes_snapshot_identically(self):
         def world(incremental):
-            p = Provider(name="prod",
-                         incremental_persistence=incremental)
+            p = Provider(name="prod", config=ProviderConfig(
+                incremental_persistence=incremental))
             install_standard_apps(p)
             p.signup("bob", "pw")
             p.enable_app("bob", "blog")

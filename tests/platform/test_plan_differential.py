@@ -1,0 +1,244 @@
+"""Differential property test: compiled request plans change nothing.
+
+Two full deployments — identical except ``request_plans`` — are driven
+through the same randomly generated interleaving of requests and
+policy mutations.  The bar here is *stricter* than the pool/cache
+differentials: because plans only replace pure recomputation (never a
+spawn, a charge, or an audit record), the two audit streams must be
+**byte-identical** — same categories, same verdicts, same subjects,
+same detail strings, pids included — and every HTTP response must
+match exactly.  Hypothesis shrinks any divergence to a minimal
+witness.
+
+A second class pins each plan-invalidation edge individually:
+befriend/unfriend (authority epoch), app disable (cap-index epoch),
+account deletion (cap-index epoch), upload/fork (registry epoch), and
+a journal-replay restore (which rewires tag identity wholesale).
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import W5System
+from repro.net import HttpRequest
+from repro.platform import ProviderConfig
+
+USERS = ("alice", "bob", "carol")
+APPS = ("blog", "social")
+
+
+def build_deployment(planned: bool) -> W5System:
+    config = ProviderConfig.fast() if planned else ProviderConfig()
+    w5 = W5System(name="plans", config=config)
+    for user in USERS:
+        w5.add_user(user, apps=APPS)
+    w5.befriend("alice", "bob")
+    return w5
+
+
+def apply_op(w5: W5System, op) -> tuple:
+    """Run one request/mutation; return the exact outcome."""
+    kind = op[0]
+    if kind == "post":
+        _, ui, i = op
+        user = USERS[ui % len(USERS)]
+        r = w5.client(user).get("/app/blog/post",
+                                title=f"t{i}", body=f"b{i}")
+    elif kind == "read":
+        _, ui, vi, i = op
+        author = USERS[ui % len(USERS)]
+        viewer = USERS[vi % len(USERS)]
+        r = w5.client(viewer).get("/app/blog/read",
+                                  author=author, title=f"t{i}")
+    elif kind == "list":
+        _, ui, vi = op
+        author = USERS[ui % len(USERS)]
+        viewer = USERS[vi % len(USERS)]
+        r = w5.client(viewer).get("/app/blog/list", author=author)
+    elif kind == "anon":
+        r = w5.anonymous_client().get("/app/blog/list", author="alice")
+    elif kind == "missing":
+        _, ui = op
+        r = w5.client(USERS[ui % len(USERS)]).get("/app/nonesuch/run")
+    elif kind == "toggle":
+        _, ui, on = op
+        user = USERS[ui % len(USERS)]
+        path = "/policy/enable" if on else "/policy/disable"
+        r = w5.client(user).post(path, params={"app": "blog"})
+    elif kind == "befriend":
+        _, ui, vi = op
+        a, b = USERS[ui % len(USERS)], USERS[vi % len(USERS)]
+        if a == b:
+            return ("skip",)
+        w5.befriend(a, b)
+        return ("befriended",)
+    elif kind == "unfriend":
+        _, ui, vi = op
+        a, b = USERS[ui % len(USERS)], USERS[vi % len(USERS)]
+        if a == b:
+            return ("skip",)
+        w5.unfriend(a, b)
+        return ("unfriended",)
+    else:
+        return ("noop",)
+    return (r.status, r.body)
+
+
+def ops():
+    post = st.tuples(st.just("post"), st.integers(0, 2), st.integers(0, 3))
+    read = st.tuples(st.just("read"), st.integers(0, 2), st.integers(0, 2),
+                     st.integers(0, 3))
+    list_ = st.tuples(st.just("list"), st.integers(0, 2), st.integers(0, 2))
+    anon = st.tuples(st.just("anon"))
+    missing = st.tuples(st.just("missing"), st.integers(0, 2))
+    toggle = st.tuples(st.just("toggle"), st.integers(0, 2), st.booleans())
+    befriend = st.tuples(st.just("befriend"), st.integers(0, 2),
+                         st.integers(0, 2))
+    unfriend = st.tuples(st.just("unfriend"), st.integers(0, 2),
+                         st.integers(0, 2))
+    return st.lists(st.one_of(post, read, list_, anon, missing, toggle,
+                              befriend, unfriend), max_size=25)
+
+
+def audit_bytes(w5: W5System) -> list:
+    """The audit stream, byte-for-byte (sans the monotonic seq)."""
+    return [(e.category, e.allowed, e.subject, e.detail)
+            for e in w5.provider.kernel.audit]
+
+
+class TestPlannedPlaneIsByteIdentical:
+    @settings(max_examples=30, deadline=None)
+    @given(ops())
+    def test_identical_histories_identical_streams(self, seed_ops):
+        planned = build_deployment(planned=True)
+        unplanned = build_deployment(planned=False)
+        assert planned.provider.plans.enabled
+        assert not unplanned.provider.plans.enabled
+        assert audit_bytes(planned) == audit_bytes(unplanned)
+
+        for op in seed_ops:
+            out_p = apply_op(planned, op)
+            out_u = apply_op(unplanned, op)
+            assert out_p == out_u, f"response divergence on {op}"
+
+        assert audit_bytes(planned) == audit_bytes(unplanned)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops())
+    def test_batch_entrypoint_matches_sequential(self, seed_ops):
+        """handle_batch == N× handle_request, byte for byte."""
+        batched = build_deployment(planned=True)
+        sequential = build_deployment(planned=True)
+        # mutations first, then a burst of reads through both doors
+        for op in seed_ops:
+            if op[0] in ("befriend", "unfriend", "toggle", "post"):
+                apply_op(batched, op)
+                apply_op(sequential, op)
+        session_b = batched.provider.sessions.login("alice", "pw").token
+        session_s = sequential.provider.sessions.login("alice", "pw").token
+
+        def burst(session):
+            return [HttpRequest(method="GET", path="/app/blog/list",
+                                params={"author": "alice"},
+                                cookies={"w5_session": session})
+                    for _ in range(6)]
+
+        responses_b = batched.provider.handle_batch(burst(session_b))
+        responses_s = [sequential.provider.handle_request(r)
+                       for r in burst(session_s)]
+        assert [(r.status, r.body) for r in responses_b] \
+            == [(r.status, r.body) for r in responses_s]
+        assert audit_bytes(batched) == audit_bytes(sequential)
+
+
+class TestPlanInvalidation:
+    """Each policy edge that must retire a compiled plan, pinned."""
+
+    def _warm(self, w5, viewer="bob", author="alice"):
+        r = w5.client(viewer).get("/app/blog/list", author=author)
+        assert r.ok
+        return r
+
+    def test_befriend_unfriend_rotates_authority(self):
+        w5 = build_deployment(planned=True)
+        w5.client("alice").get("/app/blog/post", title="t", body="b")
+        assert self._warm(w5).status == 200
+        plan = w5.provider.plans.lookup("blog", "bob")
+        w5.unfriend("alice", "bob")
+        assert not plan.is_current(w5.provider)
+        r = w5.client("bob").get("/app/blog/read",
+                                 author="alice", title="t")
+        assert r.status == 403  # authority really shrank
+        w5.befriend("alice", "bob")
+        r = w5.client("bob").get("/app/blog/read",
+                                 author="alice", title="t")
+        assert r.status == 200  # and grew back
+
+    def test_disable_app_retires_plan(self):
+        w5 = build_deployment(planned=True)
+        w5.client("alice").get("/app/blog/post", title="t", body="b")
+        assert w5.client("alice").get("/app/blog/read", author="alice",
+                                      title="t").status == 200
+        plan = w5.provider.plans.lookup("blog", "alice")
+        w5.provider.disable_app("alice", "blog")
+        assert not plan.is_current(w5.provider)
+        r = w5.client("alice").get("/app/blog/read", author="alice",
+                                   title="t")
+        assert r.status == 403  # relaunch without alice's caps
+
+    def test_delete_account_retires_plan(self):
+        w5 = build_deployment(planned=True)
+        self._warm(w5, viewer="carol", author="carol")
+        plan = w5.provider.plans.lookup("blog", "carol")
+        assert plan is not None
+        w5.provider.delete_account("carol")
+        assert not plan.is_current(w5.provider)
+
+    def test_upload_retires_plan_via_registry_epoch(self):
+        w5 = build_deployment(planned=True)
+        self._warm(w5)
+        plan = w5.provider.plans.lookup("blog", "bob")
+        w5.provider.fork_app("blog", "new-dev")
+        assert not plan.is_current(w5.provider)
+
+    def test_account_policy_bypasses_live(self):
+        """require_endorsed never bumps an epoch — checked per request."""
+        w5 = build_deployment(planned=True)
+        self._warm(w5)
+        assert w5.provider.plans.lookup("blog", "bob") is not None
+        w5.provider.set_integrity_policy("bob", require_endorsed=True)
+        assert w5.provider.plans.lookup("blog", "bob") is None
+        stats = w5.provider.plans.stats()
+        assert stats["bypasses"] >= 1
+        # unendorsed app + endorsement requirement -> the generic
+        # path's refusal, not a stale plan's allow
+        r = w5.client("bob").get("/app/blog/list", author="alice")
+        assert r.status == 403
+
+    def test_journal_replay_restore_starts_plans_cold(self):
+        import copy
+
+        from repro.apps import STANDARD_CATALOG
+        from repro.platform import recover_provider, set_password
+
+        w5 = build_deployment(planned=True)
+        base = copy.deepcopy(w5.provider._durability.base)
+        w5.client("alice").get("/app/blog/post", title="t", body="b")
+        self._warm(w5)
+        journal = bytes(w5.provider._durability.journal.raw_bytes())
+        recovered, report = recover_provider(
+            base, journal, STANDARD_CATALOG,
+            config=ProviderConfig.fast())
+        assert recovered.config.request_plans
+        assert recovered.plans.stats()["entries"] == 0
+        # a fresh login drives the planned path against restored state
+        set_password(recovered, "alice", "pw")
+        session = recovered.sessions.login("alice", "pw").token
+        req = HttpRequest(method="GET", path="/app/blog/list",
+                          params={"author": "alice"},
+                          cookies={"w5_session": session})
+        r = recovered.handle_request(req)
+        assert r.status == 200
+        assert "t" in str(r.body)

@@ -10,6 +10,7 @@ never be cached: a time-dependent declassifier.
 import pytest
 
 from repro.core import W5System
+from repro.platform import ProviderConfig
 from repro.declassify import TimeEmbargo
 from repro.labels import minus, plus
 
@@ -158,7 +159,8 @@ class TestAuthorityCache:
         assert declass.authority_stats()["bypasses"] == before + 1
 
     def test_disabled_plane_computes_fresh(self):
-        slow = W5System(name="slow-plane", fast_request_plane=False)
+        slow = W5System(name="slow-plane",
+                        config=ProviderConfig(fast_request_plane=False))
         slow.add_user("alice")
         slow.add_user("bob")
         slow.provider._authority_for("bob")
