@@ -5,15 +5,17 @@ uncached), ``BENCH_M2.json`` (end-to-end request path),
 ``BENCH_M8.json`` (request-plane scaling vs. user count),
 ``BENCH_M9.json`` (data-plane scaling vs. distinct labels),
 ``BENCH_M10.json`` (incremental durability vs. full snapshots),
-``BENCH_M11.json`` (request-tracing overhead) and ``BENCH_M12.json``
-(compiled request plans vs. the interpreted decision path) so CI can
+``BENCH_M11.json`` (request-tracing overhead), ``BENCH_M12.json``
+(compiled request plans vs. the interpreted decision path) and
+``BENCH_M13.json`` (the sharded request plane: 1-shard parity and
+multi-shard scaling) so CI can
 archive one number series per commit — the repo's before/after
 record for the fast-path label engine, the O(1) request plane, the
 label-partitioned storage engine, the write-ahead journal, the span
 tracer and planned dispatch lives in these files and in
 EXPERIMENTS.md.
 
-``BENCH_M8`` through ``BENCH_M12`` double as regression guards: the
+``BENCH_M8`` through ``BENCH_M13`` double as regression guards: the
 run **fails** (exit code 1) if per-request latency at 1,000 users
 exceeds 3x the 10-user latency with the fast request plane on, if
 the partitioned select beats the naive engine by less than 3x on a
@@ -21,7 +23,9 @@ the partitioned select beats the naive engine by less than 3x on a
 full snapshot by less than 3x at 1,000 users with 1% dirty state, if
 enabled tracing costs more than 1.2x on the M8 mix, or if the
 compiled decision read exceeds its 10us budget or beats the
-interpretation it replaced by less than 3x.
+interpretation it replaced by less than 3x, or if shard scaling
+misses its bar (3x aggregate throughput at 4 shards on a 4+-core
+POSIX box; the graceful-degradation floor elsewhere).
 
 Usage::
 
@@ -273,6 +277,32 @@ def bench_m12(repeat: int) -> dict:
     }
 
 
+def bench_m13(repeat: int) -> dict:
+    """The sharded request plane: 1-shard parity, multi-shard scaling.
+
+    Two numbers.  Parity: a 1-shard ShardedProvider on the batched
+    shard-local read mix vs. the unsharded fast() plane — the
+    compiled-in router must cost ~nothing when sharding is off.
+    Scaling: aggregate throughput at 1/2/4 shards under the fork
+    engine (the only one that escapes the GIL).  The guard is
+    conditional on the box: the 3x bar needs 4+ cores and os.fork;
+    single-core runners get the graceful-degradation floor, and the
+    payload records which bar was in force.
+    """
+    from m13_shards import (M13_MAX_ONE_SHARD_RATIO, run_parity,
+                            run_scaling, scaling_guard)
+
+    parity = run_parity()
+    scaling = run_scaling(repeat=repeat)
+    guard = scaling_guard(scaling)
+    guard["one_shard_ratio"] = parity["one_shard_ratio"]
+    guard["max_one_shard_ratio"] = M13_MAX_ONE_SHARD_RATIO
+    guard["regression"] = (
+        guard["regression"]
+        or parity["one_shard_ratio"] > M13_MAX_ONE_SHARD_RATIO)
+    return {"parity": parity, **scaling, "scaling": guard}
+
+
 #: The M10 regression bound: full vs incremental snapshot at 1k users.
 M10_MIN_SPEEDUP = 3.0
 
@@ -326,7 +356,8 @@ def main(argv=None) -> int:
     failed = False
     for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8),
                      ("M9", bench_m9), ("M10", bench_m10),
-                     ("M11", bench_m11), ("M12", bench_m12)):
+                     ("M11", bench_m11), ("M12", bench_m12),
+                     ("M13", bench_m13)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -364,6 +395,16 @@ def main(argv=None) -> int:
                   f"{scaling['decision_speedup']}x the interpretation "
                   f"it replaces "
                   f"(bound: {M12_MIN_DECISION_SPEEDUP}x minimum)")
+            failed = True
+        if name == "M13" and payload["results"]["scaling"]["regression"]:
+            scaling = payload["results"]["scaling"]
+            print(f"M13 REGRESSION: 1-shard parity at "
+                  f"{scaling['one_shard_ratio']}x "
+                  f"(bound: {scaling['max_one_shard_ratio']}x) or "
+                  f"shard scaling at {scaling['speedup_max_vs_1']}x "
+                  f"(bound: {scaling['min_speedup']}x, "
+                  f"{'multicore' if scaling['multicore_bar'] else 'degraded'}"
+                  f" bar)")
             failed = True
     return 1 if failed else 0
 

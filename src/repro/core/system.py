@@ -52,13 +52,27 @@ class W5System:
             incremental_persistence=incremental_persistence,
             journal_compact_bytes=journal_compact_bytes,
             request_plans=request_plans), owner="W5System")
-        self.resources = ResourceManager(default_quotas=quotas,
-                                         overrides=quota_overrides)
-        self.provider = Provider(name=name, resources=self.resources,
-                                 js_policy=js_policy,
-                                 config=config,
-                                 audit_max_events=audit_max_events,
-                                 tracing=tracing)
+        if config.shards > 1:
+            # M13: N full provider shards behind one router.  Each
+            # shard polices its own resources (shards share nothing);
+            # `self.resources` aliases shard 0's manager for
+            # introspection compatibility.
+            from ..platform.shards import ShardedProvider
+            self.provider = ShardedProvider(
+                name=name, n_shards=config.shards, config=config,
+                engine=config.shard_engine, js_policy=js_policy,
+                audit_max_events=audit_max_events, tracing=tracing,
+                resources_factory=lambda: ResourceManager(
+                    default_quotas=quotas, overrides=quota_overrides))
+            self.resources = self.provider.shards[0].kernel.resources
+        else:
+            self.resources = ResourceManager(default_quotas=quotas,
+                                             overrides=quota_overrides)
+            self.provider = Provider(name=name, resources=self.resources,
+                                     js_policy=js_policy,
+                                     config=config,
+                                     audit_max_events=audit_max_events,
+                                     tracing=tracing)
         install_standard_apps(self.provider)
         if with_adversaries:
             install_adversarial_apps(self.provider)

@@ -12,8 +12,11 @@ provider-private and never flow back to applications.
 
 from __future__ import annotations
 
+from _thread import get_ident
 from collections import deque
 from typing import Any, Callable, Iterator, Optional, Union
+
+from ..errors import CrossShardWrite
 
 #: Event categories, used for filtering.
 SPAWN = "spawn"
@@ -120,6 +123,24 @@ class AuditLog:
         #: the active span (or None); stamped into every event's
         #: ``extra`` while a traced request is active.
         self.trace_source: Optional[Any] = None
+        #: M13 ownership guard: when bound (sharded deployments bind
+        #: each shard's log to its worker thread), records from any
+        #: other thread raise instead of corrupting the stream.
+        self._owner_ident: Optional[int] = None
+
+    def bind_owner(self, ident: Optional[int] = None) -> None:
+        """Bind append/eviction to one thread (default: the caller).
+
+        A sharded front end routes every request to the shard that
+        owns the subject; this guard makes a routing bug — two shards
+        writing one log — a loud :class:`CrossShardWrite` instead of
+        an interleaved, unreproducible audit stream.  Costs one
+        attribute load + ``None`` check per record while unbound."""
+        self._owner_ident = get_ident() if ident is None else ident
+
+    def unbind_owner(self) -> None:
+        """Remove the thread binding (shard teardown, tests)."""
+        self._owner_ident = None
 
     @property
     def max_events(self) -> Optional[int]:
@@ -129,6 +150,12 @@ class AuditLog:
     def record(self, category: str, allowed: bool, subject: str,
                detail: str, **extra: Any) -> AuditEvent:
         """Append an event and notify subscribers."""
+        owner = self._owner_ident
+        if owner is not None and get_ident() != owner:
+            raise CrossShardWrite(
+                f"audit record {category!r} for {subject!r} arrived on "
+                f"thread {get_ident()} but this log is bound to shard "
+                f"worker {owner}: a request was misrouted across shards")
         ts = self.trace_source
         if ts is not None:
             cur = ts.current

@@ -17,11 +17,16 @@ context for the in-process W5 stack.
 * :class:`Trace` — the tree for one request: root span, id, and a
   per-trace span budget so a pathological request can't balloon
   memory (overflow is counted, never silently lost).
-* :class:`Tracer` — owns the active trace (this stack is
-  single-threaded per provider, so "current span" is one attribute,
-  not a contextvar), hands out child spans, aggregates per-span-name
+* :class:`Tracer` — owns the active trace context, hands out child
+  spans, aggregates per-span-name
   :class:`~repro.obs.histogram.LatencyHistogram` s, and feeds finished
   traces to an attached :class:`~repro.obs.recorder.FlightRecorder`.
+  The active-trace state (open trace, innermost span, fold flag)
+  lives in a per-execution-context :class:`_TraceContext` behind a
+  ``contextvars.ContextVar``, so shard worker threads (M13) each see
+  their own "current span" without locking; spans cache the context
+  object at creation, so the hot close path never touches the
+  contextvar machinery.
 * :class:`NullTracer` / :data:`NULL_TRACER` — the disabled path.  It
   shares the ``enabled`` flag protocol so hot code can guard with one
   attribute load, and every method returns a preallocated singleton —
@@ -35,6 +40,7 @@ a traced request carries ``trace_id``/``span_id`` in ``extra``.
 
 from __future__ import annotations
 
+from contextvars import ContextVar
 from time import perf_counter
 from typing import Any, Callable, Iterator, Optional
 
@@ -51,6 +57,25 @@ MAX_SPANS_PER_TRACE = 512
 #: money on a ~70µs request; sampling keeps per-name shapes while
 #: amortizing that to ~nothing (benchmarks/m11_tracing.py).
 FOLD_EVERY = 16
+
+
+class _TraceContext:
+    """Per-execution-context trace state.
+
+    One instance per (tracer, thread/task) pair, created lazily on the
+    first ``request()`` in that context and reused for every request
+    after it — so the steady-state cost of context isolation is a
+    single ``ContextVar.get`` per span creation, not an allocation.
+    ``current`` is the innermost open span; ``trace`` the open trace;
+    ``fold`` whether this context's active trace is detail-sampled.
+    """
+
+    __slots__ = ("trace", "current", "fold")
+
+    def __init__(self) -> None:
+        self.trace: Optional[Trace] = None
+        self.current: Optional[Span] = None
+        self.fold = True
 
 
 class Span:
@@ -88,8 +113,10 @@ class Span:
                 pc.append(self)
         # the span is born armed: the context switch and the clock
         # read happen here rather than in __enter__, saving a second
-        # full method call's worth of work per span on the hot path
-        trace.tracer.current = self
+        # full method call's worth of work per span on the hot path.
+        # The trace carries its _TraceContext, so arming is one plain
+        # attribute store — no ContextVar traffic on span open/close.
+        trace.ctx.current = self
         self.start = perf_counter()
 
     @property
@@ -125,7 +152,8 @@ class Span:
             self.attrs.setdefault("error", exc_type.__name__)
             trace.failed = True
         tracer = trace.tracer
-        tracer.current = prev = self._prev  # type: ignore[attr-defined]
+        ctx = trace.ctx
+        ctx.current = prev = self._prev
         self._prev = None  # drop the ancestor edge (GC, see __init__)
         # only the root span has no previous current span
         if prev is None and self is trace.root:
@@ -136,13 +164,14 @@ class Span:
             if hist is None:
                 hist = hists[self.name] = LatencyHistogram()
             hist.add(duration)
-            tracer._trace = None
+            ctx.trace = None
+            trace.ctx = None  # type: ignore[assignment]
             tracer.traces_finished += 1
             sink = tracer.sink
             if sink is not None:
                 sink(trace)
         else:
-            if tracer._fold:
+            if ctx.fold:
                 hists = tracer._histograms
                 hist = hists.get(self.name)
                 if hist is None:
@@ -190,12 +219,17 @@ _NULL_SPAN = _NullSpan()
 class Trace:
     """The span tree for one request."""
 
-    __slots__ = ("trace_id", "tracer", "root", "n_spans", "truncated",
-                 "failed")
+    __slots__ = ("trace_id", "tracer", "ctx", "root", "n_spans",
+                 "truncated", "failed")
 
-    def __init__(self, trace_id: str, tracer: "Tracer") -> None:
+    def __init__(self, trace_id: str, tracer: "Tracer",
+                 ctx: _TraceContext) -> None:
         self.trace_id = trace_id
         self.tracer = tracer
+        #: The execution context this trace is open in.  Spans reach
+        #: the mutable current-span slot through it; cleared when the
+        #: root closes so a recorded trace doesn't pin the context.
+        self.ctx = ctx
         self.n_spans = 0
         self.truncated = 0
         #: Latched by any span closing with an exception in flight.
@@ -247,10 +281,15 @@ class Trace:
 class Tracer:
     """Owns the active trace and aggregates span latency histograms.
 
-    The provider stack is synchronous and single-threaded per
-    instance, so the active-span "stack" is a single ``current``
-    attribute restored by each span's ``__exit__`` — no contextvars,
-    no thread-locals, no per-span allocation beyond the Span itself.
+    The active-span "stack" lives in a per-execution-context
+    :class:`_TraceContext` behind a ``ContextVar``, so N shard worker
+    threads can trace through one process concurrently without seeing
+    each other's spans (M13).  Within one context the semantics are
+    exactly the old single-attribute protocol: each span's
+    ``__exit__`` restores its predecessor by plain attribute store.
+    Aggregates (``traces_started``, histograms, the sink) are shared
+    across contexts; their updates are single dict/int ops, atomic
+    under the GIL, and each shard normally owns a whole Tracer anyway.
     """
 
     enabled = True
@@ -263,11 +302,9 @@ class Tracer:
         #: always fold, so request-level latency stays exact).  1 means
         #: every span of every trace — what the unit tests use.
         self.fold_every = fold_every
-        #: The innermost open span (public: ``AuditLog.trace_source``
-        #: reads it directly to stamp events without a call).
-        self.current: Optional[Span] = None
-        self._trace: Optional[Trace] = None
-        self._fold = True
+        #: Per-context trace state (lazily created per thread/task).
+        self._context: ContextVar[Optional[_TraceContext]] = ContextVar(
+            "w5-trace-context", default=None)
         self._next_trace = 0
         self._histograms: dict[str, LatencyHistogram] = {}
         #: Called with each finished root trace (FlightRecorder.offer).
@@ -275,6 +312,21 @@ class Tracer:
         self.traces_started = 0
         self.traces_finished = 0
         self.spans_dropped = 0
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span in *this* execution context
+        (public: ``AuditLog.trace_source`` reads it to stamp events)."""
+        ctx = self._context.get()
+        return ctx.current if ctx is not None else None
+
+    @property
+    def _fold(self) -> bool:
+        """Is the active trace in this context detail-sampled?  Hot
+        call sites read this as an attribute (it is a plain ``False``
+        class attribute on :class:`NullTracer`)."""
+        ctx = self._context.get()
+        return ctx.fold if ctx is not None else False
 
     # ------------------------------------------------------------------
     # span creation
@@ -287,14 +339,18 @@ class Tracer:
         provider) degrade gracefully to a child span of the active
         trace rather than starting a second trace.
         """
-        if self._trace is not None:
+        ctx = self._context.get()
+        if ctx is None:
+            ctx = _TraceContext()
+            self._context.set(ctx)
+        elif ctx.trace is not None:
             return self.span(name, **attrs)
         self._next_trace += 1
         self.traces_started += 1
         fe = self.fold_every
-        self._fold = fe == 1 or self.traces_started % fe == 1
-        trace = Trace(f"{self._next_trace:08x}", self)
-        self._trace = trace
+        ctx.fold = fe == 1 or self.traces_started % fe == 1
+        trace = Trace(f"{self._next_trace:08x}", self, ctx)
+        ctx.trace = trace
         trace.root = span = Span(name, trace, None, attrs)
         return span
 
@@ -305,14 +361,17 @@ class Tracer:
         this returns the shared null span, so instrumentation sites
         don't need their own "is a request in flight" checks.
         """
-        trace = self._trace
+        ctx = self._context.get()
+        if ctx is None:
+            return _NULL_SPAN
+        trace = ctx.trace
         if trace is None:
             return _NULL_SPAN
         if trace.n_spans >= self.max_spans:
             trace.truncated += 1
             self.spans_dropped += 1
             return _NULL_SPAN
-        return Span(name, trace, self.current, attrs)
+        return Span(name, trace, ctx.current, attrs)
 
     def detail(self, name: str, /, **attrs: Any):
         """Open a child span only on detail-sampled traces.
@@ -324,9 +383,17 @@ class Tracer:
         flag check.  The first trace always samples, which is what the
         integration tests and the example lean on.
         """
-        if self._fold:
-            return self.span(name, **attrs)
-        return _NULL_SPAN
+        ctx = self._context.get()
+        if ctx is None or not ctx.fold:
+            return _NULL_SPAN
+        trace = ctx.trace
+        if trace is None:
+            return _NULL_SPAN
+        if trace.n_spans >= self.max_spans:
+            trace.truncated += 1
+            self.spans_dropped += 1
+            return _NULL_SPAN
+        return Span(name, trace, ctx.current, attrs)
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to whatever span is currently open."""

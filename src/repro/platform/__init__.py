@@ -15,6 +15,7 @@ from .persist import (merge_delta, restore_provider, set_password,
 from .plans import PlanCache, RequestPlan
 from .provider import Provider
 from .registry import APP, DECLASSIFIER, MODULE, AppModule, Registry
+from .shards import MergedAuditView, ShardedProvider, ShardMap
 
 __all__ = [
     "UserAccount",
@@ -30,4 +31,5 @@ __all__ = [
     "merge_delta", "restore_provider", "set_password", "snapshot_provider",
     "Provider",
     "APP", "DECLASSIFIER", "MODULE", "AppModule", "Registry",
+    "MergedAuditView", "ShardedProvider", "ShardMap",
 ]

@@ -61,6 +61,17 @@ class ProviderConfig:
     #: plans bypass the individual memo layers, so deployments (and
     #: tests) that introspect those layers' hit/miss counters opt in.
     request_plans: bool = False
+    #: Number of provider shards (M13).  1 means the classic unsharded
+    #: plane; >1 makes W5System build a
+    #: :class:`~repro.platform.shards.ShardedProvider` that partitions
+    #: users across that many full per-shard providers.
+    shards: int = 1
+    #: Shard execution engine (M13): ``"serial"`` (in-line, the
+    #: deterministic baseline), ``"thread"`` (one worker thread per
+    #: shard), ``"fork"`` (one forked process per shard — the engine
+    #: that actually scales with cores under the GIL), or ``None`` for
+    #: the default (serial at 1 shard, thread above).
+    shard_engine: "str | None" = None
 
     # -- presets --------------------------------------------------------
 
@@ -68,6 +79,13 @@ class ProviderConfig:
     def fast(cls, **overrides: Any) -> "ProviderConfig":
         """All accelerations on, including compiled request plans."""
         return cls(request_plans=True, **overrides)
+
+    @classmethod
+    def sharded(cls, shards: int, **overrides: Any) -> "ProviderConfig":
+        """The fast plane, partitioned across ``shards`` providers."""
+        base: dict[str, Any] = dict(request_plans=True, shards=shards)
+        base.update(overrides)
+        return cls(**base)
 
     @classmethod
     def naive(cls, **overrides: Any) -> "ProviderConfig":

@@ -74,7 +74,8 @@ class Provider:
                  journal_compact_bytes: Any = _UNSET,
                  tracing: bool = False,
                  config: Optional[ProviderConfig] = None,
-                 request_plans: Any = _UNSET) -> None:
+                 request_plans: Any = _UNSET,
+                 session_seed: Optional[int] = None) -> None:
         self.name = name
         #: The resolved :class:`ProviderConfig`.  The individual flag
         #: keywords are deprecated aliases that emit
@@ -141,7 +142,12 @@ class Provider:
         self.fs = LabeledFileSystem(self.kernel,
                                     grouped_walk=partitioned_store)
         self.db = LabeledStore(self.kernel, partitioned=partitioned_store)
-        self.sessions = SessionManager()
+        # shard k of a ShardedProvider seeds its session RNG with
+        # seed+k so two shards never mint the same token (the router
+        # maps token -> shard); shard 0 / unsharded keep the default
+        # stream, preserving byte-identity with historical deployments
+        self.sessions = (SessionManager() if session_seed is None
+                         else SessionManager(seed=session_seed))
         self.declass = DeclassificationService(
             self.kernel, cache_authority=fast_request_plane)
         self.apps = Registry()
