@@ -65,8 +65,9 @@ M12_MAX_CACHED_READ_US = 10.0
 #: ever stops paying for itself.
 M12_MAX_PLANNED_RATIO = 0.95
 #: Two identical unplanned builds must reproduce each other's floor —
-#: same noise bound as M11, same reasoning.
-M12_MAX_UNPLANNED_NOISE = 1.06
+#: same noise bound as M11, same reasoning (incl. the post-M14
+#: recalibration: fixed layout deltas over a squeezed floor).
+M12_MAX_UNPLANNED_NOISE = 1.09
 
 
 def build_deployment(n_users: int, plans: bool) -> tuple[W5System, Any]:
@@ -118,8 +119,12 @@ def measure_cached_read_seconds(w5: W5System, n: int = 20_000,
     plans = provider.plans
     declass = provider.declass
     plan = plans.lookup("blog", "user0")
-    assert plan is not None and plan._verdicts, "warm the plan first"
-    subject = _SubjectState(next(iter(plan._verdicts)))
+    # the warmed plan holds the tainted-read label state in its dict
+    # verdict table, or in the dense slot rows when the M14
+    # verdict_slots flag routes the scan through read_verdict_row
+    states = plan._verdicts or plan._slot_rows if plan is not None else None
+    assert states, "warm the plan first"
+    subject = _SubjectState(next(iter(states)))
     pkeys = list(provider.db._tables["blog_posts"].partitions)
     best = float("inf")
     for _ in range(repeat):

@@ -1,0 +1,202 @@
+"""M14 shared harness: the squeezed mandated pipeline vs. itself.
+
+M12 removed the *pure recomputation* from the labeled read; what is
+left is the mandated pipeline — the spawn, the label change, the
+partition scan, the charges, the exit and the five audit records the
+differential suite pins byte-identical.  M14 attacks the constant
+factor of exactly those observables without changing a single byte of
+them:
+
+* **lazy audit** — records carry an interned template + args tuple
+  and render on first access, so the steady state (nobody reads the
+  ring) skips one string format per record;
+* **compiled label transitions** — ``Kernel.change_label`` memoizes
+  the legality of interned ``(from, to, caps)`` transitions behind the
+  flow-cache generation, so the two label changes per tainted read
+  cost a dict probe each;
+* **batched charges** — the scan issues one ``charge_many`` instead
+  of a per-partition ``charge`` loop, with one usage lookup and
+  slot-backed counters;
+* **verdict slots** — the planned scan indexes a dense per-state list
+  by small-int partition slot instead of probing a dict per partition.
+
+Both sides of the comparison run with request plans *on*
+(``ProviderConfig.fast()`` vs. the same config with the four M14
+flags off), so the measured delta is the pipeline squeeze alone — not
+a replay of the M12 win.
+
+The comparison runs under the M11 drift-resistant protocol: two
+builds per mode in alternating order (naive, fast, fast, naive),
+warmup loops discarded, then interleaved ~10ms slices with per-mode
+floors, so container drift lands on both modes alike.  The two naive
+builds bound the noise floor exactly as M11's two ``tracing=False``
+builds do.
+
+Used by both ``test_bench_m14_pipeline.py`` (assertions + table) and
+``record.py`` (BENCH_M14.json + the 1.2x regression guard), so the
+two always measure the same thing.
+
+Plain imports only: ``record.py`` runs as a script, so this module
+must work without the package context (hence the dual import of the
+M8 measurement loop).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+try:  # package context (pytest)
+    from .m8_scaling import measure_request_seconds
+except ImportError:  # script context (record.py)
+    from m8_scaling import measure_request_seconds
+
+from repro import W5System
+from repro.platform import ProviderConfig
+
+#: The four M14 fast-path switches, each independently revertible to
+#: its naive twin through :class:`ProviderConfig`.
+M14_FLAGS = ("lazy_audit", "compiled_transitions", "batched_charges",
+             "verdict_slots")
+M14_NAIVE = {flag: False for flag in M14_FLAGS}
+
+#: The end-to-end bar: the fast pipeline must beat the naive pipeline
+#: (floor over floor, M11 protocol) by at least 1.2x on the labeled
+#: tainted read.  Measured ~1.3x on the reference box — ~50us of
+#: mandated pipeline down to the high 30s — so 1.2 leaves headroom
+#: for build-to-build layout luck while failing if any of the four
+#: shortcuts quietly stops being a shortcut.
+M14_MIN_SPEEDUP = 1.2
+#: Two identical naive builds must reproduce each other's floor —
+#: same noise bound as M11/M12, same reasoning (fixed layout deltas
+#: are a larger ratio of the squeezed floor, and the once-through CI
+#: suite runs in a heap fragmented by the earlier suites).
+M14_MAX_NAIVE_NOISE = 1.09
+
+
+def pipeline_config(fast: bool, only: Optional[str] = None) -> ProviderConfig:
+    """The fast plane with the M14 pipeline on (``fast=True``) or
+    reverted to the naive twins (``fast=False``).
+
+    ``only`` re-enables a single M14 flag on the naive base — the
+    per-stage attribution knob :func:`run_stage_breakdown` uses.
+    """
+    if fast:
+        return ProviderConfig.fast()
+    overrides = dict(M14_NAIVE)
+    if only is not None:
+        overrides[only] = True
+    return ProviderConfig.fast().replace(**overrides)
+
+
+def build_deployment(n_users: int, fast: bool,
+                     only: Optional[str] = None) -> tuple[W5System, Any]:
+    """The M8 deployment with plans on either way; the mode switch is
+    the four M14 pipeline flags, so the measured delta is the squeeze
+    of the mandated observables alone."""
+    w5 = W5System(name=f"m14-{'fast' if fast else 'naive'}",
+                  config=pipeline_config(fast, only=only),
+                  audit_max_events=20_000)
+    driver = w5.add_user("user0", apps=("blog",))
+    provider = w5.provider
+    for i in range(1, n_users):
+        name = f"user{i}"
+        provider.signup(name, "pw")
+        provider.enable_app(name, "blog")
+        provider.grant_builtin_declassifier(
+            name, "friends-only", {"friends": []})
+    driver.get("/app/blog/post", title="t0", body="hello world")
+    resp = driver.get("/app/blog/read", title="t0")
+    assert resp.ok and resp.body["body"] == "hello world"
+    return w5, driver
+
+
+def run_comparison(n_users: int = 100, n: int = 150,
+                   reps: int = 20) -> dict[str, Any]:
+    """The M14 headline: fast vs. naive mandated pipeline, M8 mix.
+
+    The M11 protocol verbatim (see :mod:`m11_tracing` for the full
+    rationale): four deployments built up front in alternating order
+    (naive, fast, fast, naive), discarded warmups, then ``reps``
+    rounds of interleaved ~10ms slices; each mode's latency is its
+    minimum slice across both builds, and the two naive builds'
+    floors bound the noise.
+    """
+    w5_off, drv_off = build_deployment(n_users, fast=False)
+    w5_on, drv_on = build_deployment(n_users, fast=True)
+    w5_on2, drv_on2 = build_deployment(n_users, fast=True)
+    w5_off2, drv_off2 = build_deployment(n_users, fast=False)
+    off_drivers = (drv_off, drv_off2)
+    on_drivers = (drv_on, drv_on2)
+    for drv in off_drivers + on_drivers:
+        measure_request_seconds(drv, n=n, repeat=2)
+    off_by_build: tuple[list[float], list[float]] = ([], [])
+    on: list[float] = []
+    for _ in range(reps):
+        for slices, drv in zip(off_by_build, off_drivers):
+            slices.append(measure_request_seconds(drv, n=n, repeat=1))
+        for drv in on_drivers:
+            on.append(measure_request_seconds(drv, n=n, repeat=1))
+    floor_a = min(off_by_build[0])
+    floor_b = min(off_by_build[1])
+    noise = max(floor_a, floor_b) / min(floor_a, floor_b)
+    off = sorted(off_by_build[0] + off_by_build[1])
+    on.sort()
+
+    kernel = w5_on.provider.kernel
+    transitions = kernel._transitions
+    naive: dict[str, Any] = {
+        "users": n_users, "m14_pipeline": False,
+        "latency_us": round(off[0] * 1e6, 2),
+        "best_slices_us": [round(s * 1e6, 2) for s in off[:4]],
+        "throughput_rps": round(1.0 / off[0], 1),
+    }
+    fast: dict[str, Any] = {
+        "users": n_users, "m14_pipeline": True,
+        "latency_us": round(on[0] * 1e6, 2),
+        "best_slices_us": [round(s * 1e6, 2) for s in on[:4]],
+        "throughput_rps": round(1.0 / on[0], 1),
+        "compiled_transitions": (len(transitions)
+                                 if transitions is not None else 0),
+        "batched_charges": w5_on.provider.db.stats()["batched_charges"],
+    }
+    return {
+        "naive": naive,
+        "fast": fast,
+        "pipeline_removed_us": round(max(off[0] - on[0], 0.0) * 1e6, 2),
+        "speedup": round(off[0] / on[0], 3),
+        "naive_noise_ratio": round(noise, 4),
+        "min_speedup": M14_MIN_SPEEDUP,
+        "max_naive_noise": M14_MAX_NAIVE_NOISE,
+    }
+
+
+def run_stage_breakdown(n_users: int = 100, n: int = 120,
+                        reps: int = 10) -> dict[str, Any]:
+    """Per-stage attribution: each M14 flag alone on the naive base.
+
+    Five deployments measured in interleaved slices — the naive
+    pipeline plus one per flag — so each flag's floor-vs-naive-floor
+    delta is that stage's end-to-end contribution in µs.  Too slow
+    for CI (record.py runs :func:`run_comparison` only); this feeds
+    the per-stage table in docs/PERFORMANCE.md part VIII.
+    """
+    modes: list[Optional[str]] = [None] + list(M14_FLAGS)
+    drivers = []
+    for only in modes:
+        _, drv = build_deployment(n_users, fast=False, only=only)
+        drivers.append(drv)
+    for drv in drivers:
+        measure_request_seconds(drv, n=n, repeat=2)
+    slices: list[list[float]] = [[] for _ in modes]
+    for _ in range(reps):
+        for out, drv in zip(slices, drivers):
+            out.append(measure_request_seconds(drv, n=n, repeat=1))
+    floors = [min(s) for s in slices]
+    naive_us = floors[0] * 1e6
+    out: dict[str, Any] = {"naive_us": round(naive_us, 2)}
+    for only, floor in zip(modes[1:], floors[1:]):
+        out[only] = {
+            "latency_us": round(floor * 1e6, 2),
+            "saved_us": round(naive_us - floor * 1e6, 2),
+        }
+    return out

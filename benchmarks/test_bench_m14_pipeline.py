@@ -1,0 +1,77 @@
+"""M14 — the squeezed mandated pipeline: same bytes, fewer µs.
+
+The pipeline-squeeze claim, as assertions on the M8 labeled read:
+
+* **end to end**, the four M14 shortcuts (lazy audit, compiled label
+  transitions, batched charges, verdict slots) beat their naive twins
+  by at least 1.2x (floor over floor, M11 protocol) on the identical
+  byte-for-byte pipeline — plans are on for *both* sides, so this is
+  the constant-factor squeeze alone, not a replay of the M12 win;
+* two independently built **naive** deployments reproduce each
+  other's floor, so the comparison is not measuring build luck;
+* the shortcuts actually engage: the transition memo holds compiled
+  entries and the store issues batched charges.
+
+Byte-identity of the observables (audit stream, charge totals, denial
+messages) is the differential suite's job
+(tests/platform/test_plan_differential.py::TestM14FastPathsAreByteIdentical);
+this file asserts only that the shortcuts are worth having.
+"""
+
+import pytest
+
+from .conftest import print_table
+from .m14_pipeline import (M14_MAX_NAIVE_NOISE, M14_MIN_SPEEDUP,
+                           build_deployment, run_comparison)
+
+N_USERS = 100
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    result = run_comparison(n_users=N_USERS)
+    print_table(
+        f"M14 pipeline squeeze ({N_USERS}-user M8 mix, plans on both sides)",
+        ["mode", "latency µs", "throughput rps", "ratio"],
+        [["naive pipeline (floor)", result["naive"]["latency_us"],
+          result["naive"]["throughput_rps"], "1.0x"],
+         ["naive (other build's floor)", "", "",
+          f"{result['naive_noise_ratio']}x"],
+         ["fast pipeline (floor)", result["fast"]["latency_us"],
+          result["fast"]["throughput_rps"],
+          f"{result['speedup']}x"],
+         ["pipeline removed", result["pipeline_removed_us"], "", ""]])
+    return result
+
+
+def test_bench_m14_fast_pipeline_wins_end_to_end(comparison):
+    speedup = comparison["speedup"]
+    assert speedup >= M14_MIN_SPEEDUP, (
+        f"the fast pipeline runs at {speedup}x the naive pipeline "
+        f"(bar {M14_MIN_SPEEDUP}x): one of the four M14 shortcuts "
+        f"quietly stopped being a shortcut")
+
+
+def test_bench_m14_naive_builds_agree(comparison):
+    noise = comparison["naive_noise_ratio"]
+    assert noise < M14_MAX_NAIVE_NOISE, (
+        f"two naive builds' latency floors differ by {noise}x "
+        f"(budget {M14_MAX_NAIVE_NOISE}x): the comparison is "
+        f"drowning in build-to-build noise")
+
+
+def test_bench_m14_shortcuts_engage(comparison):
+    fast = comparison["fast"]
+    assert fast["m14_pipeline"] is True
+    assert not comparison["naive"]["m14_pipeline"]
+    # the two label changes per tainted read hit the transition memo
+    assert fast["compiled_transitions"] >= 1
+    # the partitioned scan charges through charge_many
+    assert fast["batched_charges"] > 0
+
+
+def test_bench_m14_fast_request_latency(benchmark):
+    """pytest-benchmark point: one labeled read on the fast pipeline."""
+    _, driver = build_deployment(N_USERS, fast=True)
+    resp = benchmark(driver.get, "/app/blog/read", title="t0")
+    assert resp.ok

@@ -24,6 +24,8 @@ TABLE = "blog_posts"
 
 
 def _ensure_table(ctx: AppContext) -> None:
+    if ctx.db.has_table(TABLE):
+        return
     from ..db import TableExists
     try:
         ctx.db.create_table(TABLE, indexes=["author"])
@@ -56,9 +58,9 @@ def blog(ctx: AppContext) -> Any:
     if action == "read":
         author = ctx.request.param("author", ctx.viewer)
         ctx.read_user(author)
+        title = ctx.request.param("title")
         rows = ctx.db.select(TABLE, where={"author": author},
-                             predicate=lambda r: r["title"] ==
-                             ctx.request.param("title"))
+                             predicate=lambda r: r["title"] == title)
         if not rows:
             return {"error": "no such post"}
         return {"author": author, "title": rows[0]["title"],

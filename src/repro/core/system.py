@@ -63,11 +63,13 @@ class W5System:
                 engine=config.shard_engine, js_policy=js_policy,
                 audit_max_events=audit_max_events, tracing=tracing,
                 resources_factory=lambda: ResourceManager(
-                    default_quotas=quotas, overrides=quota_overrides))
+                    default_quotas=quotas, overrides=quota_overrides,
+                    fast=config.batched_charges))
             self.resources = self.provider.shards[0].kernel.resources
         else:
             self.resources = ResourceManager(default_quotas=quotas,
-                                             overrides=quota_overrides)
+                                             overrides=quota_overrides,
+                                             fast=config.batched_charges)
             self.provider = Provider(name=name, resources=self.resources,
                                      js_policy=js_policy,
                                      config=config,

@@ -59,6 +59,10 @@ from .errors import NoSuchRow, NoSuchTable, SchemaError, TableExists
 
 Predicate = Callable[[dict[str, Any]], bool]
 
+#: Sentinel namespacing the slot-aligned entries inside a table's
+#: ``_cand_cache`` so they can never collide with an index choice key.
+_ARRAYS = object()
+
 #: A partition key: the interned (slabel, ilabel) pair of its rows.
 PartitionKey = "tuple[Label, Label]"
 
@@ -180,9 +184,21 @@ class LabeledStore:
     oracle with identical observable behaviour.
     """
 
-    def __init__(self, kernel: Kernel, partitioned: bool = True) -> None:
+    def __init__(self, kernel: Kernel, partitioned: bool = True,
+                 batch_charges: bool = True,
+                 verdict_slots: bool = True) -> None:
         self.kernel = kernel
         self.partitioned = partitioned
+        #: M14: fuse the per-partition ``db_rows_scanned`` charges of
+        #: one scan into a single sequential-equivalent ``charge_many``.
+        self.batch_charges = batch_charges
+        #: M14: planned scans index a dense verdict list by small-int
+        #: partition slot instead of probing a dict per partition.
+        self.verdict_slots = verdict_slots
+        #: Store-wide partition-slot registry: (slabel, ilabel) -> the
+        #: small int the dense verdict rows are indexed by.  Assigned
+        #: on first sight and never recycled (labels are interned).
+        self._slots: dict[tuple[Label, Label], int] = {}
         self._tables: dict[str, Table] = {}
         self._row_ids = itertools.count(1)
         #: Partition-scan observability (read via :meth:`stats`).
@@ -337,8 +353,9 @@ class LabeledStore:
                 "values": row.values,
                 "slabel": sorted(t.tag_id for t in row.slabel),
                 "ilabel": sorted(t.tag_id for t in row.ilabel)})
-        self.kernel.audit.record(A.DB_QUERY, True, process.name,
-                                 f"insert {table_name}#{row.row_id}")
+        self.kernel.audit.record_lazy(A.DB_QUERY, True, process.name,
+                                      "insert %s#%d",
+                                      (table_name, row.row_id))
         return row.row_id
 
     def update(self, process: Process, table_name: str,
@@ -433,8 +450,9 @@ class LabeledStore:
             self.on_mutate("db.update", {
                 "table": table_name, "rows": sorted(touched),
                 "changes": changes})
-        self.kernel.audit.record(A.DB_QUERY, True, process.name,
-                                 f"update {table_name} ({updated} rows)")
+        self.kernel.audit.record_lazy(A.DB_QUERY, True, process.name,
+                                      "update %s (%d rows)",
+                                      (table_name, updated))
         return updated
 
     def delete(self, process: Process, table_name: str,
@@ -492,8 +510,9 @@ class LabeledStore:
             self.on_mutate("db.delete", {
                 "table": table_name,
                 "rows": sorted(r.row_id for r in doomed)})
-        self.kernel.audit.record(A.DB_QUERY, True, process.name,
-                                 f"delete {table_name} ({len(doomed)} rows)")
+        self.kernel.audit.record_lazy(A.DB_QUERY, True, process.name,
+                                      "delete %s (%d rows)",
+                                      (table_name, len(doomed)))
         return len(doomed)
 
     def purge_rows(self, table_name: str, row_ids: Iterable[int]) -> int:
@@ -627,18 +646,24 @@ class LabeledStore:
                 limit: Optional[int],
                 plan: Optional[Any] = None) -> list[dict[str, Any]]:
         table = self.table(table_name)
-        self.kernel.resources.charge(process, "db_queries", 1)
         if self.partitioned:
+            # batch engine: the query charge rides in the scan's
+            # charge_many as the first item — sequential-equivalent,
+            # since a loop of charges would apply it first anyway
+            if not self.batch_charges:
+                self.kernel.resources.charge(process, "db_queries", 1)
             matches, scanned = self._scan_partitioned(
                 process, table, where, predicate, limit, plan)
             out = [row.snapshot() for row in matches]
         else:
+            self.kernel.resources.charge(process, "db_queries", 1)
             matches, scanned = self._scan_naive(
                 process, table, where, predicate, limit)
             out = [row.snapshot() for row in matches]
         self._pad_scan(process, table, where, scanned)
-        self.kernel.audit.record(A.DB_QUERY, True, process.name,
-                                 f"select {table_name} ({len(out)} rows)")
+        self.kernel.audit.record_lazy(A.DB_QUERY, True, process.name,
+                                      "select %s (%d rows)",
+                                      (table_name, len(out)))
         return out
 
     def select_failstop(self, process: Process, table_name: str,
@@ -681,16 +706,19 @@ class LabeledStore:
                predicate: Optional[Predicate],
                plan: Optional[Any] = None) -> int:
         table = self.table(table_name)
-        self.kernel.resources.charge(process, "db_queries", 1)
         if self.partitioned:
+            if not self.batch_charges:
+                self.kernel.resources.charge(process, "db_queries", 1)
             matches, scanned = self._scan_partitioned(
                 process, table, where, predicate, None, plan)
         else:
+            self.kernel.resources.charge(process, "db_queries", 1)
             matches, scanned = self._scan_naive(
                 process, table, where, predicate, None)
         self._pad_scan(process, table, where, scanned)
-        self.kernel.audit.record(A.DB_QUERY, True, process.name,
-                                 f"select {table_name} ({len(matches)} rows)")
+        self.kernel.audit.record_lazy(A.DB_QUERY, True, process.name,
+                                      "select %s (%d rows)",
+                                      (table_name, len(matches)))
         return len(matches)
 
     def get(self, process: Process, table_name: str, row_id: int) -> dict[str, Any]:
@@ -748,30 +776,52 @@ class LabeledStore:
         with a ``limit`` each partition is charged only up to the
         naive engine's stopping point (a bisect, not a walk).
         """
-        parts = self._partition_candidates(table, where)
-        if plan is not None:
-            # Plan verdicts are keyed by the process's *label state*, so
-            # the fresh process a tainted request spawned still hits.
-            verdicts = plan.read_verdicts(process, parts)
-        else:
-            verdicts = access.readable_pairs(process, list(parts),
-                                             cache=self.kernel.flow_cache,
-                                             category="db.read")
         stats = self._stats
         matches: list[Row] = []
-        for pkey, ids in parts.items():
-            if not verdicts[pkey]:
-                stats["partitions_skipped"] += 1
-                stats["rows_skipped"] += len(ids)
-                continue
-            stats["partitions_visible"] += 1
-            rows = table.rows
-            for i in ids:
-                row = rows.get(i)
-                if row is not None and _matches(row, where, predicate):
-                    matches.append(row)
+        rows = table.rows
+        idlists: Any
+        if plan is not None and self.verdict_slots:
+            # Array-backed verdict slots (M14): one list index per
+            # partition in the inner loop instead of a dict probe.
+            pkeys, slots, idlists, prechecked = \
+                self._partition_arrays(table, where)
+            w = None if prechecked else where
+            vrow = plan.read_verdict_row(process, pkeys, slots)
+            for i, ids in enumerate(idlists):
+                if not vrow[slots[i]]:
+                    stats["partitions_skipped"] += 1
+                    stats["rows_skipped"] += len(ids)
+                    continue
+                stats["partitions_visible"] += 1
+                for rid in ids:
+                    row = rows.get(rid)
+                    if row is not None and _matches(row, w, predicate):
+                        matches.append(row)
+        else:
+            parts = self._partition_candidates(table, where)
+            if plan is not None:
+                # Plan verdicts are keyed by the process's *label
+                # state*, so the fresh process a tainted request
+                # spawned still hits.
+                verdicts = plan.read_verdicts(process, parts)
+            else:
+                verdicts = access.readable_pairs(process, list(parts),
+                                                 cache=self.kernel.flow_cache,
+                                                 category="db.read")
+            for pkey, ids in parts.items():
+                if not verdicts[pkey]:
+                    stats["partitions_skipped"] += 1
+                    stats["rows_skipped"] += len(ids)
+                    continue
+                stats["partitions_visible"] += 1
+                for rid in ids:
+                    row = rows.get(rid)
+                    if row is not None and _matches(row, where, predicate):
+                        matches.append(row)
+            idlists = parts.values()
         matches.sort(key=lambda r: r.row_id)
-        charge = self.kernel.resources.charge
+        resources = self.kernel.resources
+        batch = self.batch_charges
         if limit is not None and matches:
             # The naive loop breaks after appending its limit-th match
             # (with limit < 1 it still appends one row first), so rows
@@ -781,17 +831,37 @@ class LabeledStore:
                 matches = matches[:cap]
                 cutoff = matches[-1].row_id
                 scanned = 0
-                for ids in parts.values():
+                if batch:
+                    items = [("db_queries", 1.0)]
+                    for ids in idlists:
+                        n = bisect_right(ids, cutoff)
+                        if n:
+                            items.append(("db_rows_scanned", n))
+                        scanned += n
+                    resources.charge_many(process, items)
+                    stats["batched_charges"] += len(items)
+                    return matches, scanned
+                for ids in idlists:
                     n = bisect_right(ids, cutoff)
                     if n:
-                        charge(process, "db_rows_scanned", n)
+                        resources.charge(process, "db_rows_scanned", n)
                         stats["batched_charges"] += 1
                     scanned += n
                 return matches, scanned
         scanned = 0
-        for ids in parts.values():
+        if batch:
+            items = [("db_queries", 1.0)]
+            for ids in idlists:
+                n = len(ids)
+                if n:
+                    items.append(("db_rows_scanned", n))
+                scanned += n
+            resources.charge_many(process, items)
+            stats["batched_charges"] += len(items)
+            return matches, scanned
+        for ids in idlists:
             if ids:
-                charge(process, "db_rows_scanned", len(ids))
+                resources.charge(process, "db_rows_scanned", len(ids))
                 stats["batched_charges"] += 1
             scanned += len(ids)
         return matches, scanned
@@ -804,6 +874,26 @@ class LabeledStore:
         """Visible matching rows in row-id order, one read verdict per
         partition (the update/delete front half — no scan charges, the
         historical write-path behaviour)."""
+        stats = self._stats
+        matches: list[Row] = []
+        rows = table.rows
+        if plan is not None and self.verdict_slots:
+            pkeys, slots, idlists, prechecked = \
+                self._partition_arrays(table, where)
+            w = None if prechecked else where
+            vrow = plan.read_verdict_row(process, pkeys, slots)
+            for i, ids in enumerate(idlists):
+                if not vrow[slots[i]]:
+                    stats["partitions_skipped"] += 1
+                    stats["rows_skipped"] += len(ids)
+                    continue
+                stats["partitions_visible"] += 1
+                for rid in ids:
+                    row = rows.get(rid)
+                    if row is not None and _matches(row, w, predicate):
+                        matches.append(row)
+            matches.sort(key=lambda r: r.row_id)
+            return matches
         parts = self._partition_candidates(table, where)
         if plan is not None:
             verdicts = plan.read_verdicts(process, parts)
@@ -811,17 +901,14 @@ class LabeledStore:
             verdicts = access.readable_pairs(process, list(parts),
                                              cache=self.kernel.flow_cache,
                                              category="db.read")
-        stats = self._stats
-        matches: list[Row] = []
         for pkey, ids in parts.items():
             if not verdicts[pkey]:
                 stats["partitions_skipped"] += 1
                 stats["rows_skipped"] += len(ids)
                 continue
             stats["partitions_visible"] += 1
-            rows = table.rows
-            for i in ids:
-                row = rows.get(i)
+            for rid in ids:
+                row = rows.get(rid)
                 if row is not None and _matches(row, where, predicate):
                     matches.append(row)
         matches.sort(key=lambda r: r.row_id)
@@ -891,6 +978,55 @@ class LabeledStore:
         table._cand_cache[choice] = parts
         return parts
 
+    def _partition_arrays(self, table: Table,
+                          where: Optional[dict[str, Any]]
+                          ) -> tuple[list, list, list]:
+        """Slot-aligned view of :meth:`_partition_candidates` for the
+        array-backed verdict path (M14): ``(pkeys, slots, idlists,
+        prechecked)`` with the three lists aligned index-for-index and
+        ``slots`` drawn from the store-wide registry.  ``prechecked``
+        is True when the where clause is a single column answered by
+        that column's index — every candidate id then satisfies it by
+        construction, and the scan loop can skip re-verifying it row
+        by row.  Memoized alongside the candidate mapping (same
+        invalidation: any membership change clears the table's cache).
+
+        The memo is keyed by the *where signature* (the sorted
+        column/value pairs), not the index choice: :meth:`_best_index`
+        re-walks bucket sizes to pick the smallest, and on a warm
+        table that walk is the single most expensive step of a hot
+        planned scan.  The signature determines the choice until any
+        membership change — which clears this memo too.
+        """
+        cache = table._cand_cache
+        wkey: Optional[tuple]
+        if where:
+            try:
+                wkey = (_ARRAYS, tuple(sorted(where.items())))
+            except TypeError:  # unhashable where value: no memo
+                wkey = None
+        else:
+            wkey = (_ARRAYS, None)
+        if wkey is not None:
+            cached = cache.get(wkey)
+            if cached is not None:
+                return cached
+        parts = self._partition_candidates(table, where)
+        slot_of = self._slots
+        pkeys = list(parts)
+        slots = []
+        for pkey in pkeys:
+            slot = slot_of.get(pkey)
+            if slot is None:
+                slot = slot_of[pkey] = len(slot_of)
+            slots.append(slot)
+        prechecked = (bool(where) and len(where) == 1
+                      and next(iter(where)) in table.indexes)
+        arrays = (pkeys, slots, list(parts.values()), prechecked)
+        if wkey is not None:
+            cache[wkey] = arrays
+        return arrays
+
     @staticmethod
     def _used_index(table: Table, where: Optional[dict[str, Any]]) -> bool:
         return bool(where) and any(col in table.indexes for col in where)
@@ -924,6 +1060,13 @@ class DbView:
 
     def create_table(self, name: str, indexes: Iterable[str] = ()) -> Table:
         return self._store.create_table(self._process, name, indexes=indexes)
+
+    def has_table(self, name: str) -> bool:
+        """Catalog probe.  The catalog is public (see
+        :meth:`LabeledStore.create_table`), so this neither charges nor
+        audits — it lets an app's ensure-table preamble skip the
+        create/``TableExists`` exception round-trip on every request."""
+        return name in self._store._tables
 
     def insert(self, table: str, values: dict[str, Any], **kw: Any) -> int:
         return self._store.insert(self._process, table, values, **kw)

@@ -347,8 +347,8 @@ class LabeledFileSystem:
             raise IsADirectory(path)
         self._check_read(process, node, path)
         self.kernel.resources.charge(process, "disk_read", 1)
-        self.kernel.audit.record(A.FILE_READ, True, process.name,
-                                 f"read {path}")
+        self.kernel.audit.record_lazy(A.FILE_READ, True, process.name,
+                                      "read %s", (path,))
         assert isinstance(node, File)
         return copy.deepcopy(node.data)
 
@@ -372,8 +372,8 @@ class LabeledFileSystem:
         if self.on_mutate is not None:
             self.on_mutate("fs.write", {
                 "path": self.canonical(path), "data": node.data})
-        self.kernel.audit.record(A.FILE_WRITE, True, process.name,
-                                 f"write {path}")
+        self.kernel.audit.record_lazy(A.FILE_WRITE, True, process.name,
+                                      "write %s", (path,))
         return node
 
     def delete(self, process: Process, path: str) -> None:

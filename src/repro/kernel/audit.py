@@ -43,19 +43,46 @@ class AuditEvent:
     generated ``__init__`` indirection is measurable on the hot path.
     Equality ignores ``extra`` (diagnostic payload, not identity), the
     same semantics the earlier frozen-dataclass spelling had.
+
+    ``detail`` may be recorded in deferred form: an interned
+    %-template plus an ``args`` tuple of immutable values (strings,
+    ints, interned labels).  The rendered string is produced on first
+    access and cached — queries, equality, hashing, and ``repr`` all
+    force it, so observable bytes are identical to eager formatting;
+    only the *when* of the ``%`` call moves off the hot path.
+    ``extra`` is likewise allocated on first access, so events with no
+    diagnostic payload never carry an empty dict.
     """
 
-    __slots__ = ("seq", "category", "allowed", "subject", "detail", "extra")
+    __slots__ = ("seq", "category", "allowed", "subject",
+                 "_detail", "_args", "_extra")
 
     def __init__(self, seq: int, category: str, allowed: bool,
                  subject: str, detail: str,
-                 extra: Optional[dict[str, Any]] = None) -> None:
+                 extra: Optional[dict[str, Any]] = None,
+                 args: Optional[tuple] = None) -> None:
         self.seq = seq
         self.category = category
         self.allowed = allowed
         self.subject = subject          # acting process name (or "gateway")
-        self.detail = detail
-        self.extra = {} if extra is None else extra
+        self._detail = detail
+        self._args = args
+        self._extra = extra
+
+    @property
+    def detail(self) -> str:
+        args = self._args
+        if args is not None:
+            self._detail = self._detail % args
+            self._args = None
+        return self._detail
+
+    @property
+    def extra(self) -> dict[str, Any]:
+        extra = self._extra
+        if extra is None:
+            extra = self._extra = {}
+        return extra
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AuditEvent):
@@ -107,7 +134,8 @@ class AuditLog:
 
     def __init__(self, capacity: Optional[int] = None,
                  max_events: Optional[int] = None,
-                 category_index: bool = True) -> None:
+                 category_index: bool = True,
+                 lazy: bool = True) -> None:
         self._capacity = max_events if max_events is not None else capacity
         # a deque ring evicts in O(1); the unbounded log stays a list
         self._events: Union[list[AuditEvent], deque[AuditEvent]] = (
@@ -117,8 +145,17 @@ class AuditLog:
         #: Events discarded by the ring bound (0 while unbounded).
         self.dropped = 0
         self._subscribers: list[Callable[[AuditEvent], None]] = []
-        self._index: Optional[dict[str, deque[AuditEvent]]] = (
-            {} if category_index else None)
+        self._indexed = category_index
+        #: When False, :meth:`record_lazy` renders templates eagerly —
+        #: the M14 naive opt-out, byte-identical either way.
+        self.lazy = lazy
+        # Fused per-category state: category -> [index deque (or None
+        # when unindexed), n_allowed, n_denied].  One dict probe per
+        # append covers both the category index and the O(1) counters
+        # (the pre-fusion layout probed three dicts per record).
+        self._cats: dict[str, list] = {}
+        self._n_allowed = 0
+        self._n_denied = 0
         #: Optional tracer-like object whose ``current`` attribute is
         #: the active span (or None); stamped into every event's
         #: ``extra`` while a traced request is active.
@@ -150,6 +187,77 @@ class AuditLog:
     def record(self, category: str, allowed: bool, subject: str,
                detail: str, **extra: Any) -> AuditEvent:
         """Append an event and notify subscribers."""
+        return self._append(category, allowed, subject, detail,
+                            extra if extra else None, None)
+
+    def record_lazy(self, category: str, allowed: bool, subject: str,
+                    template: str, args: Optional[tuple] = None,
+                    extra: Optional[dict[str, Any]] = None) -> AuditEvent:
+        """Append an event whose detail is ``template % args``.
+
+        The hot-path spelling of :meth:`record`: no kwargs dict, no
+        ``%`` call, no ``extra`` allocation unless a trace is active or
+        the caller supplied one.  ``args`` values must be immutable (or
+        interned) so the deferred render is byte-identical to an eager
+        one.  With :attr:`lazy` off the template is rendered here —
+        the differential suites prove both spellings emit the same
+        bytes.
+        """
+        if not self.lazy:
+            # The naive twin reproduces the pre-M14 call shape exactly:
+            # render eagerly, then enter through the public record()
+            # with the diagnostic payload spread as keyword arguments —
+            # that is what every call site did before the lazy path
+            # existed, and it is the cost the M14 benchmark holds up as
+            # its baseline.
+            if args is not None:
+                template = template % args
+            if extra:
+                return self.record(category, allowed, subject, template,
+                                   **extra)
+            return self.record(category, allowed, subject, template)
+        if self._owner_ident is not None or self.trace_source is not None:
+            return self._append(category, allowed, subject, template,
+                                extra, args)
+        # Inlined append — the M14 fast path.  No owner guard, no trace
+        # stamp, no render: one dict probe maintains index and counters.
+        self._seq += 1
+        event = AuditEvent(self._seq, category, allowed, subject, template,
+                           extra, args)
+        events = self._events
+        cats = self._cats
+        if self._capacity is not None and len(events) == self._capacity:
+            self.dropped += 1  # the append below evicts the oldest
+            victim = events[0]
+            vcat = cats[victim.category]
+            if vcat[0] is not None:
+                vcat[0].popleft()
+            if victim.allowed:
+                vcat[1] -= 1
+                self._n_allowed -= 1
+            else:
+                vcat[2] -= 1
+                self._n_denied -= 1
+        events.append(event)
+        cat = cats.get(category)
+        if cat is None:
+            cat = cats[category] = [deque() if self._indexed else None, 0, 0]
+        if cat[0] is not None:
+            cat[0].append(event)
+        if allowed:
+            cat[1] += 1
+            self._n_allowed += 1
+        else:
+            cat[2] += 1
+            self._n_denied += 1
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(event)
+        return event
+
+    def _append(self, category: str, allowed: bool, subject: str,
+                detail: str, extra: Optional[dict[str, Any]],
+                args: Optional[tuple]) -> AuditEvent:
         owner = self._owner_ident
         if owner is not None and get_ident() != owner:
             raise CrossShardWrite(
@@ -160,27 +268,41 @@ class AuditLog:
         if ts is not None:
             cur = ts.current
             if cur is not None:
+                if extra is None:
+                    extra = {}
                 extra["trace_id"] = cur.trace.trace_id
                 extra["span_id"] = cur.span_id
         self._seq += 1
-        event = AuditEvent(self._seq, category, allowed, subject, detail, extra)
+        event = AuditEvent(self._seq, category, allowed, subject, detail,
+                           extra, args)
         events = self._events
-        index = self._index
+        cats = self._cats
         if self._capacity is not None and len(events) == self._capacity:
             self.dropped += 1  # the append below evicts the oldest
-            if index is not None:
-                # global FIFO eviction: the victim is the leftmost
-                # event of its category's deque
-                victim = events[0]
-                dq = index.get(victim.category)
-                if dq:
-                    dq.popleft()
+            # global FIFO eviction: the victim is the leftmost event
+            # (and the leftmost entry of its category's deque)
+            victim = events[0]
+            vcat = cats[victim.category]
+            if vcat[0] is not None:
+                vcat[0].popleft()
+            if victim.allowed:
+                vcat[1] -= 1
+                self._n_allowed -= 1
+            else:
+                vcat[2] -= 1
+                self._n_denied -= 1
         events.append(event)
-        if index is not None:
-            dq = index.get(category)
-            if dq is None:
-                dq = index[category] = deque()
-            dq.append(event)
+        cat = cats.get(category)
+        if cat is None:
+            cat = cats[category] = [deque() if self._indexed else None, 0, 0]
+        if cat[0] is not None:
+            cat[0].append(event)
+        if allowed:
+            cat[1] += 1
+            self._n_allowed += 1
+        else:
+            cat[2] += 1
+            self._n_denied += 1
         if self._subscribers:
             for fn in self._subscribers:
                 fn(event)
@@ -207,8 +329,9 @@ class AuditLog:
                subject: Optional[str] = None,
                allowed: Optional[bool] = None) -> list[AuditEvent]:
         """Events matching every given filter."""
-        if category is not None and self._index is not None:
-            source: Any = self._index.get(category, ())
+        if category is not None and self._indexed:
+            cat = self._cats.get(category)
+            source: Any = cat[0] if cat is not None else ()
             category = None  # already satisfied by the index
         else:
             source = self._events
@@ -229,7 +352,22 @@ class AuditLog:
 
     def count(self, category: Optional[str] = None,
               allowed: Optional[bool] = None) -> int:
-        return len(self.events(category=category, allowed=allowed))
+        """Matching-event count in O(1) from the maintained counters.
+
+        Equivalent to ``len(self.events(category=..., allowed=...))``
+        over the retained ring (``tests/kernel/test_audit_index.py``
+        pins the equivalence, eviction included).
+        """
+        if category is None:
+            if allowed is None:
+                return len(self._events)
+            return self._n_allowed if allowed else self._n_denied
+        cat = self._cats.get(category)
+        if cat is None:
+            return 0
+        if allowed is None:
+            return cat[1] + cat[2]
+        return cat[1] if allowed else cat[2]
 
     def last(self) -> Optional[AuditEvent]:
         return self._events[-1] if self._events else None
@@ -237,5 +375,6 @@ class AuditLog:
     def clear(self) -> None:
         """Drop all events (test convenience; providers would archive)."""
         self._events.clear()
-        if self._index is not None:
-            self._index.clear()
+        self._cats.clear()
+        self._n_allowed = 0
+        self._n_denied = 0

@@ -60,6 +60,18 @@ class ResourceHook:
     def charge(self, process: Process, kind: str, amount: float) -> None:
         """Charge ``amount`` units of ``kind`` to ``process``."""
 
+    def charge_many(self, process: Process,
+                    items: Iterable[tuple[str, float]]) -> None:
+        """Charge several kinds at once, sequential-equivalent.
+
+        Must behave exactly like charging the items in order: the first
+        refusal raises with earlier items already applied.  Metered
+        hooks override this to do one usage lookup for the batch
+        (M14); the unlimited default just loops.
+        """
+        for kind, amount in items:
+            self.charge(process, kind, amount)
+
     def on_exit(self, process: Process) -> None:
         """Release accounting state for an exited process."""
 
@@ -87,9 +99,11 @@ class Kernel:
                  floating_labels: bool = False,
                  flow_cache: Optional[FlowCache] = None,
                  recycle: bool = False,
-                 audit_max_events: Optional[int] = None) -> None:
+                 audit_max_events: Optional[int] = None,
+                 lazy_audit: bool = True,
+                 compiled_transitions: bool = True) -> None:
         self.tags = TagRegistry(namespace=namespace)
-        self.audit = AuditLog(max_events=audit_max_events)
+        self.audit = AuditLog(max_events=audit_max_events, lazy=lazy_audit)
         self.resources = resources or ResourceHook()
         self.floating_labels = floating_labels
         #: Memoized flow decisions (see repro.labels.cache).  Pass
@@ -106,6 +120,19 @@ class Kernel:
         #: so instrumentation sites never need None checks.  The
         #: provider installs a live Tracer when tracing is on.
         self.tracer = NULL_TRACER
+        #: Compiled label transitions (M14): memoized *allowed*
+        #: ``(from_s, to_s, from_i, to_i, caps)`` tuples, guarded by
+        #: the FlowCache generation so registry restores flush it.
+        #: Denials always take the slow path for identical diagnostics.
+        self._transitions: Optional[dict[tuple, bool]] = (
+            {} if compiled_transitions else None)
+        self._transitions_gen = self.flow_cache.generation
+        # Companion memo: (label, tags) -> label.add(*tags).  Pure set
+        # arithmetic over interned immutable values, so entries never
+        # go stale; gated with the transition table because it exists
+        # for the same reason (the per-request taint raise).
+        self._label_adds: Optional[dict[tuple, Label]] = (
+            {} if compiled_transitions else None)
         self._pids = itertools.count(1)
         self._procs: dict[int, Process] = {}
         #: endpoint_id -> (pid, Endpoint), a global routing table
@@ -137,9 +164,9 @@ class Kernel:
         proc = Process(next(self._pids), name, slabel, ilabel, caps,
                        owner_user=owner_user)
         self._procs[proc.pid] = proc
-        self.audit.record(A.SPAWN, True, "provider",
-                          f"trusted spawn {name!r} pid={proc.pid}",
-                          pid=proc.pid)
+        self.audit.record_lazy(A.SPAWN, True, "provider",
+                               "trusted spawn %r pid=%d", (name, proc.pid),
+                               {"pid": proc.pid})
         return proc
 
     def spawn(self, parent: Process, name: str,
@@ -203,8 +230,9 @@ class Kernel:
             self._endpoints.pop(ep.endpoint_id, None)
         self.flow_cache.invalidate_subject(process.pid, reason="exit")
         self.resources.on_exit(process)
-        self.audit.record(A.EXIT, True, process.name,
-                          f"exit pid={process.pid}", pid=process.pid)
+        self.audit.record_lazy(A.EXIT, True, process.name,
+                               "exit pid=%d", (process.pid,),
+                               {"pid": process.pid})
 
     def process(self, pid: int) -> Process:
         """Look up a live-or-dead process by pid."""
@@ -246,6 +274,18 @@ class Kernel:
         """
         self._require_alive(process)
         self.resources.charge(process, "syscalls", 1)
+        transitions = self._transitions
+        if transitions is not None:
+            if self._transitions_gen != self.flow_cache.generation:
+                transitions.clear()
+                self._transitions_gen = self.flow_cache.generation
+            key = (process.slabel, secrecy, process.ilabel, integrity,
+                   process.caps)
+            if transitions.get(key):
+                # transition legality is a pure function of the
+                # interned (from, to, caps) tuple — skip the re-derive
+                # (and the per-call diagnostic strings) entirely
+                return self._apply_label_change(process, secrecy, integrity)
         try:
             if secrecy is not None:
                 self.flow_cache.check_label_change(
@@ -259,16 +299,29 @@ class Kernel:
             self.audit.record(A.LABEL_CHANGE, False, process.name,
                               "label change refused")
             raise
+        if transitions is not None:
+            if len(transitions) >= 65536:
+                transitions.clear()
+            transitions[key] = True
+        return self._apply_label_change(process, secrecy, integrity)
+
+    def _apply_label_change(self, process: Process,
+                            secrecy: Optional[Label],
+                            integrity: Optional[Label]) -> list[Endpoint]:
         if secrecy is not None:
             process.slabel = secrecy
         if integrity is not None:
             process.ilabel = integrity
         self.flow_cache.invalidate_subject(process.pid, reason="label-change")
-        closed = process.revalidate_endpoints(cache=self.flow_cache)
-        for ep in closed:
-            self._endpoints.pop(ep.endpoint_id, None)
-        self.audit.record(A.LABEL_CHANGE, True, process.name,
-                          f"S={process.slabel!r} I={process.ilabel!r}")
+        if process.endpoints:
+            closed = process.revalidate_endpoints(cache=self.flow_cache)
+            for ep in closed:
+                self._endpoints.pop(ep.endpoint_id, None)
+        else:
+            closed = []
+        self.audit.record_lazy(A.LABEL_CHANGE, True, process.name,
+                               "S=%r I=%r",
+                               (process.slabel, process.ilabel))
         return closed
 
     def drop_caps(self, process: Process, caps: Iterable[Capability]) -> None:

@@ -128,10 +128,10 @@ class ProcessPool:
                 proc = bucket.pop()
                 proc.owner_user = owner_user
                 self.reuses += 1
-                self.kernel.audit.record(
+                self.kernel.audit.record_lazy(
                     A.SPAWN, True, "provider",
-                    f"trusted spawn {name!r} pid={proc.pid} (recycled)",
-                    pid=proc.pid)
+                    "trusted spawn %r pid=%d (recycled)",
+                    (name, proc.pid), {"pid": proc.pid})
                 return proc
         self.fresh_spawns += 1
         # the implementation, not the public wrapper: checkout's own
@@ -185,9 +185,9 @@ class ProcessPool:
         process.owner_user = None
         self.kernel.resources.on_recycle(process)
         self.recycled += 1
-        self.kernel.audit.record(
+        self.kernel.audit.record_lazy(
             A.EXIT, True, process.name,
-            f"exit pid={process.pid} (recycled)", pid=process.pid)
+            "exit pid=%d (recycled)", (process.pid,), {"pid": process.pid})
         bucket.append(process)
         return True
 

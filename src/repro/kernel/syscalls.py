@@ -67,7 +67,22 @@ class W5Syscalls:
 
     def raise_secrecy(self, *tags: Tag) -> None:
         """Convenience: add tags to the secrecy label (needs ``t+``)."""
-        self.change_label(secrecy=self._process.slabel.add(*tags))
+        slabel = self._process.slabel
+        adds = self._kernel._label_adds
+        if adds is not None:
+            # compiled-transitions companion memo: skip the frozenset
+            # union + re-intern for the (label, tags) pairs every
+            # tainted read repeats
+            key = (slabel, tags)
+            target = adds.get(key)
+            if target is None:
+                target = slabel.add(*tags)
+                if len(adds) >= 65536:
+                    adds.clear()
+                adds[key] = target
+            self.change_label(secrecy=target)
+            return
+        self.change_label(secrecy=slabel.add(*tags))
 
     def lower_secrecy(self, *tags: Tag) -> None:
         """Convenience: drop tags from the secrecy label (needs ``t-``)."""

@@ -112,6 +112,11 @@ class FlowCache:
         self._invalidations: dict[str, int] = {}
         self._stale_drops = 0
         self._evictions = 0
+        #: Bumped by every :meth:`invalidate_all`.  Derived caches that
+        #: sit on top of this one (the kernel's compiled
+        #: TransitionCache, M14) compare generations instead of
+        #: registering callbacks.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -437,6 +442,7 @@ class FlowCache:
         self._endpoint.clear()
         self._residue.clear()
         self._subjects.clear()
+        self.generation += 1
         self._invalidations[reason] = self._invalidations.get(reason, 0) + 1
 
     # ------------------------------------------------------------------

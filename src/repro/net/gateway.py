@@ -141,9 +141,9 @@ class Gateway:
             # routes).  The audit record is identical to the general
             # allow path, so nothing downstream can tell.
             self.exports_allowed += 1
-            self.kernel.audit.record(
+            self.kernel.audit.record_lazy(
                 A.EXPORT, True, "gateway",
-                f"allow export to {recipient or 'anonymous'}")
+                "allow export to %s", (recipient or "anonymous",))
             return
         authority = self.authority_for(recipient)
         residue = self.kernel.flow_cache.exportable_residue(
@@ -159,9 +159,9 @@ class Gateway:
                 f"tags {sorted(t.tag_id for t in residue)} outside their "
                 f"export authority")
         self.exports_allowed += 1
-        self.kernel.audit.record(
+        self.kernel.audit.record_lazy(
             A.EXPORT, True, "gateway",
-            f"allow export to {recipient or 'anonymous'}")
+            "allow export to %s", (recipient or "anonymous",))
 
     def egress(self, response: HttpResponse, recipient: Optional[str],
                js_policy: Optional[str] = None) -> HttpResponse:
@@ -209,7 +209,8 @@ class Gateway:
         """
         if content_label.is_empty():
             self.exports_allowed += 1
-            self.kernel.audit.record(A.EXPORT, True, "gateway", allow_detail)
+            self.kernel.audit.record_lazy(A.EXPORT, True, "gateway",
+                                          allow_detail)
             return
         residue = self.kernel.flow_cache.exportable_residue(
             content_label, authority, category="net.export")
@@ -224,7 +225,7 @@ class Gateway:
                 f"tags {sorted(t.tag_id for t in residue)} outside their "
                 f"export authority")
         self.exports_allowed += 1
-        self.kernel.audit.record(A.EXPORT, True, "gateway", allow_detail)
+        self.kernel.audit.record_lazy(A.EXPORT, True, "gateway", allow_detail)
 
     def egress_planned(self, response: HttpResponse,
                        recipient: Optional[str],
@@ -249,16 +250,19 @@ class Gateway:
     def _deliver(self, response: HttpResponse,
                  js_policy: Optional[str]) -> HttpResponse:
         """Post-export sanitization shared by both egress variants:
-        apply the JS policy and re-stamp the response unlabeled."""
+        apply the JS policy and re-stamp the response unlabeled.
+
+        The re-stamp mutates in place: the pre-export response is
+        request-private (built by the app wrapper moments earlier and
+        never retained), so rebuilding the dataclass and copying its
+        header dicts bought nothing."""
         effective_js = js_policy if js_policy in (JS_BLOCK, JS_ALLOW) \
             else self.js_policy
         body = response.body
         if effective_js == JS_BLOCK and isinstance(body, str) \
                 and contains_javascript(body):
-            body = strip_javascript(body)
+            response.body = strip_javascript(body)
             self.kernel.audit.record(A.EXPORT, True, "gateway",
                                      "stripped javascript at perimeter")
-        return HttpResponse(status=response.status, body=body,
-                            headers=dict(response.headers),
-                            set_cookies=dict(response.set_cookies),
-                            content_label=Label.EMPTY)
+        response.content_label = Label.EMPTY
+        return response

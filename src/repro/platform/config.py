@@ -72,6 +72,23 @@ class ProviderConfig:
     #: that actually scales with cores under the GIL), or ``None`` for
     #: the default (serial at 1 shard, thread above).
     shard_engine: "str | None" = None
+    #: Deferred audit-detail rendering (M14): hot call sites record an
+    #: interned template + args tuple; ``detail`` is formatted on first
+    #: access.  Byte-identical to eager formatting (args are interned
+    #: immutables), so on by default.
+    lazy_audit: bool = True
+    #: Compiled label transitions (M14): memoize the capability
+    #: legality of ``(from, to, caps)`` label changes behind the
+    #: FlowCache generation counter.
+    compiled_transitions: bool = True
+    #: Batched resource charges (M14): ``charge_many`` applies one
+    #: Usage lookup per request with sequential-equivalent denial
+    #: ordering.
+    batched_charges: bool = True
+    #: Array-backed partition verdict slots (M14): planned scans index
+    #: a dense verdict list by small-int partition slot instead of
+    #: probing a dict per partition.
+    verdict_slots: bool = True
 
     # -- presets --------------------------------------------------------
 
@@ -92,7 +109,9 @@ class ProviderConfig:
         """Everything off — the differential baseline plane."""
         base = dict(fast_request_plane=False, recycle_processes=False,
                     partitioned_store=False, incremental_persistence=False,
-                    request_plans=False)
+                    request_plans=False, lazy_audit=False,
+                    compiled_transitions=False, batched_charges=False,
+                    verdict_slots=False)
         base.update(overrides)
         return cls(**base)
 

@@ -61,7 +61,7 @@ class RequestPlan:
     __slots__ = ("app_ref", "viewer", "app", "account", "caps",
                  "process_name", "pool_key", "authority", "allow_detail",
                  "admit_static", "cap_epoch", "auth_epoch", "reg_epoch",
-                 "_verdicts")
+                 "_verdicts", "_slot_rows", "_slot_pkeys", "_row_memo")
 
     def __init__(self, app_ref: str, viewer: Optional[str],
                  app: "AppModule", account: "Optional[UserAccount]",
@@ -90,6 +90,15 @@ class RequestPlan:
         self.reg_epoch = reg_epoch
         #: (slabel, ilabel, caps) -> {(row_slabel, row_ilabel): bool}.
         self._verdicts: dict[tuple, dict[tuple, bool]] = {}
+        #: Array-backed variant (M14): (slabel, ilabel, caps) -> dense
+        #: verdict list indexed by the store's small-int partition slot.
+        self._slot_rows: dict[tuple, list] = {}
+        #: slot -> partition key, maintained on miss so describe() can
+        #: render the dense rows the same way as the dict tables.
+        self._slot_pkeys: dict[int, tuple] = {}
+        #: Last (state, slots-list, row) served by read_verdict_row —
+        #: the steady state repeats one (state, where) pair per request.
+        self._row_memo: Optional[tuple] = None
 
     # -- validity -------------------------------------------------------
 
@@ -135,12 +144,62 @@ class RequestPlan:
             out[pkey] = v
         return out
 
+    def read_verdict_row(self, process: Any, pkeys: list,
+                         slots: list) -> list:
+        """Dense-list verdicts for array-backed partition scans (M14).
+
+        ``slots[i]`` is the store-assigned small-int slot of partition
+        ``pkeys[i]``; the returned list answers ``row[slots[i]]`` with
+        the same pure ``can_read`` verdict :meth:`read_verdicts` would
+        give, but the scan inner loop indexes a list instead of probing
+        a dict.  The caching rationale (interned label states, epoch
+        retirement via the plan itself) is identical.
+
+        The single-entry memo keys on the *identity* of the ``slots``
+        list: the store memoizes the slot arrays per where-signature
+        and rebuilds them on any membership change, so the same list
+        object guarantees the same slots — and a row already verified
+        to cover them can be returned without the per-slot walk.
+        """
+        slabel = process.slabel
+        ilabel = process.ilabel
+        caps = process.caps
+        state = (slabel, ilabel, caps)
+        memo = self._row_memo
+        if memo is not None and memo[1] is slots and memo[0] == state:
+            return memo[2]
+        rows = self._slot_rows
+        row = rows.get(state)
+        if row is None:
+            if len(rows) >= _MAX_STATES:
+                rows.clear()
+            row = rows[state] = []
+        slot_pkeys = self._slot_pkeys
+        for i, slot in enumerate(slots):
+            if slot >= len(row):
+                row.extend([None] * (slot + 1 - len(row)))
+            if row[slot] is None:
+                pkey = pkeys[i]
+                row[slot] = can_read(pkey[0], pkey[1],
+                                     slabel, ilabel, caps)
+                slot_pkeys[slot] = pkey
+        self._row_memo = (state, slots, row)
+        return row
+
     # -- inspection (Provider.explain / the analysis CLI) --------------
 
     def describe(self) -> dict[str, Any]:
         """A serializable rendering of the compiled plan."""
         verdicts = []
+        merged: dict[tuple, dict[tuple, bool]] = {}
         for state, table in self._verdicts.items():
+            merged.setdefault(state, {}).update(table)
+        for state, row in self._slot_rows.items():
+            table = merged.setdefault(state, {})
+            for slot, allowed in enumerate(row):
+                if allowed is not None:
+                    table[self._slot_pkeys[slot]] = allowed
+        for state, table in merged.items():
             verdicts.append({
                 "subject": {"slabel": repr(state[0]),
                             "ilabel": repr(state[1]),

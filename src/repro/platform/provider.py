@@ -132,7 +132,9 @@ class Provider:
         self.partitioned_store = partitioned_store
         self.kernel = Kernel(namespace=name, resources=resources,
                              recycle=recycle_processes,
-                             audit_max_events=audit_max_events)
+                             audit_max_events=audit_max_events,
+                             lazy_audit=config.lazy_audit,
+                             compiled_transitions=config.compiled_transitions)
         self.kernel.tracer = self.tracer
         if tracing:
             # every audit event recorded inside a traced request
@@ -141,7 +143,9 @@ class Provider:
             self.kernel.audit.trace_source = self.tracer
         self.fs = LabeledFileSystem(self.kernel,
                                     grouped_walk=partitioned_store)
-        self.db = LabeledStore(self.kernel, partitioned=partitioned_store)
+        self.db = LabeledStore(self.kernel, partitioned=partitioned_store,
+                               batch_charges=config.batched_charges,
+                               verdict_slots=config.verdict_slots)
         # shard k of a ShardedProvider seeds its session RNG with
         # seed+k so two shards never mint the same token (the router
         # maps token -> shard); shard 0 / unsharded keep the default

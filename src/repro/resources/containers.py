@@ -18,8 +18,7 @@ Quotas attach at two granularities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Iterable, Mapping, Optional
 
 from ..kernel import Process, ResourceHook
 from ..kernel.errors import ResourceExhausted
@@ -29,19 +28,60 @@ KINDS = ("syscalls", "messages", "endpoints", "tags", "processes",
          "disk", "disk_read", "db_queries", "db_rows", "db_rows_scanned",
          "requests")
 
+_STANDARD_KINDS = frozenset(KINDS)
 
-@dataclass
+
 class Usage:
-    """Cumulative consumption for one process."""
+    """Cumulative consumption for one process.
 
-    counts: dict[str, float] = field(default_factory=dict)
+    ``__slots__``-backed per-kind attributes for the standard
+    :data:`KINDS` (one attribute store instead of a dict probe per
+    charge — the M14 batched-charge layer); non-standard kinds fall
+    back to an on-demand dict.  :attr:`counts` remains available as a
+    reconstructed mapping view for reporting.
+    """
 
-    def add(self, kind: str, amount: float) -> float:
-        self.counts[kind] = self.counts.get(kind, 0.0) + amount
-        return self.counts[kind]
+    __slots__ = KINDS + ("_extra",)
+
+    def __init__(self) -> None:
+        # unrolled (one request = one fresh Usage; a setattr loop over
+        # KINDS costs more than every charge the request will make)
+        self.syscalls = self.messages = self.endpoints = self.tags = \
+            self.processes = self.disk = self.disk_read = \
+            self.db_queries = self.db_rows = self.db_rows_scanned = \
+            self.requests = 0.0
+        self._extra: Optional[dict[str, float]] = None
 
     def get(self, kind: str) -> float:
-        return self.counts.get(kind, 0.0)
+        if kind in _STANDARD_KINDS:
+            return getattr(self, kind)
+        extra = self._extra
+        return extra.get(kind, 0.0) if extra else 0.0
+
+    def set(self, kind: str, value: float) -> None:
+        if kind in _STANDARD_KINDS:
+            setattr(self, kind, value)
+        else:
+            extra = self._extra
+            if extra is None:
+                extra = self._extra = {}
+            extra[kind] = value
+
+    def add(self, kind: str, amount: float) -> float:
+        value = self.get(kind) + amount
+        self.set(kind, value)
+        return value
+
+    @property
+    def counts(self) -> dict[str, float]:
+        out = {}
+        for kind in KINDS:
+            value = getattr(self, kind)
+            if value:
+                out[kind] = value
+        if self._extra:
+            out.update(self._extra)
+        return out
 
 
 class ResourceManager(ResourceHook):
@@ -54,9 +94,16 @@ class ResourceManager(ResourceHook):
 
     def __init__(self, default_quotas: Optional[Mapping[str, float]] = None,
                  overrides: Optional[Mapping[str, Mapping[str, float]]]
-                 = None) -> None:
+                 = None, fast: bool = True) -> None:
         self.default_quotas = dict(default_quotas or {})
         self.overrides = {k: dict(v) for k, v in (overrides or {}).items()}
+        #: M14 batched-charges switch: with it on, an unmetered manager
+        #: (no quotas anywhere — every ceiling is infinity) accumulates
+        #: without resolving quotas.  Totals, denials and exceptions
+        #: are unchanged in every configuration; ``fast=False`` keeps
+        #: the pre-M14 resolve-then-compare arithmetic for the naive
+        #: twin of the differential suite.
+        self.fast = fast
         self._usage: dict[int, Usage] = {}
         self._names: dict[int, str] = {}
         #: Usage folded in from recycled activations, keyed by name
@@ -86,14 +133,46 @@ class ResourceManager(ResourceHook):
         if usage is None:
             usage = self._usage[pid] = Usage()
             self._names[pid] = process.name
-        counts = usage.counts
-        new_total = counts.get(kind, 0.0) + amount
-        if new_total > self.quota_for(process, kind):
+        if self.fast and not self.default_quotas and not self.overrides:
+            # unmetered container: the quota would resolve to infinity
+            usage.set(kind, usage.get(kind) + amount)
+            return
+        new_total = usage.get(kind) + amount
+        quota = self.quota_for(process, kind)
+        if new_total > quota:
             self.denials[kind] = self.denials.get(kind, 0) + 1
             raise ResourceExhausted(
-                f"{process.name}: {kind} quota "
-                f"({self.quota_for(process, kind):g}) exhausted")
-        counts[kind] = new_total
+                f"{process.name}: {kind} quota ({quota:g}) exhausted")
+        usage.set(kind, new_total)
+
+    def charge_many(self, process: Process,
+                    items: Iterable[tuple[str, float]]) -> None:
+        """Apply several charges with one usage-record lookup.
+
+        Sequential-equivalent: items are applied in order, the first
+        over-quota item raises the same :class:`ResourceExhausted` (and
+        bumps the same denial counter) a loop of :meth:`charge` calls
+        would, with every earlier item already applied.
+        """
+        pid = process.pid
+        usage = self._usage.get(pid)
+        if usage is None:
+            usage = self._usage[pid] = Usage()
+            self._names[pid] = process.name
+        if self.fast and not self.default_quotas and not self.overrides:
+            # unmetered container: every quota resolves to infinity, so
+            # no item can deny — accumulate without resolving quotas
+            for kind, amount in items:
+                usage.set(kind, usage.get(kind) + amount)
+            return
+        for kind, amount in items:
+            new_total = usage.get(kind) + amount
+            quota = self.quota_for(process, kind)
+            if new_total > quota:
+                self.denials[kind] = self.denials.get(kind, 0) + 1
+                raise ResourceExhausted(
+                    f"{process.name}: {kind} quota ({quota:g}) exhausted")
+            usage.set(kind, new_total)
 
     def on_exit(self, process: Process) -> None:
         # Usage history is retained for reporting; nothing to free in

@@ -81,6 +81,94 @@ class TestIndexEquivalence:
         assert indexed.count() == scanned.count()
 
 
+class TestCountEquivalence:
+    """count() answers from O(1) counters; the scan is the oracle."""
+
+    def _assert_counts(self, log):
+        for cat in CATEGORIES + ["never_recorded", None]:
+            for allowed in (None, True, False):
+                assert (log.count(category=cat, allowed=allowed)
+                        == len(log.events(category=cat, allowed=allowed))), \
+                    (cat, allowed)
+
+    def test_unbounded(self):
+        log = AuditLog()
+        _drive([log], 300, seed=11)
+        self._assert_counts(log)
+
+    @pytest.mark.parametrize("capacity", [1, 7, 50])
+    def test_ring_eviction_decrements(self, capacity):
+        log = AuditLog(max_events=capacity)
+        _drive([log], 300, seed=12)
+        assert log.dropped == 300 - capacity
+        self._assert_counts(log)
+
+    def test_unindexed_log_counts_identically(self):
+        log = AuditLog(max_events=25, category_index=False)
+        _drive([log], 200, seed=13)
+        self._assert_counts(log)
+
+    def test_clear_resets_counters(self):
+        log = AuditLog(max_events=10)
+        _drive([log], 50, seed=14)
+        log.clear()
+        assert log.count() == 0
+        assert log.count(category="send") == 0
+        assert log.count(allowed=False) == 0
+        log.record("send", False, "app:blog", "after clear")
+        assert log.count(category="send", allowed=False) == 1
+        self._assert_counts(log)
+
+    def test_lazy_records_counted(self):
+        log = AuditLog(max_events=8)
+        for i in range(40):
+            log.record_lazy("db_query", i % 3 != 0, "app:blog",
+                            "select %s (%d rows)", ("posts", i))
+        self._assert_counts(log)
+
+
+class TestLazyDetail:
+    """Deferred rendering is byte-identical to eager formatting."""
+
+    def test_rendered_on_access(self):
+        log = AuditLog()
+        e = log.record_lazy("spawn", True, "provider",
+                            "trusted spawn %r pid=%d", ("app:blog", 17))
+        assert e.detail == "trusted spawn 'app:blog' pid=17"
+        # second access returns the cached render
+        assert e.detail == "trusted spawn 'app:blog' pid=17"
+
+    def test_plain_template_needs_no_args(self):
+        log = AuditLog()
+        e = log.record_lazy("export", True, "gateway", "ok")
+        assert e.detail == "ok"
+
+    def test_eager_opt_out_is_identical(self):
+        lazy = AuditLog(lazy=True)
+        eager = AuditLog(lazy=False)
+        for log in (lazy, eager):
+            log.record_lazy("db_query", True, "app:blog",
+                            "select %s (%d rows)", ("posts", 3))
+        assert lazy.events() == eager.events()
+        assert lazy.last().detail == eager.last().detail
+
+    def test_equality_and_hash_force_render(self):
+        a = AuditLog()
+        b = AuditLog()
+        ea = a.record_lazy("exit", True, "app:blog", "exit pid=%d", (5,))
+        eb = b.record("exit", True, "app:blog", "exit pid=5")
+        assert ea == eb
+        assert hash(ea) == hash(eb)
+
+    def test_extra_allocated_on_demand(self):
+        log = AuditLog()
+        e = log.record_lazy("exit", True, "app:blog", "exit pid=%d", (5,))
+        assert e._extra is None  # no dict until someone asks
+        assert e.extra == {}
+        e.extra["k"] = 1
+        assert e.extra["k"] == 1  # the lazily-created dict persists
+
+
 class _StubTrace:
     def __init__(self, trace_id):
         self.trace_id = trace_id

@@ -24,9 +24,15 @@ from hypothesis import strategies as st
 from repro.core import W5System
 from repro.net import HttpRequest
 from repro.platform import ProviderConfig
+from repro.resources.containers import KINDS
 
 USERS = ("alice", "bob", "carol")
 APPS = ("blog", "social")
+
+#: The M14 mandated-pipeline fast paths and their opt-outs.
+M14_FLAGS = ("lazy_audit", "compiled_transitions", "batched_charges",
+             "verdict_slots")
+M14_NAIVE = {flag: False for flag in M14_FLAGS}
 
 
 def build_deployment(planned: bool) -> W5System:
@@ -151,6 +157,83 @@ class TestPlannedPlaneIsByteIdentical:
         assert [(r.status, r.body) for r in responses_b] \
             == [(r.status, r.body) for r in responses_s]
         assert audit_bytes(batched) == audit_bytes(sequential)
+
+
+def build_m14(fast: bool) -> W5System:
+    """A planned deployment with the M14 fast paths on or off.
+
+    The quota and ring bound are deliberately tight so the interleaved
+    streams genuinely exercise quota-exhaustion denials (batched
+    charges must refuse at the same item with the same message) and
+    audit ring eviction (lazy records must evict and count the same).
+    """
+    config = (ProviderConfig.fast() if fast
+              else ProviderConfig.fast().replace(**M14_NAIVE))
+    w5 = W5System(name="m14", config=config,
+                  quotas={"db_rows_scanned": 6},
+                  audit_max_events=64)
+    for user in USERS:
+        w5.add_user(user, apps=APPS)
+    w5.befriend("alice", "bob")
+    return w5
+
+
+class TestM14FastPathsAreByteIdentical:
+    """Lazy audit + compiled transitions + batched charges + verdict
+    slots vs their ``ProviderConfig`` opt-outs: identical op streams
+    must produce byte-identical audit streams (ring eviction and pids
+    included), identical charge totals per kind, and identical denial
+    counters.  The op mix is label-change heavy (every cross-user blog
+    read taints a process and changes labels) and the tight
+    ``db_rows_scanned`` quota makes denials fire as posts accumulate.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops())
+    def test_fast_vs_naive_pipeline(self, seed_ops):
+        fast = build_m14(fast=True)
+        naive = build_m14(fast=False)
+        for flag in M14_FLAGS:
+            assert getattr(fast.provider.config, flag)
+            assert not getattr(naive.provider.config, flag)
+
+        for op in seed_ops:
+            out_f = apply_op(fast, op)
+            out_n = apply_op(naive, op)
+            assert out_f == out_n, f"response divergence on {op}"
+
+        audit_f = fast.provider.kernel.audit
+        audit_n = naive.provider.kernel.audit
+        assert audit_bytes(fast) == audit_bytes(naive)
+        assert audit_f.dropped == audit_n.dropped
+        res_f = fast.provider.kernel.resources
+        res_n = naive.provider.kernel.resources
+        for kind in KINDS:
+            assert res_f.total(kind) == res_n.total(kind), kind
+        assert res_f.denials == res_n.denials
+        # the O(1) counters agree with each other across both modes
+        for cat in ("spawn", "exit", "label_change", "db_query",
+                    "file_read", "export", "resource"):
+            for allowed in (None, True, False):
+                assert (audit_f.count(category=cat, allowed=allowed)
+                        == audit_n.count(category=cat, allowed=allowed)), \
+                    (cat, allowed)
+
+    def test_transition_cache_populates_and_survives_flush(self):
+        w5 = build_m14(fast=True)
+        w5.client("alice").get("/app/blog/post", title="t", body="b")
+        r = w5.client("bob").get("/app/blog/read", author="alice",
+                                 title="t")
+        assert r.status == 200
+        kernel = w5.provider.kernel
+        assert kernel._transitions  # the tainted read compiled its transition
+        kernel.flow_cache.invalidate_all(reason="test")
+        r = w5.client("bob").get("/app/blog/read", author="alice",
+                                 title="t")
+        assert r.status == 200
+        # the generation guard flushed and re-primed the cache
+        assert kernel._transitions_gen == kernel.flow_cache.generation
+        assert kernel._transitions
 
 
 class TestPlanInvalidation:
