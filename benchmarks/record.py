@@ -8,15 +8,17 @@ uncached), ``BENCH_M2.json`` (end-to-end request path),
 ``BENCH_M11.json`` (request-tracing overhead), ``BENCH_M12.json``
 (compiled request plans vs. the interpreted decision path),
 ``BENCH_M13.json`` (the sharded request plane: 1-shard parity and
-multi-shard scaling) and ``BENCH_M14.json`` (the squeezed mandated
-pipeline vs. its naive twins) so CI can
+multi-shard scaling), ``BENCH_M14.json`` (the squeezed mandated
+pipeline vs. its naive twins) and ``BENCH_M15.json`` (journal-cursor
+delta federation sync vs. the naive reconciler, plus fabric routing
+latency across provider fleets) so CI can
 archive one number series per commit — the repo's before/after
 record for the fast-path label engine, the O(1) request plane, the
 label-partitioned storage engine, the write-ahead journal, the span
 tracer and planned dispatch lives in these files and in
 EXPERIMENTS.md.
 
-``BENCH_M8`` through ``BENCH_M14`` double as regression guards: the
+``BENCH_M8`` through ``BENCH_M15`` double as regression guards: the
 run **fails** (exit code 1) if per-request latency at 1,000 users
 exceeds 3x the 10-user latency with the fast request plane on, if
 the partitioned select beats the naive engine by less than 3x on a
@@ -27,7 +29,9 @@ compiled decision read exceeds its 10us budget or beats the
 interpretation it replaced by less than 3x, or if shard scaling
 misses its bar (3x aggregate throughput at 4 shards on a 4+-core
 POSIX box; the graceful-degradation floor elsewhere), or if the M14
-fast pipeline beats its naive twins by less than 1.2x end to end.
+fast pipeline beats its naive twins by less than 1.2x end to end,
+or if delta federation sync beats the naive content reconciler by
+less than 5x at 1,000 files with a 1% dirty set.
 
 Usage::
 
@@ -343,6 +347,35 @@ def bench_m14(repeat: int) -> dict:
     }
 
 
+def bench_m15(repeat: int) -> dict:
+    """Incremental federation: delta sync vs. naive, fabric routing.
+
+    The interesting number is the guard-tier speedup: one sync round
+    at 1,000 mirrored files with 10 dirty.  The naive reconciler
+    re-reads the corpus on both sides; the delta engine tails the
+    journal from the link's cursor, so its round cost tracks the
+    dirty set.  The payload also records the flatness of the delta
+    curve across corpus tiers and the routed-read latency across
+    fabric sizes up to 256 providers.
+    """
+    from m15_federation import run_latency_curve, run_sync_scaling
+
+    scaling = run_sync_scaling(reps=max(repeat, 3))
+    latency = run_latency_curve()
+    return {
+        "sync": {k: v for k, v in scaling.items()
+                 if k not in ("regression", "min_speedup")},
+        "fabric_latency": latency,
+        "scaling": {
+            "speedup": scaling["speedup"],
+            "min_speedup": scaling["min_speedup"],
+            "delta_flatness": scaling["delta_flatness"],
+            "naive_growth": scaling["naive_growth"],
+            "regression": scaling["regression"],
+        },
+    }
+
+
 #: The M10 regression bound: full vs incremental snapshot at 1k users.
 M10_MIN_SPEEDUP = 3.0
 
@@ -397,7 +430,8 @@ def main(argv=None) -> int:
     for name, fn in (("M1", bench_m1), ("M2", bench_m2), ("M8", bench_m8),
                      ("M9", bench_m9), ("M10", bench_m10),
                      ("M11", bench_m11), ("M12", bench_m12),
-                     ("M13", bench_m13), ("M14", bench_m14)):
+                     ("M13", bench_m13), ("M14", bench_m14),
+                     ("M15", bench_m15)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -453,6 +487,12 @@ def main(argv=None) -> int:
                   f"(bound: {scaling['min_speedup']}x minimum) with "
                   f"naive-build noise at {scaling['naive_noise_ratio']}x "
                   f"(bound: {scaling['max_naive_noise']}x)")
+            failed = True
+        if name == "M15" and payload["results"]["scaling"]["regression"]:
+            scaling = payload["results"]["scaling"]
+            print(f"M15 REGRESSION: delta federation sync only "
+                  f"{scaling['speedup']}x the naive reconciler at the "
+                  f"guard tier (bound: {scaling['min_speedup']}x minimum)")
             failed = True
     return 1 if failed else 0
 

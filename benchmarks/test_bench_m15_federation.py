@@ -1,0 +1,60 @@
+"""M15 — incremental federation: delta sync vs. naive, fabric routing.
+
+Asserts the ROADMAP item-2 claims: ≥5× at the guard tier (1,000 files
+/ 1% dirty), ~flat delta cost across corpus sizes, growing naive
+cost, and flat routed-read latency as the provider fleet scales.
+"""
+
+from .conftest import print_table
+from .m15_federation import (M15_MIN_SPEEDUP, run_latency_curve,
+                             run_sync_scaling)
+
+#: Delta floors across a 16× corpus spread may wobble with allocator
+#: luck but must stay far from the corpus ratio — 3× is "flat" in the
+#: sense that matters (the naive engine spans ~the corpus ratio).
+MAX_DELTA_SPREAD = 3.0
+#: Routed reads across fleet sizes must not grow with N; 3× covers
+#: cache-locality noise between a 2- and a 256-provider process.
+MAX_LATENCY_SPREAD = 3.0
+
+
+def test_bench_m15_sync_scaling(benchmark):
+    result = benchmark.pedantic(run_sync_scaling, rounds=1, iterations=1)
+
+    assert result["speedup"] >= M15_MIN_SPEEDUP, (
+        f"delta sync only {result['speedup']}x over naive at the guard "
+        f"tier — the O(dirty) path has regressed")
+    assert result["delta_flatness"] <= MAX_DELTA_SPREAD, (
+        f"delta floors spread {result['delta_flatness']}x across corpus "
+        f"tiers — sync cost is no longer ~flat in corpus size")
+    assert not result["regression"]
+
+    print_table(
+        f"M15: one sync round, {result['n_dirty']} dirty files",
+        ["corpus files", "engine", "floor ms", "mean ms"],
+        [[r["n_files"], r["engine"], r["floor_ms"], r["mean_ms"]]
+         for r in result["rows"]])
+    print_table(
+        "M15: the guard",
+        ["guard tier", "speedup", "bar", "delta spread", "naive spread"],
+        [[result["guard_tier"], f"{result['speedup']}x",
+          f">= {result['min_speedup']}x",
+          f"{result['delta_flatness']}x", f"{result['naive_growth']}x"]])
+
+
+def test_bench_m15_fabric_latency(benchmark):
+    curve = benchmark.pedantic(run_latency_curve, rounds=1, iterations=1)
+
+    latencies = [row["read_latency_us"] for row in curve]
+    spread = max(latencies) / min(latencies)
+    assert spread <= MAX_LATENCY_SPREAD, (
+        f"routed-read latency spread {spread:.2f}x across fleet sizes — "
+        f"directory lookup is no longer O(1) in provider count")
+    assert curve[-1]["providers"] == 256
+    assert all(row["distinct_homes"] >= 2 for row in curve)
+
+    print_table(
+        "M15: cross-provider reads through the consistent-hash directory",
+        ["providers", "distinct homes", "build s", "read latency us"],
+        [[row["providers"], row["distinct_homes"], row["build_s"],
+          row["read_latency_us"]] for row in curve])

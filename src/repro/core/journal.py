@@ -42,15 +42,16 @@ offset.
 from __future__ import annotations
 
 import base64
+import itertools
 import json
 import zlib
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from ..errors import W5Error
 
-__all__ = ["Journal", "JournalError", "JournalRecord", "ReplayReport",
-           "encode_payload", "decode_payload"]
+__all__ = ["Journal", "JournalCursor", "JournalError", "JournalRecord",
+           "ReplayReport", "encode_payload", "decode_payload"]
 
 
 class JournalError(W5Error):
@@ -73,6 +74,36 @@ class JournalRecord:
     seq: int
     op: str
     data: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class JournalCursor:
+    """A resumable position in one journal's history (M15).
+
+    Consumers that *tail* the journal — the federation delta-sync
+    plane — hold one of these per (user, peer) and ask for
+    :meth:`Journal.tail_from` it.  A cursor is only meaningful against
+    the exact journal instance and epoch it was minted from:
+
+    * ``journal_id`` is a process-unique instance id, so a cursor
+      taken against a provider that has since been rebuilt (crash
+      recovery replaces the Journal object) can never silently alias
+      the new journal's sequence numbers;
+    * ``epoch`` counts :meth:`Journal.reset` calls — every compaction
+      or checkpoint folds the journaled history into the base
+      snapshot and restarts ``seq`` at 0, so a cursor from a previous
+      epoch points at history that no longer exists as records.
+
+    ``Journal.tail_from`` returns ``None`` for a stale cursor instead
+    of guessing; the consumer must fall back to a full resync (the
+    federation plane's content-based reconciler) and mint a fresh
+    cursor.  That is what makes cursor reattachment after provider
+    failure *safe* rather than merely optimistic.
+    """
+
+    journal_id: int
+    epoch: int
+    seq: int
 
 
 @dataclass
@@ -136,13 +167,26 @@ def decode_payload(value: Any) -> Any:
 class Journal:
     """An append-only, checksummed, replayable mutation log."""
 
+    #: Process-unique instance ids (see :class:`JournalCursor`).
+    _ids = itertools.count(1)
+
     def __init__(self, compact_threshold: int = 1 << 20) -> None:
         #: Compaction trigger: once the image exceeds this many bytes,
         #: the next incremental snapshot escalates to a full one and
         #: resets the journal (see DurabilityManager).
         self.compact_threshold = compact_threshold
+        #: Identity for cursors: never reused within a process.
+        self.journal_id = next(Journal._ids)
+        #: Bumped on every :meth:`reset`; cursors from older epochs
+        #: are stale (their history was folded into the base snapshot).
+        self.epoch = 0
         self._buf = bytearray()
         self._seq = 0
+        #: Byte offset where each record's line starts:
+        #: ``_offsets[k]`` is the offset of the record with seq
+        #: ``k + 1``.  One int per record, so tailing is an O(new
+        #: records) parse — never a rescan of the whole image.
+        self._offsets: list[int] = []
         self._stats = {"appends": 0, "bytes_written": 0,
                        "opaque_appends": 0, "resets": 0}
 
@@ -176,6 +220,7 @@ class Journal:
         raw = body.encode("utf-8")
         line = b'{"crc":"%08x",' % (zlib.crc32(raw) & 0xFFFFFFFF) \
             + raw[1:] + b"\n"
+        self._offsets.append(len(self._buf))
         self._buf += line
         self._stats["appends"] += 1
         self._stats["bytes_written"] += len(line)
@@ -183,9 +228,13 @@ class Journal:
 
     def reset(self, *, _compaction: bool = True) -> None:
         """Start a fresh epoch (called after a full snapshot is taken:
-        everything the journal recorded is now in the base)."""
+        everything the journal recorded is now in the base).  Cursors
+        minted before the reset go stale — :meth:`tail_from` will
+        refuse them rather than alias the restarted sequence."""
         self._buf = bytearray()
         self._seq = 0
+        self._offsets = []
+        self.epoch += 1
         self._stats["resets"] += 1
 
     # -- reading -----------------------------------------------------------
@@ -204,6 +253,40 @@ class Journal:
     def raw_bytes(self) -> bytes:
         """The byte image a real deployment would have on disk."""
         return bytes(self._buf)
+
+    # -- tailing (M15: incremental consumers) ------------------------------
+
+    def position(self) -> JournalCursor:
+        """The current end-of-log cursor: ``tail_from(position())`` is
+        empty until the next append."""
+        return JournalCursor(self.journal_id, self.epoch, self._seq)
+
+    def tail_from(self, cursor: Optional[JournalCursor]
+                  ) -> Optional[list[JournalRecord]]:
+        """Every record appended after ``cursor``, or ``None`` if the
+        cursor is stale (different journal instance, an older epoch, or
+        a seq this epoch has not reached — any of which means the
+        history the cursor points into no longer exists as records and
+        the consumer must fall back to a full resync).
+
+        Cost is O(records past the cursor): the per-record offset
+        index turns the tail into one byte-slice parse.  Records come
+        back with their journaled (JSON-coerced) payloads; consumers
+        that need live objects treat them as *pointers* into current
+        state, not as the state itself.
+        """
+        if cursor is None or cursor.journal_id != self.journal_id \
+                or cursor.epoch != self.epoch or cursor.seq > self._seq:
+            return None
+        if cursor.seq == self._seq:
+            return []
+        records: list[JournalRecord] = []
+        start = self._offsets[cursor.seq]
+        for line in bytes(self._buf[start:]).splitlines():
+            obj = json.loads(line)
+            records.append(JournalRecord(seq=obj["seq"], op=obj["op"],
+                                         data=obj["data"]))
+        return records
 
     def stats(self) -> dict[str, int]:
         return {**self._stats, "seq": self._seq,

@@ -124,7 +124,13 @@ class Metrics:
         plane and the gateway edge.  The per-plane ``attach_*`` methods
         remain for deployments observing planes selectively (or planes
         from *different* providers), but one provider, fully observed,
-        is just ``Metrics(p.kernel.audit).attach(p)``."""
+        is just ``Metrics(p.kernel.audit).attach(p)``.
+
+        Federation objects (a ``FederationFabric`` or a single
+        ``ProviderLink`` — anything exposing ``federation_stats``)
+        attach here too, routed to :meth:`attach_federation`."""
+        if hasattr(provider, "federation_stats"):
+            return self.attach_federation(provider)
         self.attach_flow_cache(provider.kernel.flow_cache)
         self.attach_request_plane(provider)
         self.attach_data_plane(provider)
@@ -221,6 +227,27 @@ class Metrics:
         if provider is None:
             return {}
         return provider.persistence_stats()
+
+    # -- federation observation --------------------------------------------
+
+    def attach_federation(self, federation: Any) -> "Metrics":
+        """Start observing a federation object — a
+        :class:`~repro.federation.FederationFabric` or a single
+        :class:`~repro.federation.ProviderLink` (duck-typed on
+        ``federation_stats``).  Envelope traffic, dedup counters and
+        per-user cursor lag become readable via
+        :meth:`federation_snapshot`.  Returns self for chaining, like
+        every other ``attach_*``."""
+        return self._attach("federation", federation)
+
+    def federation_snapshot(self) -> dict[str, Any]:
+        """The attached federation plane's counters: envelopes sent and
+        deduped, bytes moved, sync-round mix (delta vs full recon) and
+        cursor lag (empty dict if none attached)."""
+        federation = self._planes.get("federation")
+        if federation is None:
+            return {}
+        return federation.federation_stats()
 
     # -- gateway-edge observation ------------------------------------------
 

@@ -12,9 +12,20 @@ providers.  Linking an account creates a *sync pair*: on each side, a
 transfer agent holding exactly the privileges the user granted there
 (her ``t-`` to export, her ``w+``/``t+`` to import).  ``sync_user``
 runs rounds of bidirectional reconciliation over the user's home
-files, newest version wins, and the mirrored copy lands under the
-*destination* provider's tags — so the data is exactly as protected on
-B as it was on A (verified in experiment C6).
+files and rows, and the mirrored copy lands under the *destination*
+provider's tags — so the data is exactly as protected on B as it was
+on A (verified in experiment C6).
+
+Two reconciliation engines share those semantics (selected by
+:class:`FederationConfig`):
+
+* the **naive twin** (``delta_sync=False``) re-reads everything both
+  sides hold, every round — O(corpus), trivially correct;
+* the **delta engine** (``delta_sync=True``, the default) tails each
+  provider's write-ahead journal from a per-(user, peer) cursor and
+  reconciles only what changed — O(dirty), falling back to one naive
+  round whenever a cursor goes stale (first sync, compaction, crash
+  recovery).  See :mod:`repro.federation.delta`.
 """
 
 from __future__ import annotations
@@ -32,6 +43,28 @@ class SyncError(Exception):
     """Linking or sync failed (missing account or missing grant)."""
 
 
+@dataclass(frozen=True)
+class FederationConfig:
+    """How a :class:`ProviderLink` reconciles.
+
+    ``delta_sync=True`` (default) uses the journal-cursor delta engine
+    with content-addressed envelope transport; ``delta_sync=False``
+    keeps the original full content-based reconciler.  Both converge
+    to byte-identical state (proven by the differential test in
+    ``tests/federation/test_delta_differential.py``).
+    """
+
+    delta_sync: bool = True
+
+    @staticmethod
+    def delta() -> "FederationConfig":
+        return FederationConfig(delta_sync=True)
+
+    @staticmethod
+    def naive() -> "FederationConfig":
+        return FederationConfig(delta_sync=False)
+
+
 @dataclass
 class SyncState:
     """Per-(user, link) bookkeeping."""
@@ -45,12 +78,19 @@ class SyncState:
 class ProviderLink:
     """A peering arrangement between two providers."""
 
-    def __init__(self, provider_a: Provider, provider_b: Provider) -> None:
+    def __init__(self, provider_a: Provider, provider_b: Provider,
+                 config: Optional[FederationConfig] = None) -> None:
         if provider_a is provider_b:
             raise SyncError("a provider cannot peer with itself")
         self.a = provider_a
         self.b = provider_b
+        self.config = config if config is not None else FederationConfig()
         self._states: dict[str, SyncState] = {}
+        if self.config.delta_sync:
+            from .delta import DeltaSync
+            self._delta: Optional[Any] = DeltaSync(self)
+        else:
+            self._delta = None
 
     # ------------------------------------------------------------------
     # user-driven setup
@@ -86,13 +126,12 @@ class ProviderLink:
 
     def sync_user(self, username: str) -> int:
         """One bidirectional reconciliation round; returns the number
-        of files transferred.  Requires grants on both sides.
+        of files and rows transferred.  Requires grants on both sides.
 
-        Reconciliation is content-based: a file is copied when the
-        destination lacks it or holds different bytes.  A is pumped
-        first, so a genuine concurrent conflict resolves in A's favor
-        — deterministic last-writer-wins, documented rather than
-        hidden (real deployments would surface conflicts to the user).
+        With ``delta_sync`` the round tails each side's journal from
+        this link's cursor and touches only dirty entries; otherwise
+        it is a full content-based reconciliation.  Either way the
+        outcome is identical (see :class:`FederationConfig`).
         """
         state = self._states.get(username)
         if state is None:
@@ -101,6 +140,22 @@ class ProviderLink:
             raise NotAuthorized(
                 f"{username} has not granted the sync declassifiers on "
                 f"both providers")
+        tracer = self.a.tracer
+        if tracer.enabled:
+            with tracer.request("fed.sync", user=username,
+                                link=f"{self.a.name}<->{self.b.name}"):
+                return self._sync_round(state)
+        return self._sync_round(state)
+
+    def _sync_round(self, state: SyncState) -> int:
+        if self._delta is not None:
+            return self._delta.sync(state)
+        return self._naive_round(state)
+
+    def _naive_round(self, state: SyncState) -> int:
+        """One full content-based round: the trivially-correct twin
+        the delta engine must match byte-for-byte, and its fallback
+        whenever a journal cursor is stale."""
         moved = 0
         moved += self._pump(state, self.a, self.b)
         moved += self._pump(state, self.b, self.a)
@@ -108,8 +163,55 @@ class ProviderLink:
         moved += self._pump_rows(state, self.b, self.a)
         return moved
 
+    # ------------------------------------------------------------------
+    # fabric hooks
+    # ------------------------------------------------------------------
+
+    def replace_provider(self, old: Provider, new: Provider) -> None:
+        """Swap a recovered provider instance into the link (M10 crash
+        recovery).  The new instance has a fresh journal (new id, new
+        epoch), so every cursor this link holds is stale by
+        construction; the delta engine drops them and the next
+        ``sync_user`` per user runs one full reconciliation before
+        re-attaching fresh cursors — recovery can never cause a missed
+        or duplicated transfer."""
+        if old is self.a:
+            self.a = new
+        elif old is self.b:
+            self.b = new
+        else:
+            raise SyncError("provider is not part of this link")
+        if self._delta is not None:
+            self._delta.invalidate()
+
+    def federation_stats(self) -> dict[str, Any]:
+        """Counters for ``Metrics.attach``: engine rounds, envelope
+        traffic, and per-user cursor lag."""
+        out: dict[str, Any] = {
+            "link": f"{self.a.name}<->{self.b.name}",
+            "delta_sync": self.config.delta_sync,
+            "linked_users": len(self._states),
+            "transfers": sum(s.transfers for s in self._states.values()),
+        }
+        if self._delta is not None:
+            out.update(self._delta.stats())
+        return out
+
+    # ------------------------------------------------------------------
+    # the naive pumps (shared with the delta engine's fallback)
+    # ------------------------------------------------------------------
+
     def _pump(self, state: SyncState, src: Provider, dst: Provider) -> int:
-        """Copy src-side files that are newer than the last sync."""
+        """Copy src-side files whose *content* differs on dst.
+
+        Reconciliation here is purely content-based — there is no
+        notion of "newer": a file is copied when the destination lacks
+        it or holds different bytes, and ``sync_user`` pumps A first
+        so conflicts resolve in A's favor.  (The delta engine reaches
+        the same outcome from the other end: journal cursors tell it
+        *which* paths changed since the last round, and only those are
+        content-compared.)
+        """
         username = state.username
         src_agent = self._agent(src, username)
         dst_agent = self._agent(dst, username)
@@ -215,12 +317,14 @@ def _snapshot(provider: Provider, username: str) -> dict[str, Any]:
         slabel=Label([account.data_tag]),
         caps=CapabilitySet.owning(account.data_tag, account.write_tag),
         owner_user=username)
-    fs = FsView(provider.fs, agent)
-    home = f"/users/{username}"
     out: dict[str, Any] = {}
-    for name in fs.listdir(home):
-        path = f"{home}/{name}"
-        if not fs.stat(path)["is_dir"]:
-            out[name] = fs.read(path)
-    provider.kernel.exit(agent)
+    try:
+        fs = FsView(provider.fs, agent)
+        home = f"/users/{username}"
+        for name in fs.listdir(home):
+            path = f"{home}/{name}"
+            if not fs.stat(path)["is_dir"]:
+                out[name] = fs.read(path)
+    finally:
+        provider.kernel.exit(agent)
     return out

@@ -5,7 +5,8 @@ import zlib
 
 import pytest
 
-from repro.core.journal import (Journal, decode_payload, encode_payload)
+from repro.core.journal import (Journal, JournalCursor, decode_payload,
+                                encode_payload)
 
 
 class TestAppendRecover:
@@ -146,3 +147,60 @@ class TestStats:
         body = b"{" + raw[len(prefix) + 8 + 2:]  # skip '",' too
         assert crc_hex == format(zlib.crc32(body) & 0xFFFFFFFF, "08x")
         assert json.loads(raw)["crc"] == crc_hex
+
+
+class TestCursorTailing:
+    """The M15 tailing API: position/tail_from and cursor staleness."""
+
+    def test_tail_from_current_position_is_empty(self):
+        j = Journal()
+        j.append("op", {"x": 1})
+        cursor = j.position()
+        assert j.tail_from(cursor) == []
+
+    def test_tail_returns_only_records_past_cursor(self):
+        j = Journal()
+        j.append("a", {"n": 1})
+        cursor = j.position()
+        j.append("b", {"n": 2})
+        j.append("c", {"n": 3})
+        tail = j.tail_from(cursor)
+        assert [(r.seq, r.op, r.data) for r in tail] == [
+            (2, "b", {"n": 2}), (3, "c", {"n": 3})]
+
+    def test_none_cursor_is_stale(self):
+        j = Journal()
+        assert j.tail_from(None) is None
+
+    def test_reset_invalidates_cursor(self):
+        j = Journal()
+        j.append("a", {})
+        cursor = j.position()
+        j.reset()
+        assert j.tail_from(cursor) is None
+        # a fresh cursor works again
+        j.append("b", {})
+        assert j.tail_from(j.position()) == []
+
+    def test_cursor_from_another_journal_is_stale(self):
+        j1, j2 = Journal(), Journal()
+        j1.append("a", {})
+        j2.append("a", {})
+        assert j2.tail_from(j1.position()) is None
+
+    def test_future_cursor_is_stale(self):
+        j = Journal()
+        j.append("a", {})
+        cursor = j.position()
+        j2 = Journal()  # simulate a cursor from a longer history
+        assert j2.tail_from(cursor) is None
+
+    def test_tail_survives_payload_coercion(self):
+        """Tail records decode exactly like recovered records do."""
+        j = Journal()
+        j.append("a", {"t": (1, 2)})
+        cursor0 = JournalCursor(j.journal_id, j.epoch, 0)
+        tail = j.tail_from(cursor0)
+        recovered, __ = Journal.recover(j.raw_bytes())
+        assert [(r.op, r.data) for r in tail] == \
+            [(r.op, r.data) for r in recovered]

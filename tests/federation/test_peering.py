@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.federation import ProviderLink, SyncError, converged
+from repro.federation import (FederationConfig, ProviderLink, SyncError,
+                              converged)
 from repro.fs import FsView
 from repro.platform import NoSuchUser, NotAuthorized, Provider
 
@@ -137,3 +138,148 @@ class TestSync:
         a.store_user_data("bob", "f2", "y")
         link.sync_user("bob")
         assert link.state_of("bob").transfers == 2
+
+
+class TestErrorPaths:
+    """Satellite coverage: the ways linking and sync can fail."""
+
+    def test_link_account_missing_on_b_only(self, providers):
+        a, b = providers
+        a.signup("solo", "pw")  # account exists on exactly one side
+        link = ProviderLink(a, b)
+        with pytest.raises(NoSuchUser):
+            link.link_account("solo")
+        assert link.state_of("solo") is None  # no half-linked state
+
+    def test_link_account_missing_on_a_only(self, providers):
+        a, b = providers
+        b.signup("only-b", "pw")
+        link = ProviderLink(a, b)
+        with pytest.raises(NoSuchUser):
+            link.link_account("only-b")
+        assert link.state_of("only-b") is None
+
+    def test_sync_unlinked_user_while_another_is_linked(self, link):
+        link.link_account("bob")
+        link.grant_sync("bob")
+        with pytest.raises(SyncError):
+            link.sync_user("eve")
+
+    def test_grant_sync_before_link_fails(self, link):
+        with pytest.raises(SyncError):
+            link.grant_sync("bob")
+
+    def test_one_sided_grants_compose(self, providers, link):
+        a, b = providers
+        link.link_account("bob")
+        link.grant_sync("bob", on="b")
+        with pytest.raises(NotAuthorized):
+            link.sync_user("bob")
+        link.grant_sync("bob", on="a")  # the other side completes it
+        a.store_user_data("bob", "f", "x")
+        assert link.sync_user("bob") == 1
+
+
+class TestNaiveTwinConfig:
+    """FederationConfig(delta_sync=False) keeps the original engine."""
+
+    @pytest.fixture()
+    def naive_link(self, providers):
+        a, b = providers
+        return ProviderLink(a, b, config=FederationConfig.naive())
+
+    def _full_link(self, link):
+        link.link_account("bob")
+        link.grant_sync("bob")
+        return link
+
+    def test_propagation_and_idempotence(self, providers, naive_link):
+        a, b = providers
+        self._full_link(naive_link)
+        a.store_user_data("bob", "f", "v1")
+        assert naive_link.sync_user("bob") == 1
+        assert b.read_user_data("bob", "f") == "v1"
+        assert naive_link.sync_user("bob") == 0
+
+    def test_conflict_still_resolves_for_a(self, providers, naive_link):
+        a, b = providers
+        self._full_link(naive_link)
+        a.store_user_data("bob", "f", "from-A")
+        b.store_user_data("bob", "f", "from-B")
+        naive_link.sync_user("bob")
+        assert b.read_user_data("bob", "f") == "from-A"
+
+    def test_stats_report_engine_choice(self, providers, naive_link):
+        stats = naive_link.federation_stats()
+        assert stats["delta_sync"] is False
+        assert "delta_rounds" not in stats
+
+
+class TestDeltaEngine:
+    """The default engine's cursor behavior, observable via stats."""
+
+    def _full_link(self, link):
+        link.link_account("bob")
+        link.grant_sync("bob")
+        return link
+
+    def test_first_round_is_full_recon_then_delta(self, providers, link):
+        a, __ = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "v1")
+        link.sync_user("bob")
+        stats = link.federation_stats()
+        assert stats["full_recons"] == 1 and stats["delta_rounds"] == 0
+        link.sync_user("bob")
+        stats = link.federation_stats()
+        assert stats["full_recons"] == 1 and stats["delta_rounds"] == 1
+
+    def test_quiet_delta_round_moves_nothing(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "v1")
+        link.sync_user("bob")
+        assert link.sync_user("bob") == 0
+        # cursor is caught up on both sides
+        lag = link.federation_stats()["cursor_lag"]["bob"]
+        assert lag == {"a": 0, "b": 0}
+
+    def test_delta_round_ships_only_the_dirty_file(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        for i in range(5):
+            a.store_user_data("bob", f"f{i}", f"v{i}")
+        link.sync_user("bob")
+        agent = a._user_agent(a.account("bob"))
+        FsView(a.fs, agent).write("/users/bob/f3", "changed")
+        a.kernel.exit(agent)
+        assert link.sync_user("bob") == 1
+        assert b.read_user_data("bob", "f3") == "changed"
+
+    def test_deleted_file_resurrects_like_naive(self, providers, link):
+        a, b = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "keep")
+        link.sync_user("bob")
+        agent = a._user_agent(a.account("bob"))
+        FsView(a.fs, agent).delete("/users/bob/f")
+        a.kernel.exit(agent)
+        link.sync_user("bob")
+        # the naive pump never deletes: B's copy flows back to A
+        assert a.read_user_data("bob", "f") == "keep"
+        assert converged(link, "bob")
+
+    def test_checkpoint_forces_one_full_recon(self, providers, link):
+        a, __ = providers
+        self._full_link(link)
+        a.store_user_data("bob", "f", "v1")
+        link.sync_user("bob")
+        a._durability.checkpoint()  # journal reset: cursor goes stale
+        link.sync_user("bob")
+        stats = link.federation_stats()
+        assert stats["full_recons"] == 2
+
+    def test_replace_provider_requires_membership(self, providers, link):
+        other = Provider(name="w5-gamma")
+        with pytest.raises(SyncError):
+            link.replace_provider(other, other)
