@@ -9,9 +9,11 @@ uncached), ``BENCH_M2.json`` (end-to-end request path),
 (compiled request plans vs. the interpreted decision path),
 ``BENCH_M13.json`` (the sharded request plane: 1-shard parity and
 multi-shard scaling), ``BENCH_M14.json`` (the squeezed mandated
-pipeline vs. its naive twins) and ``BENCH_M15.json`` (journal-cursor
+pipeline vs. its naive twins), ``BENCH_M15.json`` (journal-cursor
 delta federation sync vs. the naive reconciler, plus fabric routing
-latency across provider fleets) so CI can
+latency across provider fleets) and ``BENCH_M16.json`` (fleet
+observability: disabled-path parity and the stitched-tracing
+premium) so CI can
 archive one number series per commit — the repo's before/after
 record for the fast-path label engine, the O(1) request plane, the
 label-partitioned storage engine, the write-ahead journal, the span
@@ -31,7 +33,9 @@ misses its bar (3x aggregate throughput at 4 shards on a 4+-core
 POSIX box; the graceful-degradation floor elsewhere), or if the M14
 fast pipeline beats its naive twins by less than 1.2x end to end,
 or if delta federation sync beats the naive content reconciler by
-less than 5x at 1,000 files with a 1% dirty set.
+less than 5x at 1,000 files with a 1% dirty set, or if the fleet
+observability plane costs more than 1.05x disabled or 15us per
+request armed.
 
 Usage::
 
@@ -376,6 +380,33 @@ def bench_m15(repeat: int) -> dict:
     }
 
 
+def bench_m16(repeat: int) -> dict:
+    """Fleet observability: the cost of cross-shard trace stitching.
+
+    The interesting numbers are the two M16 invariants, both
+    same-build differentials: the 2-shard fleet plane with tracing
+    *off*, routed vs. the identical requests dispatched directly to
+    its M14-fast shard providers (must be ~1.0x — routing plus one
+    attribute load of M16 plumbing), and the per-request premium of
+    stitched fleet tracing over shard-local tracing on the same
+    traced builds (context export + remote capture + graft merge, an
+    absolute microsecond budget).
+    """
+    from m16_fleet_obs import run_fleet_obs
+
+    result = run_fleet_obs(reps=max(repeat * 4, 12))
+    return {
+        "fleet": {k: v for k, v in result.items() if k != "regression"},
+        "scaling": {
+            "disabled_ratio": result["disabled"]["ratio"],
+            "max_disabled_ratio": result["disabled"]["max_ratio"],
+            "armed_premium_us": result["armed"]["premium_us"],
+            "max_armed_premium_us": result["armed"]["max_premium_us"],
+            "regression": result["regression"],
+        },
+    }
+
+
 #: The M10 regression bound: full vs incremental snapshot at 1k users.
 M10_MIN_SPEEDUP = 3.0
 
@@ -431,7 +462,7 @@ def main(argv=None) -> int:
                      ("M9", bench_m9), ("M10", bench_m10),
                      ("M11", bench_m11), ("M12", bench_m12),
                      ("M13", bench_m13), ("M14", bench_m14),
-                     ("M15", bench_m15)):
+                     ("M15", bench_m15), ("M16", bench_m16)):
         payload = {"experiment": name, **meta,
                    "results": fn(args.repeat)}
         path = args.out / f"BENCH_{name}.json"
@@ -493,6 +524,16 @@ def main(argv=None) -> int:
             print(f"M15 REGRESSION: delta federation sync only "
                   f"{scaling['speedup']}x the naive reconciler at the "
                   f"guard tier (bound: {scaling['min_speedup']}x minimum)")
+            failed = True
+        if name == "M16" and payload["results"]["scaling"]["regression"]:
+            scaling = payload["results"]["scaling"]
+            print(f"M16 REGRESSION: disabled fleet plane at "
+                  f"{scaling['disabled_ratio']}x its direct-dispatch "
+                  f"baseline "
+                  f"(bound: {scaling['max_disabled_ratio']}x) or "
+                  f"stitched-tracing premium at "
+                  f"{scaling['armed_premium_us']}us per request "
+                  f"(bound: {scaling['max_armed_premium_us']}us)")
             failed = True
     return 1 if failed else 0
 

@@ -1,0 +1,43 @@
+"""M16 — fleet observability: stitched tracing must stay ~free.
+
+Asserts the two M16 cost invariants on the 2-shard serial plane,
+both as same-build differentials: the disabled fleet plane adds only
+routing-noise over the identical requests dispatched directly to its
+M14-fast shard providers, and armed fleet stitching (context
+propagation + remote capture + graft merge) costs single-digit
+microseconds per cross-shard request on top of shard-local tracing.
+"""
+
+from .conftest import print_table
+from .m16_fleet_obs import (M16_MAX_ARMED_DELTA_US,
+                            M16_MAX_DISABLED_OVERHEAD, run_fleet_obs)
+
+
+def test_bench_m16_fleet_obs(benchmark):
+    result = benchmark.pedantic(run_fleet_obs, rounds=1, iterations=1)
+    disabled, armed = result["disabled"], result["armed"]
+
+    assert disabled["ratio"] <= M16_MAX_DISABLED_OVERHEAD, (
+        f"fleet plane with tracing off costs {disabled['ratio']}x "
+        f"direct dispatch to its own M14-fast shard providers — the "
+        f"disabled router path grew real work")
+    assert armed["premium_us"] <= M16_MAX_ARMED_DELTA_US, (
+        f"fleet stitching premium {armed['premium_us']}us per request "
+        f"— capture/graft work crept into the hot path")
+    assert armed["sample_grafts"] > 0, (
+        "armed run produced no grafted request trees — the premium "
+        "measured nothing")
+    assert not result["regression"]
+
+    print_table(
+        f"M16: fleet observability, {result['shards']}-shard "
+        f"{result['engine']} plane, {result['users']} users",
+        ["mode", "per-request us", "vs", "bound"],
+        [["tracing off (routed)", disabled["fleet_disabled_us"],
+          f"{disabled['ratio']}x direct "
+          f"({disabled['direct_us']}us)",
+          f"<= {disabled['max_ratio']}x"],
+         ["tracing on, shard-local", armed["local_traced_us"], "-", "-"],
+         ["tracing on, stitched", armed["fleet_traced_us"],
+          f"+{armed['premium_us']}us premium",
+          f"<= {armed['max_premium_us']}us"]])

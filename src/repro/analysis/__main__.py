@@ -1,20 +1,26 @@
 """``python -m repro.analysis`` — render reports.
 
-Three forms::
+Five forms::
 
     python -m repro.analysis <benchmark.json>        # timing tables
     python -m repro.analysis trace <report.json>     # span trees
     python -m repro.analysis plan <explain.json>     # compiled plans
+    python -m repro.analysis metrics <fleet.json>    # merged metrics
+    python -m repro.analysis fleet <fleet.json>      # metrics + health
 
 The first renders pytest-benchmark JSON into the EXPERIMENTS.md
 tables; the second renders a saved ``Provider.trace_report()`` dump
 (see :mod:`repro.analysis.tracecmd`); the third renders a saved
 ``Provider.explain(app, viewer)`` dump — the compiled request plan
-(see :mod:`repro.analysis.plancmd`).
+(see :mod:`repro.analysis.plancmd`); the last two render a saved
+``FleetRegistry`` snapshot or fleet dump — merged counters, latency
+percentiles, Prometheus exposition, and the health rollup (see
+:mod:`repro.analysis.fleetcmd`).
 """
 
 import sys
 
+from .fleetcmd import run_fleet, run_metrics
 from .plancmd import run as run_plan
 from .report import render_report
 from .tracecmd import run as run_trace
@@ -26,11 +32,18 @@ def main() -> int:
         return run_trace(argv[1:])
     if argv and argv[0] == "plan":
         return run_plan(argv[1:])
+    if argv and argv[0] == "metrics":
+        return run_metrics(argv[1:])
+    if argv and argv[0] == "fleet":
+        return run_fleet(argv[1:])
     if len(argv) != 1 or argv[0].startswith("-"):
         print("usage: python -m repro.analysis <benchmark.json>\n"
               "       python -m repro.analysis trace <report.json> "
               "[--chrome OUT]\n"
-              "       python -m repro.analysis plan <explain.json>",
+              "       python -m repro.analysis plan <explain.json>\n"
+              "       python -m repro.analysis metrics <fleet.json> "
+              "[--prometheus]\n"
+              "       python -m repro.analysis fleet <fleet.json>",
               file=sys.stderr)
         print("(produce the benchmark input with: pytest benchmarks/ "
               "--benchmark-only --benchmark-json=benchmark.json; the "

@@ -39,6 +39,15 @@ def latency_table(latencies: dict[str, dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
+def _recorder_of(report: dict[str, Any]) -> dict[str, Any]:
+    """The recorder dump: top-level for a single provider, nested
+    under ``router`` for a merged ``ShardedProvider`` report (M16) —
+    the router's recorder holds the stitched cross-shard trees."""
+    if "recorder" in report:
+        return report["recorder"]
+    return report.get("router", {}).get("recorder", {})
+
+
 def render_trace_report(report: dict[str, Any],
                         max_trees: int = 5) -> str:
     """The full operator view of one trace report."""
@@ -47,7 +56,7 @@ def render_trace_report(report: dict[str, Any],
                 "(build the provider with tracing=True)")
     out = ["# Request trace report", ""]
     stats = report.get("stats", {})
-    rec = report.get("recorder", {})
+    rec = _recorder_of(report)
     rec_stats = rec.get("stats", {})
     out.append(f"- traces: {stats.get('traces_finished', 0)} finished "
                f"/ {stats.get('traces_started', 0)} started, "
@@ -73,7 +82,7 @@ def render_trace_report(report: dict[str, Any],
 
 def kept_traces(report: dict[str, Any]) -> list[dict[str, Any]]:
     """All kept traces from a report, slow first, deduped by id."""
-    rec = report.get("recorder", {})
+    rec = _recorder_of(report)
     seen: set[str] = set()
     out = []
     for trace in rec.get("slowest", []) + rec.get("errors", []):

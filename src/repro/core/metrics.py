@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from _thread import get_ident
 from collections import Counter
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Protocol, runtime_checkable
 
 from ..errors import CrossShardWrite
 from ..kernel.audit import AuditEvent, AuditLog
@@ -37,6 +37,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..labels.cache import FlowCache
     from ..net.gateway import Gateway
     from ..platform.provider import Provider
+
+
+@runtime_checkable
+class FederationStatsSource(Protocol):
+    """What :meth:`Metrics.attach_federation` expects (duck-typed).
+
+    Implemented by :class:`~repro.federation.FederationFabric` and
+    :class:`~repro.federation.ProviderLink`.  The contract (documented
+    in ``docs/OBSERVABILITY.md`` §"The federation_stats contract"):
+    ``federation_stats()`` returns a JSON-serializable dict of
+    monotonic counters and gauges.  Link-shaped sources carry at least
+    ``link``, ``delta_sync``, ``linked_users`` and ``transfers``, plus
+    (when the delta engine runs) envelope counters
+    (``envelopes_sent``/``envelopes_deduped``/``bytes_moved``) and
+    per-user ``cursor_lag``; fabric-shaped sources carry
+    ``providers``/``live``/``links`` totals and a ``per_link`` list of
+    link-shaped dicts.
+    """
+
+    def federation_stats(self) -> dict[str, Any]: ...
 
 
 class Metrics:
@@ -114,6 +134,17 @@ class Metrics:
         for (category, allowed), n in sorted(self._by_category.items()):
             out[f"{category}.{'allow' if allowed else 'deny'}"] = n
         return out
+
+    def category_counts(self) -> dict[tuple[str, bool], int]:
+        """The raw ``(category, allowed) -> count`` counters (a copy).
+        The merge input of :class:`~repro.obs.FleetRegistry` (M16)."""
+        return dict(self._by_category)
+
+    def latency_histograms(self) -> dict[str, LatencyHistogram]:
+        """The per-category latency histograms (the dict is a copy;
+        the histograms are live — merge *into* a fresh one, as
+        :meth:`FleetRegistry.merged_latency` does)."""
+        return dict(self._latency)
 
     # -- one-call attachment ----------------------------------------------
 
@@ -230,12 +261,15 @@ class Metrics:
 
     # -- federation observation --------------------------------------------
 
-    def attach_federation(self, federation: Any) -> "Metrics":
+    def attach_federation(self,
+                          federation: FederationStatsSource) -> "Metrics":
         """Start observing a federation object — a
         :class:`~repro.federation.FederationFabric` or a single
         :class:`~repro.federation.ProviderLink` (duck-typed on
-        ``federation_stats``).  Envelope traffic, dedup counters and
-        per-user cursor lag become readable via
+        ``federation_stats``; the shape is pinned by the
+        :class:`FederationStatsSource` protocol and documented in
+        ``docs/OBSERVABILITY.md``).  Envelope traffic, dedup counters
+        and per-user cursor lag become readable via
         :meth:`federation_snapshot`.  Returns self for chaining, like
         every other ``attach_*``."""
         return self._attach("federation", federation)

@@ -46,7 +46,7 @@ and row state (labels included) on every provider.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from ..core.journal import Journal, JournalCursor, JournalRecord
 from ..fs import FsView
@@ -185,8 +185,14 @@ class DeltaSync:
     def invalidate(self) -> None:
         """Drop every cursor, book, and digest cache (a provider was
         replaced under the link): the next round per user is a full
-        reconciliation against the new instance."""
-        self._users.clear()
+        reconciliation against the new instance.  Known users are kept
+        with nulled cursors rather than forgotten, so the link's
+        :func:`~repro.obs.fabric_health` staleness gauge shows the
+        pending full reconciliation until the next sync round."""
+        for user in self._users.values():
+            user.cursors["a"] = user.cursors["b"] = None
+            user.books = {"a": _SideBooks(), "b": _SideBooks()}
+            user.vanished = {"a": {}, "b": {}}
         for channel in self.channels.values():
             channel.clear()
 
@@ -230,6 +236,29 @@ class DeltaSync:
     def _channel_into(self, side: str) -> EnvelopeChannel:
         """The channel whose *destination* is ``side``."""
         return self.channels["ab" if side == "b" else "ba"]
+
+    def _transfer(self, channel: EnvelopeChannel,
+                  envelopes: list[Envelope],
+                  apply: Callable[[Envelope], None],
+                  dst_side: str) -> int:
+        """Run ``channel.transfer_batch`` with the right tracer wiring.
+
+        The ``fed.sync`` root span lives on side A's tracer (peering
+        opens it there).  When the destination *is* side A the
+        ``fed.envelope`` span nests inline; when it's side B — a
+        different provider with its own tracer — the root's
+        :class:`~repro.obs.TraceContext` crosses the link so the
+        destination-side span is captured as a skeleton and grafted
+        back under ``fed.sync`` (M16 trace propagation)."""
+        root_tracer = self.link.a.tracer
+        dst_tracer = self._provider(dst_side).tracer
+        if dst_side == "a" or not dst_tracer.enabled:
+            return channel.transfer_batch(envelopes, apply,
+                                          tracer=root_tracer)
+        ctx = root_tracer.export_context() if root_tracer.enabled else None
+        return channel.transfer_batch(
+            envelopes, apply, tracer=dst_tracer, ctx=ctx,
+            graft=root_tracer.graft if ctx is not None else None)
 
     def _full_recon(self, state: "SyncState", user: _UserDelta) -> int:
         """The naive twin, plus bookkeeping rebuild: after it, books
@@ -354,7 +383,6 @@ class DeltaSync:
             return 0
         link = self.link
         username = state.username
-        tracer = link.a.tracer
         agent_a = link._agent(link.a, username)
         agent_b = link._agent(link.b, username)
         moved = 0
@@ -387,12 +415,12 @@ class DeltaSync:
                     digest_b = content_digest(data_b)
                     channel_ab.note(path, digest_b)
                     ship_ba.append(Envelope("file", path, digest_b, data_b))
-            moved += channel_ab.transfer_batch(
-                ship_ab, lambda e: self._apply_file(fs_b, e, state),
-                tracer=tracer)
-            moved += channel_ba.transfer_batch(
-                ship_ba, lambda e: self._apply_file(fs_a, e, state),
-                tracer=tracer)
+            moved += self._transfer(
+                channel_ab, ship_ab,
+                lambda e: self._apply_file(fs_b, e, state), "b")
+            moved += self._transfer(
+                channel_ba, ship_ba,
+                lambda e: self._apply_file(fs_a, e, state), "a")
         finally:
             link.a.kernel.exit(agent_a)
             link.b.kernel.exit(agent_b)
@@ -466,8 +494,8 @@ class DeltaSync:
                                     _row_key(envelope.payload))
                     state.transfers += 1
 
-                moved += channel.transfer_batch(envelopes, apply,
-                                                tracer=link.a.tracer)
+                moved += self._transfer(channel, envelopes, apply,
+                                        dst_side)
         finally:
             src.kernel.exit(src_agent)
             dst.kernel.exit(dst_agent)

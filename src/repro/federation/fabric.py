@@ -219,6 +219,13 @@ class FederationFabric:
     # observability
     # ------------------------------------------------------------------
 
+    def health_report(self) -> dict[str, Any]:
+        """Fleet health rollup (M16): every provider slot and link
+        classified ok / degraded / down from existing gauges — see
+        :func:`repro.obs.fabric_health` for the rules."""
+        from ..obs.fleet import fabric_health
+        return fabric_health(self)
+
     def federation_stats(self) -> dict[str, Any]:
         """Fabric-wide counters: ring shape, per-link engine stats,
         and envelope traffic totals (for ``Metrics.attach``)."""

@@ -138,24 +138,46 @@ class EnvelopeChannel:
 
     def transfer_batch(self, envelopes: Iterable[Envelope],
                        apply: Callable[[Envelope], None],
-                       tracer: Optional[Any] = None) -> int:
+                       tracer: Optional[Any] = None,
+                       ctx: Optional[tuple] = None,
+                       graft: Optional[Callable[[str, dict], None]] = None,
+                       ) -> int:
         """Apply a batch of envelopes on the destination in one pass.
 
         ``apply`` runs destination-side with the linked user's agent
         already checked out; a ``fed.envelope`` span wraps the whole
-        batch when the destination provider is tracing.  Returns the
-        number of envelopes applied (post-dedup).
+        batch when the destination provider (``tracer``) is tracing.
+        When the destination is a *different* provider from the one
+        holding the ``fed.sync`` root, ``ctx`` carries that root's
+        :class:`~repro.obs.TraceContext` across the link: the
+        destination opens ``fed.envelope`` as its own root, the
+        resulting skeleton is handed to ``graft`` so the sync side can
+        stitch it under ``fed.sync``, and the destination's sampling
+        decision follows the origin's (one fold decision per sync).
+        Returns the number of envelopes applied (post-dedup).
         """
         batch = [e for e in envelopes if not self.dedup(e)]
         if not batch:
             return 0
         self.stats["batches"] += 1
-        if tracer is not None and tracer.enabled:
+        if tracer is None or not tracer.enabled:
+            self._apply_batch(batch, apply)
+        elif tracer.current is not None or ctx is None:
+            # Same-provider destination (or no propagated context):
+            # nest directly under whatever span is open here.
             with tracer.span("fed.envelope", channel=self.name,
                              n=len(batch)):
                 self._apply_batch(batch, apply)
         else:
-            self._apply_batch(batch, apply)
+            from ..obs.fleet import RemoteCapture
+            from ..obs.trace import TraceContext
+            with RemoteCapture(tracer, TraceContext(*ctx)) as capture:
+                with tracer.request("fed.envelope", channel=self.name,
+                                    n=len(batch)):
+                    self._apply_batch(batch, apply)
+            if graft is not None:
+                for skeleton in capture.skeletons:
+                    graft(self.name, skeleton)
         return len(batch)
 
     def _apply_batch(self, batch: list[Envelope],

@@ -7,15 +7,19 @@ instrumentation site allocation-free.  See ``docs/OBSERVABILITY.md``.
 
 from .export import (chrome_trace, render_text, trace_to_dict,
                      validate_chrome_trace)
+from .fleet import (FleetRegistry, RemoteCapture, fabric_health,
+                    parse_prometheus, prometheus_text, provider_health)
 from .histogram import LatencyHistogram
 from .recorder import FlightRecorder
 from .trace import (MAX_SPANS_PER_TRACE, NULL_TRACER, NullTracer, Span,
-                    Trace, Tracer)
+                    Trace, TraceContext, Tracer)
 
 __all__ = [
     "LatencyHistogram", "FlightRecorder",
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "Trace",
-    "MAX_SPANS_PER_TRACE",
+    "TraceContext", "MAX_SPANS_PER_TRACE",
     "trace_to_dict", "render_text", "chrome_trace",
     "validate_chrome_trace",
+    "FleetRegistry", "RemoteCapture", "prometheus_text",
+    "parse_prometheus", "provider_health", "fabric_health",
 ]

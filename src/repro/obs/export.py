@@ -16,6 +16,7 @@ serializable, diffable in tests, and the input both renderers accept:
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Iterable, Optional
 
 from .trace import Span, Trace
@@ -34,9 +35,19 @@ def _span_to_dict(span: Span, root_start: float) -> dict[str, Any]:
 
 
 def trace_to_dict(trace: Trace) -> dict[str, Any]:
-    """Serializable span tree; offsets are µs from the root start."""
+    """Serializable span tree; offsets are µs from the root start.
+
+    Remote subtrees grafted onto the trace (M16: shard fan-outs,
+    federation envelope application) are merged in as children of the
+    span they were grafted under, each tagged with its ``origin`` and
+    remote trace id — so the exported tree is the *stitched* causal
+    tree, one root per request, spanning every shard and provider the
+    request touched.  Remote span and overflow counts fold into
+    ``n_spans``/``truncated``: a span dropped on a remote shard is
+    counted here, never silently lost.
+    """
     root = trace.root
-    return {
+    out = {
         "trace_id": trace.trace_id,
         "name": trace.name,
         "duration_us": round(trace.duration * 1e6, 1),
@@ -45,6 +56,58 @@ def trace_to_dict(trace: Trace) -> dict[str, Any]:
         "truncated": trace.truncated,
         "root": _span_to_dict(root, root.start) if root else None,
     }
+    grafts = getattr(trace, "grafts", None)
+    if grafts and out["root"] is not None:
+        out["grafts"] = len(grafts)
+        out["orphan_grafts"] = _merge_grafts(out, grafts)
+    return out
+
+
+def _rebase(span: dict[str, Any], offset_us: float) -> None:
+    span["start_us"] = round(span["start_us"] + offset_us, 1)
+    for child in span["children"]:
+        _rebase(child, offset_us)
+
+
+def _merge_grafts(doc: dict[str, Any],
+                  grafts: list[tuple[int, str, dict]]) -> int:
+    """Attach remote skeletons under their local parent spans.
+
+    Grafts are recorded in graft order — the router grafts shard
+    skeletons in ascending shard order and each shard's skeletons in
+    per-shard execution order, so the stitched children are totally
+    ordered like the M13 ``(shard, seq)`` audit merge: deterministic
+    run-to-run and engine-to-engine.  A graft whose parent span is
+    unknown (budget overflow dropped it) attaches at the root, marked
+    ``orphan``; returns the orphan count.  Skeletons are deep-copied —
+    the trace may be exported many times (live recorder dumps).
+    """
+    index: dict[int, dict[str, Any]] = {}
+    stack = [doc["root"]]
+    while stack:
+        span = stack.pop()
+        index[span["span_id"]] = span
+        stack.extend(span["children"])
+    orphans = 0
+    for parent_id, origin, skeleton in grafts:
+        node = skeleton.get("root")
+        if node is None:
+            continue
+        parent = index.get(parent_id)
+        node = copy.deepcopy(node)
+        node["attrs"]["origin"] = origin
+        node["attrs"]["remote_trace_id"] = skeleton["trace_id"]
+        if parent is None:
+            parent = doc["root"]
+            node["attrs"]["orphan"] = True
+            orphans += 1
+        # remote offsets are relative to the remote root; rebase onto
+        # the local parent's start so the stitched timeline nests
+        _rebase(node, parent["start_us"])
+        parent["children"].append(node)
+        doc["n_spans"] += skeleton.get("n_spans", 0)
+        doc["truncated"] += skeleton.get("truncated", 0)
+    return orphans
 
 
 # ----------------------------------------------------------------------

@@ -137,9 +137,40 @@ class LatencyHistogram:
         }
 
     def snapshot(self) -> dict[str, Any]:
-        """A serializable dump (used by the trace report command)."""
-        return {**self.as_dict(),
-                "buckets": {i: n for i, n in enumerate(self.buckets) if n}}
+        """A serializable dump (used by the trace report command).
+
+        Carries the raw seconds-valued moments (``min_s``/``max_s``
+        alongside the display ``total_s``) so
+        :meth:`from_snapshot` reconstructs the histogram exactly —
+        the sharded trace report and the fleet registry merge
+        snapshots across process boundaries without rounding drift.
+        """
+        out = {**self.as_dict(),
+               "buckets": {i: n for i, n in enumerate(self.buckets) if n}}
+        if self.count:
+            out["min_s"] = self.min
+            out["max_s"] = self.max
+        return out
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`snapshot` output (M16).
+
+        The inverse direction of the exact-merge property: per-shard
+        histograms cross the fork engine's pipe (or any JSON dump) as
+        snapshots and merge bucket-exactly on the other side.  JSON
+        round-trips turn bucket keys into strings; both spellings are
+        accepted.
+        """
+        h = cls()
+        h.count = int(snap.get("count", 0))
+        h.total = float(snap.get("total_s", 0.0))
+        if h.count:
+            h.min = float(snap.get("min_s", snap.get("min_us", 0.0) / 1e6))
+            h.max = float(snap.get("max_s", snap.get("max_us", 0.0) / 1e6))
+        for i, n in (snap.get("buckets") or {}).items():
+            h.buckets[int(i)] = int(n)
+        return h
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "LatencyHistogram":

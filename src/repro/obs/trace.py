@@ -42,13 +42,35 @@ from __future__ import annotations
 
 from contextvars import ContextVar
 from time import perf_counter
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, NamedTuple, Optional
 
 from .histogram import LatencyHistogram
 
 #: Per-trace span budget.  A blog read needs ~10 spans; 512 is room
 #: for the most fan-out-heavy request while bounding a runaway loop.
 MAX_SPANS_PER_TRACE = 512
+
+class TraceContext(NamedTuple):
+    """The wire form of an open span: what crosses a shard or
+    federation boundary (M16).
+
+    Deliberately tiny and picklable — it rides the thread engine's
+    queue tuples and the fork engine's pipe frames unchanged.  The
+    remote side opens its own root trace under this context
+    (:class:`repro.obs.fleet.RemoteCapture`); ``fold`` pins the
+    sampling decision so a detail-sampled request is detail-sampled on
+    every shard it touches, and an unsampled one stays cheap
+    everywhere.
+    """
+
+    #: The originating trace's id (unique per tracer, not globally;
+    #: stitched exports qualify it with the origin name).
+    trace_id: str
+    #: The span the remote subtree re-parents under.
+    span_id: int
+    #: The origin's detail-sampling decision, inherited remotely.
+    fold: bool
+
 
 #: Default child-histogram sampling period: 1-in-16 traces fold their
 #: child spans into the per-name latency histograms (root spans always
@@ -220,7 +242,7 @@ class Trace:
     """The span tree for one request."""
 
     __slots__ = ("trace_id", "tracer", "ctx", "root", "n_spans",
-                 "truncated", "failed")
+                 "truncated", "failed", "grafts")
 
     def __init__(self, trace_id: str, tracer: "Tracer",
                  ctx: _TraceContext) -> None:
@@ -235,6 +257,11 @@ class Trace:
         #: Latched by any span closing with an exception in flight.
         self.failed = False
         self.root: Optional[Span] = None
+        #: Remote span skeletons stitched under this trace's spans:
+        #: ``(parent_span_id, origin, skeleton_dict)`` tuples appended
+        #: by :meth:`Tracer.graft` (M16).  Lazily allocated — local
+        #: traces never pay for the slot.
+        self.grafts: Optional[list[tuple[int, str, dict]]] = None
 
     @property
     def name(self) -> str:
@@ -309,6 +336,11 @@ class Tracer:
         self._histograms: dict[str, LatencyHistogram] = {}
         #: Called with each finished root trace (FlightRecorder.offer).
         self.sink: Optional[Callable[[Trace], None]] = None
+        #: The upstream :class:`TraceContext` while this tracer serves
+        #: a remote parent (set by ``repro.obs.fleet.RemoteCapture``):
+        #: new roots inherit its fold decision instead of rolling
+        #: their own, so sampling is consistent fleet-wide.
+        self._remote: Optional[TraceContext] = None
         self.traces_started = 0
         self.traces_finished = 0
         self.spans_dropped = 0
@@ -347,8 +379,13 @@ class Tracer:
             return self.span(name, **attrs)
         self._next_trace += 1
         self.traces_started += 1
-        fe = self.fold_every
-        ctx.fold = fe == 1 or self.traces_started % fe == 1
+        remote = self._remote
+        if remote is not None:
+            # serving a remote parent: inherit its sampling decision
+            ctx.fold = remote.fold
+        else:
+            fe = self.fold_every
+            ctx.fold = fe == 1 or self.traces_started % fe == 1
         trace = Trace(f"{self._next_trace:08x}", self, ctx)
         ctx.trace = trace
         trace.root = span = Span(name, trace, None, attrs)
@@ -412,6 +449,46 @@ class Tracer:
             return None
         return (current.trace.trace_id, current.span_id)
 
+    def export_context(self) -> Optional[TraceContext]:
+        """The active span as a wire-form :class:`TraceContext` (M16).
+
+        ``None`` outside a trace.  The result is what crosses a shard
+        engine or federation link; the far side runs its work under a
+        ``RemoteCapture`` window against this context and ships span
+        skeletons back for :meth:`graft`.
+        """
+        ctx = self._context.get()
+        if ctx is None:
+            return None
+        current = ctx.current
+        if current is None:
+            return None
+        return TraceContext(current.trace.trace_id, current.span_id,
+                            ctx.fold)
+
+    def graft(self, origin: str, skeleton: dict) -> None:
+        """Stitch a remote span skeleton under the current span (M16).
+
+        ``skeleton`` is a ``trace_to_dict`` dump produced on another
+        tracer (another shard or federation peer); ``origin`` names
+        where it ran (``"shard:2"``, an envelope channel name).  The
+        graft is recorded against the *currently open* span and merged
+        into the exported tree by ``trace_to_dict`` — the hot span
+        close path never sees it.  Outside a trace this is a no-op
+        (the skeleton survives in the remote side's own recorder).
+        """
+        ctx = self._context.get()
+        if ctx is None:
+            return
+        current = ctx.current
+        trace = ctx.trace
+        if current is None or trace is None:
+            return
+        grafts = trace.grafts
+        if grafts is None:
+            grafts = trace.grafts = []
+        grafts.append((current.span_id, origin, skeleton))
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
@@ -447,6 +524,8 @@ class NullTracer:
     #: detail-span setup (kwargs, counters) with one attribute load
     #: that is False whenever tracing is off.
     _fold = False
+    #: Mirrors ``Tracer._remote`` (always None: nothing to inherit).
+    _remote = None
 
     def request(self, name: str, /, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -462,6 +541,12 @@ class NullTracer:
 
     def current_ids(self) -> None:
         return None
+
+    def export_context(self) -> None:
+        return None
+
+    def graft(self, origin: str, skeleton: dict) -> None:
+        pass
 
     def latencies(self) -> dict[str, dict[str, float]]:
         return {}

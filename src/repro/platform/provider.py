@@ -256,7 +256,19 @@ class Provider:
         return {"tracing": True,
                 "stats": self.tracer.stats(),
                 "latencies": self.tracer.latencies(),
+                # bucket-level snapshots: what the sharded router's
+                # stitched trace_report merges exactly (M16)
+                "histograms": {
+                    name: hist.snapshot() for name, hist
+                    in sorted(self.tracer._histograms.items())},
                 "recorder": self.recorder.dump()}
+
+    def health_report(self) -> dict[str, Any]:
+        """Readiness gauges from state the provider already keeps:
+        journal byte lag, pool occupancy, plan-cache hit ratio, audit
+        drops (M16; see :func:`repro.obs.fleet.provider_health`)."""
+        from ..obs.fleet import provider_health
+        return provider_health(self)
 
     # ------------------------------------------------------------------
     # accounts (provider web forms)
@@ -1002,6 +1014,30 @@ class Provider:
                 responses.append(
                     self._finish_request(request, viewer, parts))
         return responses
+
+    def handle_batch_traced(self, requests: list[HttpRequest],
+                            ctx: Optional[Any] = None
+                            ) -> tuple[list[HttpResponse], list[dict]]:
+        """:meth:`handle_batch` plus remote trace capture (M16).
+
+        The sharded router's per-shard entrypoint: with a
+        :class:`~repro.obs.TraceContext` from the router's open
+        ``router.batch`` span, every trace this shard finishes for the
+        sub-batch inherits the router's sampling decision and comes
+        back as a skeleton dict for the router to graft — plain
+        picklable data, so the same tuple shape crosses the thread
+        engine's queue and the fork engine's pipe.  Without a context
+        (or with tracing off) it is exactly ``handle_batch`` with an
+        empty skeleton list.
+        """
+        tracer = self.kernel.tracer
+        if ctx is None or not tracer.enabled:
+            return self.handle_batch(requests), []
+        from ..obs.fleet import RemoteCapture
+        from ..obs.trace import TraceContext
+        with RemoteCapture(tracer, TraceContext(*ctx)) as capture:
+            responses = self.handle_batch(requests)
+        return responses, capture.skeletons
 
     def explain(self, app_ref: str,
                 viewer: Optional[str] = None) -> dict[str, Any]:

@@ -64,6 +64,8 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 from ..errors import W5Error
 from ..kernel.audit import AuditEvent
 from ..net import SESSION_COOKIE, HttpRequest, HttpResponse
+from ..obs import NULL_TRACER, FlightRecorder, LatencyHistogram, Tracer
+from ..obs.trace import TraceContext
 from .config import ProviderConfig
 from .provider import Provider
 
@@ -174,10 +176,16 @@ class _SerialEngine:
     def request(self, shard: int, request: HttpRequest) -> HttpResponse:
         return self.shards[shard].handle_request(request)
 
-    def run_batches(self, groups: dict[int, list[HttpRequest]]
-                    ) -> dict[int, list[HttpResponse]]:
-        return {shard: self.shards[shard].handle_batch(reqs)
-                for shard, reqs in sorted(groups.items())}
+    def run_batches(self, groups: dict[int, list[HttpRequest]],
+                    ctx: Optional[TraceContext] = None
+                    ) -> tuple[dict[int, list[HttpResponse]],
+                               dict[int, list[dict]]]:
+        responses: dict[int, list[HttpResponse]] = {}
+        skeletons: dict[int, list[dict]] = {}
+        for shard, reqs in sorted(groups.items()):
+            responses[shard], skeletons[shard] = \
+                self.shards[shard].handle_batch_traced(reqs, ctx)
+        return responses, skeletons
 
     def call(self, shard: int, method: str,
              args: tuple = (), kwargs: Optional[dict] = None) -> Any:
@@ -256,16 +264,24 @@ class _ThreadEngine:
         handle = self.shards[shard].handle_request
         return self._wait(*self._submit(shard, lambda: handle(request)))
 
-    def run_batches(self, groups: dict[int, list[HttpRequest]]
-                    ) -> dict[int, list[HttpResponse]]:
+    def run_batches(self, groups: dict[int, list[HttpRequest]],
+                    ctx: Optional[TraceContext] = None
+                    ) -> tuple[dict[int, list[HttpResponse]],
+                               dict[int, list[dict]]]:
         # dispatch every shard's sub-batch before waiting on any: the
-        # fan-out is what overlaps shard execution
+        # fan-out is what overlaps shard execution.  The trace context
+        # rides the submitted closure through the SimpleQueue tuple;
+        # skeletons come back in the same result box as the responses.
         pending = {
             shard: self._submit(
-                shard, (lambda h=self.shards[shard].handle_batch,
-                        rs=reqs: h(rs)))
+                shard, (lambda h=self.shards[shard].handle_batch_traced,
+                        rs=reqs: h(rs, ctx)))
             for shard, reqs in sorted(groups.items())}
-        return {shard: self._wait(*p) for shard, p in pending.items()}
+        responses: dict[int, list[HttpResponse]] = {}
+        skeletons: dict[int, list[dict]] = {}
+        for shard, p in pending.items():
+            responses[shard], skeletons[shard] = self._wait(*p)
+        return responses, skeletons
 
     def call(self, shard: int, method: str,
              args: tuple = (), kwargs: Optional[dict] = None) -> Any:
@@ -326,8 +342,14 @@ def _fork_worker(shard: Provider, conn: Any) -> None:
         kind = op[0]
         try:
             if kind == "batch":
-                resps = shard.handle_batch(op[1])
-                conn.send(("ok", [_plain_response(r) for r in resps]))
+                # op = ("batch", requests, trace_context|None): spans
+                # recorded in this child are serialized to skeleton
+                # dicts and shipped back with the responses — never
+                # silently lost to the process boundary (M16)
+                ctx = op[2] if len(op) > 2 else None
+                resps, skeletons = shard.handle_batch_traced(op[1], ctx)
+                conn.send(("ok", ([_plain_response(r) for r in resps],
+                                  skeletons)))
             elif kind == "request":
                 conn.send(("ok",
                            _plain_response(shard.handle_request(op[1]))))
@@ -409,15 +431,21 @@ class _ForkEngine:
         conn = self._ensure_started()[shard]
         return _rebuild_response(self._rpc(conn, ("request", request)))
 
-    def run_batches(self, groups: dict[int, list[HttpRequest]]
-                    ) -> dict[int, list[HttpResponse]]:
+    def run_batches(self, groups: dict[int, list[HttpRequest]],
+                    ctx: Optional[TraceContext] = None
+                    ) -> tuple[dict[int, list[HttpResponse]],
+                               dict[int, list[dict]]]:
         conns = self._ensure_started()
         ordered = sorted(groups.items())
         for shard, reqs in ordered:  # fan out first: children overlap
-            conns[shard].send(("batch", reqs))
-        return {shard: [_rebuild_response(t)
-                        for t in self._recv(conns[shard])]
-                for shard, _ in ordered}
+            conns[shard].send(("batch", reqs, ctx))
+        responses: dict[int, list[HttpResponse]] = {}
+        skeletons: dict[int, list[dict]] = {}
+        for shard, _ in ordered:
+            plain, skels = self._recv(conns[shard])
+            responses[shard] = [_rebuild_response(t) for t in plain]
+            skeletons[shard] = skels
+        return responses, skeletons
 
     def call(self, shard: int, method: str,
              args: tuple = (), kwargs: Optional[dict] = None) -> Any:
@@ -616,6 +644,19 @@ class ShardedProvider:
                              f"(have {sorted(_ENGINES)})")
         self.engine_name = engine
         self._engine = _ENGINES[engine](self.shards)
+        #: The router's own tracer (M16): cross-shard batches open a
+        #: ``router.batch`` root here, export its context to every
+        #: shard they fan out to, and graft the returned span
+        #: skeletons — so the router recorder holds the *stitched*
+        #: causal tree spanning every shard a batch touched.
+        self.tracing = tracing
+        if tracing:
+            self.tracer: Any = Tracer()
+            self.recorder: Optional[FlightRecorder] = FlightRecorder()
+            self.tracer.sink = self.recorder.offer
+        else:
+            self.tracer = NULL_TRACER
+            self.recorder = None
         self._token_shard: dict[str, int] = {}
         #: Requests routed per shard (front-end side, any engine).
         self.routed: list[int] = [0] * n_shards
@@ -684,22 +725,55 @@ class ShardedProvider:
         if self.n_shards == 1:
             self.routed[0] += len(requests)
             return self.shards[0].handle_batch(requests)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run_batch(requests, None)
+        # fleet tracing (M16): one router.batch root per batch; every
+        # shard's spans come back as skeletons and graft under it, in
+        # (shard, per-shard arrival) order — the same deterministic
+        # total order as the audit merge
+        with tracer.request("router.batch", n=len(requests)):
+            responses = self._run_batch(requests, tracer.export_context())
+        return responses
+
+    def _run_batch(self, requests: list[HttpRequest],
+                   ctx: Optional[TraceContext]) -> list[HttpResponse]:
         groups: dict[int, list[HttpRequest]] = {}
         slots: dict[int, list[int]] = {}
         assignment = []
+        shard_for = self.shard_for
         for i, request in enumerate(requests):
-            shard = self.shard_for(request)
+            shard = shard_for(request)
             assignment.append(shard)
             groups.setdefault(shard, []).append(request)
             slots.setdefault(shard, []).append(i)
-            self.routed[shard] += 1
-        by_shard = self._engine.run_batches(groups)
+        for shard, grouped in groups.items():
+            self.routed[shard] += len(grouped)
+        by_shard, skeletons = self._engine.run_batches(groups, ctx)
+        if ctx is not None:
+            tracer = self.tracer
+            tracer.annotate(shards=len(groups))
+            for shard in sorted(skeletons):
+                for skeleton in skeletons[shard]:
+                    tracer.graft(f"shard:{shard}", skeleton)
         responses: list[Optional[HttpResponse]] = [None] * len(requests)
         for shard, resps in by_shard.items():
             for i, resp in zip(slots[shard], resps):
                 responses[i] = resp
+        # _note_response inlined for the batch: the common case (no
+        # session cookie minted, not a logout) must not pay a method
+        # call per request on the fleet's disabled hot path
+        token_shard = self._token_shard
         for i, request in enumerate(requests):
-            self._note_response(assignment[i], request, responses[i])
+            response = responses[i]
+            if response.set_cookies:
+                token = response.set_cookies.get(SESSION_COOKIE)
+                if token:
+                    token_shard[token] = assignment[i]
+            parts = request.path_parts()
+            if parts and parts[0] == "logout":
+                token_shard.pop(
+                    request.cookies.get(SESSION_COOKIE, ""), None)
         return responses  # type: ignore[return-value]
 
     def transport(self):
@@ -827,9 +901,69 @@ class ShardedProvider:
         return report
 
     def trace_report(self) -> dict[str, Any]:
-        reports = self._engine.broadcast("trace_report")
-        return {"tracing": bool(reports and reports[0].get("tracing")),
-                "shards": reports}
+        """The deployment's *merged* trace report (M16).
+
+        ``stats``/``latencies``/``histograms`` are exact merges across
+        every shard plus the router itself (histograms merge
+        bucket-wise through their snapshots, so the numbers are
+        identical whether the shards ran in-process or behind the fork
+        engine's pipe).  ``router`` carries the router tracer's own
+        counters and its flight recorder — whose ``router.batch``
+        traces are the stitched cross-shard trees, one root per batch
+        with every request's subtree grafted under it.  ``shards`` is
+        the pre-M16 unmerged per-shard broadcast, kept as a deprecated
+        alias for callers that still want the raw per-shard view.
+        """
+        shard_reports = self._engine.broadcast("trace_report")
+        tracing = self.tracer.enabled or bool(
+            shard_reports and shard_reports[0].get("tracing"))
+        if not tracing:
+            return {"tracing": False, "shards": shard_reports}
+        stats = {"traces_started": 0, "traces_finished": 0,
+                 "spans_dropped": 0}
+        merged: dict[str, LatencyHistogram] = {}
+        sources = [r for r in shard_reports if r.get("tracing")]
+        if self.tracer.enabled:
+            sources.append({"stats": self.tracer.stats(),
+                            "histograms": {
+                                name: hist.snapshot() for name, hist
+                                in self.tracer._histograms.items()}})
+        for report in sources:
+            for key in stats:
+                stats[key] += report["stats"].get(key, 0)
+            for name, snap in report.get("histograms", {}).items():
+                hist = LatencyHistogram.from_snapshot(snap)
+                if name in merged:
+                    merged[name].merge(hist)
+                else:
+                    merged[name] = hist
+        report: dict[str, Any] = {
+            "tracing": True,
+            "stats": stats,
+            "latencies": {name: hist.as_dict()
+                          for name, hist in sorted(merged.items())},
+            "histograms": {name: hist.snapshot()
+                           for name, hist in sorted(merged.items())},
+            "shards": shard_reports,  # deprecated: unmerged broadcast
+        }
+        if self.tracer.enabled and self.recorder is not None:
+            report["router"] = {"stats": self.tracer.stats(),
+                                "recorder": self.recorder.dump()}
+        return report
+
+    def health_report(self) -> dict[str, Any]:
+        """Per-shard readiness gauges rolled up (M16): each shard's
+        :meth:`Provider.health_report` (journal lag, pool occupancy,
+        plan-cache hit ratio, audit drops) under the worst state."""
+        shard_reports = self._engine.broadcast("health_report")
+        return {
+            "state": ("degraded" if any(r["state"] != "ok"
+                                        for r in shard_reports) else "ok"),
+            "shards": shard_reports,
+            "router": {"engine": self.engine_name,
+                       "routed": list(self.routed),
+                       "tokens_tracked": len(self._token_shard)},
+        }
 
     def stats(self) -> dict[str, Any]:
         return {

@@ -5,7 +5,7 @@ import pytest
 from repro.core import Metrics
 from repro.federation import (FederationFabric, ProviderDown, SyncError,
                               converged)
-from repro.platform import NoSuchUser
+from repro.platform import NoSuchUser, ProviderConfig
 
 
 @pytest.fixture()
@@ -227,6 +227,89 @@ class TestObservability:
         provider.kernel.exit(agent)
         fabric.sync_user("bob")
         lower = fabric.provider(min(home, mirror))
+        upper = fabric.provider(max(home, mirror))
         report = lower.trace_report()
         assert "fed.sync" in report["latencies"]
-        assert "fed.envelope" in report["latencies"]
+        # Since M16 the envelope span folds on whichever provider
+        # *applied* the batch; destination-side spans are grafted back
+        # under fed.sync rather than mis-attached to side A's tracer.
+        names = set(report["latencies"]) \
+            | set(upper.trace_report().get("latencies", {}))
+        assert "fed.envelope" in names
+
+    def test_sync_trace_stitches_remote_envelope(self):
+        """The fed.sync trace is one tree: a remote-side fed.envelope
+        shows up grafted under the root, tagged with its origin."""
+        fabric = FederationFabric(2, tracing=True)
+        for provider in fabric.providers:
+            provider.tracer.fold_every = 1
+        home = fabric.signup("bob", "pw")
+        fabric.mirror("bob", 1 - home)
+        fabric.store_user_data("bob", "f", "v1")
+        fabric.sync_user("bob")
+        # dirty the home copy: the next round ships home -> mirror
+        from repro.fs import FsView
+        provider = fabric.provider(home)
+        agent = provider._user_agent(provider.account("bob"))
+        FsView(provider.fs, agent).write("/users/bob/f", "v2")
+        provider.kernel.exit(agent)
+        fabric.sync_user("bob")
+        lower = fabric.provider(0)
+        syncs = [t for t in lower.recorder.dump()["slowest"]
+                 if t["root"] and t["root"]["name"] == "fed.sync"]
+        assert syncs
+
+        def names(span):
+            yield span["name"], span["attrs"]
+            for child in span["children"]:
+                yield from names(child)
+
+        seen = [pair for trace in syncs for pair in names(trace["root"])]
+        envelopes = [attrs for name, attrs in seen if name == "fed.envelope"]
+        assert envelopes, "no fed.envelope anywhere in the fed.sync trees"
+        if home == 0:
+            # batch applied on provider 1 -> must arrive as a graft
+            assert any("origin" in attrs for attrs in envelopes)
+            grafted = [t for t in syncs if t.get("grafts")]
+            assert grafted and all(t.get("orphan_grafts", 0) == 0
+                                   for t in grafted)
+
+    def test_health_report_crash_recover_cycle(self):
+        """crash() flips the fleet view to down; recover() brings the
+        provider back but leaves the link degraded (stale cursors)
+        until one sync round re-attaches them."""
+        fabric = FederationFabric(
+            2, provider_config=ProviderConfig.durable())
+        home = fabric.signup("bob", "pw")
+        fabric.mirror("bob", 1 - home)
+        fabric.store_user_data("bob", "f", "v1")
+        fabric.sync_user("bob")
+        report = fabric.health_report()
+        assert report["state"] == "ok"
+        assert report["providers"]["provider:0"]["state"] == "ok"
+        assert report["links"]["link:0<->1"]["state"] == "ok"
+        lag = report["links"]["link:0<->1"]["cursor_lag"]["bob"]
+        assert lag == {"a": 0, "b": 0}
+
+        fabric.crash(home)
+        report = fabric.health_report()
+        assert report["state"] == "down"
+        assert report["providers"][f"provider:{home}"]["state"] == "down"
+        link = report["links"]["link:0<->1"]
+        assert link["state"] == "degraded"
+        assert any("peer down" in r for r in link["reasons"])
+
+        fabric.recover(home)
+        report = fabric.health_report()
+        # provider is back, but the link's cursors were invalidated:
+        # degraded (full recon pending) until the next sync round
+        assert report["providers"][f"provider:{home}"]["state"] == "ok"
+        link = report["links"]["link:0<->1"]
+        assert link["state"] == "degraded"
+        assert any("stale cursor" in r for r in link["reasons"])
+        assert report["state"] == "degraded"
+
+        fabric.sync_user("bob")
+        report = fabric.health_report()
+        assert report["state"] == "ok"
+        assert report["links"]["link:0<->1"]["reasons"] == []
